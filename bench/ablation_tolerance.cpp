@@ -1,0 +1,69 @@
+/// \file ablation_tolerance.cpp
+/// \brief The numerical-instability effect of Sec. 3 / Sec. 6.2 made
+///        measurable: verifying a QFT against an angle-perturbed copy (the
+///        kind of sub-ulp drift real compilation introduces) with different
+///        DD value-interning tolerances. With a sane tolerance the
+///        near-identical nodes merge and the diagram stays identity-sized;
+///        with tolerance ~0 the redundancies are no longer captured and the
+///        intermediate decision diagram blows up, while the ZX engine's
+///        phase snapping is unaffected.
+#include "table_common.hpp"
+
+#include "check/dd_checkers.hpp"
+#include "check/zx_checker.hpp"
+#include "circuits/benchmarks.hpp"
+
+#include <cstdio>
+#include <random>
+
+namespace {
+
+using namespace veriqc;
+
+QuantumCircuit perturbAngles(const QuantumCircuit& circuit, const double eps,
+                             const std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> jitter(-eps, eps);
+  QuantumCircuit result = circuit;
+  for (auto& op : result.ops()) {
+    for (auto& param : op.params) {
+      param += jitter(rng);
+    }
+  }
+  return result;
+}
+
+} // namespace
+
+int main() {
+  const double eps = 1e-13;
+  std::printf("\nAblation: DD value-interning tolerance vs. numerical "
+              "noise (QFT vs. QFT with +-%.0e angle jitter)\n",
+              eps);
+  std::printf("%4s | %12s | %10s | %10s | %8s | %10s\n", "n", "tolerance",
+              "verdict", "t_dd[s]", "peak", "HS fid");
+  for (const std::size_t n : {6U, 8U, 10U, 12U}) {
+    const auto g = circuits::qft(n);
+    const auto gPrime = perturbAngles(g, eps, n);
+    for (const double tol : {dd::RealTable::kDefaultTolerance, 1e-15, 0.0}) {
+      check::Configuration config;
+      config.numericalTolerance = tol;
+      config.checkTolerance = 1e-6;
+      const auto deadline =
+          std::chrono::steady_clock::now() + bench::benchTimeout();
+      const auto result =
+          check::ddAlternatingCheck(g, gPrime, config, [deadline] {
+            return std::chrono::steady_clock::now() >= deadline;
+          });
+      std::printf("%4zu | %12.2e | %10s | %10.3f | %8zu | %10.7f\n", n, tol,
+                  bench::verdictMark(result.criterion), result.runtimeSeconds,
+                  result.peakNodes, result.hilbertSchmidtFidelity);
+      std::fflush(stdout);
+    }
+    // ZX for comparison (phase snapping absorbs the jitter).
+    const auto zx = bench::runZxStyle(g, gPrime);
+    std::printf("%4zu | %12s | %10s | %10.3f |        - |          -\n", n,
+                "zx", bench::verdictMark(zx.criterion), zx.seconds);
+  }
+  return 0;
+}

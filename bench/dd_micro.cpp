@@ -1,0 +1,99 @@
+/// \file dd_micro.cpp
+/// \brief Google-benchmark microbenchmarks of the decision-diagram package.
+#include "circuits/benchmarks.hpp"
+#include "dd/package.hpp"
+#include "sim/dd_simulator.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace veriqc;
+
+void BM_MakeGateDD(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dd::Package package(n);
+  const auto matrix = gateMatrix(OpType::H, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        package.makeGateDD(matrix, {}, static_cast<Qubit>(n / 2)));
+  }
+}
+BENCHMARK(BM_MakeGateDD)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MakeControlledGateDD(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dd::Package package(n);
+  const auto matrix = gateMatrix(OpType::X, {});
+  const std::vector<Qubit> controls{0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        package.makeGateDD(matrix, controls, static_cast<Qubit>(n - 1)));
+  }
+}
+BENCHMARK(BM_MakeControlledGateDD)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BuildUnitaryGhz(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::ghz(n);
+  for (auto _ : state) {
+    dd::Package package(n);
+    auto e = sim::buildUnitaryDD(package, circuit);
+    benchmark::DoNotOptimize(e);
+    package.decRef(e);
+  }
+}
+BENCHMARK(BM_BuildUnitaryGhz)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BuildUnitaryQft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::qft(n);
+  for (auto _ : state) {
+    dd::Package package(n);
+    auto e = sim::buildUnitaryDD(package, circuit);
+    benchmark::DoNotOptimize(e);
+    package.decRef(e);
+  }
+}
+// Full QFT matrix DDs grow steeply with n (the construction
+// infeasibility the alternating checker avoids) — keep sizes small.
+BENCHMARK(BM_BuildUnitaryQft)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_MultiplySelf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dd::Package package(n);
+  auto e = sim::buildUnitaryDD(package, circuits::qft(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(package.multiply(e, e));
+    package.garbageCollect();
+  }
+  package.decRef(e);
+}
+BENCHMARK(BM_MultiplySelf)->Arg(4)->Arg(6);
+
+void BM_Trace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dd::Package package(n);
+  auto e = sim::buildUnitaryDD(package, circuits::qft(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(package.trace(e));
+  }
+  package.decRef(e);
+}
+BENCHMARK(BM_Trace)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SimulateGrover(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::grover(n, 3);
+  for (auto _ : state) {
+    dd::Package package(n);
+    auto result = sim::simulate(package, circuit, package.makeZeroState());
+    benchmark::DoNotOptimize(result);
+    package.decRef(result);
+  }
+}
+BENCHMARK(BM_SimulateGrover)->Arg(4)->Arg(6);
+
+} // namespace
+
+BENCHMARK_MAIN();

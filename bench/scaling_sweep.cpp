@@ -1,0 +1,57 @@
+/// \file scaling_sweep.cpp
+/// \brief Scaling series underlying the qualitative claims of Sec. 6.2:
+///        DDs win on circuits with large reversible parts (Grover, walks),
+///        ZX wins on rotation-heavy circuits (QFT); Clifford circuits (GHZ)
+///        are easy for both. Prints (n, t_dd, t_zx) series per family for
+///        equivalent compiled instances.
+#include "table_common.hpp"
+
+#include "circuits/benchmarks.hpp"
+#include "compile/architecture.hpp"
+#include "compile/mapper.hpp"
+
+#include <cstdio>
+#include <functional>
+
+int main() {
+  using namespace veriqc;
+  const auto arch = compile::Architecture::ibmManhattanLike();
+
+  struct Family {
+    const char* name;
+    std::vector<std::size_t> sizes;
+    std::function<QuantumCircuit(std::size_t)> make;
+  };
+  const std::vector<Family> families = {
+      {"ghz", {8, 16, 32, 48, 65}, [](std::size_t n) { return circuits::ghz(n); }},
+      {"qft",
+       {4, 6, 8, 10, 12},
+       [](std::size_t n) { return circuits::qft(n); }},
+      {"grover",
+       {3, 4, 5},
+       [](std::size_t n) { return circuits::grover(n, 3); }},
+      {"random_walk",
+       {2, 3, 4},
+       [](std::size_t n) { return circuits::quantumWalk(n, 3); }},
+  };
+
+  std::printf("\nScaling sweep: equivalent compiled instances, "
+              "t_dd (alternating+sim) vs t_zx (full_reduce)\n");
+  for (const auto& family : families) {
+    std::printf("\n# %s\n", family.name);
+    std::printf("%4s %8s %8s %12s %12s\n", "n", "|G|", "|G'|", "t_dd[s]",
+                "t_zx[s]");
+    for (const auto n : family.sizes) {
+      const auto original = family.make(n);
+      const auto compiled = compile::compileForArchitecture(original, arch);
+      const auto dd = bench::runQcecStyle(original, compiled);
+      const auto zx = bench::runZxStyle(original, compiled);
+      std::printf("%4zu %8zu %8zu %9.3f %s %9.3f %s\n", original.numQubits(),
+                  original.gateCount(), compiled.gateCount(), dd.seconds,
+                  bench::verdictMark(dd.criterion), zx.seconds,
+                  bench::verdictMark(zx.criterion));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file table1_compiled.cpp
+/// \brief Regenerates the "Compiled Circuits" half of Table 1: original
+///        high-level circuits vs. their compilation to the 65-qubit
+///        Manhattan-like heavy-hex architecture, in the three configurations
+///        (equivalent / 1 gate missing / flipped CNOT) and with both methods
+///        (t_dd ~ t_qcec: alternating + 16 simulations; t_zx ~ t_pyzx:
+///        graph-like rewriting).
+///
+/// Sizes are scaled down relative to the paper (laptop-class substrate, no
+/// 1 h timeout); the comparison *shape* is the reproduction target. See
+/// EXPERIMENTS.md. Set VERIQC_BENCH_TIMEOUT_MS to change the 60 s default
+/// timeout, and VERIQC_BENCH_LARGE=1 to run the larger instances.
+#include "table_common.hpp"
+
+#include "circuits/benchmarks.hpp"
+#include "compile/architecture.hpp"
+#include "compile/mapper.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace {
+
+using namespace veriqc;
+using bench::Instance;
+
+Instance compiledInstance(QuantumCircuit original,
+                          const compile::Architecture& arch) {
+  auto compiled = compile::compileForArchitecture(original, arch);
+  return {original.name(), std::move(original), std::move(compiled)};
+}
+
+} // namespace
+
+int main() {
+  const bool large = std::getenv("VERIQC_BENCH_LARGE") != nullptr;
+  const auto arch = compile::Architecture::ibmManhattanLike();
+
+  std::vector<QuantumCircuit> originals;
+  originals.push_back(circuits::grover(4, 11));
+  originals.push_back(circuits::grover(5, 19));
+  originals.push_back(circuits::grover(6, 37));
+  if (large) {
+    originals.push_back(circuits::grover(7, 73));
+  }
+  originals.push_back(circuits::qft(8));
+  originals.push_back(circuits::qft(12));
+  originals.push_back(circuits::qft(16));
+  if (large) {
+    originals.push_back(circuits::qft(20));
+  }
+  originals.push_back(circuits::quantumWalk(4, 3));
+  originals.push_back(circuits::quantumWalk(5, 3));
+  originals.push_back(circuits::quantumWalk(6, 3));
+  if (large) {
+    originals.push_back(circuits::quantumWalk(7, 3));
+  }
+  originals.push_back(circuits::qpeExact(7, 53));
+  originals.push_back(circuits::qpeExact(10, 619));
+  originals.push_back(circuits::qpeExact(12, 2741));
+  originals.push_back(circuits::ghz(32));
+  originals.push_back(circuits::ghz(65));
+  originals.push_back(circuits::randomGraphState(30, 10, 1));
+  originals.push_back(circuits::randomGraphState(62, 20, 2));
+
+  veriqc::bench::printTableHeader(
+      "Table 1 (a): Compiled Circuits — original vs. 65-qubit heavy-hex "
+      "compilation");
+  std::uint64_t errorSeed = 1000;
+  for (auto& original : originals) {
+    const auto instance = compiledInstance(std::move(original), arch);
+    veriqc::bench::runRow(instance, errorSeed++);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file table1_optimized.cpp
+/// \brief Regenerates the "Optimized Circuits" half of Table 1: elementary
+///        (decomposed) circuits vs. their optimized versions, in the three
+///        configurations and with both methods. The reversible RevLib
+///        benchmarks (urf2, plus63mod4096, example2) are represented by
+///        structurally equivalent synthetic reversible circuits (see
+///        DESIGN.md).
+#include "table_common.hpp"
+
+#include "circuits/benchmarks.hpp"
+#include "compile/decompose.hpp"
+#include "opt/optimizer.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace {
+
+using namespace veriqc;
+using bench::Instance;
+
+Instance optimizedInstance(const QuantumCircuit& original) {
+  auto decomposed = compile::decomposeToCnot(original);
+  decomposed.setName(original.name());
+  auto optimized = opt::optimize(decomposed);
+  return {original.name(), std::move(decomposed), std::move(optimized)};
+}
+
+} // namespace
+
+int main() {
+  const bool large = std::getenv("VERIQC_BENCH_LARGE") != nullptr;
+
+  std::vector<QuantumCircuit> originals;
+  // RevLib-style reversible benchmarks (synthetic stand-ins).
+  originals.push_back(circuits::urfLike(8, large ? 120 : 60, 154));
+  originals.push_back(circuits::constantAdder(12, 63)); // plus63mod4096
+  originals.push_back(circuits::mixedReversible(8, large ? 160 : 80, 231));
+  // Quantum algorithms.
+  originals.push_back(circuits::grover(4, 11));
+  originals.push_back(circuits::grover(5, 19));
+  originals.push_back(circuits::grover(6, 37));
+  if (large) {
+    originals.push_back(circuits::grover(7, 73));
+  }
+  originals.push_back(circuits::qft(8));
+  originals.push_back(circuits::qft(12));
+  originals.push_back(circuits::qft(16));
+  if (large) {
+    originals.push_back(circuits::qft(20));
+  }
+  originals.push_back(circuits::quantumWalk(4, 3));
+  originals.push_back(circuits::quantumWalk(5, 3));
+  originals.push_back(circuits::quantumWalk(6, 3));
+  if (large) {
+    originals.push_back(circuits::quantumWalk(7, 3));
+  }
+
+  veriqc::bench::printTableHeader(
+      "Table 1 (b): Optimized Circuits — decomposed vs. optimized version");
+  std::uint64_t errorSeed = 2000;
+  for (const auto& original : originals) {
+    const auto instance = optimizedInstance(original);
+    veriqc::bench::runRow(instance, errorSeed++);
+  }
+  return 0;
+}

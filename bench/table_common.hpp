@@ -1,0 +1,152 @@
+/// \file table_common.hpp
+/// \brief Shared harness code for the Table-1 style benchmark binaries:
+///        instance generation (equivalent / 1 gate missing / flipped CNOT),
+///        timing wrappers and row formatting.
+#pragma once
+
+#include "check/manager.hpp"
+#include "circuits/error_injection.hpp"
+#include "ir/circuit.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <random>
+#include <string>
+
+namespace veriqc::bench {
+
+/// One benchmark instance: the original circuit G and its counterpart G'.
+struct Instance {
+  std::string name;
+  QuantumCircuit g;
+  QuantumCircuit gPrime;
+};
+
+/// The three configurations of Sec. 6.1.
+enum class ErrorKind { None, GateMissing, FlippedCnot };
+
+inline const char* toString(const ErrorKind kind) {
+  switch (kind) {
+  case ErrorKind::None:
+    return "equivalent";
+  case ErrorKind::GateMissing:
+    return "1 gate missing";
+  case ErrorKind::FlippedCnot:
+    return "flipped cnot";
+  }
+  return "?";
+}
+
+/// Inject the configured error into G' (None returns it unchanged).
+inline std::optional<QuantumCircuit>
+injectError(const QuantumCircuit& gPrime, const ErrorKind kind,
+            const std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  switch (kind) {
+  case ErrorKind::None:
+    return gPrime;
+  case ErrorKind::GateMissing:
+    return circuits::removeRandomGate(gPrime, rng);
+  case ErrorKind::FlippedCnot:
+    return circuits::flipRandomCnot(gPrime, rng);
+  }
+  return std::nullopt;
+}
+
+/// Timeout per instance and method; override with VERIQC_BENCH_TIMEOUT_MS.
+inline std::chrono::milliseconds benchTimeout() {
+  if (const char* env = std::getenv("VERIQC_BENCH_TIMEOUT_MS")) {
+    return std::chrono::milliseconds(std::atol(env));
+  }
+  return std::chrono::milliseconds(60000);
+}
+
+struct TimedVerdict {
+  check::EquivalenceCriterion criterion =
+      check::EquivalenceCriterion::NoInformation;
+  double seconds = 0.0;
+};
+
+/// The paper's t_qcec configuration: alternating checker in parallel with 16
+/// simulation runs.
+inline TimedVerdict runQcecStyle(const QuantumCircuit& g,
+                                 const QuantumCircuit& gPrime) {
+  check::Configuration config;
+  config.timeout = benchTimeout();
+  config.runAlternating = true;
+  config.runSimulation = true;
+  config.simulationRuns = 16;
+  const auto result = check::checkEquivalence(g, gPrime, config);
+  return {result.criterion, result.runtimeSeconds};
+}
+
+/// The paper's t_pyzx configuration: the ZX rewriting engine alone.
+inline TimedVerdict runZxStyle(const QuantumCircuit& g,
+                               const QuantumCircuit& gPrime) {
+  check::Configuration config;
+  config.timeout = benchTimeout();
+  const auto deadline = std::chrono::steady_clock::now() + config.timeout;
+  const auto result = check::zxCheck(g, gPrime, config, [deadline] {
+    return std::chrono::steady_clock::now() >= deadline;
+  });
+  return {result.criterion, result.runtimeSeconds};
+}
+
+/// Shorthand verdict symbol for table cells.
+inline const char* verdictMark(const check::EquivalenceCriterion c) {
+  switch (c) {
+  case check::EquivalenceCriterion::Equivalent:
+  case check::EquivalenceCriterion::EquivalentUpToGlobalPhase:
+    return "EQ ";
+  case check::EquivalenceCriterion::NotEquivalent:
+    return "NEQ";
+  case check::EquivalenceCriterion::ProbablyEquivalent:
+    return "PEQ";
+  case check::EquivalenceCriterion::NoInformation:
+    return "NI ";
+  case check::EquivalenceCriterion::Timeout:
+    return "TO ";
+  }
+  return "?  ";
+}
+
+inline void printTableHeader(const char* title) {
+  std::printf("\n%s\n", title);
+  std::printf("%-78s\n",
+              "--------------------------------------------------------------"
+              "----------------");
+  std::printf("%-22s %4s %7s %7s | %13s | %13s | %13s\n", "benchmark", "n",
+              "|G|", "|G'|", "equivalent", "1 gate miss", "flip cnot");
+  std::printf("%-22s %4s %7s %7s | %6s %6s | %6s %6s | %6s %6s\n", "", "", "",
+              "", "t_dd", "t_zx", "t_dd", "t_zx", "t_dd", "t_zx");
+  std::printf("%-78s\n",
+              "--------------------------------------------------------------"
+              "----------------");
+}
+
+/// Run one instance through all three configurations and both methods, and
+/// print one table row.
+inline void runRow(const Instance& instance, const std::uint64_t errorSeed) {
+  std::printf("%-22s %4zu %7zu %7zu |", instance.name.c_str(),
+              instance.g.numQubits(), instance.g.gateCount(),
+              instance.gPrime.gateCount());
+  std::fflush(stdout);
+  for (const auto kind :
+       {ErrorKind::None, ErrorKind::GateMissing, ErrorKind::FlippedCnot}) {
+    const auto damaged = injectError(instance.gPrime, kind, errorSeed);
+    if (!damaged.has_value()) {
+      std::printf("    n/a    n/a |");
+      continue;
+    }
+    const auto dd = runQcecStyle(instance.g, *damaged);
+    const auto zx = runZxStyle(instance.g, *damaged);
+    std::printf(" %s%6.2f %s%6.2f |", verdictMark(dd.criterion), dd.seconds,
+                verdictMark(zx.criterion), zx.seconds);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+} // namespace veriqc::bench

@@ -1,0 +1,67 @@
+/// \file zx_micro.cpp
+/// \brief Google-benchmark microbenchmarks of the ZX-calculus engine.
+#include "circuits/benchmarks.hpp"
+#include "zx/circuit_to_zx.hpp"
+#include "zx/simplify.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace veriqc;
+
+void BM_CircuitToZX(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::randomClifford(n, 20, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zx::circuitToZX(circuit));
+  }
+}
+BENCHMARK(BM_CircuitToZX)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FullReduceClifford(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::randomClifford(n, 20, 2);
+  for (auto _ : state) {
+    auto diagram = zx::circuitToZX(circuit);
+    benchmark::DoNotOptimize(zx::fullReduce(diagram));
+  }
+}
+BENCHMARK(BM_FullReduceClifford)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FullReduceCliffordT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::randomCliffordT(n, 20, 0.2, 3);
+  for (auto _ : state) {
+    auto diagram = zx::circuitToZX(circuit);
+    benchmark::DoNotOptimize(zx::fullReduce(diagram));
+  }
+}
+BENCHMARK(BM_FullReduceCliffordT)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EquivalenceReduction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::randomCliffordT(n, 10, 0.2, 4);
+  const auto base = zx::circuitToZX(circuit);
+  const auto adjointDiagram = base.adjoint();
+  for (auto _ : state) {
+    auto composed = base.compose(adjointDiagram);
+    benchmark::DoNotOptimize(zx::fullReduce(composed));
+  }
+}
+BENCHMARK(BM_EquivalenceReduction)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_QftReduction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = zx::circuitToZX(circuits::qft(n));
+  const auto adjointDiagram = base.adjoint();
+  for (auto _ : state) {
+    auto composed = base.compose(adjointDiagram);
+    benchmark::DoNotOptimize(zx::fullReduce(composed));
+  }
+}
+BENCHMARK(BM_QftReduction)->Arg(4)->Arg(8)->Arg(12);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,467 @@
+#include "check/dd_checkers.hpp"
+
+#include "dd/package.hpp"
+#include "opt/optimizer.hpp"
+#include "sim/dd_simulator.hpp"
+#include "sim/dense.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace veriqc::check {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(const Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Align the two circuits and optionally reconstruct SWAP gates so the
+/// alternating checker can absorb them.
+std::pair<QuantumCircuit, QuantumCircuit>
+prepare(const QuantumCircuit& c1, const QuantumCircuit& c2,
+        const Configuration& config) {
+  auto [a, b] = alignCircuits(c1, c2);
+  if (config.reconstructSwaps) {
+    opt::reconstructSwaps(a);
+    opt::reconstructSwaps(b);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+/// Final verdict from the accumulated diagram E (which should resemble the
+/// identity for equivalent circuits).
+EquivalenceCriterion classify(dd::Package& package, const dd::mEdge& e,
+                              const Configuration& config, Result& result) {
+  const auto ident = package.makeIdent();
+  if (e.p == ident.p) {
+    result.hilbertSchmidtFidelity = 1.0;
+    if (std::abs(e.w - std::complex<double>{1.0, 0.0}) <
+        config.checkTolerance) {
+      return EquivalenceCriterion::Equivalent;
+    }
+    if (std::abs(std::abs(e.w) - 1.0) < config.checkTolerance) {
+      return EquivalenceCriterion::EquivalentUpToGlobalPhase;
+    }
+    return EquivalenceCriterion::NotEquivalent;
+  }
+  const double fidelity = package.traceFidelity(e);
+  result.hilbertSchmidtFidelity = fidelity;
+  if (std::abs(fidelity - 1.0) < config.checkTolerance) {
+    return EquivalenceCriterion::EquivalentUpToGlobalPhase;
+  }
+  return EquivalenceCriterion::NotEquivalent;
+}
+
+/// Wraps the accumulator diagram with reference management and statistics.
+class Accumulator {
+public:
+  explicit Accumulator(dd::Package& package, const bool recordTrace = false)
+      : package_(package), recordTrace_(recordTrace) {
+    edge_ = package_.makeIdent();
+    package_.incRef(edge_);
+  }
+
+  void replace(const dd::mEdge& next) {
+    package_.incRef(next);
+    package_.decRef(edge_);
+    edge_ = next;
+    package_.garbageCollect();
+    peak_ = std::max(peak_, package_.stats().matrixNodes);
+    if (recordTrace_) {
+      trace_.push_back(package_.nodeCount(edge_));
+    }
+  }
+
+  void applyLeft(const dd::mEdge& gate) {
+    replace(package_.multiply(gate, edge_));
+  }
+  void applyRight(const dd::mEdge& gate) {
+    replace(package_.multiply(edge_, gate));
+  }
+
+  [[nodiscard]] const dd::mEdge& edge() const noexcept { return edge_; }
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::vector<std::size_t> takeTrace() {
+    return std::move(trace_);
+  }
+
+private:
+  dd::Package& package_;
+  bool recordTrace_;
+  dd::mEdge edge_{};
+  std::size_t peak_ = 0;
+  std::vector<std::size_t> trace_;
+};
+
+/// One side of the alternating scheme: a gate queue plus the tracked
+/// wire-to-logical permutation.
+class TaskSide {
+public:
+  TaskSide(const QuantumCircuit& circuit, const bool invert)
+      : perm_(circuit.initialLayout()), invert_(invert) {
+    for (const auto& op : circuit.ops()) {
+      if (!op.isNonUnitary()) {
+        ops_.push_back(&op);
+      }
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return next_ >= ops_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return ops_.size() - next_;
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return ops_.size(); }
+
+  /// Absorb any pending SWAP gates into the permutation tracker. Returns
+  /// true if a non-SWAP gate is pending afterwards.
+  bool absorbSwaps() {
+    while (!done() && ops_[next_]->isBareSwap()) {
+      perm_.swapImages(ops_[next_]->targets[0], ops_[next_]->targets[1]);
+      ++next_;
+    }
+    return !done();
+  }
+
+  /// DD of the next gate (inverted for the right-hand side), consuming it.
+  dd::mEdge takeGateDD(dd::Package& package) {
+    const Operation* op = ops_[next_++];
+    if (invert_) {
+      return package.makeOperationDD(op->inverse(), perm_);
+    }
+    return package.makeOperationDD(*op, perm_);
+  }
+
+  /// DD of the next gate without consuming it (for the lookahead oracle).
+  dd::mEdge peekGateDD(dd::Package& package) {
+    const Operation* op = ops_[next_];
+    if (invert_) {
+      return package.makeOperationDD(op->inverse(), perm_);
+    }
+    return package.makeOperationDD(*op, perm_);
+  }
+
+  void consume() { ++next_; }
+
+  [[nodiscard]] const Permutation& trackedPermutation() const noexcept {
+    return perm_;
+  }
+
+private:
+  std::vector<const Operation*> ops_;
+  std::size_t next_ = 0;
+  Permutation perm_;
+  bool invert_;
+};
+
+} // namespace
+
+Result denseCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
+                  const Configuration& config, const std::size_t maxQubits) {
+  const auto start = Clock::now();
+  Result result;
+  result.method = "dense";
+  const auto [a, b] = alignCircuits(c1, c2);
+  if (a.numQubits() > maxQubits) {
+    throw CircuitError("denseCheck: circuit too large for dense comparison");
+  }
+  const auto ua = sim::circuitUnitary(a);
+  const auto ub = sim::circuitUnitary(b);
+  const auto overlap = ua.adjoint().multiply(ub).trace();
+  const auto dim = static_cast<double>(std::size_t{1} << a.numQubits());
+  result.hilbertSchmidtFidelity = std::abs(overlap) / dim;
+  if (ua.equals(ub, config.checkTolerance)) {
+    result.criterion = EquivalenceCriterion::Equivalent;
+  } else if (std::abs(std::abs(overlap) - dim) < config.checkTolerance * dim) {
+    result.criterion = EquivalenceCriterion::EquivalentUpToGlobalPhase;
+  } else {
+    result.criterion = EquivalenceCriterion::NotEquivalent;
+  }
+  result.runtimeSeconds = secondsSince(start);
+  return result;
+}
+
+Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
+                           const Configuration& config, const StopToken& stop) {
+  const auto start = Clock::now();
+  Result result;
+  result.method = "dd-construction";
+  const auto [a, b] = prepare(c1, c2, config);
+  dd::Package package(a.numQubits(), config.numericalTolerance);
+
+  const auto build = [&](const QuantumCircuit& circuit,
+                         bool& aborted) -> dd::mEdge {
+    const auto explicitCircuit = circuit.withExplicitPermutations();
+    Accumulator acc(package);
+    for (const auto& op : explicitCircuit.ops()) {
+      if (op.isNonUnitary()) {
+        continue;
+      }
+      if (stop && stop()) {
+        aborted = true;
+        break;
+      }
+      acc.applyLeft(package.makeOperationDD(op));
+    }
+    result.peakNodes = std::max(result.peakNodes, acc.peak());
+    if (explicitCircuit.globalPhase() != 0.0 && !aborted) {
+      const auto& e = acc.edge();
+      acc.replace({e.p, e.w * std::exp(std::complex<double>{
+                             0.0, explicitCircuit.globalPhase()})});
+    }
+    return acc.edge();
+  };
+
+  bool aborted = false;
+  const auto e1 = build(a, aborted);
+  const auto e2 = aborted ? package.makeIdent() : build(b, aborted);
+  if (aborted) {
+    result.criterion = EquivalenceCriterion::Timeout;
+    result.runtimeSeconds = secondsSince(start);
+    return result;
+  }
+  // Canonicity: equal functionality implies equal root nodes.
+  if (e1.p == e2.p) {
+    result.hilbertSchmidtFidelity = 1.0;
+    if (std::abs(e1.w - e2.w) < config.checkTolerance) {
+      result.criterion = EquivalenceCriterion::Equivalent;
+    } else if (std::abs(std::abs(e1.w) - std::abs(e2.w)) <
+               config.checkTolerance) {
+      result.criterion = EquivalenceCriterion::EquivalentUpToGlobalPhase;
+    } else {
+      result.criterion = EquivalenceCriterion::NotEquivalent;
+    }
+  } else {
+    const auto product = package.multiply(package.conjugateTranspose(e1), e2);
+    const double fidelity = package.traceFidelity(product);
+    result.hilbertSchmidtFidelity = fidelity;
+    result.criterion = std::abs(fidelity - 1.0) < config.checkTolerance
+                           ? EquivalenceCriterion::EquivalentUpToGlobalPhase
+                           : EquivalenceCriterion::NotEquivalent;
+  }
+  result.runtimeSeconds = secondsSince(start);
+  return result;
+}
+
+Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
+                          const Configuration& config, const StopToken& stop) {
+  const auto start = Clock::now();
+  Result result;
+  result.method = "dd-alternating(" + toString(config.oracle) + ")";
+  const auto [a, b] = prepare(c1, c2, config);
+  dd::Package package(a.numQubits(), config.numericalTolerance);
+
+  TaskSide right(a, /*invert=*/true); // G^dagger, multiplied from the right
+  TaskSide left(b, /*invert=*/false); // G', multiplied from the left
+  Accumulator acc(package, config.recordTrace);
+
+  const auto timedOut = [&]() { return stop && stop(); };
+
+  // Gate-application loop driven by the configured oracle.
+  while (true) {
+    const bool leftPending = left.absorbSwaps();
+    const bool rightPending = right.absorbSwaps();
+    if (!leftPending && !rightPending) {
+      break;
+    }
+    if (timedOut()) {
+      result.criterion = EquivalenceCriterion::Timeout;
+      result.runtimeSeconds = secondsSince(start);
+      result.peakNodes = acc.peak();
+      return result;
+    }
+    if (!leftPending) {
+      acc.applyRight(right.takeGateDD(package));
+      continue;
+    }
+    if (!rightPending) {
+      acc.applyLeft(left.takeGateDD(package));
+      continue;
+    }
+    switch (config.oracle) {
+    case OracleStrategy::Naive:
+      // Finish the left side first, then unwind the right side.
+      acc.applyLeft(left.takeGateDD(package));
+      break;
+    case OracleStrategy::Proportional: {
+      // Choose the side that lags behind its proportional schedule.
+      const double progressLeft =
+          static_cast<double>(left.total() - left.remaining()) /
+          static_cast<double>(left.total());
+      const double progressRight =
+          static_cast<double>(right.total() - right.remaining()) /
+          static_cast<double>(right.total());
+      if (progressLeft <= progressRight) {
+        acc.applyLeft(left.takeGateDD(package));
+      } else {
+        acc.applyRight(right.takeGateDD(package));
+      }
+      break;
+    }
+    case OracleStrategy::Lookahead: {
+      const auto gateLeft = left.peekGateDD(package);
+      const auto gateRight = right.peekGateDD(package);
+      const auto candidateLeft = package.multiply(gateLeft, acc.edge());
+      const auto candidateRight = package.multiply(acc.edge(), gateRight);
+      if (package.nodeCount(candidateLeft) <=
+          package.nodeCount(candidateRight)) {
+        left.consume();
+        acc.replace(candidateLeft);
+      } else {
+        right.consume();
+        acc.replace(candidateRight);
+      }
+      break;
+    }
+    }
+  }
+
+  // Global phases: E accumulates G'.G^dagger, so the relative phase is
+  // phase(b) - phase(a).
+  const double relativePhase = b.globalPhase() - a.globalPhase();
+  if (relativePhase != 0.0) {
+    const auto& e = acc.edge();
+    acc.replace(
+        {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
+  }
+
+  // Equalize the tracked permutations against the output permutations:
+  // E should equal R(tau) with tau = L o O^-1 o O' o L'^-1.
+  const auto tau = right.trackedPermutation()
+                       .compose(a.outputPermutation().inverse())
+                       .compose(b.outputPermutation())
+                       .compose(left.trackedPermutation().inverse());
+  for (const auto& [x, y] : tau.transpositions()) {
+    acc.applyRight(package.makeSwapDD(x, y));
+  }
+
+  result.criterion = classify(package, acc.edge(), config, result);
+  result.peakNodes = acc.peak();
+  result.sizeTrace = acc.takeTrace();
+  result.runtimeSeconds = secondsSince(start);
+  return result;
+}
+
+Result ddCompilationFlowCheck(const QuantumCircuit& original,
+                              const QuantumCircuit& compiled,
+                              const std::vector<std::size_t>& expansionCounts,
+                              const Configuration& config,
+                              const StopToken& stop) {
+  const auto start = Clock::now();
+  Result result;
+  result.method = "dd-alternating(compilation-flow)";
+  if (expansionCounts.size() != original.size()) {
+    throw CircuitError(
+        "ddCompilationFlowCheck: one expansion count per original gate "
+        "required");
+  }
+  std::size_t totalCompiled = 0;
+  for (const auto c : expansionCounts) {
+    totalCompiled += c;
+  }
+  if (totalCompiled != compiled.size()) {
+    throw CircuitError(
+        "ddCompilationFlowCheck: expansion counts do not cover the compiled "
+        "circuit");
+  }
+  Configuration flowConfig = config;
+  flowConfig.reconstructSwaps = false; // counts refer to the raw gate lists
+  const auto [a, b] = alignCircuits(original, compiled);
+  dd::Package package(a.numQubits(), flowConfig.numericalTolerance);
+  TaskSide right(a, /*invert=*/true);
+  TaskSide left(b, /*invert=*/false);
+  Accumulator acc(package, flowConfig.recordTrace);
+
+  for (const auto count : expansionCounts) {
+    if (stop && stop()) {
+      result.criterion = EquivalenceCriterion::Timeout;
+      result.runtimeSeconds = secondsSince(start);
+      result.peakNodes = acc.peak();
+      return result;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      if (left.absorbSwaps()) {
+        acc.applyLeft(left.takeGateDD(package));
+      }
+    }
+    if (right.absorbSwaps()) {
+      acc.applyRight(right.takeGateDD(package));
+    }
+  }
+  while (left.absorbSwaps()) {
+    acc.applyLeft(left.takeGateDD(package));
+  }
+  while (right.absorbSwaps()) {
+    acc.applyRight(right.takeGateDD(package));
+  }
+
+  const auto tau = right.trackedPermutation()
+                       .compose(a.outputPermutation().inverse())
+                       .compose(b.outputPermutation())
+                       .compose(left.trackedPermutation().inverse());
+  for (const auto& [x, y] : tau.transpositions()) {
+    acc.applyRight(package.makeSwapDD(x, y));
+  }
+  const double relativePhase = b.globalPhase() - a.globalPhase();
+  if (relativePhase != 0.0) {
+    const auto& e = acc.edge();
+    acc.replace(
+        {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
+  }
+  result.criterion = classify(package, acc.edge(), flowConfig, result);
+  result.peakNodes = acc.peak();
+  result.sizeTrace = acc.takeTrace();
+  result.runtimeSeconds = secondsSince(start);
+  return result;
+}
+
+Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
+                         const Configuration& config, const StopToken& stop) {
+  const auto start = Clock::now();
+  Result result;
+  result.method = "dd-simulation(" + toString(config.stimuliKind) + ")";
+  const auto [a, b] = alignCircuits(c1, c2);
+  dd::Package package(a.numQubits(), config.numericalTolerance);
+  std::mt19937_64 rng(config.seed);
+
+  for (std::size_t run = 0; run < config.simulationRuns; ++run) {
+    if (stop && stop()) {
+      result.criterion = EquivalenceCriterion::Timeout;
+      break;
+    }
+    const auto stimulus =
+        sim::generateStimulus(config.stimuliKind, a.numQubits(), rng);
+    const auto input =
+        sim::simulate(package, stimulus, package.makeZeroState(), stop);
+    const auto out1 = sim::simulate(package, a, input, stop);
+    const auto out2 = sim::simulate(package, b, input, stop);
+    const bool aborted = stop && stop();
+    const double fidelity = aborted ? 1.0 : package.fidelity(out1, out2);
+    package.decRef(input);
+    package.decRef(out1);
+    package.decRef(out2);
+    package.garbageCollect();
+    if (aborted) {
+      result.criterion = EquivalenceCriterion::Timeout;
+      break;
+    }
+    ++result.performedSimulations;
+    result.peakNodes = std::max(result.peakNodes,
+                                package.stats().matrixNodes +
+                                    package.stats().vectorNodes);
+    if (std::abs(fidelity - 1.0) > config.checkTolerance) {
+      result.criterion = EquivalenceCriterion::NotEquivalent;
+      result.runtimeSeconds = secondsSince(start);
+      return result;
+    }
+  }
+  if (result.criterion != EquivalenceCriterion::Timeout) {
+    result.criterion = EquivalenceCriterion::ProbablyEquivalent;
+  }
+  result.runtimeSeconds = secondsSince(start);
+  return result;
+}
+
+} // namespace veriqc::check

@@ -1,0 +1,123 @@
+#include "check/manager.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace veriqc::check {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Combine per-engine outcomes into one verdict: a definitive answer wins
+/// (ties broken by runtime), then ProbablyEquivalent, then Timeout, then
+/// NoInformation.
+Result combine(const std::vector<Result>& results, const double elapsed) {
+  const Result* best = nullptr;
+  for (const auto& r : results) {
+    if (isDefinitive(r.criterion) &&
+        (best == nullptr || r.runtimeSeconds < best->runtimeSeconds)) {
+      best = &r;
+    }
+  }
+  if (best == nullptr) {
+    for (const auto& r : results) {
+      if (r.criterion == EquivalenceCriterion::ProbablyEquivalent) {
+        best = &r;
+        break;
+      }
+    }
+  }
+  if (best == nullptr) {
+    for (const auto& r : results) {
+      if (r.criterion == EquivalenceCriterion::Timeout) {
+        best = &r;
+        break;
+      }
+    }
+  }
+  if (best == nullptr && !results.empty()) {
+    best = &results.front();
+  }
+  Result combined = best != nullptr ? *best : Result{};
+  combined.runtimeSeconds = elapsed;
+  return combined;
+}
+
+} // namespace
+
+EquivalenceCheckingManager::EquivalenceCheckingManager(QuantumCircuit c1,
+                                                       QuantumCircuit c2,
+                                                       Configuration config)
+    : c1_(std::move(c1)), c2_(std::move(c2)), config_(std::move(config)) {}
+
+Result EquivalenceCheckingManager::run() {
+  engineResults_.clear();
+  const auto start = Clock::now();
+  const auto deadline =
+      config_.timeout.count() > 0
+          ? start + config_.timeout
+          : Clock::time_point::max();
+  std::atomic<bool> cancel{false};
+  const auto stop = [&cancel, deadline] {
+    return cancel.load(std::memory_order_relaxed) || Clock::now() >= deadline;
+  };
+
+  using Engine = std::function<Result()>;
+  std::vector<Engine> engines;
+  if (config_.runAlternating) {
+    engines.emplace_back(
+        [this, &stop] { return ddAlternatingCheck(c1_, c2_, config_, stop); });
+  }
+  if (config_.runSimulation && config_.simulationRuns > 0) {
+    engines.emplace_back(
+        [this, &stop] { return ddSimulationCheck(c1_, c2_, config_, stop); });
+  }
+  if (config_.runZX) {
+    engines.emplace_back(
+        [this, &stop] { return zxCheck(c1_, c2_, config_, stop); });
+  }
+  if (engines.empty()) {
+    Result none;
+    none.method = "none";
+    return none;
+  }
+
+  engineResults_.resize(engines.size());
+  if (config_.parallel && engines.size() > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(engines.size());
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      threads.emplace_back([this, &engines, &cancel, i] {
+        auto result = engines[i]();
+        // A definitive verdict terminates the other engines early.
+        if (isDefinitive(result.criterion)) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+        engineResults_[i] = std::move(result);
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  } else {
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      engineResults_[i] = engines[i]();
+      if (isDefinitive(engineResults_[i].criterion)) {
+        cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  return combine(engineResults_,
+                 std::chrono::duration<double>(Clock::now() - start).count());
+}
+
+Result checkEquivalence(const QuantumCircuit& c1, const QuantumCircuit& c2,
+                        const Configuration& config) {
+  EquivalenceCheckingManager manager(c1, c2, config);
+  return manager.run();
+}
+
+} // namespace veriqc::check

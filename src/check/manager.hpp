@@ -1,0 +1,45 @@
+/// \file manager.hpp
+/// \brief The combined equivalence-checking flow of the case study.
+///
+/// Mirrors the configuration evaluated in the paper (Sec. 6.1): the DD
+/// alternating checker runs in parallel with a sequence of random-stimuli
+/// simulation runs; if the simulations prove non-equivalence the alternating
+/// check is terminated early. The ZX engine can be enabled as a third
+/// concurrent engine or invoked standalone via zxCheck().
+#pragma once
+
+#include "check/dd_checkers.hpp"
+#include "check/result.hpp"
+#include "check/zx_checker.hpp"
+#include "ir/circuit.hpp"
+
+#include <vector>
+
+namespace veriqc::check {
+
+class EquivalenceCheckingManager {
+public:
+  EquivalenceCheckingManager(QuantumCircuit c1, QuantumCircuit c2,
+                             Configuration config = {});
+
+  /// Run the configured engines and return the combined verdict.
+  [[nodiscard]] Result run();
+
+  /// Per-engine results of the last run (in engine launch order).
+  [[nodiscard]] const std::vector<Result>& engineResults() const noexcept {
+    return engineResults_;
+  }
+
+private:
+  QuantumCircuit c1_;
+  QuantumCircuit c2_;
+  Configuration config_;
+  std::vector<Result> engineResults_;
+};
+
+/// Convenience wrapper: construct a manager and run it.
+[[nodiscard]] Result checkEquivalence(const QuantumCircuit& c1,
+                                      const QuantumCircuit& c2,
+                                      const Configuration& config = {});
+
+} // namespace veriqc::check

@@ -1,0 +1,51 @@
+#include "check/result.hpp"
+
+#include <sstream>
+
+namespace veriqc::check {
+
+std::string toString(const EquivalenceCriterion criterion) {
+  switch (criterion) {
+  case EquivalenceCriterion::Equivalent:
+    return "equivalent";
+  case EquivalenceCriterion::EquivalentUpToGlobalPhase:
+    return "equivalent up to global phase";
+  case EquivalenceCriterion::NotEquivalent:
+    return "not equivalent";
+  case EquivalenceCriterion::ProbablyEquivalent:
+    return "probably equivalent";
+  case EquivalenceCriterion::NoInformation:
+    return "no information";
+  case EquivalenceCriterion::Timeout:
+    return "timeout";
+  }
+  return "unknown";
+}
+
+std::string toString(const OracleStrategy strategy) {
+  switch (strategy) {
+  case OracleStrategy::Naive:
+    return "naive";
+  case OracleStrategy::Proportional:
+    return "proportional";
+  case OracleStrategy::Lookahead:
+    return "lookahead";
+  }
+  return "unknown";
+}
+
+std::string Result::toString() const {
+  std::ostringstream os;
+  os << veriqc::check::toString(criterion) << " [" << method << ", "
+     << runtimeSeconds << " s";
+  if (performedSimulations > 0) {
+    os << ", " << performedSimulations << " simulations";
+  }
+  if (hilbertSchmidtFidelity >= 0.0) {
+    os << ", HS fidelity " << hilbertSchmidtFidelity;
+  }
+  os << "]";
+  return os.str();
+}
+
+} // namespace veriqc::check

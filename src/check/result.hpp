@@ -1,0 +1,96 @@
+/// \file result.hpp
+/// \brief Verdicts, configuration and result records for equivalence checking.
+#pragma once
+
+#include "dd/real_table.hpp"
+#include "sim/stimuli.hpp"
+
+#include <chrono>
+#include <vector>
+#include <cstdint>
+#include <string>
+
+namespace veriqc::check {
+
+/// The possible outcomes of an equivalence check.
+enum class EquivalenceCriterion : std::uint8_t {
+  Equivalent,                 ///< U = U' exactly (within tolerance)
+  EquivalentUpToGlobalPhase,  ///< U = e^{i theta} U'
+  NotEquivalent,              ///< a discrepancy was proven
+  ProbablyEquivalent,         ///< all random stimuli agreed (no proof)
+  NoInformation,              ///< the method terminated without a verdict
+  Timeout,                    ///< the deadline was hit
+};
+
+[[nodiscard]] std::string toString(EquivalenceCriterion criterion);
+
+/// True for verdicts that settle the question.
+[[nodiscard]] constexpr bool isDefinitive(const EquivalenceCriterion c) {
+  return c == EquivalenceCriterion::Equivalent ||
+         c == EquivalenceCriterion::EquivalentUpToGlobalPhase ||
+         c == EquivalenceCriterion::NotEquivalent;
+}
+
+/// True for the two positive verdicts.
+[[nodiscard]] constexpr bool provedEquivalent(const EquivalenceCriterion c) {
+  return c == EquivalenceCriterion::Equivalent ||
+         c == EquivalenceCriterion::EquivalentUpToGlobalPhase;
+}
+
+/// Gate-application strategy of the alternating checker (Sec. 4.1's oracle).
+enum class OracleStrategy : std::uint8_t {
+  Naive,        ///< one side completely, then the other
+  Proportional, ///< keep applied-gate counts proportional to circuit sizes
+  Lookahead,    ///< greedily pick the side yielding the smaller diagram
+};
+
+[[nodiscard]] std::string toString(OracleStrategy strategy);
+
+struct Configuration {
+  /// Tolerance of the DD package's value interning.
+  double numericalTolerance = dd::RealTable::kDefaultTolerance;
+  /// Threshold on | |tr(E)|/2^n - 1 | for the Hilbert-Schmidt criterion and
+  /// on 1 - fidelity for simulation runs.
+  double checkTolerance = 1e-9;
+  /// Oracle for the alternating scheme.
+  OracleStrategy oracle = OracleStrategy::Proportional;
+  /// Reconstruct CX-triples into SWAPs so they can be absorbed into the
+  /// permutation tracker.
+  bool reconstructSwaps = true;
+  /// Number of random-stimuli simulation runs (the paper uses 16).
+  std::size_t simulationRuns = 16;
+  /// Classical (basis-state) stimuli by default: they keep the simulated
+  /// decision diagrams small on entangling circuits, while random product
+  /// or entangled inputs can blow the vector DD up exponentially.
+  sim::StimuliKind stimuliKind = sim::StimuliKind::Classical;
+  std::uint64_t seed = 42;
+  /// Wall-clock budget; zero means unlimited.
+  std::chrono::milliseconds timeout{0};
+  /// Which engines the manager launches.
+  bool runAlternating = true;
+  bool runSimulation = true;
+  bool runZX = false;
+  /// Run the engines on parallel threads (first definitive verdict wins).
+  bool parallel = true;
+  /// Record the diagram size after every gate application (alternating
+  /// checker) — the instrumentation behind the paper's Fig. 4 intuition.
+  bool recordTrace = false;
+};
+
+/// Outcome record of one checker (or of the whole manager).
+struct Result {
+  EquivalenceCriterion criterion = EquivalenceCriterion::NoInformation;
+  double runtimeSeconds = 0.0;
+  std::string method;                 ///< engine that produced the verdict
+  std::size_t performedSimulations = 0;
+  double hilbertSchmidtFidelity = -1.0; ///< |tr(E)|/2^n when computed
+  std::size_t peakNodes = 0;            ///< DD engines: max live node count
+  std::size_t rewrites = 0;             ///< ZX engine: rewrite count
+  std::size_t remainingSpiders = 0;     ///< ZX engine: spiders at the end
+  /// Diagram node count after each gate application (when recordTrace).
+  std::vector<std::size_t> sizeTrace;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+} // namespace veriqc::check

@@ -1,0 +1,47 @@
+#include "check/zx_checker.hpp"
+
+#include "compile/decompose.hpp"
+#include "zx/circuit_to_zx.hpp"
+#include "zx/simplify.hpp"
+
+#include <chrono>
+
+namespace veriqc::check {
+
+Result zxCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
+               const Configuration& config, const StopToken& stop) {
+  const auto start = std::chrono::steady_clock::now();
+  Result result;
+  result.method = "zx-calculus";
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  const auto [a, b] = alignCircuits(c1, c2);
+  auto diagram = zx::circuitToZX(compile::decomposeForZX(a))
+                     .compose(zx::circuitToZX(compile::decomposeForZX(b))
+                                  .adjoint());
+  zx::Simplifier simplifier(diagram, stop);
+  const bool completed = simplifier.fullReduce();
+  result.rewrites = simplifier.stats().total();
+  result.remainingSpiders = diagram.spiderCount();
+  result.runtimeSeconds = elapsed();
+  if (!completed) {
+    result.criterion = EquivalenceCriterion::Timeout;
+    return result;
+  }
+  // Both diagrams were built over logical qubits, so equivalence requires
+  // the identity permutation on the wires.
+  const auto perm = zx::extractWirePermutation(diagram);
+  if (perm.has_value() && perm->isIdentity()) {
+    result.criterion = EquivalenceCriterion::EquivalentUpToGlobalPhase;
+  } else {
+    result.criterion = EquivalenceCriterion::NoInformation;
+  }
+  (void)config;
+  return result;
+}
+
+} // namespace veriqc::check

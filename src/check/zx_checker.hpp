@@ -1,0 +1,24 @@
+/// \file zx_checker.hpp
+/// \brief The ZX-calculus based equivalence checker (Sec. 5 of the paper).
+#pragma once
+
+#include "check/dd_checkers.hpp"
+#include "check/result.hpp"
+#include "ir/circuit.hpp"
+
+namespace veriqc::check {
+
+/// Compose one circuit's ZX-diagram with the adjoint of the other's and
+/// simplify with the graph-like rewrite system. Reduction to bare wires
+/// realizing the expected permutation proves equivalence up to global phase;
+/// anything else yields NoInformation — failure to reduce is "a strong
+/// indication, not a proof" of non-equivalence (Sec. 6.2).
+///
+/// Multi-controlled gates are decomposed first, mirroring the paper's
+/// preprocessing for pyzx.
+[[nodiscard]] Result zxCheck(const QuantumCircuit& c1,
+                             const QuantumCircuit& c2,
+                             const Configuration& config = {},
+                             const StopToken& stop = {});
+
+} // namespace veriqc::check

@@ -1,0 +1,600 @@
+#include "circuits/benchmarks.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace veriqc::circuits {
+
+QuantumCircuit ghz(const std::size_t nqubits) {
+  if (nqubits == 0) {
+    throw std::invalid_argument("ghz: need at least one qubit");
+  }
+  QuantumCircuit c(nqubits, "ghz_" + std::to_string(nqubits));
+  c.h(0);
+  for (Qubit q = 1; q < nqubits; ++q) {
+    c.cx(0, q);
+  }
+  return c;
+}
+
+QuantumCircuit
+graphState(const std::size_t nqubits,
+           const std::vector<std::pair<Qubit, Qubit>>& edges) {
+  QuantumCircuit c(nqubits, "graph_state_" + std::to_string(nqubits));
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  for (const auto& [a, b] : edges) {
+    c.cz(a, b);
+  }
+  return c;
+}
+
+QuantumCircuit randomGraphState(const std::size_t nqubits,
+                                const std::size_t extraChords,
+                                const std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::set<std::pair<Qubit, Qubit>> edgeSet;
+  for (Qubit q = 0; q < nqubits; ++q) {
+    const Qubit next = static_cast<Qubit>((q + 1) % nqubits);
+    edgeSet.insert({std::min(q, next), std::max(q, next)});
+  }
+  std::uniform_int_distribution<Qubit> pick(0, static_cast<Qubit>(nqubits - 1));
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extraChords && attempts < 100 * (extraChords + 1)) {
+    ++attempts;
+    const Qubit a = pick(rng);
+    const Qubit b = pick(rng);
+    if (a == b) {
+      continue;
+    }
+    if (edgeSet.insert({std::min(a, b), std::max(a, b)}).second) {
+      ++added;
+    }
+  }
+  return graphState(nqubits, {edgeSet.begin(), edgeSet.end()});
+}
+
+QuantumCircuit qft(const std::size_t nqubits, const bool withSwaps) {
+  QuantumCircuit c(nqubits, "qft_" + std::to_string(nqubits));
+  for (std::size_t j = nqubits; j-- > 0;) {
+    const auto qj = static_cast<Qubit>(j);
+    c.h(qj);
+    for (std::size_t k = j; k-- > 0;) {
+      const auto qk = static_cast<Qubit>(k);
+      c.cp(qk, qj, PI / static_cast<double>(std::size_t{1} << (j - k)));
+    }
+  }
+  // Bit reversal.
+  if (withSwaps) {
+    for (Qubit q = 0; q < nqubits / 2; ++q) {
+      c.swap(q, static_cast<Qubit>(nqubits - 1 - q));
+    }
+  } else {
+    std::vector<Qubit> reversal(nqubits);
+    for (Qubit q = 0; q < nqubits; ++q) {
+      reversal[q] = static_cast<Qubit>(nqubits - 1 - q);
+    }
+    c.outputPermutation() = Permutation{std::move(reversal)};
+  }
+  return c;
+}
+
+QuantumCircuit iqft(const std::size_t nqubits, const bool withSwaps) {
+  auto c = qft(nqubits, withSwaps).inverted();
+  c.setName("iqft_" + std::to_string(nqubits));
+  return c;
+}
+
+QuantumCircuit qpeExact(const std::size_t precision, std::uint64_t k) {
+  const std::size_t n = precision + 1;
+  const std::size_t modulus = std::size_t{1} << precision;
+  k %= modulus;
+  QuantumCircuit c(n, "qpe_exact_" + std::to_string(precision));
+  const auto eigenQubit = static_cast<Qubit>(precision);
+  const double theta = 2.0 * PI * static_cast<double>(k) /
+                       static_cast<double>(modulus);
+  // Eigenstate |1> of P(theta).
+  c.x(eigenQubit);
+  for (Qubit q = 0; q < precision; ++q) {
+    c.h(q);
+  }
+  // Controlled powers U^{2^q}.
+  for (Qubit q = 0; q < precision; ++q) {
+    const double angle = theta * static_cast<double>(std::size_t{1} << q);
+    c.cp(q, eigenQubit, angle);
+  }
+  // Inverse QFT on the counting register (without the eigenstate qubit).
+  const auto inverse = qft(precision, true).inverted();
+  for (const auto& op : inverse.ops()) {
+    c.append(op);
+  }
+  return c;
+}
+
+namespace {
+/// X-conjugate the zero bits of `pattern` so that an all-ones control
+/// condition matches exactly `pattern`.
+void conjugateZeros(QuantumCircuit& c, const std::size_t nqubits,
+                    const std::uint64_t pattern) {
+  for (Qubit q = 0; q < nqubits; ++q) {
+    if (((pattern >> q) & 1U) == 0) {
+      c.x(q);
+    }
+  }
+}
+} // namespace
+
+QuantumCircuit grover(const std::size_t nqubits, std::uint64_t target,
+                      std::size_t iterations) {
+  if (nqubits < 2) {
+    throw std::invalid_argument("grover: need at least two qubits");
+  }
+  const std::size_t space = std::size_t{1} << nqubits;
+  target %= space;
+  if (iterations == 0) {
+    iterations = static_cast<std::size_t>(
+        std::floor(PI / 4.0 * std::sqrt(static_cast<double>(space))));
+    iterations = std::max<std::size_t>(iterations, 1);
+  }
+  QuantumCircuit c(nqubits, "grover_" + std::to_string(nqubits));
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  std::vector<Qubit> controls(nqubits - 1);
+  std::iota(controls.begin(), controls.end(), 0U);
+  const auto top = static_cast<Qubit>(nqubits - 1);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Oracle: phase flip on |target>.
+    conjugateZeros(c, nqubits, target);
+    c.mcz(controls, top);
+    conjugateZeros(c, nqubits, target);
+    // Diffusion operator.
+    for (Qubit q = 0; q < nqubits; ++q) {
+      c.h(q);
+    }
+    conjugateZeros(c, nqubits, 0);
+    c.mcz(controls, top);
+    conjugateZeros(c, nqubits, 0);
+    for (Qubit q = 0; q < nqubits; ++q) {
+      c.h(q);
+    }
+  }
+  return c;
+}
+
+QuantumCircuit quantumWalk(const std::size_t positionQubits,
+                           const std::size_t steps) {
+  const std::size_t n = positionQubits + 1;
+  QuantumCircuit c(n, "random_walk_" + std::to_string(n));
+  const auto coin = static_cast<Qubit>(positionQubits);
+  for (std::size_t step = 0; step < steps; ++step) {
+    c.h(coin);
+    // Increment position when the coin shows 1.
+    for (std::size_t i = positionQubits; i-- > 1;) {
+      std::vector<Qubit> controls{coin};
+      for (Qubit q = 0; q < static_cast<Qubit>(i); ++q) {
+        controls.push_back(q);
+      }
+      c.mcx(controls, static_cast<Qubit>(i));
+    }
+    if (positionQubits >= 1) {
+      c.cx(coin, 0);
+    }
+    // Decrement position when the coin shows 0.
+    c.x(coin);
+    for (Qubit q = 0; q < positionQubits; ++q) {
+      c.x(q);
+    }
+    for (std::size_t i = positionQubits; i-- > 1;) {
+      std::vector<Qubit> controls{coin};
+      for (Qubit q = 0; q < static_cast<Qubit>(i); ++q) {
+        controls.push_back(q);
+      }
+      c.mcx(controls, static_cast<Qubit>(i));
+    }
+    if (positionQubits >= 1) {
+      c.cx(coin, 0);
+    }
+    for (Qubit q = 0; q < positionQubits; ++q) {
+      c.x(q);
+    }
+    c.x(coin);
+  }
+  return c;
+}
+
+QuantumCircuit wState(const std::size_t nqubits) {
+  if (nqubits == 0) {
+    throw std::invalid_argument("wState: need at least one qubit");
+  }
+  QuantumCircuit c(nqubits, "w_state_" + std::to_string(nqubits));
+  // A single excitation starts on qubit 0; each step keeps amplitude
+  // 1/sqrt(n) behind and passes the remainder down the chain.
+  c.x(0);
+  for (Qubit i = 0; i + 1 < nqubits; ++i) {
+    const double theta =
+        2.0 * std::acos(std::sqrt(1.0 / static_cast<double>(nqubits - i)));
+    c.append(Operation(OpType::RY, {i}, {static_cast<Qubit>(i + 1)}, {theta}));
+    c.cx(static_cast<Qubit>(i + 1), i);
+  }
+  return c;
+}
+
+QuantumCircuit cuccaroAdder(const std::size_t bits) {
+  if (bits == 0) {
+    throw std::invalid_argument("cuccaroAdder: need at least one bit");
+  }
+  // Layout: [cin, a0, b0, a1, b1, ..., a_{n-1}, b_{n-1}, cout]
+  const std::size_t n = 2 * bits + 2;
+  QuantumCircuit c(n, "adder_" + std::to_string(bits));
+  const auto a = [](const std::size_t i) {
+    return static_cast<Qubit>(1 + 2 * i);
+  };
+  const auto b = [](const std::size_t i) {
+    return static_cast<Qubit>(2 + 2 * i);
+  };
+  const Qubit cin = 0;
+  const auto cout = static_cast<Qubit>(n - 1);
+  const auto maj = [&c](const Qubit x, const Qubit y, const Qubit z) {
+    c.cx(z, y);
+    c.cx(z, x);
+    c.ccx(x, y, z);
+  };
+  const auto uma = [&c](const Qubit x, const Qubit y, const Qubit z) {
+    c.ccx(x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+  };
+  maj(cin, b(0), a(0));
+  for (std::size_t i = 1; i < bits; ++i) {
+    maj(a(i - 1), b(i), a(i));
+  }
+  c.cx(a(bits - 1), cout);
+  for (std::size_t i = bits; i-- > 1;) {
+    uma(a(i - 1), b(i), a(i));
+  }
+  uma(cin, b(0), a(0));
+  return c;
+}
+
+QuantumCircuit constantAdder(const std::size_t bits,
+                             const std::uint64_t constant) {
+  QuantumCircuit c(bits, "plus" + std::to_string(constant) + "mod" +
+                             std::to_string(std::size_t{1} << bits));
+  // Controlled increments: adding 2^k is an MCX cascade starting at bit k.
+  for (std::size_t k = 0; k < bits; ++k) {
+    if (((constant >> k) & 1U) == 0) {
+      continue;
+    }
+    // Increment the register's bits k..n-1 by one (carry cascade, highest
+    // bit first so lower bits still hold the pre-increment values).
+    for (std::size_t i = bits; i-- > k + 1;) {
+      std::vector<Qubit> controls;
+      for (std::size_t q = k; q < i; ++q) {
+        controls.push_back(static_cast<Qubit>(q));
+      }
+      c.mcx(controls, static_cast<Qubit>(i));
+    }
+    c.x(static_cast<Qubit>(k));
+  }
+  return c;
+}
+
+QuantumCircuit urfLike(const std::size_t nqubits, const std::size_t gates,
+                       const std::uint64_t seed) {
+  if (nqubits < 2) {
+    throw std::invalid_argument("urfLike: need at least two qubits");
+  }
+  std::mt19937_64 rng(seed);
+  QuantumCircuit c(nqubits, "urf_" + std::to_string(nqubits));
+  std::uniform_int_distribution<Qubit> pickQubit(
+      0, static_cast<Qubit>(nqubits - 1));
+  std::uniform_int_distribution<std::size_t> pickCount(
+      1, std::min<std::size_t>(3, nqubits - 1));
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (std::size_t g = 0; g < gates; ++g) {
+    const Qubit target = pickQubit(rng);
+    const std::size_t nctrl = pickCount(rng);
+    std::set<Qubit> ctrlSet;
+    while (ctrlSet.size() < nctrl) {
+      const Qubit q = pickQubit(rng);
+      if (q != target) {
+        ctrlSet.insert(q);
+      }
+    }
+    // Random control polarity via X conjugation.
+    std::vector<Qubit> negated;
+    for (const auto q : ctrlSet) {
+      if (coin(rng) == 1) {
+        negated.push_back(q);
+      }
+    }
+    for (const auto q : negated) {
+      c.x(q);
+    }
+    c.mcx({ctrlSet.begin(), ctrlSet.end()}, target);
+    for (const auto q : negated) {
+      c.x(q);
+    }
+  }
+  return c;
+}
+
+QuantumCircuit mixedReversible(const std::size_t nqubits,
+                               const std::size_t gates,
+                               const std::uint64_t seed) {
+  if (nqubits < 3) {
+    throw std::invalid_argument("mixedReversible: need at least three qubits");
+  }
+  std::mt19937_64 rng(seed);
+  QuantumCircuit c(nqubits, "example_" + std::to_string(nqubits));
+  std::uniform_int_distribution<Qubit> pickQubit(
+      0, static_cast<Qubit>(nqubits - 1));
+  std::uniform_int_distribution<int> pickKind(0, 4);
+  for (std::size_t g = 0; g < gates; ++g) {
+    const Qubit target = pickQubit(rng);
+    switch (pickKind(rng)) {
+    case 0:
+      c.x(target);
+      break;
+    case 1: {
+      Qubit ctrl = pickQubit(rng);
+      while (ctrl == target) {
+        ctrl = pickQubit(rng);
+      }
+      c.cx(ctrl, target);
+      break;
+    }
+    case 2: {
+      Qubit ctrl = pickQubit(rng);
+      while (ctrl == target) {
+        ctrl = pickQubit(rng);
+      }
+      c.cz(ctrl, target);
+      break;
+    }
+    case 3: {
+      std::set<Qubit> ctrls;
+      while (ctrls.size() < 2) {
+        const Qubit q = pickQubit(rng);
+        if (q != target) {
+          ctrls.insert(q);
+        }
+      }
+      c.mcx({ctrls.begin(), ctrls.end()}, target);
+      break;
+    }
+    default: {
+      std::set<Qubit> ctrls;
+      while (ctrls.size() < 2) {
+        const Qubit q = pickQubit(rng);
+        if (q != target) {
+          ctrls.insert(q);
+        }
+      }
+      c.mcz({ctrls.begin(), ctrls.end()}, target);
+      break;
+    }
+    }
+  }
+  return c;
+}
+
+QuantumCircuit bernsteinVazirani(const std::size_t nqubits,
+                                 std::uint64_t secret) {
+  secret &= (std::uint64_t{1} << nqubits) - 1;
+  QuantumCircuit c(nqubits, "bv_" + std::to_string(nqubits));
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  // Phase oracle for f(x) = s.x: Z on every secret bit.
+  for (Qubit q = 0; q < nqubits; ++q) {
+    if ((secret >> q) & 1U) {
+      c.z(q);
+    }
+  }
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+QuantumCircuit deutschJozsa(const std::size_t nqubits,
+                            std::uint64_t mask) {
+  mask &= (std::uint64_t{1} << nqubits) - 1;
+  QuantumCircuit c(nqubits, "dj_" + std::to_string(nqubits));
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  if (mask != 0) {
+    // Balanced oracle f(x) = (mask.x) mod 2 as a phase oracle.
+    for (Qubit q = 0; q < nqubits; ++q) {
+      if ((mask >> q) & 1U) {
+        c.z(q);
+      }
+    }
+  }
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+QuantumCircuit hiddenShift(const std::size_t nqubits,
+                           std::uint64_t shift) {
+  if (nqubits % 2 != 0 || nqubits == 0) {
+    throw std::invalid_argument("hiddenShift: needs an even qubit count");
+  }
+  shift &= (std::uint64_t{1} << nqubits) - 1;
+  QuantumCircuit c(nqubits, "hidden_shift_" + std::to_string(nqubits));
+  const auto oracle = [&c, nqubits] {
+    for (Qubit q = 0; q + 1 < nqubits; q += 2) {
+      c.cz(q, static_cast<Qubit>(q + 1));
+    }
+  };
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  // Shifted function: conjugate the oracle with X on the shift bits.
+  for (Qubit q = 0; q < nqubits; ++q) {
+    if ((shift >> q) & 1U) {
+      c.x(q);
+    }
+  }
+  oracle();
+  for (Qubit q = 0; q < nqubits; ++q) {
+    if ((shift >> q) & 1U) {
+      c.x(q);
+    }
+  }
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  // Dual bent function's oracle.
+  oracle();
+  for (Qubit q = 0; q < nqubits; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+QuantumCircuit randomClifford(const std::size_t nqubits,
+                              const std::size_t depth,
+                              const std::uint64_t seed) {
+  return randomCliffordT(nqubits, depth, 0.0, seed);
+}
+
+QuantumCircuit randomCliffordT(const std::size_t nqubits,
+                               const std::size_t depth,
+                               const double tFraction,
+                               const std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  QuantumCircuit c(nqubits, "random_clifford_t");
+  std::uniform_int_distribution<Qubit> pickQubit(
+      0, static_cast<Qubit>(nqubits - 1));
+  std::uniform_int_distribution<int> pickClifford(0, 3);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (std::size_t g = 0; g < depth * nqubits; ++g) {
+    const Qubit q = pickQubit(rng);
+    if (uniform(rng) < tFraction) {
+      if (coin(rng) == 1) {
+        c.t(q);
+      } else {
+        c.tdg(q);
+      }
+      continue;
+    }
+    switch (pickClifford(rng)) {
+    case 0:
+      c.h(q);
+      break;
+    case 1:
+      c.s(q);
+      break;
+    case 2:
+      c.sdg(q);
+      break;
+    default: {
+      if (nqubits < 2) {
+        c.h(q);
+        break;
+      }
+      Qubit t = pickQubit(rng);
+      while (t == q) {
+        t = pickQubit(rng);
+      }
+      c.cx(q, t);
+      break;
+    }
+    }
+  }
+  return c;
+}
+
+QuantumCircuit randomCircuit(const std::size_t nqubits,
+                             const std::size_t gates,
+                             const std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  QuantumCircuit c(nqubits, "random");
+  std::uniform_int_distribution<Qubit> pickQubit(
+      0, static_cast<Qubit>(nqubits - 1));
+  std::uniform_int_distribution<int> pickKind(0, 11);
+  std::uniform_real_distribution<double> angle(-2.0 * PI, 2.0 * PI);
+  const auto other = [&](const Qubit q) {
+    Qubit r = pickQubit(rng);
+    while (r == q) {
+      r = pickQubit(rng);
+    }
+    return r;
+  };
+  for (std::size_t g = 0; g < gates; ++g) {
+    const Qubit q = pickQubit(rng);
+    switch (pickKind(rng)) {
+    case 0:
+      c.h(q);
+      break;
+    case 1:
+      c.x(q);
+      break;
+    case 2:
+      c.s(q);
+      break;
+    case 3:
+      c.t(q);
+      break;
+    case 4:
+      c.rx(q, angle(rng));
+      break;
+    case 5:
+      c.ry(q, angle(rng));
+      break;
+    case 6:
+      c.rz(q, angle(rng));
+      break;
+    case 7:
+      c.u3(q, angle(rng), angle(rng), angle(rng));
+      break;
+    case 8:
+      if (nqubits >= 2) {
+        c.cx(q, other(q));
+      } else {
+        c.x(q);
+      }
+      break;
+    case 9:
+      if (nqubits >= 2) {
+        c.cp(q, other(q), angle(rng));
+      } else {
+        c.p(q, angle(rng));
+      }
+      break;
+    case 10:
+      if (nqubits >= 2) {
+        c.swap(q, other(q));
+      } else {
+        c.h(q);
+      }
+      break;
+    default:
+      if (nqubits >= 3) {
+        const Qubit c1 = other(q);
+        Qubit c2 = pickQubit(rng);
+        while (c2 == q || c2 == c1) {
+          c2 = pickQubit(rng);
+        }
+        c.ccx(c1, c2, q);
+      } else {
+        c.y(q);
+      }
+      break;
+    }
+  }
+  return c;
+}
+
+} // namespace veriqc::circuits

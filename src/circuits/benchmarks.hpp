@@ -1,0 +1,113 @@
+/// \file benchmarks.hpp
+/// \brief Generators for the benchmark circuits of the case study (Table 1)
+///        and for randomized property testing.
+///
+/// The RevLib reversible benchmarks used in the paper (urf2, plus63mod4096,
+/// example2) are not redistributable here; `urfLike`, `constantAdder` and
+/// `mixedReversible` generate synthetic circuits of the same structural class
+/// (Clifford+T-exact multi-controlled Toffoli networks). See DESIGN.md.
+#pragma once
+
+#include "ir/circuit.hpp"
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+namespace veriqc::circuits {
+
+/// GHZ state preparation (Fig. 1a of the paper): H on qubit 0 followed by a
+/// CNOT fan-out.
+[[nodiscard]] QuantumCircuit ghz(std::size_t nqubits);
+
+/// Graph state preparation: H on every qubit, CZ per edge.
+[[nodiscard]] QuantumCircuit graphState(std::size_t nqubits,
+                                        const std::vector<std::pair<Qubit, Qubit>>& edges);
+
+/// Random connected graph state: ring plus `extraChords` random chords.
+[[nodiscard]] QuantumCircuit randomGraphState(std::size_t nqubits,
+                                              std::size_t extraChords,
+                                              std::uint64_t seed);
+
+/// Quantum Fourier transform. When `withSwaps`, the final qubit reversal is
+/// emitted as explicit SWAP gates; otherwise it is recorded in the circuit's
+/// output permutation.
+[[nodiscard]] QuantumCircuit qft(std::size_t nqubits, bool withSwaps = true);
+
+/// Inverse QFT (same `withSwaps` convention).
+[[nodiscard]] QuantumCircuit iqft(std::size_t nqubits, bool withSwaps = true);
+
+/// Exact quantum phase estimation on `precision` counting qubits plus one
+/// eigenstate qubit: estimates the phase theta = k / 2^precision of
+/// U = P(2 pi theta), which is exactly representable, so the outcome is
+/// deterministic. `k` is reduced modulo 2^precision.
+[[nodiscard]] QuantumCircuit qpeExact(std::size_t precision, std::uint64_t k);
+
+/// Grover search for the marked element `target` (reduced mod 2^n) with the
+/// optimal number of iterations (or `iterations` if nonzero).
+[[nodiscard]] QuantumCircuit grover(std::size_t nqubits, std::uint64_t target,
+                                    std::size_t iterations = 0);
+
+/// Discrete-time quantum random walk on a cycle with 2^positionQubits nodes:
+/// one coin qubit, `steps` coined shift steps.
+[[nodiscard]] QuantumCircuit quantumWalk(std::size_t positionQubits,
+                                         std::size_t steps);
+
+/// W state preparation via controlled-RY cascade.
+[[nodiscard]] QuantumCircuit wState(std::size_t nqubits);
+
+/// Cuccaro ripple-carry adder: computes b := a + b on two n-bit registers
+/// with one carry-in and one carry-out qubit (2n + 2 qubits total).
+[[nodiscard]] QuantumCircuit cuccaroAdder(std::size_t bits);
+
+/// Constant adder: |x> -> |x + constant mod 2^bits> built from repeated
+/// MCX increment cascades (plus63mod4096-style reversible benchmark).
+[[nodiscard]] QuantumCircuit constantAdder(std::size_t bits,
+                                           std::uint64_t constant);
+
+/// Unstructured reversible function: a random cascade of `gates`
+/// multi-controlled Toffolis with X-conjugated mixed-polarity controls
+/// (urf-style reversible benchmark).
+[[nodiscard]] QuantumCircuit urfLike(std::size_t nqubits, std::size_t gates,
+                                     std::uint64_t seed);
+
+/// Mixed reversible network of MCX/MCZ/CX/X gates (example2-style).
+[[nodiscard]] QuantumCircuit mixedReversible(std::size_t nqubits,
+                                             std::size_t gates,
+                                             std::uint64_t seed);
+
+/// Bernstein-Vazirani: recovers the hidden bit string `secret` with one
+/// oracle query (phase-oracle formulation, no ancilla).
+[[nodiscard]] QuantumCircuit bernsteinVazirani(std::size_t nqubits,
+                                               std::uint64_t secret);
+
+/// Deutsch-Jozsa with a balanced inner-product oracle given by `mask`
+/// (mask == 0 gives the constant oracle).
+[[nodiscard]] QuantumCircuit deutschJozsa(std::size_t nqubits,
+                                          std::uint64_t mask);
+
+/// Hidden-shift circuit for bent-function duality (Maiorana-McFarland style)
+/// with the given shift; pairs of qubits interact via CZ.
+[[nodiscard]] QuantumCircuit hiddenShift(std::size_t nqubits,
+                                         std::uint64_t shift);
+
+/// Random Clifford circuit over {H, S, CX} of the given depth.
+[[nodiscard]] QuantumCircuit randomClifford(std::size_t nqubits,
+                                            std::size_t depth,
+                                            std::uint64_t seed);
+
+/// Random Clifford+T circuit; `tFraction` in [0,1] controls the share of
+/// T/Tdg gates.
+[[nodiscard]] QuantumCircuit randomCliffordT(std::size_t nqubits,
+                                             std::size_t depth,
+                                             double tFraction,
+                                             std::uint64_t seed);
+
+/// Fully random circuit over the complete gate set (rotations with arbitrary
+/// angles, controlled gates, SWAPs) for property testing.
+[[nodiscard]] QuantumCircuit randomCircuit(std::size_t nqubits,
+                                           std::size_t gates,
+                                           std::uint64_t seed);
+
+} // namespace veriqc::circuits

@@ -1,0 +1,47 @@
+#include "circuits/error_injection.hpp"
+
+#include <vector>
+
+namespace veriqc::circuits {
+
+std::optional<QuantumCircuit> removeRandomGate(const QuantumCircuit& circuit,
+                                               std::mt19937_64& rng) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    if (!circuit.ops()[i].isNonUnitary()) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+  const std::size_t victim = candidates[pick(rng)];
+  QuantumCircuit result = circuit;
+  result.setName(circuit.name() + "_gate_missing");
+  result.ops().erase(result.ops().begin() + static_cast<std::ptrdiff_t>(victim));
+  return result;
+}
+
+std::optional<QuantumCircuit> flipRandomCnot(const QuantumCircuit& circuit,
+                                             std::mt19937_64& rng) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const auto& op = circuit.ops()[i];
+    if (op.type == OpType::X && op.controls.size() == 1) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+  const std::size_t victim = candidates[pick(rng)];
+  QuantumCircuit result = circuit;
+  result.setName(circuit.name() + "_flipped_cnot");
+  auto& op = result.ops()[victim];
+  std::swap(op.controls[0], op.targets[0]);
+  return result;
+}
+
+} // namespace veriqc::circuits

@@ -1,0 +1,23 @@
+/// \file error_injection.hpp
+/// \brief The two error models of the case study's non-equivalent
+///        configurations: "1 Gate Missing" and "Flipped CNOT" (Sec. 6.1).
+#pragma once
+
+#include "ir/circuit.hpp"
+
+#include <optional>
+#include <random>
+
+namespace veriqc::circuits {
+
+/// Remove one randomly chosen unitary gate. Returns std::nullopt when the
+/// circuit has no unitary gate to remove.
+[[nodiscard]] std::optional<QuantumCircuit>
+removeRandomGate(const QuantumCircuit& circuit, std::mt19937_64& rng);
+
+/// Exchange control and target of one randomly chosen CNOT. Returns
+/// std::nullopt when the circuit contains no CNOT.
+[[nodiscard]] std::optional<QuantumCircuit>
+flipRandomCnot(const QuantumCircuit& circuit, std::mt19937_64& rng);
+
+} // namespace veriqc::circuits

@@ -1,0 +1,176 @@
+#include "compile/architecture.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace veriqc::compile {
+
+namespace {
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+}
+
+Architecture::Architecture(std::string name, const std::size_t nqubits,
+                           std::vector<std::pair<Qubit, Qubit>> edges)
+    : name_(std::move(name)), nqubits_(nqubits), edges_(std::move(edges)),
+      adjacency_(nqubits) {
+  for (const auto& [a, b] : edges_) {
+    if (a >= nqubits_ || b >= nqubits_ || a == b) {
+      throw std::invalid_argument("Architecture: invalid edge");
+    }
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+  for (auto& nbrs : adjacency_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  computeDistances();
+}
+
+bool Architecture::adjacent(const Qubit a, const Qubit b) const {
+  const auto& nbrs = adjacency_.at(a);
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+void Architecture::computeDistances() {
+  distances_.assign(nqubits_, std::vector<std::size_t>(nqubits_, kUnreachable));
+  for (Qubit start = 0; start < nqubits_; ++start) {
+    auto& dist = distances_[start];
+    dist[start] = 0;
+    std::deque<Qubit> queue{start};
+    while (!queue.empty()) {
+      const Qubit cur = queue.front();
+      queue.pop_front();
+      for (const Qubit next : adjacency_[cur]) {
+        if (dist[next] == kUnreachable) {
+          dist[next] = dist[cur] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+std::vector<Qubit> Architecture::shortestPath(const Qubit a,
+                                              const Qubit b) const {
+  if (distance(a, b) == kUnreachable) {
+    throw std::invalid_argument("Architecture: qubits not connected");
+  }
+  std::vector<Qubit> path{a};
+  Qubit cur = a;
+  while (cur != b) {
+    for (const Qubit next : adjacency_[cur]) {
+      if (distance(next, b) + 1 == distance(cur, b)) {
+        path.push_back(next);
+        cur = next;
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+bool Architecture::isConnected() const {
+  for (Qubit q = 0; q < nqubits_; ++q) {
+    if (distances_[0][q] == kUnreachable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Architecture Architecture::linear(const std::size_t nqubits) {
+  std::vector<std::pair<Qubit, Qubit>> edges;
+  for (Qubit q = 0; q + 1 < nqubits; ++q) {
+    edges.emplace_back(q, q + 1);
+  }
+  return {"linear_" + std::to_string(nqubits), nqubits, std::move(edges)};
+}
+
+Architecture Architecture::ring(const std::size_t nqubits) {
+  auto arch = linear(nqubits);
+  auto edges = arch.edges();
+  if (nqubits > 2) {
+    edges.emplace_back(static_cast<Qubit>(nqubits - 1), 0);
+  }
+  return {"ring_" + std::to_string(nqubits), nqubits, std::move(edges)};
+}
+
+Architecture Architecture::grid(const std::size_t rows,
+                                const std::size_t cols) {
+  std::vector<std::pair<Qubit, Qubit>> edges;
+  const auto at = [cols](const std::size_t r, const std::size_t c) {
+    return static_cast<Qubit>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.emplace_back(at(r, c), at(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(at(r, c), at(r + 1, c));
+      }
+    }
+  }
+  return {"grid_" + std::to_string(rows) + "x" + std::to_string(cols),
+          rows * cols, std::move(edges)};
+}
+
+Architecture Architecture::ibmManhattanLike() {
+  // 65-qubit heavy-hex lattice: five horizontal rows connected by bridge
+  // qubits, following the layout family of IBM's Hummingbird devices.
+  std::vector<std::pair<Qubit, Qubit>> edges;
+  const auto chain = [&edges](const Qubit from, const Qubit to) {
+    for (Qubit q = from; q < to; ++q) {
+      edges.emplace_back(q, q + 1);
+    }
+  };
+  chain(0, 9);    // row 0: 0..9
+  chain(13, 23);  // row 1: 13..23
+  chain(27, 37);  // row 2: 27..37
+  chain(41, 51);  // row 3: 41..51
+  chain(55, 64);  // row 4: 55..64
+  // Bridges between row 0 and row 1.
+  edges.emplace_back(0, 10);
+  edges.emplace_back(10, 13);
+  edges.emplace_back(4, 11);
+  edges.emplace_back(11, 17);
+  edges.emplace_back(8, 12);
+  edges.emplace_back(12, 21);
+  // Bridges between row 1 and row 2.
+  edges.emplace_back(15, 24);
+  edges.emplace_back(24, 29);
+  edges.emplace_back(19, 25);
+  edges.emplace_back(25, 33);
+  edges.emplace_back(23, 26);
+  edges.emplace_back(26, 37);
+  // Bridges between row 2 and row 3.
+  edges.emplace_back(27, 38);
+  edges.emplace_back(38, 41);
+  edges.emplace_back(31, 39);
+  edges.emplace_back(39, 45);
+  edges.emplace_back(35, 40);
+  edges.emplace_back(40, 49);
+  // Bridges between row 3 and row 4.
+  edges.emplace_back(43, 52);
+  edges.emplace_back(52, 56);
+  edges.emplace_back(47, 53);
+  edges.emplace_back(53, 60);
+  edges.emplace_back(51, 54);
+  edges.emplace_back(54, 64);
+  return {"ibm_manhattan_like_65", 65, std::move(edges)};
+}
+
+Architecture Architecture::fullyConnected(const std::size_t nqubits) {
+  std::vector<std::pair<Qubit, Qubit>> edges;
+  for (Qubit a = 0; a < nqubits; ++a) {
+    for (Qubit b = a + 1; b < nqubits; ++b) {
+      edges.emplace_back(a, b);
+    }
+  }
+  return {"full_" + std::to_string(nqubits), nqubits, std::move(edges)};
+}
+
+} // namespace veriqc::compile

@@ -1,0 +1,64 @@
+/// \file architecture.hpp
+/// \brief Quantum device coupling maps and shortest-path distances.
+#pragma once
+
+#include "ir/types.hpp"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace veriqc::compile {
+
+/// An undirected coupling map: two-qubit gates may only act on connected
+/// pairs of physical qubits.
+class Architecture {
+public:
+  Architecture(std::string name, std::size_t nqubits,
+               std::vector<std::pair<Qubit, Qubit>> edges);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t numQubits() const noexcept { return nqubits_; }
+  [[nodiscard]] const std::vector<std::pair<Qubit, Qubit>>&
+  edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<Qubit>& neighbors(Qubit q) const {
+    return adjacency_.at(q);
+  }
+
+  [[nodiscard]] bool adjacent(Qubit a, Qubit b) const;
+
+  /// Hop distance between physical qubits (BFS, precomputed).
+  [[nodiscard]] std::size_t distance(Qubit a, Qubit b) const {
+    return distances_.at(a).at(b);
+  }
+
+  /// One shortest path from a to b, inclusive of both endpoints.
+  [[nodiscard]] std::vector<Qubit> shortestPath(Qubit a, Qubit b) const;
+
+  /// True if the coupling graph is connected.
+  [[nodiscard]] bool isConnected() const;
+
+  // --- factory methods --------------------------------------------------------
+  static Architecture linear(std::size_t nqubits);
+  static Architecture ring(std::size_t nqubits);
+  static Architecture grid(std::size_t rows, std::size_t cols);
+  /// 65-qubit heavy-hex lattice in the style of IBM's Manhattan device
+  /// (the architecture used for the paper's "Compiled Circuits" use case).
+  static Architecture ibmManhattanLike();
+  /// Fully connected (no routing needed) — a baseline for ablations.
+  static Architecture fullyConnected(std::size_t nqubits);
+
+private:
+  void computeDistances();
+
+  std::string name_;
+  std::size_t nqubits_;
+  std::vector<std::pair<Qubit, Qubit>> edges_;
+  std::vector<std::vector<Qubit>> adjacency_;
+  std::vector<std::vector<std::size_t>> distances_;
+};
+
+} // namespace veriqc::compile

@@ -1,0 +1,113 @@
+/// \file compute_table.hpp
+/// \brief Operation caches (memoization) for decision-diagram operations.
+#pragma once
+
+#include "dd/node.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace veriqc::dd {
+
+/// Direct-mapped cache for binary DD operations. Collisions overwrite.
+template <typename LeftEdge, typename RightEdge, typename ResultEdge>
+class ComputeTable {
+public:
+  static constexpr std::size_t kNumEntries = 1U << 16U;
+
+  ComputeTable() : entries_(kNumEntries) {}
+
+  void insert(const LeftEdge& lhs, const RightEdge& rhs,
+              const ResultEdge& result) {
+    auto& entry = entries_[hash(lhs, rhs)];
+    entry.lhs = lhs;
+    entry.rhs = rhs;
+    entry.result = result;
+    entry.valid = true;
+  }
+
+  /// Returns nullptr on miss.
+  [[nodiscard]] const ResultEdge* lookup(const LeftEdge& lhs,
+                                         const RightEdge& rhs) {
+    ++lookups_;
+    const auto& entry = entries_[hash(lhs, rhs)];
+    if (!entry.valid || !(entry.lhs == lhs) || !(entry.rhs == rhs)) {
+      return nullptr;
+    }
+    ++hits_;
+    return &entry.result;
+  }
+
+  void clear() {
+    for (auto& entry : entries_) {
+      entry.valid = false;
+    }
+  }
+
+  [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+
+private:
+  struct Entry {
+    LeftEdge lhs{};
+    RightEdge rhs{};
+    ResultEdge result{};
+    bool valid = false;
+  };
+
+  static std::size_t hash(const LeftEdge& lhs, const RightEdge& rhs) noexcept {
+    std::size_t h = std::hash<const void*>{}(lhs.p);
+    h = combineHash(h, hashWeight(lhs.w));
+    h = combineHash(h, std::hash<const void*>{}(rhs.p));
+    h = combineHash(h, hashWeight(rhs.w));
+    return h & (kNumEntries - 1);
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t lookups_ = 0;
+  std::size_t hits_ = 0;
+};
+
+/// Direct-mapped cache for unary DD operations keyed on the node only.
+template <typename Node, typename Result> class UnaryComputeTable {
+public:
+  static constexpr std::size_t kNumEntries = 1U << 14U;
+
+  UnaryComputeTable() : entries_(kNumEntries) {}
+
+  void insert(const Node* arg, const Result& result) {
+    auto& entry = entries_[hash(arg)];
+    entry.arg = arg;
+    entry.result = result;
+    entry.valid = true;
+  }
+
+  [[nodiscard]] const Result* lookup(const Node* arg) {
+    const auto& entry = entries_[hash(arg)];
+    if (!entry.valid || entry.arg != arg) {
+      return nullptr;
+    }
+    return &entry.result;
+  }
+
+  void clear() {
+    for (auto& entry : entries_) {
+      entry.valid = false;
+    }
+  }
+
+private:
+  struct Entry {
+    const Node* arg = nullptr;
+    Result result{};
+    bool valid = false;
+  };
+
+  static std::size_t hash(const Node* arg) noexcept {
+    return std::hash<const void*>{}(arg) & (kNumEntries - 1);
+  }
+
+  std::vector<Entry> entries_;
+};
+
+} // namespace veriqc::dd

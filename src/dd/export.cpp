@@ -1,0 +1,99 @@
+#include "dd/export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace veriqc::dd {
+
+namespace {
+
+/// HSV-like hue from the complex phase, as "h,s,v" for graphviz.
+std::string phaseColor(const std::complex<double>& w) {
+  const double angle = std::arg(w); // (-pi, pi]
+  const double hue = (angle + PI) / (2.0 * PI);
+  std::ostringstream os;
+  os.precision(3);
+  os << hue << " 0.7 0.8";
+  return os.str();
+}
+
+double magnitudeWidth(const std::complex<double>& w) {
+  return 0.5 + 2.5 * std::min(1.0, std::abs(w));
+}
+
+template <typename Node>
+void collect(const Node* node, std::map<const Node*, std::size_t>& ids) {
+  if (node == nullptr || node->v == kTerminalLevel || ids.contains(node)) {
+    return;
+  }
+  ids.emplace(node, ids.size());
+  for (const auto& child : node->e) {
+    if (!child.isZero()) {
+      collect(child.p, ids);
+    }
+  }
+}
+
+template <typename Node>
+std::string render(const Edge<Node>& root, const char* rootLabel) {
+  std::ostringstream os;
+  os << "digraph dd {\n  rankdir=TB;\n  node [shape=circle];\n";
+  std::map<const Node*, std::size_t> ids;
+  collect(root.p, ids);
+  os << "  root [shape=point];\n";
+  os << "  terminal [shape=box, label=\"1\"];\n";
+  for (const auto& [node, id] : ids) {
+    os << "  n" << id << " [label=\"q" << node->v << "\"];\n";
+  }
+  const auto target = [&ids](const Edge<Node>& edge) -> std::string {
+    if (edge.p->v == kTerminalLevel) {
+      return "terminal";
+    }
+    std::string name = "n";
+    name += std::to_string(ids.at(edge.p));
+    return name;
+  };
+  if (!root.isZero()) {
+    os << "  root -> " << target(root) << " [penwidth="
+       << magnitudeWidth(root.w) << ", color=\"" << phaseColor(root.w)
+       << "\", label=\"" << rootLabel << "\"];\n";
+  }
+  for (const auto& [node, id] : ids) {
+    for (std::size_t i = 0; i < node->e.size(); ++i) {
+      const auto& child = node->e[i];
+      if (child.isZero()) {
+        continue;
+      }
+      os << "  n" << id << " -> " << target(child) << " [penwidth="
+         << magnitudeWidth(child.w) << ", color=\"" << phaseColor(child.w)
+         << "\", label=\"" << i << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+} // namespace
+
+std::string toDot(const Package& package, const mEdge& edge) {
+  (void)package;
+  return render(edge, "M");
+}
+
+std::string toDot(const Package& package, const vEdge& edge) {
+  (void)package;
+  return render(edge, "v");
+}
+
+void writeDot(const Package& package, const mEdge& edge,
+              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write DOT file: " + path);
+  }
+  out << toDot(package, edge);
+}
+
+} // namespace veriqc::dd

@@ -1,0 +1,24 @@
+/// \file export.hpp
+/// \brief Graphviz (DOT) export of decision diagrams, in the spirit of the
+///        visualization method the paper adopts (Wille et al., DATE 2021):
+///        edge thickness encodes the weight's magnitude, edge color its
+///        phase.
+#pragma once
+
+#include "dd/package.hpp"
+
+#include <string>
+
+namespace veriqc::dd {
+
+/// Render a matrix DD as a DOT graph.
+[[nodiscard]] std::string toDot(const Package& package, const mEdge& edge);
+
+/// Render a vector DD as a DOT graph.
+[[nodiscard]] std::string toDot(const Package& package, const vEdge& edge);
+
+/// Write DOT output to a file.
+void writeDot(const Package& package, const mEdge& edge,
+              const std::string& path);
+
+} // namespace veriqc::dd

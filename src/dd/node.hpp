@@ -1,0 +1,85 @@
+/// \file node.hpp
+/// \brief Node and edge structures of the decision-diagram package.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace veriqc::dd {
+
+/// Level index of a node; the terminal sits at level -1, qubit q at level q.
+using Level = std::int32_t;
+inline constexpr Level kTerminalLevel = -1;
+
+/// A weighted edge into a (shared) decision-diagram node.
+template <typename Node> struct Edge {
+  Node* p = nullptr;
+  std::complex<double> w{0.0, 0.0};
+
+  [[nodiscard]] bool isTerminal() const noexcept {
+    return p->v == kTerminalLevel;
+  }
+  [[nodiscard]] bool isZero() const noexcept {
+    return w == std::complex<double>{0.0, 0.0};
+  }
+
+  friend bool operator==(const Edge& lhs, const Edge& rhs) noexcept {
+    return lhs.p == rhs.p && lhs.w == rhs.w;
+  }
+};
+
+/// A matrix-DD node: four children for the quadrants
+/// [[e0, e1], [e2, e3]] of the (sub-)matrix, i.e. e[2*i + j] = U_ij.
+struct mNode {
+  std::array<Edge<mNode>, 4> e{};
+  mNode* next = nullptr; ///< unique-table chaining
+  std::uint32_t ref = 0; ///< reference count
+  Level v = kTerminalLevel;
+};
+
+/// A vector-DD node: two children for the halves [e0; e1] of the (sub-)vector.
+struct vNode {
+  std::array<Edge<vNode>, 2> e{};
+  vNode* next = nullptr;
+  std::uint32_t ref = 0;
+  Level v = kTerminalLevel;
+};
+
+using mEdge = Edge<mNode>;
+using vEdge = Edge<vNode>;
+
+/// Bitwise-stable hash of a canonical complex weight.
+inline std::size_t hashWeight(const std::complex<double>& w) noexcept {
+  std::uint64_t re = 0;
+  std::uint64_t im = 0;
+  const double rv = w.real();
+  const double iv = w.imag();
+  std::memcpy(&re, &rv, sizeof(re));
+  std::memcpy(&im, &iv, sizeof(im));
+  return std::hash<std::uint64_t>{}(re * 0x9E3779B97F4A7C15ULL ^ im);
+}
+
+inline std::size_t combineHash(std::size_t seed, std::size_t value) noexcept {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+template <typename Node>
+std::size_t hashNodeChildren(const Node& node) noexcept {
+  std::size_t h = 0;
+  for (const auto& edge : node.e) {
+    h = combineHash(h, std::hash<const void*>{}(edge.p));
+    h = combineHash(h, hashWeight(edge.w));
+  }
+  return h;
+}
+
+template <typename Node>
+bool sameChildren(const Node& a, const Node& b) noexcept {
+  return a.e == b.e;
+}
+
+} // namespace veriqc::dd

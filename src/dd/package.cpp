@@ -1,0 +1,630 @@
+#include "dd/package.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace veriqc::dd {
+
+Package::Package(const std::size_t nqubits, const double tolerance)
+    : nqubits_(nqubits), reals_(tolerance), mTables_(nqubits),
+      vTables_(nqubits) {
+  mTerminal_.v = kTerminalLevel;
+  vTerminal_.v = kTerminalLevel;
+  idTable_.reserve(nqubits);
+}
+
+Package::~Package() = default;
+
+mEdge Package::makeIdent() {
+  if (nqubits_ == 0) {
+    return oneMatrixScalar();
+  }
+  for (std::size_t k = idTable_.size(); k < nqubits_; ++k) {
+    const mEdge below = (k == 0) ? oneMatrixScalar() : idTable_[k - 1];
+    const auto node = makeMatrixNode(
+        static_cast<Level>(k), {below, zeroMatrix(), zeroMatrix(), below});
+    incRef(node); // identity chain is permanently alive
+    idTable_.push_back(node);
+  }
+  return idTable_[nqubits_ - 1];
+}
+
+mEdge Package::makeMatrixNode(const Level v,
+                              const std::array<mEdge, 4>& children) {
+  std::array<mEdge, 4> e = children;
+  // Canonicalize child weights: intern, route zeros to the terminal.
+  for (auto& child : e) {
+    child.w = reals_.lookup(child.w);
+    if (child.w == std::complex<double>{0.0, 0.0}) {
+      child = zeroMatrix();
+    }
+  }
+  // Normalize by the child weight of largest magnitude (lowest index wins
+  // ties) so that equal-up-to-scalar submatrices share one node.
+  std::size_t maxIdx = 0;
+  double maxMag = std::norm(e[0].w);
+  for (std::size_t i = 1; i < 4; ++i) {
+    const double mag = std::norm(e[i].w);
+    if (mag > maxMag) {
+      maxMag = mag;
+      maxIdx = i;
+    }
+  }
+  if (maxMag == 0.0) {
+    return zeroMatrix();
+  }
+  const auto topWeight = e[maxIdx].w;
+  for (auto& child : e) {
+    if (!child.isZero()) {
+      child.w = reals_.lookup(child.w / topWeight);
+    }
+  }
+  auto& table = mTables_[static_cast<std::size_t>(v)];
+  mNode* candidate = table.getFreeNode();
+  candidate->e = e;
+  candidate->v = v;
+  mNode* node = table.lookup(candidate);
+  return {node, topWeight};
+}
+
+vEdge Package::makeVectorNode(const Level v,
+                              const std::array<vEdge, 2>& children) {
+  std::array<vEdge, 2> e = children;
+  for (auto& child : e) {
+    child.w = reals_.lookup(child.w);
+    if (child.w == std::complex<double>{0.0, 0.0}) {
+      child = zeroVectorEdge();
+    }
+  }
+  std::size_t maxIdx = 0;
+  double maxMag = std::norm(e[0].w);
+  if (std::norm(e[1].w) > maxMag) {
+    maxMag = std::norm(e[1].w);
+    maxIdx = 1;
+  }
+  if (maxMag == 0.0) {
+    return zeroVectorEdge();
+  }
+  const auto topWeight = e[maxIdx].w;
+  for (auto& child : e) {
+    if (!child.isZero()) {
+      child.w = reals_.lookup(child.w / topWeight);
+    }
+  }
+  auto& table = vTables_[static_cast<std::size_t>(v)];
+  vNode* candidate = table.getFreeNode();
+  candidate->e = e;
+  candidate->v = v;
+  vNode* node = table.lookup(candidate);
+  return {node, topWeight};
+}
+
+mEdge Package::makeGateDD(const GateMatrix& matrix,
+                          const std::span<const Qubit> controls,
+                          const Qubit target) {
+  if (target >= nqubits_) {
+    throw std::out_of_range("makeGateDD: target out of range");
+  }
+  std::vector<Qubit> ctrls(controls.begin(), controls.end());
+  std::sort(ctrls.begin(), ctrls.end());
+  const auto isControl = [&ctrls](const Level z) {
+    return std::binary_search(ctrls.begin(), ctrls.end(),
+                              static_cast<Qubit>(z));
+  };
+  std::ignore = makeIdent(); // ensure the identity chain for control levels
+  const auto idBelow = [this](const Level z) -> mEdge {
+    return (z <= 0) ? oneMatrixScalar() : idTable_[static_cast<std::size_t>(z) - 1];
+  };
+
+  // Blocks T_ij of the target level, built bottom-up (em[2i+j] = T_ij).
+  std::array<mEdge, 4> em;
+  for (std::size_t i = 0; i < 4; ++i) {
+    em[i] = {&mTerminal_, matrix[i]};
+  }
+  for (Level z = 0; z < static_cast<Level>(target); ++z) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (isControl(z)) {
+        const bool diagonal = (i == 0 || i == 3);
+        em[i] = makeMatrixNode(
+            z, {diagonal ? idBelow(z) : zeroMatrix(), zeroMatrix(),
+                zeroMatrix(), em[i]});
+      } else {
+        em[i] = makeMatrixNode(z, {em[i], zeroMatrix(), zeroMatrix(), em[i]});
+      }
+    }
+  }
+  mEdge e = makeMatrixNode(static_cast<Level>(target), em);
+  for (Level z = static_cast<Level>(target) + 1;
+       z < static_cast<Level>(nqubits_); ++z) {
+    if (isControl(z)) {
+      e = makeMatrixNode(z, {idBelow(z), zeroMatrix(), zeroMatrix(), e});
+    } else {
+      e = makeMatrixNode(z, {e, zeroMatrix(), zeroMatrix(), e});
+    }
+  }
+  return e;
+}
+
+mEdge Package::makeSwapDD(const Qubit a, const Qubit b,
+                          const std::span<const Qubit> controls) {
+  const GateMatrix x = gateMatrix(OpType::X, {});
+  // swap(a,b) = cx(b,a) . c{a, controls}x(b) . cx(b,a)
+  const std::array<Qubit, 1> outerCtrl{b};
+  const mEdge outer = makeGateDD(x, outerCtrl, a);
+  std::vector<Qubit> middleCtrls(controls.begin(), controls.end());
+  middleCtrls.push_back(a);
+  const mEdge middle = makeGateDD(x, middleCtrls, b);
+  return multiply(outer, multiply(middle, outer));
+}
+
+mEdge Package::makeOperationDD(const Operation& op, const Permutation& perm) {
+  if (op.isNonUnitary() || op.type == OpType::I) {
+    return makeIdent();
+  }
+  std::vector<Qubit> controls;
+  controls.reserve(op.controls.size());
+  for (const auto c : op.controls) {
+    controls.push_back(perm[c]);
+  }
+  if (op.type == OpType::SWAP) {
+    return makeSwapDD(perm[op.targets[0]], perm[op.targets[1]], controls);
+  }
+  if (!isSingleTargetType(op.type)) {
+    throw CircuitError("makeOperationDD: unsupported operation " +
+                       op.toString());
+  }
+  return makeGateDD(gateMatrix(op.type, op.params), controls,
+                    perm[op.targets[0]]);
+}
+
+mEdge Package::makeOperationDD(const Operation& op) {
+  return makeOperationDD(op, Permutation::identity(nqubits_));
+}
+
+vEdge Package::makeZeroState() {
+  return makeBasisState(std::vector<bool>(nqubits_, false));
+}
+
+vEdge Package::makeBasisState(const std::vector<bool>& bits) {
+  if (bits.size() != nqubits_) {
+    throw std::invalid_argument("makeBasisState: wrong number of bits");
+  }
+  vEdge e{&vTerminal_, {1.0, 0.0}};
+  for (std::size_t q = 0; q < nqubits_; ++q) {
+    if (bits[q]) {
+      e = makeVectorNode(static_cast<Level>(q), {zeroVectorEdge(), e});
+    } else {
+      e = makeVectorNode(static_cast<Level>(q), {e, zeroVectorEdge()});
+    }
+  }
+  return e;
+}
+
+mEdge Package::multiply(const mEdge& x, const mEdge& y) {
+  if (x.isZero() || y.isZero()) {
+    return zeroMatrix();
+  }
+  const auto w = x.w * y.w;
+  auto e = multiplyNodes(x.p, y.p, static_cast<Level>(nqubits_) - 1);
+  if (e.isZero()) {
+    return zeroMatrix();
+  }
+  e.w = reals_.lookup(e.w * w);
+  if (e.w == std::complex<double>{0.0, 0.0}) {
+    return zeroMatrix();
+  }
+  return e;
+}
+
+mEdge Package::multiplyNodes(mNode* x, mNode* y, const Level var) {
+  if (var == kTerminalLevel) {
+    return oneMatrixScalar();
+  }
+  assert(x->v == var && y->v == var);
+  const mEdge xKey{x, {1.0, 0.0}};
+  const mEdge yKey{y, {1.0, 0.0}};
+  if (const auto* cached = multiplyTable_.lookup(xKey, yKey)) {
+    return *cached;
+  }
+  std::array<mEdge, 4> r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      mEdge sum = zeroMatrix();
+      for (std::size_t k = 0; k < 2; ++k) {
+        const mEdge& xc = x->e[2 * i + k];
+        const mEdge& yc = y->e[2 * k + j];
+        if (xc.isZero() || yc.isZero()) {
+          continue;
+        }
+        auto term = multiplyNodes(xc.p, yc.p, var - 1);
+        if (term.isZero()) {
+          continue;
+        }
+        term.w = reals_.lookup(term.w * xc.w * yc.w);
+        sum = sum.isZero() ? term : add(sum, term);
+      }
+      r[2 * i + j] = sum;
+    }
+  }
+  const auto result = makeMatrixNode(var, r);
+  multiplyTable_.insert(xKey, yKey, result);
+  return result;
+}
+
+vEdge Package::multiply(const mEdge& m, const vEdge& v) {
+  if (m.isZero() || v.isZero()) {
+    return zeroVectorEdge();
+  }
+  const auto w = m.w * v.w;
+  auto e = multiplyNodes(m.p, v.p, static_cast<Level>(nqubits_) - 1);
+  if (e.isZero()) {
+    return zeroVectorEdge();
+  }
+  e.w = reals_.lookup(e.w * w);
+  if (e.w == std::complex<double>{0.0, 0.0}) {
+    return zeroVectorEdge();
+  }
+  return e;
+}
+
+vEdge Package::multiplyNodes(mNode* m, vNode* v, const Level var) {
+  if (var == kTerminalLevel) {
+    return {&vTerminal_, {1.0, 0.0}};
+  }
+  assert(m->v == var && v->v == var);
+  const mEdge mKey{m, {1.0, 0.0}};
+  const vEdge vKey{v, {1.0, 0.0}};
+  if (const auto* cached = multiplyVectorTable_.lookup(mKey, vKey)) {
+    return *cached;
+  }
+  std::array<vEdge, 2> r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    vEdge sum = zeroVectorEdge();
+    for (std::size_t k = 0; k < 2; ++k) {
+      const mEdge& mc = m->e[2 * i + k];
+      const vEdge& vc = v->e[k];
+      if (mc.isZero() || vc.isZero()) {
+        continue;
+      }
+      auto term = multiplyNodes(mc.p, vc.p, var - 1);
+      if (term.isZero()) {
+        continue;
+      }
+      term.w = reals_.lookup(term.w * mc.w * vc.w);
+      sum = sum.isZero() ? term : add(sum, term);
+    }
+    r[i] = sum;
+  }
+  const auto result = makeVectorNode(var, r);
+  multiplyVectorTable_.insert(mKey, vKey, result);
+  return result;
+}
+
+mEdge Package::add(const mEdge& x, const mEdge& y) {
+  if (x.isZero()) {
+    return y;
+  }
+  if (y.isZero()) {
+    return x;
+  }
+  if (x.p->v == kTerminalLevel && y.p->v == kTerminalLevel) {
+    const auto w = reals_.lookup(x.w + y.w);
+    if (w == std::complex<double>{0.0, 0.0}) {
+      return zeroMatrix();
+    }
+    return {&mTerminal_, w};
+  }
+  if (const auto* cached = addTable_.lookup(x, y)) {
+    return *cached;
+  }
+  assert(x.p->v == y.p->v);
+  std::array<mEdge, 4> r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const mEdge xc{x.p->e[i].p, x.w * x.p->e[i].w};
+    const mEdge yc{y.p->e[i].p, y.w * y.p->e[i].w};
+    r[i] = add(xc.isZero() ? zeroMatrix() : xc,
+               yc.isZero() ? zeroMatrix() : yc);
+  }
+  const auto result = makeMatrixNode(x.p->v, r);
+  addTable_.insert(x, y, result);
+  return result;
+}
+
+vEdge Package::add(const vEdge& x, const vEdge& y) {
+  if (x.isZero()) {
+    return y;
+  }
+  if (y.isZero()) {
+    return x;
+  }
+  if (x.p->v == kTerminalLevel && y.p->v == kTerminalLevel) {
+    const auto w = reals_.lookup(x.w + y.w);
+    if (w == std::complex<double>{0.0, 0.0}) {
+      return zeroVectorEdge();
+    }
+    return {&vTerminal_, w};
+  }
+  if (const auto* cached = addVectorTable_.lookup(x, y)) {
+    return *cached;
+  }
+  assert(x.p->v == y.p->v);
+  std::array<vEdge, 2> r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const vEdge xc{x.p->e[i].p, x.w * x.p->e[i].w};
+    const vEdge yc{y.p->e[i].p, y.w * y.p->e[i].w};
+    r[i] = add(xc.isZero() ? zeroVectorEdge() : xc,
+               yc.isZero() ? zeroVectorEdge() : yc);
+  }
+  const auto result = makeVectorNode(x.p->v, r);
+  addVectorTable_.insert(x, y, result);
+  return result;
+}
+
+mEdge Package::conjugateTranspose(const mEdge& x) {
+  if (x.p->v == kTerminalLevel) {
+    return {x.p, reals_.lookup(std::conj(x.w))};
+  }
+  mEdge base;
+  if (const auto* cached = conjTransTable_.lookup(x.p)) {
+    base = *cached;
+  } else {
+    std::array<mEdge, 4> r;
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        r[2 * i + j] = conjugateTranspose(x.p->e[2 * j + i]);
+      }
+    }
+    base = makeMatrixNode(x.p->v, r);
+    conjTransTable_.insert(x.p, base);
+  }
+  mEdge result{base.p, reals_.lookup(std::conj(x.w) * base.w)};
+  if (result.w == std::complex<double>{0.0, 0.0}) {
+    return zeroMatrix();
+  }
+  return result;
+}
+
+std::complex<double> Package::trace(const mEdge& x) {
+  if (x.isZero()) {
+    return {0.0, 0.0};
+  }
+  return x.w * traceNode(x.p);
+}
+
+std::complex<double> Package::traceNode(mNode* node) {
+  if (node->v == kTerminalLevel) {
+    return {1.0, 0.0};
+  }
+  if (const auto* cached = traceTable_.lookup(node)) {
+    return *cached;
+  }
+  std::complex<double> t{0.0, 0.0};
+  for (const std::size_t i : {std::size_t{0}, std::size_t{3}}) {
+    const auto& child = node->e[i];
+    if (!child.isZero()) {
+      t += child.w * traceNode(child.p);
+    }
+  }
+  traceTable_.insert(node, t);
+  return t;
+}
+
+std::complex<double> Package::innerProduct(const vEdge& x, const vEdge& y) {
+  if (x.isZero() || y.isZero()) {
+    return {0.0, 0.0};
+  }
+  return std::conj(x.w) * y.w * innerProductNodes(x.p, y.p);
+}
+
+std::complex<double> Package::innerProductNodes(vNode* x, vNode* y) {
+  if (x->v == kTerminalLevel) {
+    return {1.0, 0.0};
+  }
+  const vEdge xKey{x, {1.0, 0.0}};
+  const vEdge yKey{y, {1.0, 0.0}};
+  if (const auto* cached = innerProductTable_.lookup(xKey, yKey)) {
+    return *cached;
+  }
+  std::complex<double> sum{0.0, 0.0};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& xc = x->e[i];
+    const auto& yc = y->e[i];
+    if (xc.isZero() || yc.isZero()) {
+      continue;
+    }
+    sum += std::conj(xc.w) * yc.w * innerProductNodes(xc.p, yc.p);
+  }
+  innerProductTable_.insert(xKey, yKey, sum);
+  return sum;
+}
+
+double Package::fidelity(const vEdge& x, const vEdge& y) {
+  return std::norm(innerProduct(x, y));
+}
+
+std::complex<double> Package::getEntry(const mEdge& x, const std::size_t row,
+                                       const std::size_t col) const {
+  if (x.isZero()) {
+    return {0.0, 0.0};
+  }
+  std::complex<double> w = x.w;
+  const mNode* node = x.p;
+  while (node->v != kTerminalLevel) {
+    const auto bitR = (row >> static_cast<std::size_t>(node->v)) & 1U;
+    const auto bitC = (col >> static_cast<std::size_t>(node->v)) & 1U;
+    const auto& child = node->e[2 * bitR + bitC];
+    if (child.isZero()) {
+      return {0.0, 0.0};
+    }
+    w *= child.w;
+    node = child.p;
+  }
+  return w;
+}
+
+std::complex<double> Package::getAmplitude(const vEdge& x,
+                                           const std::size_t index) const {
+  if (x.isZero()) {
+    return {0.0, 0.0};
+  }
+  std::complex<double> w = x.w;
+  const vNode* node = x.p;
+  while (node->v != kTerminalLevel) {
+    const auto bit = (index >> static_cast<std::size_t>(node->v)) & 1U;
+    const auto& child = node->e[bit];
+    if (child.isZero()) {
+      return {0.0, 0.0};
+    }
+    w *= child.w;
+    node = child.p;
+  }
+  return w;
+}
+
+double Package::traceFidelity(const mEdge& e) {
+  const auto t = trace(e);
+  return std::abs(t) / static_cast<double>(std::size_t{1} << nqubits_);
+}
+
+bool Package::isIdentity(const mEdge& e, const bool upToGlobalPhase,
+                         const double checkTol) {
+  if (e.isZero()) {
+    return false;
+  }
+  const auto ident = makeIdent();
+  if (e.p == ident.p) {
+    if (upToGlobalPhase) {
+      return std::abs(std::abs(e.w) - 1.0) < checkTol;
+    }
+    return std::abs(e.w - std::complex<double>{1.0, 0.0}) < checkTol;
+  }
+  // Fall back to the Hilbert-Schmidt criterion |tr(E)| ~ 2^n.
+  const auto t = trace(e);
+  const auto dim = static_cast<double>(std::size_t{1} << nqubits_);
+  if (upToGlobalPhase) {
+    return std::abs(std::abs(t) - dim) < checkTol * dim;
+  }
+  return std::abs(t - dim) < checkTol * dim;
+}
+
+void Package::incRef(const mEdge& e) noexcept {
+  if (e.p == nullptr || e.p->v == kTerminalLevel) {
+    return;
+  }
+  if (e.p->ref++ == 0) {
+    for (const auto& child : e.p->e) {
+      incRef(child);
+    }
+  }
+}
+
+void Package::decRef(const mEdge& e) noexcept {
+  if (e.p == nullptr || e.p->v == kTerminalLevel) {
+    return;
+  }
+  assert(e.p->ref > 0);
+  if (--e.p->ref == 0) {
+    for (const auto& child : e.p->e) {
+      decRef(child);
+    }
+  }
+}
+
+void Package::incRef(const vEdge& e) noexcept {
+  if (e.p == nullptr || e.p->v == kTerminalLevel) {
+    return;
+  }
+  if (e.p->ref++ == 0) {
+    for (const auto& child : e.p->e) {
+      incRef(child);
+    }
+  }
+}
+
+void Package::decRef(const vEdge& e) noexcept {
+  if (e.p == nullptr || e.p->v == kTerminalLevel) {
+    return;
+  }
+  assert(e.p->ref > 0);
+  if (--e.p->ref == 0) {
+    for (const auto& child : e.p->e) {
+      decRef(child);
+    }
+  }
+}
+
+std::size_t Package::garbageCollect(const bool force) {
+  std::size_t live = 0;
+  for (const auto& table : mTables_) {
+    live += table.size();
+  }
+  for (const auto& table : vTables_) {
+    live += table.size();
+  }
+  if (!force && live < gcThreshold_) {
+    return 0;
+  }
+  std::size_t collected = 0;
+  for (auto& table : mTables_) {
+    collected += table.garbageCollect();
+  }
+  for (auto& table : vTables_) {
+    collected += table.garbageCollect();
+  }
+  multiplyTable_.clear();
+  multiplyVectorTable_.clear();
+  addTable_.clear();
+  addVectorTable_.clear();
+  conjTransTable_.clear();
+  traceTable_.clear();
+  innerProductTable_.clear();
+  gcThreshold_ = std::max<std::size_t>(65536, 2 * (live - collected));
+  ++gcRuns_;
+  return collected;
+}
+
+template <typename Node>
+void Package::countNodes(const Node* node, std::set<const Node*>& seen) {
+  if (node == nullptr || node->v == kTerminalLevel ||
+      !seen.insert(node).second) {
+    return;
+  }
+  for (const auto& child : node->e) {
+    if (!child.isZero()) {
+      countNodes(child.p, seen);
+    }
+  }
+}
+
+std::size_t Package::nodeCount(const mEdge& e) const {
+  std::set<const mNode*> seen;
+  countNodes(e.p, seen);
+  return seen.size();
+}
+
+std::size_t Package::nodeCount(const vEdge& e) const {
+  std::set<const vNode*> seen;
+  countNodes(e.p, seen);
+  return seen.size();
+}
+
+PackageStats Package::stats() const {
+  PackageStats s;
+  for (const auto& table : mTables_) {
+    s.matrixNodes += table.size();
+    s.allocations += table.allocated();
+  }
+  for (const auto& table : vTables_) {
+    s.vectorNodes += table.size();
+    s.allocations += table.allocated();
+  }
+  s.gcRuns = gcRuns_;
+  s.realNumbers = reals_.size();
+  return s;
+}
+
+} // namespace veriqc::dd

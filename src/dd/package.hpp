@@ -1,0 +1,159 @@
+/// \file package.hpp
+/// \brief The decision-diagram package: canonical QMDD construction and
+///        manipulation for quantum functionality (Sec. 4 of the paper).
+#pragma once
+
+#include "dd/compute_table.hpp"
+#include "dd/node.hpp"
+#include "dd/real_table.hpp"
+#include "dd/unique_table.hpp"
+#include "ir/gate_matrix.hpp"
+#include "ir/operation.hpp"
+#include "ir/permutation.hpp"
+
+#include <complex>
+#include <cstddef>
+#include <set>
+#include <span>
+#include <vector>
+
+namespace veriqc::dd {
+
+/// Aggregate statistics of a package instance.
+struct PackageStats {
+  std::size_t matrixNodes = 0;   ///< live unique matrix nodes
+  std::size_t vectorNodes = 0;   ///< live unique vector nodes
+  std::size_t allocations = 0;   ///< total nodes ever allocated
+  std::size_t gcRuns = 0;        ///< garbage collections performed
+  std::size_t realNumbers = 0;   ///< interned canonical reals
+  std::size_t peakMatrixNodes = 0;
+};
+
+/// One package instance owns all nodes, unique tables and caches for a fixed
+/// number of qubits. It is deliberately single-threaded; concurrent checkers
+/// each use their own instance.
+class Package {
+public:
+  explicit Package(std::size_t nqubits,
+                   double tolerance = RealTable::kDefaultTolerance);
+
+  ~Package();
+  Package(const Package&) = delete;
+  Package& operator=(const Package&) = delete;
+
+  [[nodiscard]] std::size_t numQubits() const noexcept { return nqubits_; }
+  [[nodiscard]] double tolerance() const noexcept { return reals_.tolerance(); }
+
+  // --- canonical building blocks -------------------------------------------
+  [[nodiscard]] mEdge zeroMatrix() const noexcept {
+    return {&mTerminal_, {0.0, 0.0}};
+  }
+  [[nodiscard]] vEdge zeroVectorEdge() const noexcept {
+    return {&vTerminal_, {0.0, 0.0}};
+  }
+  [[nodiscard]] mEdge oneMatrixScalar() const noexcept {
+    return {&mTerminal_, {1.0, 0.0}};
+  }
+
+  /// The identity on all `numQubits()` qubits (a linear-size chain, Fig. 3b).
+  [[nodiscard]] mEdge makeIdent();
+
+  /// Canonical (normalized, interned, unique) matrix node.
+  mEdge makeMatrixNode(Level v, const std::array<mEdge, 4>& children);
+  /// Canonical vector node.
+  vEdge makeVectorNode(Level v, const std::array<vEdge, 2>& children);
+
+  /// DD of a (multi-)controlled single-qubit gate.
+  mEdge makeGateDD(const GateMatrix& matrix, std::span<const Qubit> controls,
+                   Qubit target);
+
+  /// DD of a (controlled) SWAP via the three-CNOT construction.
+  mEdge makeSwapDD(Qubit a, Qubit b, std::span<const Qubit> controls = {});
+
+  /// DD of an arbitrary circuit operation; qubits are relabeled through
+  /// `perm` (wire -> DD level), enabling permutation-tracked application.
+  /// Barrier/Measure yield the identity. Throws on unsupported types.
+  mEdge makeOperationDD(const Operation& op, const Permutation& perm);
+  mEdge makeOperationDD(const Operation& op);
+
+  /// |0...0> over all qubits.
+  vEdge makeZeroState();
+  /// Computational basis state |bits> (bits[q] for qubit q).
+  vEdge makeBasisState(const std::vector<bool>& bits);
+
+  // --- operations -----------------------------------------------------------
+  [[nodiscard]] mEdge multiply(const mEdge& x, const mEdge& y);
+  [[nodiscard]] vEdge multiply(const mEdge& m, const vEdge& v);
+  [[nodiscard]] mEdge add(const mEdge& x, const mEdge& y);
+  [[nodiscard]] vEdge add(const vEdge& x, const vEdge& y);
+  [[nodiscard]] mEdge conjugateTranspose(const mEdge& x);
+  [[nodiscard]] std::complex<double> trace(const mEdge& x);
+  [[nodiscard]] std::complex<double> innerProduct(const vEdge& x,
+                                                  const vEdge& y);
+  /// |<x|y>|^2
+  [[nodiscard]] double fidelity(const vEdge& x, const vEdge& y);
+
+  /// Entry U[row][col] of the represented matrix (for tests/export).
+  [[nodiscard]] std::complex<double> getEntry(const mEdge& x, std::size_t row,
+                                              std::size_t col) const;
+  /// Amplitude <index|x>.
+  [[nodiscard]] std::complex<double> getAmplitude(const vEdge& x,
+                                                  std::size_t index) const;
+
+  // --- equivalence-oriented queries ------------------------------------------
+  /// |tr(E)| / 2^n: equals 1 iff E is the identity up to global phase.
+  [[nodiscard]] double traceFidelity(const mEdge& e);
+  /// Structural check against the cached identity (exact node identity),
+  /// falling back to the Hilbert-Schmidt criterion with `checkTol`.
+  [[nodiscard]] bool isIdentity(const mEdge& e, bool upToGlobalPhase = true,
+                                double checkTol = 1e-9);
+
+  // --- memory management -----------------------------------------------------
+  void incRef(const mEdge& e) noexcept;
+  void decRef(const mEdge& e) noexcept;
+  void incRef(const vEdge& e) noexcept;
+  void decRef(const vEdge& e) noexcept;
+
+  /// Collect dead nodes if the live-node count exceeds the adaptive
+  /// threshold (always when `force`). All caches are invalidated.
+  std::size_t garbageCollect(bool force = false);
+
+  /// Number of distinct nodes reachable from e (terminal excluded).
+  [[nodiscard]] std::size_t nodeCount(const mEdge& e) const;
+  [[nodiscard]] std::size_t nodeCount(const vEdge& e) const;
+
+  [[nodiscard]] PackageStats stats() const;
+
+private:
+  template <typename Node>
+  static void countNodes(const Node* node, std::set<const Node*>& seen);
+
+  mEdge multiplyNodes(mNode* x, mNode* y, Level var);
+  vEdge multiplyNodes(mNode* m, vNode* v, Level var);
+  std::complex<double> traceNode(mNode* node);
+  std::complex<double> innerProductNodes(vNode* x, vNode* y);
+
+  std::size_t nqubits_;
+  RealTable reals_;
+
+  mutable mNode mTerminal_{};
+  mutable vNode vTerminal_{};
+
+  std::vector<UniqueTable<mNode>> mTables_; ///< one per level
+  std::vector<UniqueTable<vNode>> vTables_;
+
+  ComputeTable<mEdge, mEdge, mEdge> multiplyTable_;
+  ComputeTable<mEdge, vEdge, vEdge> multiplyVectorTable_;
+  ComputeTable<mEdge, mEdge, mEdge> addTable_;
+  ComputeTable<vEdge, vEdge, vEdge> addVectorTable_;
+  UnaryComputeTable<mNode, mEdge> conjTransTable_;
+  UnaryComputeTable<mNode, std::complex<double>> traceTable_;
+  ComputeTable<vEdge, vEdge, std::complex<double>> innerProductTable_;
+
+  std::vector<mEdge> idTable_; ///< idTable_[k] = identity on levels 0..k
+
+  std::size_t gcThreshold_ = 65536;
+  std::size_t gcRuns_ = 0;
+};
+
+} // namespace veriqc::dd

@@ -1,0 +1,30 @@
+#include "dd/real_table.hpp"
+
+namespace veriqc::dd {
+
+double RealTable::lookup(const double value) {
+  // Fast path for the ubiquitous exact values.
+  if (value == 0.0 || value == 1.0 || value == -1.0) {
+    return value;
+  }
+  if (std::abs(value) < tolerance_) {
+    return 0.0;
+  }
+  const auto key = keyOf(value);
+  for (const auto k : {key - 1, key, key + 1}) {
+    const auto it = buckets_.find(k);
+    if (it == buckets_.end()) {
+      continue;
+    }
+    for (const auto candidate : it->second) {
+      if (std::abs(candidate - value) < tolerance_) {
+        return candidate;
+      }
+    }
+  }
+  buckets_[key].push_back(value);
+  ++count_;
+  return value;
+}
+
+} // namespace veriqc::dd

@@ -1,0 +1,116 @@
+/// \file unique_table.hpp
+/// \brief Per-level unique tables guaranteeing canonical node sharing.
+#pragma once
+
+#include "dd/node.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace veriqc::dd {
+
+/// Hash table of nodes for one level, with chunk allocation, a free list and
+/// mark-free garbage collection of nodes whose reference count is zero.
+template <typename Node> class UniqueTable {
+public:
+  static constexpr std::size_t kInitialBuckets = 256;
+  static constexpr std::size_t kChunkSize = 2048;
+
+  UniqueTable() : buckets_(kInitialBuckets, nullptr) {}
+
+  UniqueTable(const UniqueTable&) = delete;
+  UniqueTable& operator=(const UniqueTable&) = delete;
+
+  /// Returns a fresh node to be filled by the caller (not yet in the table).
+  Node* getFreeNode() {
+    if (free_ != nullptr) {
+      Node* node = free_;
+      free_ = node->next;
+      *node = Node{};
+      return node;
+    }
+    if (chunks_.empty() || chunkUsed_ == kChunkSize) {
+      chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+      chunkUsed_ = 0;
+      allocated_ += kChunkSize;
+    }
+    return &chunks_.back()[chunkUsed_++];
+  }
+
+  /// Returns the canonical node equal to `candidate` (inserting it if new).
+  /// If an equal node already existed, `candidate` is returned to the free
+  /// list.
+  Node* lookup(Node* candidate) {
+    const auto h = hashNodeChildren(*candidate) & (buckets_.size() - 1);
+    for (Node* cur = buckets_[h]; cur != nullptr; cur = cur->next) {
+      if (sameChildren(*cur, *candidate)) {
+        returnNode(candidate);
+        return cur;
+      }
+    }
+    candidate->next = buckets_[h];
+    buckets_[h] = candidate;
+    ++count_;
+    if (count_ > 4 * buckets_.size()) {
+      grow();
+    }
+    return candidate;
+  }
+
+  /// Puts a node that never entered the table back onto the free list.
+  void returnNode(Node* node) {
+    node->next = free_;
+    free_ = node;
+  }
+
+  /// Removes all nodes with reference count zero. Returns the number of
+  /// collected nodes. Compute tables referencing these nodes must be
+  /// invalidated by the caller.
+  std::size_t garbageCollect() {
+    std::size_t collected = 0;
+    for (auto& bucket : buckets_) {
+      Node** link = &bucket;
+      while (*link != nullptr) {
+        Node* cur = *link;
+        if (cur->ref == 0) {
+          *link = cur->next;
+          returnNode(cur);
+          --count_;
+          ++collected;
+        } else {
+          link = &cur->next;
+        }
+      }
+    }
+    return collected;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
+
+private:
+  void grow() {
+    std::vector<Node*> newBuckets(buckets_.size() * 2, nullptr);
+    for (Node* bucket : buckets_) {
+      Node* cur = bucket;
+      while (cur != nullptr) {
+        Node* next = cur->next;
+        const auto h = hashNodeChildren(*cur) & (newBuckets.size() - 1);
+        cur->next = newBuckets[h];
+        newBuckets[h] = cur;
+        cur = next;
+      }
+    }
+    buckets_ = std::move(newBuckets);
+  }
+
+  std::vector<Node*> buckets_;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::size_t chunkUsed_ = 0;
+  std::size_t allocated_ = 0;
+  std::size_t count_ = 0;
+  Node* free_ = nullptr;
+};
+
+} // namespace veriqc::dd

@@ -1,0 +1,211 @@
+#include "ir/circuit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace veriqc {
+
+QuantumCircuit::QuantumCircuit(const std::size_t nqubits, std::string name)
+    : nqubits_(nqubits), name_(std::move(name)),
+      initialLayout_(Permutation::identity(nqubits)),
+      outputPermutation_(Permutation::identity(nqubits)) {}
+
+void QuantumCircuit::append(Operation op) {
+  op.validate(nqubits_);
+  ops_.push_back(std::move(op));
+}
+
+std::size_t QuantumCircuit::gateCount() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [](const Operation& op) { return !op.isNonUnitary(); }));
+}
+
+std::size_t QuantumCircuit::multiQubitGateCount() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(), [](const Operation& op) {
+        return !op.isNonUnitary() && op.usedQubits().size() >= 2;
+      }));
+}
+
+std::size_t QuantumCircuit::depth() const {
+  std::vector<std::size_t> level(nqubits_, 0);
+  for (const auto& op : ops_) {
+    if (op.type == OpType::Barrier) {
+      const auto sync = *std::max_element(level.begin(), level.end());
+      std::fill(level.begin(), level.end(), sync);
+      continue;
+    }
+    if (op.isNonUnitary()) {
+      continue;
+    }
+    std::size_t d = 0;
+    for (const auto q : op.usedQubits()) {
+      d = std::max(d, level[q]);
+    }
+    for (const auto q : op.usedQubits()) {
+      level[q] = d + 1;
+    }
+  }
+  return level.empty() ? 0 : *std::max_element(level.begin(), level.end());
+}
+
+bool QuantumCircuit::wireIsIdle(const Qubit w) const noexcept {
+  return std::none_of(ops_.begin(), ops_.end(), [w](const Operation& op) {
+    return !op.isNonUnitary() && op.actsOn(w);
+  });
+}
+
+QuantumCircuit QuantumCircuit::inverted() const {
+  QuantumCircuit inv(nqubits_, name_.empty() ? "" : name_ + "_dg");
+  inv.initialLayout_ = outputPermutation_;
+  inv.outputPermutation_ = initialLayout_;
+  inv.globalPhase_ = -globalPhase_;
+  inv.ops_.reserve(ops_.size());
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    if (it->type == OpType::Measure) {
+      continue; // measurements have no inverse; drop them
+    }
+    inv.ops_.push_back(it->inverse());
+  }
+  return inv;
+}
+
+QuantumCircuit QuantumCircuit::withExplicitPermutations() const {
+  QuantumCircuit result(nqubits_, name_);
+  result.globalPhase_ = globalPhase_;
+  // Prefix realizing R(initialLayout): apply the transpositions in order.
+  for (const auto& [a, b] : initialLayout_.transpositions()) {
+    result.swap(a, b);
+  }
+  result.ops_.insert(result.ops_.end(), ops_.begin(), ops_.end());
+  // Suffix realizing R(outputPermutation)^dagger: transpositions reversed.
+  auto swaps = outputPermutation_.transpositions();
+  std::reverse(swaps.begin(), swaps.end());
+  for (const auto& [a, b] : swaps) {
+    result.swap(a, b);
+  }
+  return result;
+}
+
+QuantumCircuit QuantumCircuit::padded(const std::size_t n) const {
+  if (n < nqubits_) {
+    throw CircuitError("QuantumCircuit::padded: cannot shrink");
+  }
+  QuantumCircuit result = *this;
+  result.nqubits_ = n;
+  result.initialLayout_.extend(n);
+  result.outputPermutation_.extend(n);
+  return result;
+}
+
+void QuantumCircuit::validate() const {
+  if (initialLayout_.size() != nqubits_ ||
+      outputPermutation_.size() != nqubits_) {
+    throw CircuitError("QuantumCircuit: permutation size mismatch");
+  }
+  if (!initialLayout_.isValid() || !outputPermutation_.isValid()) {
+    throw CircuitError("QuantumCircuit: invalid permutation");
+  }
+  for (const auto& op : ops_) {
+    op.validate(nqubits_);
+  }
+}
+
+std::string QuantumCircuit::toString() const {
+  std::ostringstream os;
+  os << "QuantumCircuit '" << name_ << "' (" << nqubits_ << " qubits, "
+     << ops_.size() << " ops)\n";
+  if (!initialLayout_.isIdentity()) {
+    os << "  initial layout:     " << initialLayout_.toString() << "\n";
+  }
+  if (!outputPermutation_.isIdentity()) {
+    os << "  output permutation: " << outputPermutation_.toString() << "\n";
+  }
+  for (const auto& op : ops_) {
+    os << "  " << op.toString() << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+/// Logical qubits that are provably idle in `c`: their wire is untouched by
+/// any unitary operation and carries the same logical qubit at input and
+/// output.
+std::set<Qubit> idleLogicalQubits(const QuantumCircuit& c) {
+  std::set<Qubit> idle;
+  for (Qubit w = 0; w < c.numQubits(); ++w) {
+    if (c.wireIsIdle(w) &&
+        c.outputPermutation()[w] == c.initialLayout()[w]) {
+      idle.insert(c.initialLayout()[w]);
+    }
+  }
+  return idle;
+}
+
+QuantumCircuit stripLogical(const QuantumCircuit& c,
+                            const std::set<Qubit>& removable,
+                            const std::map<Qubit, Qubit>& relabel) {
+  // Keep every wire whose initial logical qubit is not removable.
+  std::vector<Qubit> wireMap(c.numQubits(), 0);
+  std::vector<Qubit> keptWires;
+  for (Qubit w = 0; w < c.numQubits(); ++w) {
+    if (!removable.contains(c.initialLayout()[w])) {
+      wireMap[w] = static_cast<Qubit>(keptWires.size());
+      keptWires.push_back(w);
+    }
+  }
+  QuantumCircuit result(keptWires.size(), c.name());
+  result.setGlobalPhase(c.globalPhase());
+  std::vector<Qubit> layout(keptWires.size());
+  std::vector<Qubit> outPerm(keptWires.size());
+  for (std::size_t i = 0; i < keptWires.size(); ++i) {
+    layout[i] = relabel.at(c.initialLayout()[keptWires[i]]);
+    outPerm[i] = relabel.at(c.outputPermutation()[keptWires[i]]);
+  }
+  result.initialLayout() = Permutation{std::move(layout)};
+  result.outputPermutation() = Permutation{std::move(outPerm)};
+  for (const auto& op : c.ops()) {
+    if (op.isNonUnitary()) {
+      continue;
+    }
+    Operation mapped = op;
+    for (auto& q : mapped.controls) {
+      q = wireMap[q];
+    }
+    for (auto& q : mapped.targets) {
+      q = wireMap[q];
+    }
+    result.append(std::move(mapped));
+  }
+  return result;
+}
+} // namespace
+
+std::pair<QuantumCircuit, QuantumCircuit>
+alignCircuits(const QuantumCircuit& c1, const QuantumCircuit& c2) {
+  const auto n = std::max(c1.numQubits(), c2.numQubits());
+  auto p1 = c1.padded(n);
+  auto p2 = c2.padded(n);
+  const auto idle1 = idleLogicalQubits(p1);
+  const auto idle2 = idleLogicalQubits(p2);
+  std::set<Qubit> removable;
+  std::set_intersection(idle1.begin(), idle1.end(), idle2.begin(), idle2.end(),
+                        std::inserter(removable, removable.begin()));
+  if (removable.empty()) {
+    return {std::move(p1), std::move(p2)};
+  }
+  std::map<Qubit, Qubit> relabel;
+  Qubit next = 0;
+  for (Qubit l = 0; l < n; ++l) {
+    if (!removable.contains(l)) {
+      relabel[l] = next++;
+    }
+  }
+  return {stripLogical(p1, removable, relabel),
+          stripLogical(p2, removable, relabel)};
+}
+
+} // namespace veriqc

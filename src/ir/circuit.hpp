@@ -1,0 +1,170 @@
+/// \file circuit.hpp
+/// \brief The quantum-circuit intermediate representation.
+#pragma once
+
+#include "ir/operation.hpp"
+#include "ir/permutation.hpp"
+#include "ir/types.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace veriqc {
+
+/// A quantum circuit: a number of wires, a gate list, and the two
+/// permutations produced by compilation flows.
+///
+/// Wire/qubit semantics: operations act on *wires* 0..n-1. `initialLayout`
+/// maps each wire to the *logical* qubit it holds at the start of the
+/// circuit; `outputPermutation` maps each wire to the logical qubit it holds
+/// at the end (i.e. the logical qubit measured when reading that wire). Both
+/// default to the identity. The functionality of the circuit as an operator
+/// on logical qubits is
+///
+///     U = R(outputPermutation)^dagger * (product of gates) * R(initialLayout)
+///
+/// where R(sigma) places logical qubit sigma(w) onto wire w.
+class QuantumCircuit {
+public:
+  QuantumCircuit() = default;
+  explicit QuantumCircuit(std::size_t nqubits, std::string name = "");
+
+  [[nodiscard]] std::size_t numQubits() const noexcept { return nqubits_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const std::vector<Operation>& ops() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] std::vector<Operation>& ops() noexcept { return ops_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return ops_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return ops_.end(); }
+
+  Permutation& initialLayout() noexcept { return initialLayout_; }
+  [[nodiscard]] const Permutation& initialLayout() const noexcept {
+    return initialLayout_;
+  }
+  Permutation& outputPermutation() noexcept { return outputPermutation_; }
+  [[nodiscard]] const Permutation& outputPermutation() const noexcept {
+    return outputPermutation_;
+  }
+
+  [[nodiscard]] double globalPhase() const noexcept { return globalPhase_; }
+  void setGlobalPhase(double phase) noexcept { globalPhase_ = phase; }
+  void addGlobalPhase(double phase) noexcept { globalPhase_ += phase; }
+
+  /// Append an operation (validated against the qubit count).
+  void append(Operation op);
+
+  // --- gate convenience API ---------------------------------------------
+  void i(Qubit q) { append(Operation(OpType::I, {}, {q})); }
+  void h(Qubit q) { append(Operation(OpType::H, {}, {q})); }
+  void x(Qubit q) { append(Operation(OpType::X, {}, {q})); }
+  void y(Qubit q) { append(Operation(OpType::Y, {}, {q})); }
+  void z(Qubit q) { append(Operation(OpType::Z, {}, {q})); }
+  void s(Qubit q) { append(Operation(OpType::S, {}, {q})); }
+  void sdg(Qubit q) { append(Operation(OpType::Sdg, {}, {q})); }
+  void t(Qubit q) { append(Operation(OpType::T, {}, {q})); }
+  void tdg(Qubit q) { append(Operation(OpType::Tdg, {}, {q})); }
+  void sx(Qubit q) { append(Operation(OpType::SX, {}, {q})); }
+  void sxdg(Qubit q) { append(Operation(OpType::SXdg, {}, {q})); }
+  void rx(Qubit q, double theta) { append(Operation(OpType::RX, {}, {q}, {theta})); }
+  void ry(Qubit q, double theta) { append(Operation(OpType::RY, {}, {q}, {theta})); }
+  void rz(Qubit q, double theta) { append(Operation(OpType::RZ, {}, {q}, {theta})); }
+  void p(Qubit q, double theta) { append(Operation(OpType::P, {}, {q}, {theta})); }
+  void u2(Qubit q, double phi, double lambda) {
+    append(Operation(OpType::U2, {}, {q}, {phi, lambda}));
+  }
+  void u3(Qubit q, double theta, double phi, double lambda) {
+    append(Operation(OpType::U3, {}, {q}, {theta, phi, lambda}));
+  }
+  void swap(Qubit a, Qubit b) { append(Operation(OpType::SWAP, {}, {a, b})); }
+  void cx(Qubit control, Qubit target) {
+    append(Operation(OpType::X, {control}, {target}));
+  }
+  void cy(Qubit control, Qubit target) {
+    append(Operation(OpType::Y, {control}, {target}));
+  }
+  void cz(Qubit control, Qubit target) {
+    append(Operation(OpType::Z, {control}, {target}));
+  }
+  void ch(Qubit control, Qubit target) {
+    append(Operation(OpType::H, {control}, {target}));
+  }
+  void cp(Qubit control, Qubit target, double theta) {
+    append(Operation(OpType::P, {control}, {target}, {theta}));
+  }
+  void crz(Qubit control, Qubit target, double theta) {
+    append(Operation(OpType::RZ, {control}, {target}, {theta}));
+  }
+  void ccx(Qubit c1, Qubit c2, Qubit target) {
+    append(Operation(OpType::X, {c1, c2}, {target}));
+  }
+  void mcx(std::vector<Qubit> controls, Qubit target) {
+    append(Operation(OpType::X, std::move(controls), {target}));
+  }
+  void mcz(std::vector<Qubit> controls, Qubit target) {
+    append(Operation(OpType::Z, std::move(controls), {target}));
+  }
+  void mcp(std::vector<Qubit> controls, Qubit target, double theta) {
+    append(Operation(OpType::P, std::move(controls), {target}, {theta}));
+  }
+  void cswap(Qubit control, Qubit a, Qubit b) {
+    append(Operation(OpType::SWAP, {control}, {a, b}));
+  }
+  void barrier() { append(Operation(OpType::Barrier, {}, {})); }
+
+  // --- structural queries -------------------------------------------------
+  /// Number of unitary gates (Barrier/Measure excluded).
+  [[nodiscard]] std::size_t gateCount() const noexcept;
+  /// Number of unitary gates acting on >= 2 qubits.
+  [[nodiscard]] std::size_t multiQubitGateCount() const noexcept;
+  /// Circuit depth over unitary gates (greedy as-soon-as-possible layering).
+  [[nodiscard]] std::size_t depth() const;
+  /// True if no operation acts on wire w.
+  [[nodiscard]] bool wireIsIdle(Qubit w) const noexcept;
+
+  // --- transformations ------------------------------------------------------
+  /// The inverse circuit: gates reversed and inverted, layout and output
+  /// permutation exchanged, global phase negated.
+  [[nodiscard]] QuantumCircuit inverted() const;
+
+  /// An equivalent circuit with identity layout/output permutation: the
+  /// permutations are materialized as explicit SWAP networks at the circuit
+  /// boundaries.
+  [[nodiscard]] QuantumCircuit withExplicitPermutations() const;
+
+  /// An equivalent circuit on `n >= numQubits()` wires; added wires carry
+  /// fresh logical qubits (fixed points of both permutations).
+  [[nodiscard]] QuantumCircuit padded(std::size_t n) const;
+
+  /// Reverses the order of all operations (without inverting them).
+  void reverseOps() { std::reverse(ops_.begin(), ops_.end()); }
+
+  /// Full validation of all invariants.
+  void validate() const;
+
+  [[nodiscard]] std::string toString() const;
+
+private:
+  std::size_t nqubits_ = 0;
+  std::string name_;
+  std::vector<Operation> ops_;
+  Permutation initialLayout_;
+  Permutation outputPermutation_;
+  double globalPhase_ = 0.0;
+};
+
+/// Align two circuits for equivalence checking over the same logical space:
+/// pads both to the same width and removes every wire whose logical qubit is
+/// idle in *both* circuits, compacting logical indices consistently.
+/// \returns the aligned pair.
+[[nodiscard]] std::pair<QuantumCircuit, QuantumCircuit>
+alignCircuits(const QuantumCircuit& c1, const QuantumCircuit& c2);
+
+} // namespace veriqc

@@ -1,0 +1,83 @@
+#include "ir/gate_matrix.hpp"
+
+#include <cmath>
+
+namespace veriqc {
+
+namespace {
+constexpr std::complex<double> C0{0.0, 0.0};
+constexpr std::complex<double> C1{1.0, 0.0};
+const std::complex<double> CI{0.0, 1.0};
+const double SQRT1_2 = 1.0 / std::sqrt(2.0);
+
+GateMatrix u3Matrix(const double theta, const double phi, const double lambda) {
+  // OpenQASM u3 convention (determinant e^{i(phi+lambda)}):
+  //   [[cos(t/2),              -e^{i lambda} sin(t/2)],
+  //    [e^{i phi} sin(t/2),     e^{i(phi+lambda)} cos(t/2)]]
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return {std::complex<double>{c, 0.0}, -std::exp(CI * lambda) * s,
+          std::exp(CI * phi) * s, std::exp(CI * (phi + lambda)) * c};
+}
+} // namespace
+
+GateMatrix gateMatrix(const OpType type, const std::span<const double> params) {
+  if (params.size() != numParameters(type)) {
+    throw CircuitError("gateMatrix: wrong number of parameters for " +
+                       toString(type));
+  }
+  switch (type) {
+  case OpType::I:
+    return {C1, C0, C0, C1};
+  case OpType::H:
+    return {SQRT1_2, SQRT1_2, SQRT1_2, -SQRT1_2};
+  case OpType::X:
+    return {C0, C1, C1, C0};
+  case OpType::Y:
+    return {C0, -CI, CI, C0};
+  case OpType::Z:
+    return {C1, C0, C0, -C1};
+  case OpType::S:
+    return {C1, C0, C0, CI};
+  case OpType::Sdg:
+    return {C1, C0, C0, -CI};
+  case OpType::T:
+    return {C1, C0, C0, std::exp(CI * PI_4)};
+  case OpType::Tdg:
+    return {C1, C0, C0, std::exp(-CI * PI_4)};
+  case OpType::SX:
+    // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+    return {std::complex<double>{0.5, 0.5}, std::complex<double>{0.5, -0.5},
+            std::complex<double>{0.5, -0.5}, std::complex<double>{0.5, 0.5}};
+  case OpType::SXdg:
+    return {std::complex<double>{0.5, -0.5}, std::complex<double>{0.5, 0.5},
+            std::complex<double>{0.5, 0.5}, std::complex<double>{0.5, -0.5}};
+  case OpType::RX: {
+    const double c = std::cos(params[0] / 2.0);
+    const double s = std::sin(params[0] / 2.0);
+    return {std::complex<double>{c, 0.0}, -CI * s, -CI * s,
+            std::complex<double>{c, 0.0}};
+  }
+  case OpType::RY: {
+    const double c = std::cos(params[0] / 2.0);
+    const double s = std::sin(params[0] / 2.0);
+    return {std::complex<double>{c, 0.0}, std::complex<double>{-s, 0.0},
+            std::complex<double>{s, 0.0}, std::complex<double>{c, 0.0}};
+  }
+  case OpType::RZ: {
+    const auto e = std::exp(CI * (params[0] / 2.0));
+    return {std::conj(e), C0, C0, e};
+  }
+  case OpType::P:
+    return {C1, C0, C0, std::exp(CI * params[0])};
+  case OpType::U2:
+    return u3Matrix(PI_2, params[0], params[1]);
+  case OpType::U3:
+    return u3Matrix(params[0], params[1], params[2]);
+  default:
+    throw CircuitError("gateMatrix: " + toString(type) +
+                       " is not a single-qubit base gate");
+  }
+}
+
+} // namespace veriqc

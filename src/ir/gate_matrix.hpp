@@ -1,0 +1,22 @@
+/// \file gate_matrix.hpp
+/// \brief Dense 2x2 matrices of the single-qubit base gates.
+#pragma once
+
+#include "ir/op_type.hpp"
+#include "ir/types.hpp"
+
+#include <array>
+#include <complex>
+#include <span>
+
+namespace veriqc {
+
+/// A 2x2 complex matrix in row-major order: {m00, m01, m10, m11}.
+using GateMatrix = std::array<std::complex<double>, 4>;
+
+/// Matrix of a single-qubit base gate type with the given parameters.
+/// \throws CircuitError if `type` is not a single-target type or the number
+///         of parameters does not match `numParameters(type)`.
+[[nodiscard]] GateMatrix gateMatrix(OpType type, std::span<const double> params);
+
+} // namespace veriqc

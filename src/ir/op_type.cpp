@@ -1,0 +1,110 @@
+#include "ir/op_type.hpp"
+
+namespace veriqc {
+
+std::string toString(const OpType type) {
+  switch (type) {
+  case OpType::None:
+    return "none";
+  case OpType::I:
+    return "id";
+  case OpType::H:
+    return "h";
+  case OpType::X:
+    return "x";
+  case OpType::Y:
+    return "y";
+  case OpType::Z:
+    return "z";
+  case OpType::S:
+    return "s";
+  case OpType::Sdg:
+    return "sdg";
+  case OpType::T:
+    return "t";
+  case OpType::Tdg:
+    return "tdg";
+  case OpType::SX:
+    return "sx";
+  case OpType::SXdg:
+    return "sxdg";
+  case OpType::RX:
+    return "rx";
+  case OpType::RY:
+    return "ry";
+  case OpType::RZ:
+    return "rz";
+  case OpType::P:
+    return "p";
+  case OpType::U2:
+    return "u2";
+  case OpType::U3:
+    return "u3";
+  case OpType::SWAP:
+    return "swap";
+  case OpType::Barrier:
+    return "barrier";
+  case OpType::Measure:
+    return "measure";
+  }
+  return "unknown";
+}
+
+bool isSingleTargetType(const OpType type) noexcept {
+  switch (type) {
+  case OpType::I:
+  case OpType::H:
+  case OpType::X:
+  case OpType::Y:
+  case OpType::Z:
+  case OpType::S:
+  case OpType::Sdg:
+  case OpType::T:
+  case OpType::Tdg:
+  case OpType::SX:
+  case OpType::SXdg:
+  case OpType::RX:
+  case OpType::RY:
+  case OpType::RZ:
+  case OpType::P:
+  case OpType::U2:
+  case OpType::U3:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::size_t numParameters(const OpType type) noexcept {
+  switch (type) {
+  case OpType::RX:
+  case OpType::RY:
+  case OpType::RZ:
+  case OpType::P:
+    return 1;
+  case OpType::U2:
+    return 2;
+  case OpType::U3:
+    return 3;
+  default:
+    return 0;
+  }
+}
+
+bool isDiagonalType(const OpType type) noexcept {
+  switch (type) {
+  case OpType::I:
+  case OpType::Z:
+  case OpType::S:
+  case OpType::Sdg:
+  case OpType::T:
+  case OpType::Tdg:
+  case OpType::RZ:
+  case OpType::P:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace veriqc

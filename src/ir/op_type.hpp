@@ -1,0 +1,53 @@
+/// \file op_type.hpp
+/// \brief Enumeration of the supported quantum operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace veriqc {
+
+/// The base operation types. Controlled variants (CX, CCX, MCX, CZ, CP, ...)
+/// are expressed as the base type plus a (possibly empty) set of controls on
+/// the Operation, e.g. a Toffoli is `X` with two controls.
+enum class OpType : std::uint8_t {
+  None,
+  // --- single-qubit, parameter-free -----------------------------------
+  I,    ///< identity
+  H,    ///< Hadamard
+  X,    ///< Pauli-X
+  Y,    ///< Pauli-Y
+  Z,    ///< Pauli-Z
+  S,    ///< phase sqrt(Z)
+  Sdg,  ///< inverse of S
+  T,    ///< fourth root of Z
+  Tdg,  ///< inverse of T
+  SX,   ///< sqrt(X)
+  SXdg, ///< inverse of sqrt(X)
+  // --- single-qubit, parameterized ------------------------------------
+  RX, ///< rotation about X, params = {theta}
+  RY, ///< rotation about Y, params = {theta}
+  RZ, ///< rotation about Z, params = {theta}
+  P,  ///< phase gate diag(1, e^{i theta}), params = {theta}
+  U2, ///< u2(phi, lambda) = u3(pi/2, phi, lambda), params = {phi, lambda}
+  U3, ///< generic single-qubit gate, params = {theta, phi, lambda}
+  // --- two-target ------------------------------------------------------
+  SWAP, ///< exchange two qubits
+  // --- meta -------------------------------------------------------------
+  Barrier, ///< no-op scheduling barrier (ignored by all checkers)
+  Measure, ///< terminal measurement (ignored by all checkers)
+};
+
+/// Human-readable (and QASM-compatible where applicable) name of a type.
+[[nodiscard]] std::string toString(OpType type);
+
+/// True for single-qubit base types (one target, matrix is 2x2).
+[[nodiscard]] bool isSingleTargetType(OpType type) noexcept;
+
+/// True for types carrying the given number of parameters.
+[[nodiscard]] std::size_t numParameters(OpType type) noexcept;
+
+/// True if the gate matrix is diagonal (commutes with Z / controls).
+[[nodiscard]] bool isDiagonalType(OpType type) noexcept;
+
+} // namespace veriqc

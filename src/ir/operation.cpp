@@ -1,0 +1,161 @@
+#include "ir/operation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace veriqc {
+
+Operation::Operation(const OpType t, std::vector<Qubit> ctrls,
+                     std::vector<Qubit> tgts, std::vector<double> ps)
+    : type(t), controls(std::move(ctrls)), targets(std::move(tgts)),
+      params(std::move(ps)) {}
+
+void Operation::validate(const std::size_t nqubits) const {
+  if (type == OpType::None) {
+    throw CircuitError("Operation: type is None");
+  }
+  if (type == OpType::Barrier || type == OpType::Measure) {
+    return; // meta operations may list any qubits
+  }
+  std::set<Qubit> seen;
+  for (const auto q : usedQubits()) {
+    if (q >= nqubits) {
+      throw CircuitError("Operation " + toString() + ": qubit " +
+                         std::to_string(q) + " out of range (n=" +
+                         std::to_string(nqubits) + ")");
+    }
+    if (!seen.insert(q).second) {
+      throw CircuitError("Operation " + toString() + ": duplicate qubit " +
+                         std::to_string(q));
+    }
+  }
+  if (isSingleTargetType(type) && targets.size() != 1) {
+    throw CircuitError("Operation " + toString() +
+                       ": single-target type needs exactly one target");
+  }
+  if (type == OpType::SWAP && targets.size() != 2) {
+    throw CircuitError("Operation " + toString() +
+                       ": SWAP needs exactly two targets");
+  }
+  if (params.size() != numParameters(type)) {
+    throw CircuitError("Operation " + toString() +
+                       ": wrong number of parameters");
+  }
+}
+
+Operation Operation::inverse() const {
+  Operation inv = *this;
+  switch (type) {
+  case OpType::I:
+  case OpType::H:
+  case OpType::X:
+  case OpType::Y:
+  case OpType::Z:
+  case OpType::SWAP:
+  case OpType::Barrier:
+    break; // self-inverse
+  case OpType::S:
+    inv.type = OpType::Sdg;
+    break;
+  case OpType::Sdg:
+    inv.type = OpType::S;
+    break;
+  case OpType::T:
+    inv.type = OpType::Tdg;
+    break;
+  case OpType::Tdg:
+    inv.type = OpType::T;
+    break;
+  case OpType::SX:
+    inv.type = OpType::SXdg;
+    break;
+  case OpType::SXdg:
+    inv.type = OpType::SX;
+    break;
+  case OpType::RX:
+  case OpType::RY:
+  case OpType::RZ:
+  case OpType::P:
+    inv.params[0] = -params[0];
+    break;
+  case OpType::U2:
+    // u2(phi, lambda)^dagger = u3(-pi/2, -lambda, -phi)
+    inv.type = OpType::U3;
+    inv.params = {-PI_2, -params[1], -params[0]};
+    break;
+  case OpType::U3:
+    inv.params = {-params[0], -params[2], -params[1]};
+    break;
+  default:
+    throw CircuitError("Operation::inverse: cannot invert " + toString());
+  }
+  return inv;
+}
+
+std::vector<Qubit> Operation::usedQubits() const {
+  std::vector<Qubit> qubits = controls;
+  qubits.insert(qubits.end(), targets.begin(), targets.end());
+  return qubits;
+}
+
+bool Operation::actsOn(const Qubit q) const noexcept {
+  return std::find(controls.begin(), controls.end(), q) != controls.end() ||
+         std::find(targets.begin(), targets.end(), q) != targets.end();
+}
+
+bool Operation::isInverseOf(const Operation& other, const double tol) const {
+  const Operation inv = other.inverse();
+  if (inv.type != type || inv.targets != targets) {
+    return false;
+  }
+  // Controls are an unordered set.
+  auto c1 = controls;
+  auto c2 = inv.controls;
+  std::sort(c1.begin(), c1.end());
+  std::sort(c2.begin(), c2.end());
+  if (c1 != c2) {
+    return false;
+  }
+  if (inv.params.size() != params.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (std::abs(inv.params[i] - params[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Operation::toString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    os << 'c';
+  }
+  os << veriqc::toString(type);
+  if (!params.empty()) {
+    os << '(';
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) {
+        os << ", ";
+      }
+      os << params[i];
+    }
+    os << ')';
+  }
+  os << ' ';
+  bool first = true;
+  for (const auto q : controls) {
+    os << (first ? "" : ", ") << 'q' << q;
+    first = false;
+  }
+  for (const auto q : targets) {
+    os << (first ? "" : ", ") << 'q' << q;
+    first = false;
+  }
+  return os.str();
+}
+
+} // namespace veriqc

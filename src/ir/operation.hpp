@@ -1,0 +1,67 @@
+/// \file operation.hpp
+/// \brief A single gate application inside a quantum circuit.
+#pragma once
+
+#include "ir/op_type.hpp"
+#include "ir/types.hpp"
+
+#include <string>
+#include <vector>
+
+namespace veriqc {
+
+/// One gate application: a base type, its (positive) control qubits, its
+/// target qubit(s) and real-valued parameters.
+///
+/// Invariants (checked by validate()):
+///  * controls and targets are pairwise disjoint and duplicate-free,
+///  * single-target types have exactly one target, SWAP has exactly two,
+///  * params.size() == numParameters(type).
+struct Operation {
+  OpType type = OpType::None;
+  std::vector<Qubit> controls;
+  std::vector<Qubit> targets;
+  std::vector<double> params;
+
+  Operation() = default;
+  Operation(OpType t, std::vector<Qubit> ctrls, std::vector<Qubit> tgts,
+            std::vector<double> ps = {});
+
+  /// \throws CircuitError if any invariant is violated.
+  void validate(std::size_t nqubits) const;
+
+  /// The inverse operation (same qubits, inverted functionality).
+  [[nodiscard]] Operation inverse() const;
+
+  /// All qubits this operation acts on (controls then targets).
+  [[nodiscard]] std::vector<Qubit> usedQubits() const;
+
+  /// True if the operation touches qubit q (as control or target).
+  [[nodiscard]] bool actsOn(Qubit q) const noexcept;
+
+  /// Uncontrolled SWAP (candidate for permutation absorption).
+  [[nodiscard]] bool isBareSwap() const noexcept {
+    return type == OpType::SWAP && controls.empty();
+  }
+
+  /// True for Barrier/Measure (skipped by functional analyses).
+  [[nodiscard]] bool isNonUnitary() const noexcept {
+    return type == OpType::Barrier || type == OpType::Measure;
+  }
+
+  /// True if the whole (controlled) operation is diagonal.
+  [[nodiscard]] bool isDiagonal() const noexcept {
+    return isDiagonalType(type);
+  }
+
+  /// True if this operation is the exact inverse of `other` (same qubits and
+  /// parameters match to `tol`). Used by the optimizer's cancellation pass.
+  [[nodiscard]] bool isInverseOf(const Operation& other,
+                                 double tol = 1e-12) const;
+
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+} // namespace veriqc

@@ -1,0 +1,103 @@
+#include "ir/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace veriqc {
+
+Permutation Permutation::identity(const std::size_t n) {
+  std::vector<Qubit> map(n);
+  std::iota(map.begin(), map.end(), 0U);
+  return Permutation{std::move(map)};
+}
+
+Permutation::Permutation(std::vector<Qubit> map) : map_(std::move(map)) {
+  if (!isValid()) {
+    throw CircuitError("Permutation: map is not a bijection on {0..n-1}");
+  }
+}
+
+void Permutation::swapImages(const Qubit a, const Qubit b) {
+  std::swap(map_.at(a), map_.at(b));
+}
+
+bool Permutation::isValid() const noexcept {
+  std::vector<bool> seen(map_.size(), false);
+  for (const auto image : map_) {
+    if (image >= map_.size() || seen[image]) {
+      return false;
+    }
+    seen[image] = true;
+  }
+  return true;
+}
+
+bool Permutation::isIdentity() const noexcept {
+  for (Qubit i = 0; i < map_.size(); ++i) {
+    if (map_[i] != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Permutation Permutation::compose(const Permutation& other) const {
+  if (size() != other.size()) {
+    throw CircuitError("Permutation::compose: size mismatch");
+  }
+  std::vector<Qubit> result(size());
+  for (Qubit i = 0; i < size(); ++i) {
+    result[i] = map_[other.map_[i]];
+  }
+  return Permutation{std::move(result)};
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<Qubit> result(size());
+  for (Qubit i = 0; i < size(); ++i) {
+    result[map_[i]] = i;
+  }
+  return Permutation{std::move(result)};
+}
+
+void Permutation::extend(const std::size_t n) {
+  for (std::size_t i = map_.size(); i < n; ++i) {
+    map_.push_back(static_cast<Qubit>(i));
+  }
+}
+
+std::vector<std::pair<Qubit, Qubit>> Permutation::transpositions() const {
+  // Selection-sort style: repeatedly place the correct image at position i.
+  std::vector<std::pair<Qubit, Qubit>> swaps;
+  auto current = Permutation::identity(size());
+  for (Qubit i = 0; i < size(); ++i) {
+    if (current.map_[i] == map_[i]) {
+      continue;
+    }
+    // Find position j > i currently holding the desired image.
+    for (Qubit j = i + 1; j < size(); ++j) {
+      if (current.map_[j] == map_[i]) {
+        current.swapImages(i, j);
+        swaps.emplace_back(i, j);
+        break;
+      }
+    }
+  }
+  return swaps;
+}
+
+std::string Permutation::toString() const {
+  std::ostringstream os;
+  os << "[";
+  for (Qubit i = 0; i < size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << i << "->" << map_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+} // namespace veriqc

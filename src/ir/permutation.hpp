@@ -1,0 +1,80 @@
+/// \file permutation.hpp
+/// \brief Qubit permutations used for initial layouts and output permutations.
+#pragma once
+
+#include "ir/types.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace veriqc {
+
+/// A bijection on {0, ..., n-1}.
+///
+/// In circuit context a permutation maps a *wire* index (the index operations
+/// in the gate list act on; the "physical" qubit after compilation) to a
+/// *logical* qubit index. A circuit's `initialLayout` states which logical
+/// qubit each wire holds at the beginning of the circuit; its
+/// `outputPermutation` states which logical qubit each wire holds at the end
+/// (they differ when SWAP gates were saved during compilation).
+class Permutation {
+public:
+  Permutation() = default;
+
+  /// Identity permutation on n elements.
+  static Permutation identity(std::size_t n);
+
+  /// Construct from an explicit image vector: `map[i]` is the image of i.
+  /// \throws CircuitError if `map` is not a bijection.
+  explicit Permutation(std::vector<Qubit> map);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+
+  /// Image of element i.
+  [[nodiscard]] Qubit operator[](Qubit i) const { return map_.at(i); }
+
+  /// Image of element i (alias for operator[]).
+  [[nodiscard]] Qubit apply(Qubit i) const { return map_.at(i); }
+
+  /// Set the image of element i. The caller is responsible for keeping the
+  /// map a bijection; validity can be re-checked with isValid().
+  void set(Qubit i, Qubit image) { map_.at(i) = image; }
+
+  /// Swap the images of elements a and b (used to absorb SWAP gates).
+  void swapImages(Qubit a, Qubit b);
+
+  /// True if the stored map is a bijection on {0..n-1}.
+  [[nodiscard]] bool isValid() const noexcept;
+
+  /// True if this is the identity permutation.
+  [[nodiscard]] bool isIdentity() const noexcept;
+
+  /// Functional composition: (this ∘ other)(i) = this(other(i)).
+  /// \throws CircuitError on size mismatch.
+  [[nodiscard]] Permutation compose(const Permutation& other) const;
+
+  /// The inverse bijection.
+  [[nodiscard]] Permutation inverse() const;
+
+  /// Extend the permutation with fixed points up to size n.
+  void extend(std::size_t n);
+
+  /// Decompose into a sequence of transpositions (a,b) such that applying the
+  /// swaps in order to the identity (identity.swapImages(a, b) for each pair,
+  /// in order) yields this permutation. Used to materialize a permutation as
+  /// a SWAP-gate network.
+  [[nodiscard]] std::vector<std::pair<Qubit, Qubit>> transpositions() const;
+
+  [[nodiscard]] const std::vector<Qubit>& raw() const noexcept { return map_; }
+
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const Permutation&, const Permutation&) = default;
+
+private:
+  std::vector<Qubit> map_;
+};
+
+} // namespace veriqc

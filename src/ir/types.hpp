@@ -1,0 +1,27 @@
+/// \file types.hpp
+/// \brief Fundamental types shared across the veriqc library.
+#pragma once
+
+#include <cstdint>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace veriqc {
+
+/// Index of a qubit (a circuit wire). Wires are numbered 0..n-1 where wire 0
+/// is the least-significant bit of basis-state indices |x_{n-1} ... x_0>.
+using Qubit = std::uint32_t;
+
+/// Number of π in common angles.
+inline constexpr double PI = std::numbers::pi_v<double>;
+inline constexpr double PI_2 = PI / 2.0;
+inline constexpr double PI_4 = PI / 4.0;
+
+/// Error raised for malformed circuits, operations or permutations.
+class CircuitError : public std::runtime_error {
+public:
+  explicit CircuitError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+} // namespace veriqc

@@ -1,0 +1,39 @@
+/// \file optimizer.hpp
+/// \brief Circuit optimization passes.
+///
+/// These produce the "Optimized Circuits" use case of the paper (an original
+/// circuit and an equivalent, structurally different optimized version), and
+/// `reconstructSwaps` is the pass the DD-based checker uses to turn
+/// compiler-emitted CNOT triples back into SWAPs it can absorb into its
+/// permutation tracker (Sec. 4.1).
+#pragma once
+
+#include "ir/circuit.hpp"
+
+#include <cstddef>
+
+namespace veriqc::opt {
+
+/// Remove identity gates, zero-angle rotations and (optionally) barriers.
+std::size_t removeIdentities(QuantumCircuit& circuit,
+                             bool dropBarriers = false);
+
+/// Cancel gate pairs G, G^-1 that are adjacent on all their qubits.
+std::size_t cancelInversePairs(QuantumCircuit& circuit);
+
+/// Merge adjacent same-axis rotations (RZ/RX/RY/P with identical controls).
+std::size_t mergeRotations(QuantumCircuit& circuit);
+
+/// Fuse maximal runs of uncontrolled single-qubit gates into one U3 gate
+/// (tracking the global phase exactly).
+std::size_t fuseSingleQubitGates(QuantumCircuit& circuit);
+
+/// Replace CX(a,b) CX(b,a) CX(a,b) triples (adjacent on both wires) by a
+/// SWAP operation.
+std::size_t reconstructSwaps(QuantumCircuit& circuit);
+
+/// The full optimization pipeline, iterated to a fixpoint: identity removal,
+/// inverse-pair cancellation, rotation merging and single-qubit fusion.
+[[nodiscard]] QuantumCircuit optimize(const QuantumCircuit& circuit);
+
+} // namespace veriqc::opt

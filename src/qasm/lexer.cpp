@@ -1,0 +1,180 @@
+#include "qasm/lexer.hpp"
+
+#include <cctype>
+
+namespace veriqc::qasm {
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  std::size_t lineStart = 0;
+
+  const auto column = [&]() { return pos - lineStart + 1; };
+  const auto push = [&](TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column();
+    tokens.push_back(std::move(t));
+  };
+
+  while (pos < source.size()) {
+    const char c = source[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      lineStart = pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++pos;
+      continue;
+    }
+    if (c == '/' && pos + 1 < source.size() && source[pos + 1] == '/') {
+      while (pos < source.size() && source[pos] != '\n') {
+        ++pos;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::size_t start = pos;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[pos])) != 0 ||
+              source[pos] == '_')) {
+        ++pos;
+      }
+      Token t;
+      t.kind = TokenKind::Identifier;
+      t.text = source.substr(start, pos - start);
+      t.line = line;
+      t.column = start - lineStart + 1;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && pos + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[pos + 1])) != 0)) {
+      const std::size_t start = pos;
+      bool isReal = false;
+      while (pos < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[pos])) != 0) {
+        ++pos;
+      }
+      if (pos < source.size() && source[pos] == '.') {
+        isReal = true;
+        ++pos;
+        while (pos < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[pos])) != 0) {
+          ++pos;
+        }
+      }
+      if (pos < source.size() && (source[pos] == 'e' || source[pos] == 'E')) {
+        isReal = true;
+        ++pos;
+        if (pos < source.size() && (source[pos] == '+' || source[pos] == '-')) {
+          ++pos;
+        }
+        while (pos < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[pos])) != 0) {
+          ++pos;
+        }
+      }
+      Token t;
+      t.text = source.substr(start, pos - start);
+      t.line = line;
+      t.column = start - lineStart + 1;
+      if (isReal) {
+        t.kind = TokenKind::Real;
+        t.realValue = std::stod(t.text);
+      } else {
+        t.kind = TokenKind::Integer;
+        t.intValue = std::stoll(t.text);
+        t.realValue = static_cast<double>(t.intValue);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t start = ++pos;
+      while (pos < source.size() && source[pos] != '"') {
+        ++pos;
+      }
+      if (pos >= source.size()) {
+        throw ParseError("unterminated string", line, column());
+      }
+      Token t;
+      t.kind = TokenKind::String;
+      t.text = source.substr(start, pos - start);
+      t.line = line;
+      t.column = start - lineStart;
+      tokens.push_back(std::move(t));
+      ++pos;
+      continue;
+    }
+    if (c == '-' && pos + 1 < source.size() && source[pos + 1] == '>') {
+      push(TokenKind::Arrow, "->");
+      pos += 2;
+      continue;
+    }
+    if (c == '=' && pos + 1 < source.size() && source[pos + 1] == '=') {
+      push(TokenKind::Equals, "==");
+      pos += 2;
+      continue;
+    }
+    switch (c) {
+    case '{':
+      push(TokenKind::LBrace, "{");
+      break;
+    case '}':
+      push(TokenKind::RBrace, "}");
+      break;
+    case '(':
+      push(TokenKind::LParen, "(");
+      break;
+    case ')':
+      push(TokenKind::RParen, ")");
+      break;
+    case '[':
+      push(TokenKind::LBracket, "[");
+      break;
+    case ']':
+      push(TokenKind::RBracket, "]");
+      break;
+    case ';':
+      push(TokenKind::Semicolon, ";");
+      break;
+    case ',':
+      push(TokenKind::Comma, ",");
+      break;
+    case '+':
+      push(TokenKind::Plus, "+");
+      break;
+    case '-':
+      push(TokenKind::Minus, "-");
+      break;
+    case '*':
+      push(TokenKind::Star, "*");
+      break;
+    case '/':
+      push(TokenKind::Slash, "/");
+      break;
+    case '^':
+      push(TokenKind::Caret, "^");
+      break;
+    default:
+      throw ParseError(std::string("unexpected character '") + c + "'", line,
+                       column());
+    }
+    ++pos;
+  }
+  Token eof;
+  eof.kind = TokenKind::EndOfFile;
+  eof.line = line;
+  eof.column = column();
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+} // namespace veriqc::qasm

@@ -1,0 +1,64 @@
+/// \file lexer.hpp
+/// \brief Tokenizer for OpenQASM 2.0.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace veriqc::qasm {
+
+/// Error with source position raised by the lexer/parser.
+class ParseError : public std::runtime_error {
+public:
+  ParseError(const std::string& msg, std::size_t line, std::size_t column)
+      : std::runtime_error("QASM parse error at " + std::to_string(line) +
+                           ":" + std::to_string(column) + ": " + msg),
+        line_(line), column_(column) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+enum class TokenKind {
+  Identifier,
+  Real,       ///< floating literal
+  Integer,    ///< integer literal
+  String,     ///< quoted string (include filenames)
+  LBrace,     ///< {
+  RBrace,     ///< }
+  LParen,     ///< (
+  RParen,     ///< )
+  LBracket,   ///< [
+  RBracket,   ///< ]
+  Semicolon,  ///< ;
+  Comma,      ///< ,
+  Arrow,      ///< ->
+  Equals,     ///< ==
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Caret,
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;
+  double realValue = 0.0;
+  long long intValue = 0;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// Tokenize a complete OpenQASM 2.0 source. Comments (`// ...`) are skipped.
+/// \throws ParseError on unexpected characters.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+} // namespace veriqc::qasm

@@ -1,0 +1,644 @@
+#include "qasm/parser.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace veriqc::qasm {
+
+namespace {
+
+// --- expression trees -------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { Number, Param, Add, Sub, Mul, Div, Pow, Neg, Func };
+  Kind kind = Kind::Number;
+  double value = 0.0;
+  std::string name; // parameter or function name
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+using Env = std::map<std::string, double>;
+
+double evaluate(const Expr& e, const Env& env) {
+  switch (e.kind) {
+  case Expr::Kind::Number:
+    return e.value;
+  case Expr::Kind::Param: {
+    const auto it = env.find(e.name);
+    if (it == env.end()) {
+      throw CircuitError("QASM: unbound parameter '" + e.name + "'");
+    }
+    return it->second;
+  }
+  case Expr::Kind::Add:
+    return evaluate(*e.lhs, env) + evaluate(*e.rhs, env);
+  case Expr::Kind::Sub:
+    return evaluate(*e.lhs, env) - evaluate(*e.rhs, env);
+  case Expr::Kind::Mul:
+    return evaluate(*e.lhs, env) * evaluate(*e.rhs, env);
+  case Expr::Kind::Div:
+    return evaluate(*e.lhs, env) / evaluate(*e.rhs, env);
+  case Expr::Kind::Pow:
+    return std::pow(evaluate(*e.lhs, env), evaluate(*e.rhs, env));
+  case Expr::Kind::Neg:
+    return -evaluate(*e.lhs, env);
+  case Expr::Kind::Func: {
+    const double arg = evaluate(*e.lhs, env);
+    if (e.name == "sin") {
+      return std::sin(arg);
+    }
+    if (e.name == "cos") {
+      return std::cos(arg);
+    }
+    if (e.name == "tan") {
+      return std::tan(arg);
+    }
+    if (e.name == "exp") {
+      return std::exp(arg);
+    }
+    if (e.name == "ln") {
+      return std::log(arg);
+    }
+    if (e.name == "sqrt") {
+      return std::sqrt(arg);
+    }
+    throw CircuitError("QASM: unknown function '" + e.name + "'");
+  }
+  }
+  throw CircuitError("QASM: malformed expression");
+}
+
+// --- gate database -----------------------------------------------------------
+
+/// A reference to a qubit inside a statement: either a register element or a
+/// whole register (for broadcasting), or a gate-body formal argument.
+struct QubitRef {
+  std::string reg;
+  long long index = -1; ///< -1 means "whole register" / formal argument
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+struct GateCall {
+  std::string name;
+  std::vector<ExprPtr> params;
+  std::vector<QubitRef> qubits;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+struct GateDef {
+  std::vector<std::string> paramNames;
+  std::vector<std::string> qubitNames;
+  std::vector<GateCall> body;
+};
+
+struct Builtin {
+  std::size_t numParams = 0;
+  std::size_t numQubits = 0;
+  std::function<void(QuantumCircuit&, const std::vector<double>&,
+                     const std::vector<Qubit>&)>
+      emit;
+};
+
+const std::map<std::string, Builtin>& builtinGates() {
+  using P = const std::vector<double>&;
+  using Q = const std::vector<Qubit>&;
+  static const std::map<std::string, Builtin> table = [] {
+    std::map<std::string, Builtin> m;
+    const auto simple = [&m](const std::string& name, OpType type) {
+      m[name] = {0, 1, [type](QuantumCircuit& c, P, Q q) {
+                   c.append(Operation(type, {}, {q[0]}));
+                 }};
+    };
+    simple("id", OpType::I);
+    simple("h", OpType::H);
+    simple("x", OpType::X);
+    simple("y", OpType::Y);
+    simple("z", OpType::Z);
+    simple("s", OpType::S);
+    simple("sdg", OpType::Sdg);
+    simple("t", OpType::T);
+    simple("tdg", OpType::Tdg);
+    simple("sx", OpType::SX);
+    simple("sxdg", OpType::SXdg);
+    const auto rot = [&m](const std::string& name, OpType type) {
+      m[name] = {1, 1, [type](QuantumCircuit& c, P p, Q q) {
+                   c.append(Operation(type, {}, {q[0]}, {p[0]}));
+                 }};
+    };
+    rot("rx", OpType::RX);
+    rot("ry", OpType::RY);
+    rot("rz", OpType::RZ);
+    rot("p", OpType::P);
+    rot("u1", OpType::P);
+    m["u2"] = {2, 1, [](QuantumCircuit& c, P p, Q q) {
+                 c.u2(q[0], p[0], p[1]);
+               }};
+    const auto u3like = [](QuantumCircuit& c, P p, Q q) {
+      c.u3(q[0], p[0], p[1], p[2]);
+    };
+    m["u3"] = {3, 1, u3like};
+    m["u"] = {3, 1, u3like};
+    m["U"] = {3, 1, u3like};
+    const auto controlled = [&m](const std::string& name, OpType type) {
+      m[name] = {0, 2, [type](QuantumCircuit& c, P, Q q) {
+                   c.append(Operation(type, {q[0]}, {q[1]}));
+                 }};
+    };
+    controlled("cx", OpType::X);
+    controlled("CX", OpType::X);
+    controlled("cy", OpType::Y);
+    controlled("cz", OpType::Z);
+    controlled("ch", OpType::H);
+    const auto crot = [&m](const std::string& name, OpType type) {
+      m[name] = {1, 2, [type](QuantumCircuit& c, P p, Q q) {
+                   c.append(Operation(type, {q[0]}, {q[1]}, {p[0]}));
+                 }};
+    };
+    crot("crx", OpType::RX);
+    crot("cry", OpType::RY);
+    crot("crz", OpType::RZ);
+    crot("cp", OpType::P);
+    crot("cu1", OpType::P);
+    m["swap"] = {0, 2, [](QuantumCircuit& c, P, Q q) { c.swap(q[0], q[1]); }};
+    m["ccx"] = {0, 3,
+                [](QuantumCircuit& c, P, Q q) { c.ccx(q[0], q[1], q[2]); }};
+    m["ccz"] = {0, 3, [](QuantumCircuit& c, P, Q q) {
+                  c.mcz({q[0], q[1]}, q[2]);
+                }};
+    m["cswap"] = {0, 3, [](QuantumCircuit& c, P, Q q) {
+                    c.cswap(q[0], q[1], q[2]);
+                  }};
+    m["c3x"] = {0, 4, [](QuantumCircuit& c, P, Q q) {
+                  c.mcx({q[0], q[1], q[2]}, q[3]);
+                }};
+    m["c4x"] = {0, 5, [](QuantumCircuit& c, P, Q q) {
+                  c.mcx({q[0], q[1], q[2], q[3]}, q[4]);
+                }};
+    return m;
+  }();
+  return table;
+}
+
+// --- the parser ----------------------------------------------------------------
+
+class Parser {
+public:
+  explicit Parser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  QuantumCircuit run(const std::string& name) {
+    parseHeader();
+    while (peek().kind != TokenKind::EndOfFile) {
+      parseStatement();
+    }
+    QuantumCircuit circuit(totalQubits_, name);
+    for (auto& emit : pending_) {
+      emit(circuit);
+    }
+    return circuit;
+  }
+
+private:
+  // --- token helpers
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    return tokens_[std::min(pos_ + ahead, tokens_.size() - 1)];
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, peek().line, peek().column);
+  }
+  const Token& expect(const TokenKind kind, const std::string& what) {
+    if (peek().kind != kind) {
+      fail("expected " + what + ", got '" + peek().text + "'");
+    }
+    return advance();
+  }
+  bool accept(const TokenKind kind) {
+    if (peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool acceptIdent(const std::string& text) {
+    if (peek().kind == TokenKind::Identifier && peek().text == text) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // --- grammar
+  void parseHeader() {
+    if (acceptIdent("OPENQASM")) {
+      // version number (e.g. 2.0)
+      if (peek().kind != TokenKind::Real && peek().kind != TokenKind::Integer) {
+        fail("expected version number after OPENQASM");
+      }
+      advance();
+      expect(TokenKind::Semicolon, "';'");
+    }
+  }
+
+  void parseStatement() {
+    const Token& tok = peek();
+    if (tok.kind != TokenKind::Identifier) {
+      fail("expected statement");
+    }
+    if (acceptIdent("include")) {
+      expect(TokenKind::String, "include filename");
+      expect(TokenKind::Semicolon, "';'");
+      return; // qelib1 is built in; other includes carry no new gates here
+    }
+    if (acceptIdent("qreg")) {
+      parseRegister(/*quantum=*/true);
+      return;
+    }
+    if (acceptIdent("creg")) {
+      parseRegister(/*quantum=*/false);
+      return;
+    }
+    if (acceptIdent("gate")) {
+      parseGateDefinition();
+      return;
+    }
+    if (acceptIdent("opaque")) {
+      while (peek().kind != TokenKind::Semicolon &&
+             peek().kind != TokenKind::EndOfFile) {
+        advance();
+      }
+      expect(TokenKind::Semicolon, "';'");
+      return;
+    }
+    if (acceptIdent("barrier")) {
+      parseQubitList();
+      expect(TokenKind::Semicolon, "';'");
+      pending_.emplace_back([](QuantumCircuit& c) { c.barrier(); });
+      return;
+    }
+    if (acceptIdent("measure")) {
+      parseMeasure();
+      return;
+    }
+    if (tok.text == "reset" || tok.text == "if") {
+      fail("'" + tok.text + "' is not supported (unitary circuits only)");
+    }
+    parseGateApplication();
+  }
+
+  void parseRegister(const bool quantum) {
+    const auto name = expect(TokenKind::Identifier, "register name").text;
+    expect(TokenKind::LBracket, "'['");
+    const auto size = expect(TokenKind::Integer, "register size").intValue;
+    expect(TokenKind::RBracket, "']'");
+    expect(TokenKind::Semicolon, "';'");
+    if (size <= 0) {
+      fail("register size must be positive");
+    }
+    if (quantum) {
+      if (qregs_.contains(name)) {
+        fail("duplicate qreg '" + name + "'");
+      }
+      qregs_[name] = {totalQubits_, static_cast<std::size_t>(size)};
+      totalQubits_ += static_cast<std::size_t>(size);
+    } else {
+      cregs_[name] = static_cast<std::size_t>(size);
+    }
+  }
+
+  void parseGateDefinition() {
+    const auto name = expect(TokenKind::Identifier, "gate name").text;
+    GateDef def;
+    if (accept(TokenKind::LParen)) {
+      if (peek().kind != TokenKind::RParen) {
+        do {
+          def.paramNames.push_back(
+              expect(TokenKind::Identifier, "parameter name").text);
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "')'");
+    }
+    do {
+      def.qubitNames.push_back(
+          expect(TokenKind::Identifier, "qubit argument").text);
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      if (acceptIdent("barrier")) {
+        parseQubitList();
+        expect(TokenKind::Semicolon, "';'");
+        continue;
+      }
+      def.body.push_back(parseGateCall());
+    }
+    userGates_[name] = std::move(def);
+  }
+
+  GateCall parseGateCall() {
+    GateCall call;
+    const Token& nameTok = expect(TokenKind::Identifier, "gate name");
+    call.name = nameTok.text;
+    call.line = nameTok.line;
+    call.column = nameTok.column;
+    if (accept(TokenKind::LParen)) {
+      if (peek().kind != TokenKind::RParen) {
+        do {
+          call.params.push_back(parseExpression());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "')'");
+    }
+    call.qubits = parseQubitList();
+    expect(TokenKind::Semicolon, "';'");
+    return call;
+  }
+
+  std::vector<QubitRef> parseQubitList() {
+    std::vector<QubitRef> refs;
+    do {
+      QubitRef ref;
+      const Token& tok = expect(TokenKind::Identifier, "qubit");
+      ref.reg = tok.text;
+      ref.line = tok.line;
+      ref.column = tok.column;
+      if (accept(TokenKind::LBracket)) {
+        ref.index = expect(TokenKind::Integer, "qubit index").intValue;
+        expect(TokenKind::RBracket, "']'");
+      }
+      refs.push_back(std::move(ref));
+    } while (accept(TokenKind::Comma));
+    return refs;
+  }
+
+  void parseMeasure() {
+    // measure q[i] -> c[j];  or  measure q -> c;
+    const Token& tok = expect(TokenKind::Identifier, "quantum register");
+    QubitRef src;
+    src.reg = tok.text;
+    if (accept(TokenKind::LBracket)) {
+      src.index = expect(TokenKind::Integer, "index").intValue;
+      expect(TokenKind::RBracket, "']'");
+    }
+    expect(TokenKind::Arrow, "'->'");
+    expect(TokenKind::Identifier, "classical register");
+    if (accept(TokenKind::LBracket)) {
+      expect(TokenKind::Integer, "index");
+      expect(TokenKind::RBracket, "']'");
+    }
+    expect(TokenKind::Semicolon, "';'");
+    const auto qubits = resolve(src);
+    pending_.emplace_back([qubits](QuantumCircuit& c) {
+      for (const auto q : qubits) {
+        c.append(Operation(OpType::Measure, {}, {q}));
+      }
+    });
+  }
+
+  void parseGateApplication() {
+    const GateCall call = parseGateCall();
+    // Resolve broadcasting: any whole-register argument defines the width.
+    std::size_t width = 1;
+    for (const auto& ref : call.qubits) {
+      if (ref.index < 0) {
+        const auto it = qregs_.find(ref.reg);
+        if (it == qregs_.end()) {
+          throw ParseError("unknown qreg '" + ref.reg + "'", ref.line,
+                           ref.column);
+        }
+        if (width != 1 && it->second.second != width) {
+          throw ParseError("broadcast width mismatch", ref.line, ref.column);
+        }
+        width = it->second.second;
+      }
+    }
+    std::vector<double> params;
+    params.reserve(call.params.size());
+    for (const auto& expr : call.params) {
+      params.push_back(evaluate(*expr, {}));
+    }
+    for (std::size_t rep = 0; rep < width; ++rep) {
+      std::vector<Qubit> qubits;
+      qubits.reserve(call.qubits.size());
+      for (const auto& ref : call.qubits) {
+        const auto resolved = resolve(ref);
+        qubits.push_back(ref.index < 0 ? resolved[rep] : resolved[0]);
+      }
+      const auto line = call.line;
+      const auto column = call.column;
+      const auto name = call.name;
+      pending_.emplace_back([this, name, params, qubits, line,
+                             column](QuantumCircuit& c) {
+        applyGate(c, name, params, qubits, line, column, 0);
+      });
+    }
+  }
+
+  std::vector<Qubit> resolve(const QubitRef& ref) const {
+    const auto it = qregs_.find(ref.reg);
+    if (it == qregs_.end()) {
+      throw ParseError("unknown qreg '" + ref.reg + "'", ref.line, ref.column);
+    }
+    const auto [offset, size] = it->second;
+    if (ref.index < 0) {
+      std::vector<Qubit> all(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        all[i] = static_cast<Qubit>(offset + i);
+      }
+      return all;
+    }
+    if (static_cast<std::size_t>(ref.index) >= size) {
+      throw ParseError("qubit index out of range for '" + ref.reg + "'",
+                       ref.line, ref.column);
+    }
+    return {static_cast<Qubit>(offset + static_cast<std::size_t>(ref.index))};
+  }
+
+  void applyGate(QuantumCircuit& circuit, const std::string& name,
+                 const std::vector<double>& params,
+                 const std::vector<Qubit>& qubits, const std::size_t line,
+                 const std::size_t column, const int depth) {
+    if (depth > 64) {
+      throw ParseError("gate expansion too deep (recursive definition?)",
+                       line, column);
+    }
+    const auto& builtins = builtinGates();
+    if (const auto it = builtins.find(name); it != builtins.end()) {
+      const auto& builtin = it->second;
+      if (params.size() != builtin.numParams ||
+          qubits.size() != builtin.numQubits) {
+        throw ParseError("wrong arity for gate '" + name + "'", line, column);
+      }
+      builtin.emit(circuit, params, qubits);
+      return;
+    }
+    const auto defIt = userGates_.find(name);
+    if (defIt == userGates_.end()) {
+      throw ParseError("unknown gate '" + name + "'", line, column);
+    }
+    const auto& def = defIt->second;
+    if (params.size() != def.paramNames.size() ||
+        qubits.size() != def.qubitNames.size()) {
+      throw ParseError("wrong arity for gate '" + name + "'", line, column);
+    }
+    Env env;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      env[def.paramNames[i]] = params[i];
+    }
+    std::map<std::string, Qubit> qubitEnv;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+      qubitEnv[def.qubitNames[i]] = qubits[i];
+    }
+    for (const auto& call : def.body) {
+      std::vector<double> subParams;
+      subParams.reserve(call.params.size());
+      for (const auto& expr : call.params) {
+        subParams.push_back(evaluate(*expr, env));
+      }
+      std::vector<Qubit> subQubits;
+      subQubits.reserve(call.qubits.size());
+      for (const auto& ref : call.qubits) {
+        const auto it = qubitEnv.find(ref.reg);
+        if (it == qubitEnv.end() || ref.index >= 0) {
+          throw ParseError("unknown qubit '" + ref.reg + "' in gate body",
+                           ref.line, ref.column);
+        }
+        subQubits.push_back(it->second);
+      }
+      applyGate(circuit, call.name, subParams, subQubits, call.line,
+                call.column, depth + 1);
+    }
+  }
+
+  // --- expressions (precedence climbing)
+  ExprPtr parseExpression() { return parseAdditive(); }
+
+  ExprPtr parseAdditive() {
+    auto lhs = parseMultiplicative();
+    while (true) {
+      if (accept(TokenKind::Plus)) {
+        lhs = binary(Expr::Kind::Add, lhs, parseMultiplicative());
+      } else if (accept(TokenKind::Minus)) {
+        lhs = binary(Expr::Kind::Sub, lhs, parseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    auto lhs = parseUnary();
+    while (true) {
+      if (accept(TokenKind::Star)) {
+        lhs = binary(Expr::Kind::Mul, lhs, parseUnary());
+      } else if (accept(TokenKind::Slash)) {
+        lhs = binary(Expr::Kind::Div, lhs, parseUnary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (accept(TokenKind::Minus)) {
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::Neg;
+      e->lhs = parseUnary();
+      return e;
+    }
+    accept(TokenKind::Plus);
+    return parsePower();
+  }
+
+  ExprPtr parsePower() {
+    auto base = parsePrimary();
+    if (accept(TokenKind::Caret)) {
+      return binary(Expr::Kind::Pow, base, parseUnary()); // right-assoc
+    }
+    return base;
+  }
+
+  ExprPtr parsePrimary() {
+    const Token& tok = peek();
+    if (tok.kind == TokenKind::Real || tok.kind == TokenKind::Integer) {
+      advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::Number;
+      e->value = tok.realValue;
+      return e;
+    }
+    if (tok.kind == TokenKind::LParen) {
+      advance();
+      auto inner = parseExpression();
+      expect(TokenKind::RParen, "')'");
+      return inner;
+    }
+    if (tok.kind == TokenKind::Identifier) {
+      advance();
+      if (tok.text == "pi") {
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::Number;
+        e->value = PI;
+        return e;
+      }
+      if (peek().kind == TokenKind::LParen) {
+        advance();
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::Func;
+        e->name = tok.text;
+        e->lhs = parseExpression();
+        expect(TokenKind::RParen, "')'");
+        return e;
+      }
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::Param;
+      e->name = tok.text;
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  static ExprPtr binary(const Expr::Kind kind, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::pair<std::size_t, std::size_t>> qregs_;
+  std::map<std::string, std::size_t> cregs_;
+  std::map<std::string, GateDef> userGates_;
+  std::size_t totalQubits_ = 0;
+  std::vector<std::function<void(QuantumCircuit&)>> pending_;
+};
+
+} // namespace
+
+QuantumCircuit parse(const std::string& source, const std::string& name) {
+  Parser parser(source);
+  return parser.run(name);
+}
+
+QuantumCircuit parseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open QASM file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), std::filesystem::path(path).stem().string());
+}
+
+} // namespace veriqc::qasm

@@ -1,0 +1,29 @@
+/// \file parser.hpp
+/// \brief OpenQASM 2.0 parser producing a QuantumCircuit.
+///
+/// Supported: the OPENQASM 2.0 header, includes (the qelib1.inc standard
+/// library is built in), qreg/creg declarations, the full qelib1 gate set
+/// plus c3x/c4x, user-defined `gate` blocks (recursively expanded at call
+/// sites with parameter substitution), expression parameters (+ - * / ^,
+/// pi, sin/cos/tan/exp/ln/sqrt), register broadcasting, barrier and
+/// terminal measurements. `reset` and `if` are rejected (the equivalence
+/// checkers handle unitary circuits).
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "qasm/lexer.hpp"
+
+#include <string>
+
+namespace veriqc::qasm {
+
+/// Parse OpenQASM 2.0 source text.
+/// \throws ParseError on syntax errors or unsupported constructs.
+[[nodiscard]] QuantumCircuit parse(const std::string& source,
+                                   const std::string& name = "");
+
+/// Parse an OpenQASM 2.0 file.
+/// \throws std::runtime_error if the file cannot be read.
+[[nodiscard]] QuantumCircuit parseFile(const std::string& path);
+
+} // namespace veriqc::qasm

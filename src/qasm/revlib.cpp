@@ -1,0 +1,185 @@
+#include "qasm/revlib.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace veriqc::qasm {
+
+namespace {
+
+struct Line {
+  std::vector<std::string> tokens;
+  std::size_t number = 0;
+};
+
+std::vector<Line> splitLines(const std::string& source) {
+  std::vector<Line> lines;
+  std::istringstream stream(source);
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream lineStream(raw);
+    Line line;
+    line.number = number;
+    std::string token;
+    while (lineStream >> token) {
+      line.tokens.push_back(token);
+    }
+    if (!line.tokens.empty()) {
+      lines.push_back(std::move(line));
+    }
+  }
+  return lines;
+}
+
+} // namespace
+
+QuantumCircuit parseReal(const std::string& source, const std::string& name) {
+  const auto lines = splitLines(source);
+  std::size_t numvars = 0;
+  std::map<std::string, Qubit> variables;
+  QuantumCircuit circuit;
+  bool inBody = false;
+  bool sized = false;
+
+  const auto ensureCircuit = [&](const std::size_t lineNo) {
+    if (sized) {
+      return;
+    }
+    if (numvars == 0) {
+      throw ParseError(".numvars missing or zero", lineNo, 1);
+    }
+    circuit = QuantumCircuit(numvars, name);
+    sized = true;
+  };
+
+  const auto resolve = [&](std::string token,
+                           const std::size_t lineNo) -> std::pair<Qubit, bool> {
+    bool negative = false;
+    if (!token.empty() && token.front() == '-') {
+      negative = true;
+      token.erase(0, 1);
+    }
+    const auto it = variables.find(token);
+    if (it != variables.end()) {
+      return {it->second, negative};
+    }
+    // Files without a .variables line use x0, x1, ... implicitly.
+    if (token.size() > 1 && (token[0] == 'x' || token[0] == 'b')) {
+      try {
+        const auto index = static_cast<Qubit>(std::stoul(token.substr(1)));
+        if (index < numvars) {
+          return {index, negative};
+        }
+      } catch (const std::exception&) {
+        // fall through to the error below
+      }
+    }
+    throw ParseError("unknown variable '" + token + "'", lineNo, 1);
+  };
+
+  for (const auto& line : lines) {
+    const auto& head = line.tokens.front();
+    if (head[0] == '.') {
+      if (head == ".numvars") {
+        if (line.tokens.size() != 2) {
+          throw ParseError(".numvars needs one argument", line.number, 1);
+        }
+        numvars = std::stoul(line.tokens[1]);
+      } else if (head == ".variables") {
+        for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+          variables[line.tokens[i]] = static_cast<Qubit>(i - 1);
+        }
+      } else if (head == ".begin") {
+        ensureCircuit(line.number);
+        inBody = true;
+      } else if (head == ".end") {
+        inBody = false;
+      }
+      // .inputs/.outputs/.constants/.garbage/.version and unknown
+      // directives carry no circuit semantics here.
+      continue;
+    }
+    if (!inBody) {
+      ensureCircuit(line.number);
+      inBody = true; // files may omit .begin
+    } else {
+      ensureCircuit(line.number);
+    }
+
+    // Gate line: mnemonic followed by variable names.
+    const auto& mnemonic = head;
+    std::vector<Qubit> qubits;
+    std::vector<Qubit> negated;
+    for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+      const auto [q, negative] = resolve(line.tokens[i], line.number);
+      qubits.push_back(q);
+      if (negative && i + 1 < line.tokens.size()) {
+        negated.push_back(q); // only controls may be negated
+      } else if (negative) {
+        throw ParseError("target cannot be negated", line.number, 1);
+      }
+    }
+    if (qubits.empty()) {
+      throw ParseError("gate without operands", line.number, 1);
+    }
+    // Negative controls via X conjugation.
+    for (const auto q : negated) {
+      circuit.x(q);
+    }
+    const char kind = mnemonic[0];
+    if (kind == 't') {
+      const Qubit target = qubits.back();
+      qubits.pop_back();
+      circuit.mcx(qubits, target);
+    } else if (kind == 'f') {
+      if (qubits.size() < 2) {
+        throw ParseError("Fredkin needs two targets", line.number, 1);
+      }
+      const Qubit b = qubits.back();
+      qubits.pop_back();
+      const Qubit a = qubits.back();
+      qubits.pop_back();
+      circuit.append(Operation(OpType::SWAP, qubits, {a, b}));
+    } else if (kind == 'p') {
+      if (qubits.size() != 3) {
+        throw ParseError("Peres gate needs three operands", line.number, 1);
+      }
+      circuit.ccx(qubits[0], qubits[1], qubits[2]);
+      circuit.cx(qubits[0], qubits[1]);
+    } else if (kind == 'v') {
+      const bool dagger = mnemonic.size() > 1 && mnemonic[1] == '+';
+      const Qubit target = qubits.back();
+      qubits.pop_back();
+      circuit.append(Operation(dagger ? OpType::SXdg : OpType::SX, qubits,
+                               {target}));
+    } else {
+      throw ParseError("unsupported gate '" + mnemonic + "'", line.number, 1);
+    }
+    for (const auto q : negated) {
+      circuit.x(q);
+    }
+  }
+  ensureCircuit(lines.empty() ? 0 : lines.back().number);
+  return circuit;
+}
+
+QuantumCircuit parseRealFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open .real file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseReal(buffer.str(),
+                   std::filesystem::path(path).stem().string());
+}
+
+} // namespace veriqc::qasm

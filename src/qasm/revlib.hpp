@@ -1,0 +1,28 @@
+/// \file revlib.hpp
+/// \brief Reader for RevLib `.real` reversible-circuit files — the format of
+///        the reversible benchmark set the paper evaluates (urf2,
+///        plus63mod4096, example2, ...; Wille et al., ISMVL 2008).
+///
+/// Supported: the header directives (.version .numvars .variables .inputs
+/// .outputs .constants .garbage .begin .end), multiple-controlled Toffoli
+/// gates (`t<n>`), Fredkin gates (`f<n>`), Peres gates (`p3`), controlled-V
+/// and V-dagger (`v<n>`, `v+<n>`), and negative controls (leading `-` on a
+/// control line name).
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "qasm/lexer.hpp"
+
+#include <string>
+
+namespace veriqc::qasm {
+
+/// Parse RevLib `.real` source text.
+/// \throws ParseError on malformed input or unsupported gate types.
+[[nodiscard]] QuantumCircuit parseReal(const std::string& source,
+                                       const std::string& name = "");
+
+/// Parse a `.real` file. \throws std::runtime_error if unreadable.
+[[nodiscard]] QuantumCircuit parseRealFile(const std::string& path);
+
+} // namespace veriqc::qasm

@@ -1,0 +1,162 @@
+#include "qasm/writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace veriqc::qasm {
+
+namespace {
+
+void writeQubits(std::ostringstream& os, const Operation& op) {
+  bool first = true;
+  for (const auto q : op.controls) {
+    os << (first ? " " : ", ") << "q[" << q << "]";
+    first = false;
+  }
+  for (const auto q : op.targets) {
+    os << (first ? " " : ", ") << "q[" << q << "]";
+    first = false;
+  }
+  os << ";\n";
+}
+
+void writeParams(std::ostringstream& os, const Operation& op) {
+  if (op.params.empty()) {
+    return;
+  }
+  os << "(";
+  for (std::size_t i = 0; i < op.params.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os.precision(17);
+    os << op.params[i];
+  }
+  os << ")";
+}
+
+std::string mnemonic(const Operation& op) {
+  const auto plain = toString(op.type);
+  const auto nc = op.controls.size();
+  if (op.type == OpType::SWAP) {
+    if (nc == 0) {
+      return "swap";
+    }
+    if (nc == 1) {
+      return "cswap";
+    }
+    throw CircuitError("QASM writer: SWAP with more than one control: " +
+                       op.toString());
+  }
+  if (nc == 0) {
+    return plain == "p" ? "p" : plain;
+  }
+  switch (op.type) {
+  case OpType::X:
+    if (nc == 1) {
+      return "cx";
+    }
+    if (nc == 2) {
+      return "ccx";
+    }
+    if (nc == 3) {
+      return "c3x";
+    }
+    if (nc == 4) {
+      return "c4x";
+    }
+    break;
+  case OpType::Y:
+    if (nc == 1) {
+      return "cy";
+    }
+    break;
+  case OpType::Z:
+    if (nc == 1) {
+      return "cz";
+    }
+    if (nc == 2) {
+      return "ccz";
+    }
+    break;
+  case OpType::H:
+    if (nc == 1) {
+      return "ch";
+    }
+    break;
+  case OpType::RX:
+    if (nc == 1) {
+      return "crx";
+    }
+    break;
+  case OpType::RY:
+    if (nc == 1) {
+      return "cry";
+    }
+    break;
+  case OpType::RZ:
+    if (nc == 1) {
+      return "crz";
+    }
+    break;
+  case OpType::P:
+    if (nc == 1) {
+      return "cp";
+    }
+    break;
+  default:
+    break;
+  }
+  throw CircuitError("QASM writer: no qelib1 spelling for " + op.toString() +
+                     "; decompose the circuit first");
+}
+
+} // namespace
+
+std::string write(const QuantumCircuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  if (!circuit.initialLayout().isIdentity()) {
+    os << "// i";
+    for (Qubit w = 0; w < circuit.numQubits(); ++w) {
+      os << " " << circuit.initialLayout()[w];
+    }
+    os << "\n";
+  }
+  if (!circuit.outputPermutation().isIdentity()) {
+    os << "// o";
+    for (Qubit w = 0; w < circuit.numQubits(); ++w) {
+      os << " " << circuit.outputPermutation()[w];
+    }
+    os << "\n";
+  }
+  os << "qreg q[" << circuit.numQubits() << "];\n";
+  os << "creg c[" << circuit.numQubits() << "];\n";
+  for (const auto& op : circuit.ops()) {
+    if (op.type == OpType::Barrier) {
+      os << "barrier q;\n";
+      continue;
+    }
+    if (op.type == OpType::Measure) {
+      for (const auto q : op.targets) {
+        os << "measure q[" << q << "] -> c[" << q << "];\n";
+      }
+      continue;
+    }
+    os << mnemonic(op);
+    writeParams(os, op);
+    writeQubits(os, op);
+  }
+  return os.str();
+}
+
+void writeFile(const QuantumCircuit& circuit, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write QASM file: " + path);
+  }
+  out << write(circuit);
+}
+
+} // namespace veriqc::qasm

@@ -1,0 +1,23 @@
+/// \file writer.hpp
+/// \brief OpenQASM 2.0 output.
+#pragma once
+
+#include "ir/circuit.hpp"
+
+#include <string>
+
+namespace veriqc::qasm {
+
+/// Serialize a circuit to OpenQASM 2.0. Permutations are not representable in
+/// QASM; when the circuit carries nontrivial permutations they are emitted as
+/// `// i ...` / `// o ...` comment lines (the format QCEC uses), which
+/// `parse` understands only as comments — use withExplicitPermutations() to
+/// fold them into gates when a fully portable file is needed.
+/// \throws CircuitError for operations with no qelib1 spelling (more than
+///         four controls, controlled SWAP with extra controls, ...).
+[[nodiscard]] std::string write(const QuantumCircuit& circuit);
+
+/// Write to a file.
+void writeFile(const QuantumCircuit& circuit, const std::string& path);
+
+} // namespace veriqc::qasm

@@ -1,0 +1,53 @@
+#include "sim/stimuli.hpp"
+
+namespace veriqc::sim {
+
+std::string toString(const StimuliKind kind) {
+  switch (kind) {
+  case StimuliKind::Classical:
+    return "classical";
+  case StimuliKind::LocalQuantum:
+    return "local-quantum";
+  case StimuliKind::GlobalQuantum:
+    return "global-quantum";
+  }
+  return "unknown";
+}
+
+QuantumCircuit generateStimulus(const StimuliKind kind,
+                                const std::size_t nqubits,
+                                std::mt19937_64& rng) {
+  QuantumCircuit prep(nqubits, "stimulus");
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_real_distribution<double> angle(0.0, 2.0 * PI);
+  switch (kind) {
+  case StimuliKind::Classical:
+    for (Qubit q = 0; q < nqubits; ++q) {
+      if (coin(rng) == 1) {
+        prep.x(q);
+      }
+    }
+    break;
+  case StimuliKind::LocalQuantum:
+    for (Qubit q = 0; q < nqubits; ++q) {
+      prep.u3(q, angle(rng), angle(rng), angle(rng));
+    }
+    break;
+  case StimuliKind::GlobalQuantum: {
+    for (Qubit q = 0; q < nqubits; ++q) {
+      prep.u3(q, angle(rng), angle(rng), angle(rng));
+    }
+    // A random-target CX chain entangles all qubits.
+    for (Qubit q = 0; q + 1 < nqubits; ++q) {
+      prep.cx(q, q + 1);
+    }
+    for (Qubit q = 0; q < nqubits; ++q) {
+      prep.u3(q, angle(rng), angle(rng), angle(rng));
+    }
+    break;
+  }
+  }
+  return prep;
+}
+
+} // namespace veriqc::sim

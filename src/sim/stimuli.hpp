@@ -1,0 +1,31 @@
+/// \file stimuli.hpp
+/// \brief Random stimuli generation for simulation-based non-equivalence
+///        detection (Burgholzer, Kueng, Wille, ASP-DAC 2021).
+///
+/// A stimulus is a short state-preparation circuit applied to |0...0> before
+/// running both circuits under verification; differing output states witness
+/// non-equivalence. Three families with increasing discriminating power (and
+/// cost) are provided.
+#pragma once
+
+#include "ir/circuit.hpp"
+
+#include <cstdint>
+#include <random>
+
+namespace veriqc::sim {
+
+enum class StimuliKind : std::uint8_t {
+  Classical,     ///< random computational basis state (X layer)
+  LocalQuantum,  ///< random product state (one random U3 per qubit)
+  GlobalQuantum, ///< random entangled state (U3 layer + CX chain + U3 layer)
+};
+
+[[nodiscard]] std::string toString(StimuliKind kind);
+
+/// Generate a state-preparation circuit on `nqubits` qubits.
+[[nodiscard]] QuantumCircuit generateStimulus(StimuliKind kind,
+                                              std::size_t nqubits,
+                                              std::mt19937_64& rng);
+
+} // namespace veriqc::sim

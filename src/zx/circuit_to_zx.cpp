@@ -1,0 +1,266 @@
+#include "zx/circuit_to_zx.hpp"
+
+namespace veriqc::zx {
+
+namespace {
+
+/// Builder tracking, per wire, the last diagram vertex and the type of the
+/// pending edge to the next spider (Hadamard gates toggle the pending type
+/// instead of creating a spider — the "Hadamard box is an edge" view).
+class Builder {
+public:
+  explicit Builder(const QuantumCircuit& circuit)
+      : circuit_(circuit), last_(circuit.numQubits()),
+        pending_(circuit.numQubits(), EdgeType::Simple) {
+    std::vector<Vertex> inputs(circuit.numQubits());
+    for (Qubit l = 0; l < circuit.numQubits(); ++l) {
+      inputs[l] = diagram_.addVertex(VertexType::Boundary);
+    }
+    diagram_.setInputs(inputs);
+    // Wire w holds logical qubit initialLayout[w].
+    for (Qubit w = 0; w < circuit.numQubits(); ++w) {
+      last_[w] = inputs[circuit.initialLayout()[w]];
+    }
+  }
+
+  ZXDiagram run() {
+    for (const auto& op : circuit_.ops()) {
+      apply(op);
+    }
+    // Terminate wires with output boundaries in logical order.
+    std::vector<Vertex> outputs(circuit_.numQubits());
+    for (Qubit w = 0; w < circuit_.numQubits(); ++w) {
+      const Vertex out = diagram_.addVertex(VertexType::Boundary);
+      diagram_.addEdge(last_[w], out, pending_[w]);
+      outputs[circuit_.outputPermutation()[w]] = out;
+    }
+    diagram_.setOutputs(outputs);
+    return std::move(diagram_);
+  }
+
+private:
+  /// Append a spider on wire w, consuming the pending edge type.
+  Vertex spider(const Qubit w, const VertexType type, const PiRational phase) {
+    const Vertex v = diagram_.addVertex(type, phase);
+    diagram_.addEdge(last_[w], v, pending_[w]);
+    last_[w] = v;
+    pending_[w] = EdgeType::Simple;
+    return v;
+  }
+
+  void zPhase(const Qubit w, const PiRational phase) {
+    spider(w, VertexType::Z, phase);
+  }
+  void xPhase(const Qubit w, const PiRational phase) {
+    spider(w, VertexType::X, phase);
+  }
+
+  void cx(const Qubit control, const Qubit target) {
+    const Vertex zc = spider(control, VertexType::Z, {});
+    const Vertex xt = spider(target, VertexType::X, {});
+    diagram_.addEdge(zc, xt, EdgeType::Simple);
+  }
+
+  void cz(const Qubit control, const Qubit target) {
+    const Vertex a = spider(control, VertexType::Z, {});
+    const Vertex b = spider(target, VertexType::Z, {});
+    diagram_.addEdge(a, b, EdgeType::Hadamard);
+  }
+
+  void hadamard(const Qubit w) {
+    pending_[w] = pending_[w] == EdgeType::Simple ? EdgeType::Hadamard
+                                                  : EdgeType::Simple;
+  }
+
+  void ry(const Qubit w, const PiRational phase) {
+    // RY(theta) = S . RX(theta) . Sdg (as a matrix product; the circuit
+    // applies Sdg first).
+    zPhase(w, -PiRational::halfPi());
+    xPhase(w, phase);
+    zPhase(w, PiRational::halfPi());
+  }
+
+  /// Controlled phase: cp(theta) = p(theta/2) c; cx; p(-theta/2) t; cx;
+  /// p(theta/2) t  (the qelib1 cu1 decomposition).
+  void cp(const Qubit control, const Qubit target, const double theta) {
+    const auto half = PiRational::fromRadians(theta / 2.0);
+    zPhase(control, half);
+    cx(control, target);
+    zPhase(target, -half);
+    cx(control, target);
+    zPhase(target, half);
+  }
+
+  void crz(const Qubit control, const Qubit target, const double theta) {
+    const auto half = PiRational::fromRadians(theta / 2.0);
+    zPhase(target, half);
+    cx(control, target);
+    zPhase(target, -half);
+    cx(control, target);
+  }
+
+  void apply(const Operation& op) {
+    if (op.isNonUnitary()) {
+      return;
+    }
+    if (op.controls.size() >= 2 ||
+        (op.controls.size() == 1 && op.type == OpType::SWAP)) {
+      // CSWAP and multi-controlled gates: require prior decomposition.
+      throw CircuitError("circuitToZX: operation needs decomposition first: " +
+                         op.toString());
+    }
+    if (op.controls.empty()) {
+      applyUncontrolled(op);
+    } else {
+      applyControlled(op, op.controls[0], op.targets[0]);
+    }
+  }
+
+  void applyUncontrolled(const Operation& op) {
+    const auto t = op.targets.empty() ? Qubit{0} : op.targets[0];
+    switch (op.type) {
+    case OpType::I:
+      return;
+    case OpType::H:
+      hadamard(t);
+      return;
+    case OpType::X:
+      xPhase(t, PiRational::pi());
+      return;
+    case OpType::Y: // Y = i X Z: phases combine up to global phase
+      zPhase(t, PiRational::pi());
+      xPhase(t, PiRational::pi());
+      return;
+    case OpType::Z:
+      zPhase(t, PiRational::pi());
+      return;
+    case OpType::S:
+      zPhase(t, PiRational::halfPi());
+      return;
+    case OpType::Sdg:
+      zPhase(t, -PiRational::halfPi());
+      return;
+    case OpType::T:
+      zPhase(t, PiRational(1, 4));
+      return;
+    case OpType::Tdg:
+      zPhase(t, PiRational(-1, 4));
+      return;
+    case OpType::SX:
+      xPhase(t, PiRational::halfPi());
+      return;
+    case OpType::SXdg:
+      xPhase(t, -PiRational::halfPi());
+      return;
+    case OpType::RX:
+      xPhase(t, PiRational::fromRadians(op.params[0]));
+      return;
+    case OpType::RY:
+      ry(t, PiRational::fromRadians(op.params[0]));
+      return;
+    case OpType::RZ:
+    case OpType::P:
+      zPhase(t, PiRational::fromRadians(op.params[0]));
+      return;
+    case OpType::U2:
+      // u2(phi, lambda) = rz(phi) ry(pi/2) rz(lambda) up to global phase.
+      zPhase(t, PiRational::fromRadians(op.params[1]));
+      ry(t, PiRational::halfPi());
+      zPhase(t, PiRational::fromRadians(op.params[0]));
+      return;
+    case OpType::U3:
+      zPhase(t, PiRational::fromRadians(op.params[2]));
+      ry(t, PiRational::fromRadians(op.params[0]));
+      zPhase(t, PiRational::fromRadians(op.params[1]));
+      return;
+    case OpType::SWAP:
+      std::swap(last_[op.targets[0]], last_[op.targets[1]]);
+      std::swap(pending_[op.targets[0]], pending_[op.targets[1]]);
+      return;
+    default:
+      throw CircuitError("circuitToZX: unsupported operation " +
+                         op.toString());
+    }
+  }
+
+  void applyControlled(const Operation& op, const Qubit c, const Qubit t) {
+    switch (op.type) {
+    case OpType::I:
+      return;
+    case OpType::X:
+      cx(c, t);
+      return;
+    case OpType::Z:
+      cz(c, t);
+      return;
+    case OpType::Y:
+      // cy = sdg t; cx; s t
+      zPhase(t, -PiRational::halfPi());
+      cx(c, t);
+      zPhase(t, PiRational::halfPi());
+      return;
+    case OpType::H:
+      // qelib1 ch decomposition.
+      hadamard(t);
+      zPhase(t, -PiRational::halfPi());
+      cx(c, t);
+      hadamard(t);
+      zPhase(t, PiRational(1, 4));
+      cx(c, t);
+      zPhase(t, PiRational(1, 4));
+      hadamard(t);
+      zPhase(t, PiRational::halfPi());
+      xPhase(t, PiRational::pi());
+      zPhase(c, PiRational::halfPi());
+      return;
+    case OpType::P:
+      cp(c, t, op.params[0]);
+      return;
+    case OpType::RZ:
+      crz(c, t, op.params[0]);
+      return;
+    case OpType::RX:
+      // crx(theta) = (I (x) H) crz(theta) (I (x) H)
+      hadamard(t);
+      crz(c, t, op.params[0]);
+      hadamard(t);
+      return;
+    case OpType::RY:
+      // cry(theta) = (I (x) S) crx(theta) (I (x) Sdg)
+      zPhase(t, -PiRational::halfPi());
+      hadamard(t);
+      crz(c, t, op.params[0]);
+      hadamard(t);
+      zPhase(t, PiRational::halfPi());
+      return;
+    case OpType::S:
+      cp(c, t, PI_2);
+      return;
+    case OpType::Sdg:
+      cp(c, t, -PI_2);
+      return;
+    case OpType::T:
+      cp(c, t, PI_4);
+      return;
+    case OpType::Tdg:
+      cp(c, t, -PI_4);
+      return;
+    default:
+      throw CircuitError("circuitToZX: unsupported controlled operation " +
+                         op.toString());
+    }
+  }
+
+  const QuantumCircuit& circuit_;
+  ZXDiagram diagram_;
+  std::vector<Vertex> last_;
+  std::vector<EdgeType> pending_;
+};
+
+} // namespace
+
+ZXDiagram circuitToZX(const QuantumCircuit& circuit) {
+  return Builder(circuit).run();
+}
+
+} // namespace veriqc::zx

@@ -1,0 +1,21 @@
+/// \file circuit_to_zx.hpp
+/// \brief Interpret a quantum circuit as a ZX-diagram (Sec. 5 of the paper).
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "zx/diagram.hpp"
+
+namespace veriqc::zx {
+
+/// Convert a circuit to a ZX-diagram. Inputs/outputs are created in *logical*
+/// qubit order; the circuit's initial layout, output permutation and bare
+/// SWAP gates are realized as wire crossings (no extra spiders).
+///
+/// Supported gates: every single-qubit type, CX/CY/CZ/CH, controlled
+/// rotations (CP/CRX/CRY/CRZ), and SWAP/CSWAP. Gates with two or more
+/// controls must be decomposed first (mirroring the paper, where circuits are
+/// compiled before being handed to the ZX tool).
+/// \throws CircuitError on unsupported operations.
+[[nodiscard]] ZXDiagram circuitToZX(const QuantumCircuit& circuit);
+
+} // namespace veriqc::zx

@@ -1,0 +1,244 @@
+#include "zx/diagram.hpp"
+
+#include <sstream>
+
+namespace veriqc::zx {
+
+Vertex ZXDiagram::addVertex(const VertexType type, const PiRational phase) {
+  const auto v = static_cast<Vertex>(types_.size());
+  types_.push_back(type);
+  phases_.push_back(phase);
+  present_.push_back(true);
+  adj_.emplace_back();
+  ++liveCount_;
+  return v;
+}
+
+void ZXDiagram::addEdge(const Vertex u, const Vertex v, const EdgeType type) {
+  auto& mult = adj_.at(u)[v];
+  if (type == EdgeType::Simple) {
+    ++mult.simple;
+  } else {
+    ++mult.hadamard;
+  }
+  if (u != v) {
+    auto& back = adj_.at(v)[u];
+    if (type == EdgeType::Simple) {
+      ++back.simple;
+    } else {
+      ++back.hadamard;
+    }
+  }
+}
+
+void ZXDiagram::removeEdge(const Vertex u, const Vertex v,
+                           const EdgeType type) {
+  const auto update = [type](std::map<Vertex, EdgeMultiplicity>& adj,
+                             const Vertex key) {
+    const auto it = adj.find(key);
+    if (it == adj.end() ||
+        (type == EdgeType::Simple ? it->second.simple
+                                  : it->second.hadamard) <= 0) {
+      throw CircuitError("ZXDiagram::removeEdge: edge not present");
+    }
+    if (type == EdgeType::Simple) {
+      --it->second.simple;
+    } else {
+      --it->second.hadamard;
+    }
+    if (it->second.total() == 0) {
+      adj.erase(it);
+    }
+  };
+  update(adj_.at(u), v);
+  if (u != v) {
+    update(adj_.at(v), u);
+  }
+}
+
+void ZXDiagram::removeAllEdges(const Vertex u, const Vertex v) {
+  adj_.at(u).erase(v);
+  if (u != v) {
+    adj_.at(v).erase(u);
+  }
+}
+
+void ZXDiagram::removeVertex(const Vertex v) {
+  if (!isPresent(v)) {
+    throw CircuitError("ZXDiagram::removeVertex: vertex not present");
+  }
+  for (const auto& [neighbor, mult] : adj_.at(v)) {
+    if (neighbor != v) {
+      adj_.at(neighbor).erase(v);
+    }
+  }
+  adj_.at(v).clear();
+  present_[v] = false;
+  --liveCount_;
+}
+
+EdgeMultiplicity ZXDiagram::edge(const Vertex u, const Vertex v) const {
+  const auto& adj = adj_.at(u);
+  const auto it = adj.find(v);
+  return it == adj.end() ? EdgeMultiplicity{} : it->second;
+}
+
+std::size_t ZXDiagram::degree(const Vertex v) const {
+  std::size_t d = 0;
+  for (const auto& [neighbor, mult] : adj_.at(v)) {
+    d += static_cast<std::size_t>(mult.total()) * (neighbor == v ? 2 : 1);
+  }
+  return d;
+}
+
+std::size_t ZXDiagram::spiderCount() const {
+  std::size_t count = 0;
+  for (Vertex v = 0; v < vertexBound(); ++v) {
+    if (isPresent(v) && !isBoundary(v)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t ZXDiagram::edgeCount() const {
+  std::size_t count = 0;
+  for (Vertex v = 0; v < vertexBound(); ++v) {
+    if (!isPresent(v)) {
+      continue;
+    }
+    for (const auto& [neighbor, mult] : adj_[v]) {
+      if (neighbor >= v) {
+        count += static_cast<std::size_t>(mult.total());
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<Vertex> ZXDiagram::vertices() const {
+  std::vector<Vertex> live;
+  live.reserve(liveCount_);
+  for (Vertex v = 0; v < vertexBound(); ++v) {
+    if (isPresent(v)) {
+      live.push_back(v);
+    }
+  }
+  return live;
+}
+
+ZXDiagram ZXDiagram::adjoint() const {
+  ZXDiagram result = *this;
+  for (Vertex v = 0; v < result.vertexBound(); ++v) {
+    if (result.isPresent(v)) {
+      result.phases_[v] = -result.phases_[v];
+    }
+  }
+  std::swap(result.inputs_, result.outputs_);
+  return result;
+}
+
+ZXDiagram ZXDiagram::compose(const ZXDiagram& next) const {
+  if (outputs_.size() != next.inputs_.size()) {
+    throw CircuitError("ZXDiagram::compose: interface mismatch");
+  }
+  ZXDiagram result = *this;
+  // Import `next` with an index offset.
+  const auto offset = result.vertexBound();
+  for (Vertex v = 0; v < next.vertexBound(); ++v) {
+    result.types_.push_back(next.types_[v]);
+    result.phases_.push_back(next.phases_[v]);
+    result.present_.push_back(next.present_[v]);
+    result.adj_.emplace_back();
+    if (next.present_[v]) {
+      ++result.liveCount_;
+    }
+  }
+  for (Vertex v = 0; v < next.vertexBound(); ++v) {
+    for (const auto& [neighbor, mult] : next.adj_[v]) {
+      if (neighbor < v) {
+        continue; // add each edge once
+      }
+      for (int i = 0; i < mult.simple; ++i) {
+        result.addEdge(offset + v, offset + neighbor, EdgeType::Simple);
+      }
+      for (int i = 0; i < mult.hadamard; ++i) {
+        result.addEdge(offset + v, offset + neighbor, EdgeType::Hadamard);
+      }
+    }
+  }
+  // Fuse interface pairs: this.output[i] -- next.input[i].
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    const Vertex out = outputs_[i];
+    const Vertex in = offset + next.inputs_[i];
+    // A boundary vertex has exactly one incident edge.
+    const auto takeNeighbor = [&result](const Vertex b) {
+      const auto& adj = result.adj_.at(b);
+      if (adj.size() != 1 || adj.begin()->second.total() != 1) {
+        throw CircuitError("ZXDiagram::compose: malformed boundary");
+      }
+      const Vertex neighbor = adj.begin()->first;
+      const EdgeType type = adj.begin()->second.hadamard > 0
+                                ? EdgeType::Hadamard
+                                : EdgeType::Simple;
+      return std::pair{neighbor, type};
+    };
+    const auto [n1, t1] = takeNeighbor(out);
+    result.removeVertex(out);
+    // n1 might itself be `in` (bare wire meeting bare wire is impossible
+    // since out != in, but out's neighbor can be in's partner).
+    const auto [n2, t2] = takeNeighbor(in);
+    result.removeVertex(in);
+    const EdgeType combined = (t1 == t2) ? EdgeType::Simple
+                                         : EdgeType::Hadamard;
+    if (n1 == in) {
+      // out and in were directly connected (cannot happen: different
+      // diagrams), guarded for robustness.
+      throw CircuitError("ZXDiagram::compose: interface self-connection");
+    }
+    result.addEdge(n1, n2, combined);
+  }
+  result.outputs_.clear();
+  result.outputs_.reserve(next.outputs_.size());
+  for (const auto out : next.outputs_) {
+    result.outputs_.push_back(offset + out);
+  }
+  return result;
+}
+
+std::string ZXDiagram::toString() const {
+  std::ostringstream os;
+  os << "ZXDiagram (" << vertexCount() << " vertices, " << edgeCount()
+     << " edges, " << inputs_.size() << " in / " << outputs_.size()
+     << " out)\n";
+  for (Vertex v = 0; v < vertexBound(); ++v) {
+    if (!isPresent(v)) {
+      continue;
+    }
+    os << "  " << v << ": ";
+    switch (type(v)) {
+    case VertexType::Boundary:
+      os << "B";
+      break;
+    case VertexType::Z:
+      os << "Z(" << phase(v).toString() << ")";
+      break;
+    case VertexType::X:
+      os << "X(" << phase(v).toString() << ")";
+      break;
+    }
+    os << " --";
+    for (const auto& [neighbor, mult] : adj_[v]) {
+      for (int i = 0; i < mult.simple; ++i) {
+        os << " " << neighbor;
+      }
+      for (int i = 0; i < mult.hadamard; ++i) {
+        os << " h" << neighbor;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+} // namespace veriqc::zx

@@ -1,0 +1,138 @@
+/// \file diagram.hpp
+/// \brief ZX-diagrams: spiders, boundaries, simple and Hadamard wires.
+#pragma once
+
+#include "ir/types.hpp"
+#include "zx/rational.hpp"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace veriqc::zx {
+
+using Vertex = std::uint32_t;
+
+enum class VertexType : std::uint8_t {
+  Boundary, ///< input or output wire end (no phase)
+  Z,        ///< green spider
+  X,        ///< red spider
+};
+
+enum class EdgeType : std::uint8_t {
+  Simple,   ///< plain wire
+  Hadamard, ///< wire with a Hadamard box
+};
+
+/// Parallel edges between one pair of vertices, by type.
+struct EdgeMultiplicity {
+  int simple = 0;
+  int hadamard = 0;
+
+  [[nodiscard]] int total() const noexcept { return simple + hadamard; }
+};
+
+/// A ZX-diagram as an undirected multigraph. Vertices are never reindexed;
+/// removed vertices leave holes (test with isPresent). Self-loops are allowed
+/// transiently and resolved by the simplifier.
+///
+/// Scalar factors are intentionally not tracked: every consumer in this
+/// library decides questions that are invariant under nonzero global scalars
+/// (equivalence up to global phase).
+class ZXDiagram {
+public:
+  ZXDiagram() = default;
+
+  // --- construction -----------------------------------------------------------
+  Vertex addVertex(VertexType type, PiRational phase = {});
+
+  /// Add one edge of the given type (u == v records a self-loop).
+  void addEdge(Vertex u, Vertex v, EdgeType type);
+
+  /// Remove one edge of the given type. \throws CircuitError if absent.
+  void removeEdge(Vertex u, Vertex v, EdgeType type);
+
+  /// Remove all edges between u and v.
+  void removeAllEdges(Vertex u, Vertex v);
+
+  /// Remove a vertex and all incident edges.
+  void removeVertex(Vertex v);
+
+  /// Declare boundary vertices as the diagram interface, in qubit order.
+  void setInputs(std::vector<Vertex> inputs) { inputs_ = std::move(inputs); }
+  void setOutputs(std::vector<Vertex> outputs) {
+    outputs_ = std::move(outputs);
+  }
+
+  // --- queries ---------------------------------------------------------------
+  [[nodiscard]] bool isPresent(Vertex v) const {
+    return v < present_.size() && present_[v];
+  }
+  [[nodiscard]] VertexType type(Vertex v) const { return types_.at(v); }
+  void setType(Vertex v, VertexType type) { types_.at(v) = type; }
+  [[nodiscard]] const PiRational& phase(Vertex v) const {
+    return phases_.at(v);
+  }
+  void setPhase(Vertex v, PiRational phase) { phases_.at(v) = phase; }
+  void addPhase(Vertex v, const PiRational& delta) { phases_.at(v) += delta; }
+
+  /// Adjacency of v: neighbor -> multiplicities. Self-loops appear under
+  /// key v itself.
+  [[nodiscard]] const std::map<Vertex, EdgeMultiplicity>&
+  neighbors(Vertex v) const {
+    return adj_.at(v);
+  }
+
+  [[nodiscard]] EdgeMultiplicity edge(Vertex u, Vertex v) const;
+  [[nodiscard]] bool connected(Vertex u, Vertex v) const {
+    return edge(u, v).total() > 0;
+  }
+
+  /// Total incident edge count (self-loops count twice).
+  [[nodiscard]] std::size_t degree(Vertex v) const;
+
+  [[nodiscard]] const std::vector<Vertex>& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<Vertex>& outputs() const noexcept {
+    return outputs_;
+  }
+  [[nodiscard]] bool isBoundary(Vertex v) const {
+    return type(v) == VertexType::Boundary;
+  }
+
+  /// Number of live vertices.
+  [[nodiscard]] std::size_t vertexCount() const noexcept { return liveCount_; }
+  /// Number of live non-boundary vertices.
+  [[nodiscard]] std::size_t spiderCount() const;
+  /// Total number of edges (by multiplicity).
+  [[nodiscard]] std::size_t edgeCount() const;
+  /// Largest vertex id ever allocated (for iteration).
+  [[nodiscard]] Vertex vertexBound() const {
+    return static_cast<Vertex>(types_.size());
+  }
+
+  /// All live vertices.
+  [[nodiscard]] std::vector<Vertex> vertices() const;
+
+  // --- whole-diagram operations ---------------------------------------------
+  /// The adjoint diagram: inputs and outputs exchanged, all phases negated.
+  [[nodiscard]] ZXDiagram adjoint() const;
+
+  /// Sequential composition: `this` followed by `next` (this' outputs fused
+  /// with next's inputs). \throws CircuitError on interface mismatch.
+  [[nodiscard]] ZXDiagram compose(const ZXDiagram& next) const;
+
+  [[nodiscard]] std::string toString() const;
+
+private:
+  std::vector<VertexType> types_;
+  std::vector<PiRational> phases_;
+  std::vector<bool> present_;
+  std::vector<std::map<Vertex, EdgeMultiplicity>> adj_;
+  std::vector<Vertex> inputs_;
+  std::vector<Vertex> outputs_;
+  std::size_t liveCount_ = 0;
+};
+
+} // namespace veriqc::zx

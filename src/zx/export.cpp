@@ -1,0 +1,56 @@
+#include "zx/export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace veriqc::zx {
+
+std::string toDot(const ZXDiagram& diagram) {
+  std::ostringstream os;
+  os << "graph zx {\n  layout=neato;\n  node [style=filled];\n";
+  for (const auto v : diagram.vertices()) {
+    os << "  v" << v;
+    switch (diagram.type(v)) {
+    case VertexType::Boundary:
+      os << " [shape=none, fillcolor=white, label=\"" << v << "\"]";
+      break;
+    case VertexType::Z:
+      os << " [shape=circle, fillcolor=\"#99dd99\", label=\""
+         << (diagram.phase(v).isZero() ? "" : diagram.phase(v).toString())
+         << "\"]";
+      break;
+    case VertexType::X:
+      os << " [shape=circle, fillcolor=\"#dd9999\", label=\""
+         << (diagram.phase(v).isZero() ? "" : diagram.phase(v).toString())
+         << "\"]";
+      break;
+    }
+    os << ";\n";
+  }
+  for (const auto v : diagram.vertices()) {
+    for (const auto& [w, mult] : diagram.neighbors(v)) {
+      if (w < v) {
+        continue;
+      }
+      for (int i = 0; i < mult.simple; ++i) {
+        os << "  v" << v << " -- v" << w << ";\n";
+      }
+      for (int i = 0; i < mult.hadamard; ++i) {
+        os << "  v" << v << " -- v" << w
+           << " [style=dashed, color=blue];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void writeDot(const ZXDiagram& diagram, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write DOT file: " + path);
+  }
+  out << toDot(diagram);
+}
+
+} // namespace veriqc::zx

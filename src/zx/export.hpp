@@ -1,0 +1,16 @@
+/// \file export.hpp
+/// \brief Graphviz (DOT) export of ZX-diagrams: green Z spiders, red X
+///        spiders, yellow boxes on Hadamard edges (drawn dashed + blue).
+#pragma once
+
+#include "zx/diagram.hpp"
+
+#include <string>
+
+namespace veriqc::zx {
+
+[[nodiscard]] std::string toDot(const ZXDiagram& diagram);
+
+void writeDot(const ZXDiagram& diagram, const std::string& path);
+
+} // namespace veriqc::zx

@@ -1,0 +1,365 @@
+#include "zx/extract.hpp"
+
+#include "zx/simplify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace veriqc::zx {
+
+namespace {
+
+/// GF(2) matrix with row-operation recording.
+class BitMatrix {
+public:
+  BitMatrix(const std::size_t rows, const std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows, std::vector<bool>(cols, false)) {}
+
+  void set(const std::size_t r, const std::size_t c, const bool value) {
+    data_[r][c] = value;
+  }
+  [[nodiscard]] bool get(const std::size_t r, const std::size_t c) const {
+    return data_[r][c];
+  }
+
+  /// Row r1 ^= row r2 (recorded).
+  void rowAdd(const std::size_t r1, const std::size_t r2) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      data_[r1][c] = data_[r1][c] != data_[r2][c];
+    }
+    ops_.emplace_back(r1, r2);
+  }
+
+  /// Full Gauss-Jordan elimination to reduced row-echelon form.
+  void reduce() {
+    std::size_t pivotRow = 0;
+    for (std::size_t col = 0; col < cols_ && pivotRow < rows_; ++col) {
+      std::size_t pivot = pivotRow;
+      while (pivot < rows_ && !data_[pivot][col]) {
+        ++pivot;
+      }
+      if (pivot == rows_) {
+        continue;
+      }
+      if (pivot != pivotRow) {
+        rowAdd(pivotRow, pivot);
+        rowAdd(pivot, pivotRow);
+        rowAdd(pivotRow, pivot);
+      }
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (r != pivotRow && data_[r][col]) {
+          rowAdd(r, pivotRow);
+        }
+      }
+      ++pivotRow;
+    }
+  }
+
+  [[nodiscard]] std::size_t rowWeight(const std::size_t r) const {
+    std::size_t weight = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (data_[r][c]) {
+        ++weight;
+      }
+    }
+    return weight;
+  }
+
+  /// The recorded (r1 ^= r2) operations, in application order.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  ops() const noexcept {
+    return ops_;
+  }
+
+private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::vector<bool>> data_;
+  std::vector<std::pair<std::size_t, std::size_t>> ops_;
+};
+
+class Extractor {
+public:
+  explicit Extractor(ZXDiagram diagram) : d_(std::move(diagram)) {}
+
+  std::optional<QuantumCircuit> run() {
+    const auto n = d_.outputs().size();
+    if (n != d_.inputs().size()) {
+      return std::nullopt;
+    }
+    for (Qubit q = 0; q < n; ++q) {
+      outputIndex_[d_.outputs()[q]] = q;
+    }
+    for (Qubit q = 0; q < n; ++q) {
+      inputIndex_[d_.inputs()[q]] = q;
+    }
+    if (!prepare()) {
+      return std::nullopt;
+    }
+    // Rescue budget: each boundary pivot consumes at least one gadget hub,
+    // so the number of useful rescues is bounded by the spider count.
+    std::size_t rescues = d_.spiderCount() + 16;
+    for (int guard = 0; guard < 100000; ++guard) {
+      if (finished()) {
+        return assemble();
+      }
+      if (!step()) {
+        // Stuck on phase gadgets: a boundary pivot (the Simplifier's move)
+        // pulls a gadget towards the frontier; retry afterwards.
+        if (rescues == 0) {
+          return std::nullopt;
+        }
+        --rescues;
+        Simplifier simplifier(d_);
+        if (simplifier.pivotBoundarySimp() == 0 &&
+            simplifier.gadgetSimp() == 0) {
+          return std::nullopt; // genuinely stuck
+        }
+        if (!prepare()) {
+          return std::nullopt;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+private:
+  [[nodiscard]] Vertex outputNeighbor(const Qubit q) const {
+    const auto& adj = d_.neighbors(d_.outputs()[q]);
+    if (adj.size() != 1 || adj.begin()->second.total() != 1) {
+      throw CircuitError("extractCircuit: malformed output boundary");
+    }
+    return adj.begin()->first;
+  }
+
+  [[nodiscard]] bool edgeIsHadamard(const Vertex a, const Vertex b) const {
+    return d_.edge(a, b).hadamard > 0;
+  }
+
+  void setOutputEdgeSimple(const Qubit q) {
+    const Vertex out = d_.outputs()[q];
+    const Vertex v = outputNeighbor(q);
+    if (edgeIsHadamard(out, v)) {
+      gates_.emplace_back(OpType::H, std::vector<Qubit>{},
+                          std::vector<Qubit>{q});
+      d_.removeEdge(out, v, EdgeType::Hadamard);
+      d_.addEdge(out, v, EdgeType::Simple);
+    }
+  }
+
+  /// Insert a phase-0 spider in the middle of the edge (a, b) such that the
+  /// new spider connects to `a` with `typeToA` (the parity is balanced on
+  /// the b side).
+  Vertex insertSpider(const Vertex a, const Vertex b, const EdgeType typeToA) {
+    const auto mult = d_.edge(a, b);
+    const EdgeType original =
+        mult.hadamard > 0 ? EdgeType::Hadamard : EdgeType::Simple;
+    d_.removeEdge(a, b, original);
+    const Vertex w = d_.addVertex(VertexType::Z);
+    d_.addEdge(a, w, typeToA);
+    // Parity: typeToA + typeToB must equal original (H counts mod 2).
+    const bool needH = (original == EdgeType::Hadamard) !=
+                       (typeToA == EdgeType::Hadamard);
+    d_.addEdge(w, b, needH ? EdgeType::Hadamard : EdgeType::Simple);
+    return w;
+  }
+
+  /// Make the diagram extraction-ready: every output connects to a distinct
+  /// spider (or an input), and every frontier-input edge is a Hadamard edge.
+  [[nodiscard]] bool prepare() {
+    const auto n = d_.outputs().size();
+    // Distinct frontier vertices.
+    std::set<Vertex> seen;
+    for (Qubit q = 0; q < n; ++q) {
+      Vertex v = outputNeighbor(q);
+      if (outputIndex_.contains(v)) {
+        return false; // output-output wire: not a unitary diagram
+      }
+      if (!d_.isBoundary(v) && !seen.insert(v).second) {
+        // Shared frontier spider: splice in a fresh one.
+        insertSpider(d_.outputs()[q], v, EdgeType::Simple);
+      } else if (inputIndex_.contains(v) && seen.contains(v)) {
+        return false; // one input feeding two outputs
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool finished() const {
+    const auto n = d_.outputs().size();
+    for (Qubit q = 0; q < n; ++q) {
+      const Vertex v = outputNeighbor(q);
+      if (!d_.isBoundary(v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// One round: clear frontier phases and CZs, eliminate, move vertices in.
+  [[nodiscard]] bool step() {
+    const auto n = d_.outputs().size();
+    // Frontier snapshot (skip completed wires).
+    std::vector<Qubit> wires;
+    std::vector<Vertex> frontier;
+    for (Qubit q = 0; q < n; ++q) {
+      const Vertex v = outputNeighbor(q);
+      if (!d_.isBoundary(v)) {
+        wires.push_back(q);
+        frontier.push_back(v);
+      }
+    }
+
+    // 1. Output edges simple, phases off the frontier, CZs between frontier.
+    for (const auto q : wires) {
+      setOutputEdgeSimple(q);
+    }
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const Vertex v = frontier[i];
+      if (!d_.phase(v).isZero()) {
+        gates_.emplace_back(OpType::P, std::vector<Qubit>{},
+                            std::vector<Qubit>{wires[i]},
+                            std::vector<double>{d_.phase(v).toRadians()});
+        d_.setPhase(v, PiRational{});
+      }
+    }
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (std::size_t j = i + 1; j < frontier.size(); ++j) {
+        if (d_.connected(frontier[i], frontier[j])) {
+          gates_.emplace_back(OpType::Z, std::vector<Qubit>{wires[i]},
+                              std::vector<Qubit>{wires[j]});
+          d_.removeAllEdges(frontier[i], frontier[j]);
+        }
+      }
+    }
+    // Hadamard-ify frontier-input edges so they join the GF(2) picture.
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const auto adj = d_.neighbors(frontier[i]); // copy
+      for (const auto& [w, mult] : adj) {
+        if (inputIndex_.contains(w) && mult.simple > 0) {
+          insertSpider(w, frontier[i], EdgeType::Hadamard);
+        }
+      }
+    }
+
+    // 2. Biadjacency between frontier and its non-frontier neighbors.
+    std::vector<Vertex> columns;
+    std::map<Vertex, std::size_t> columnIndex;
+    std::set<Vertex> frontierSet(frontier.begin(), frontier.end());
+    for (const auto v : frontier) {
+      for (const auto& [w, mult] : d_.neighbors(v)) {
+        if (outputIndex_.contains(w) || frontierSet.contains(w)) {
+          continue;
+        }
+        if (!columnIndex.contains(w)) {
+          columnIndex[w] = columns.size();
+          columns.push_back(w);
+        }
+      }
+    }
+    if (columns.empty()) {
+      return false; // dead end
+    }
+    BitMatrix m(frontier.size(), columns.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (const auto& [w, mult] : d_.neighbors(frontier[i])) {
+        if (const auto it = columnIndex.find(w); it != columnIndex.end()) {
+          m.set(i, it->second, mult.hadamard > 0);
+        }
+      }
+    }
+    m.reduce();
+
+    // 3. Emit the recorded row operations as CNOTs and mirror them on the
+    // diagram: row i ^= row j means frontier[i]'s neighborhood becomes the
+    // symmetric difference, realized by CNOT(control wires[j], target
+    // wires[i]) on the output side.
+    for (const auto& [r1, r2] : m.ops()) {
+      gates_.emplace_back(OpType::X, std::vector<Qubit>{wires[r1]},
+                          std::vector<Qubit>{wires[r2]});
+    }
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        const bool want = m.get(i, c);
+        const bool have = edgeIsHadamard(frontier[i], columns[c]);
+        if (want && !have) {
+          d_.addEdge(frontier[i], columns[c], EdgeType::Hadamard);
+        } else if (!want && have) {
+          d_.removeEdge(frontier[i], columns[c], EdgeType::Hadamard);
+        }
+      }
+    }
+
+    // 4. Rows with a single 1: move that neighbor into the frontier.
+    bool progress = false;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (m.rowWeight(i) != 1) {
+        continue;
+      }
+      std::size_t c = 0;
+      while (!m.get(i, c)) {
+        ++c;
+      }
+      const Vertex u = columns[c];
+      const Vertex v = frontier[i];
+      const Qubit q = wires[i];
+      const Vertex out = d_.outputs()[q];
+      // v is phase-free, connected to out (simple) and to u (Hadamard) only.
+      if (d_.degree(v) != 2) {
+        continue; // leftover frontier CZ re-created by elimination; retry
+      }
+      gates_.emplace_back(OpType::H, std::vector<Qubit>{},
+                          std::vector<Qubit>{q});
+      d_.removeVertex(v);
+      d_.addEdge(out, u, EdgeType::Simple);
+      progress = true;
+    }
+    return progress;
+  }
+
+  /// Reverse the gate list and resolve the final input permutation.
+  std::optional<QuantumCircuit> assemble() {
+    const auto n = d_.outputs().size();
+    std::vector<Qubit> inputOf(n);
+    for (Qubit q = 0; q < n; ++q) {
+      const Vertex v = outputNeighbor(q);
+      const auto it = inputIndex_.find(v);
+      if (it == inputIndex_.end()) {
+        return std::nullopt;
+      }
+      if (edgeIsHadamard(d_.outputs()[q], v)) {
+        gates_.emplace_back(OpType::H, std::vector<Qubit>{},
+                            std::vector<Qubit>{q});
+      }
+      inputOf[q] = it->second;
+    }
+    QuantumCircuit circuit(n, "extracted");
+    // Gates were collected from the outputs backwards.
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+      circuit.append(*it);
+    }
+    // Output q carries input inputOf[q]; the residual wire crossing sits at
+    // the input side of the extracted gates: R(L)|x> = |y> with
+    // y_w = x_{L(w)}, so L = inputOf realizes exactly that map.
+    Permutation sigma{inputOf};
+    if (!sigma.isValid()) {
+      return std::nullopt;
+    }
+    circuit.initialLayout() = sigma;
+    return circuit;
+  }
+
+  ZXDiagram d_;
+  std::map<Vertex, Qubit> outputIndex_;
+  std::map<Vertex, Qubit> inputIndex_;
+  std::vector<Operation> gates_;
+};
+
+} // namespace
+
+std::optional<QuantumCircuit> extractCircuit(ZXDiagram diagram) {
+  return Extractor(std::move(diagram)).run();
+}
+
+} // namespace veriqc::zx

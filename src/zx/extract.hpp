@@ -1,0 +1,31 @@
+/// \file extract.hpp
+/// \brief Circuit extraction from graph-like ZX-diagrams (Backens, Miller-
+///        Bakewell, de Felice, Lobski, van de Wetering, "There and back
+///        again: a circuit extraction tale", Quantum 5, 2021) — the missing
+///        half of the ZX-as-compiler-IR story the paper references.
+///
+/// The extractor processes the diagram from the outputs backwards: frontier
+/// phases become phase gates, frontier-frontier Hadamard edges become CZs,
+/// and Gauss-Jordan elimination over GF(2) of the frontier biadjacency
+/// matrix (each row operation emitting a CNOT) exposes vertices that can be
+/// moved into the frontier through a Hadamard.
+///
+/// Phase gadgets left by full_reduce are handled by a boundary-pivot rescue
+/// (pulling the gadget to the frontier); the rare configurations the rescue
+/// cannot reach yield std::nullopt rather than a wrong circuit.
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "zx/diagram.hpp"
+
+#include <optional>
+
+namespace veriqc::zx {
+
+/// Extract a circuit realizing `diagram` (up to global phase). The diagram
+/// must be graph-like (run Simplifier::toGraphLike / fullReduce first).
+/// Returns std::nullopt when extraction gets stuck (phase gadgets).
+[[nodiscard]] std::optional<QuantumCircuit>
+extractCircuit(ZXDiagram diagram);
+
+} // namespace veriqc::zx

@@ -1,0 +1,179 @@
+#include "zx/rational.hpp"
+
+#include "ir/types.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace veriqc::zx {
+
+namespace {
+/// Continued-fraction approximation of x (in units of pi, reduced to
+/// (-1, 1]) with |x - p/q| < tol and q <= maxDen. Returns {0, 0} on failure.
+std::pair<std::int64_t, std::int64_t>
+continuedFraction(const double x, const double tol,
+                  const std::int64_t maxDen) {
+  double value = x;
+  std::int64_t prevNum = 1;
+  std::int64_t prevDen = 0;
+  std::int64_t curNum = static_cast<std::int64_t>(std::floor(value));
+  std::int64_t curDen = 1;
+  double frac = value - std::floor(value);
+  for (int iter = 0; iter < 64; ++iter) {
+    if (std::abs(x - static_cast<double>(curNum) /
+                         static_cast<double>(curDen)) < tol) {
+      return {curNum, curDen};
+    }
+    if (frac < 1e-18) {
+      break;
+    }
+    value = 1.0 / frac;
+    const double whole = std::floor(value);
+    frac = value - whole;
+    const auto a = static_cast<std::int64_t>(whole);
+    const std::int64_t nextNum = a * curNum + prevNum;
+    const std::int64_t nextDen = a * curDen + prevDen;
+    if (nextDen > maxDen || nextDen < 0) {
+      break;
+    }
+    prevNum = curNum;
+    prevDen = curDen;
+    curNum = nextNum;
+    curDen = nextDen;
+  }
+  return {0, 0};
+}
+} // namespace
+
+PiRational::PiRational(const std::int64_t num, const std::int64_t den)
+    : num_(num), den_(den) {
+  if (den == 0) {
+    throw std::invalid_argument("PiRational: zero denominator");
+  }
+  normalize();
+}
+
+void PiRational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  // Reduce modulo 2 (phases live on the circle): num/den in (-1, 1].
+  const std::int64_t twoDen = 2 * den_;
+  num_ %= twoDen;
+  if (num_ > den_) {
+    num_ -= twoDen;
+  } else if (num_ <= -den_) {
+    num_ += twoDen;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+  }
+  if (den_ > kResnapDenominator) {
+    // Only inexact (snapped) phases ever grow such denominators. Sums of
+    // approximants accumulate ~1e-10 residuals that would block rewriting
+    // (e.g. keep a spider from being recognized as Pauli), so re-snap to the
+    // closest small rational within the phase tolerance — the ZX analogue of
+    // the DD package's tolerance-aware value interning.
+    const double x = static_cast<double>(num_) / static_cast<double>(den_);
+    const double target = x < 0.0 ? -x : x;
+    const auto [num, den] =
+        continuedFraction(target, kPhaseTolerance, kResnapDenominator);
+    if (den != 0) {
+      num_ = x < 0.0 ? -num : num;
+      den_ = den;
+      // A fresh small fraction may need range reduction but cannot recurse
+      // (its denominator is already below the threshold).
+      const std::int64_t twoDen = 2 * den_;
+      num_ %= twoDen;
+      if (num_ > den_) {
+        num_ -= twoDen;
+      } else if (num_ <= -den_) {
+        num_ += twoDen;
+      }
+      const std::int64_t g2 = std::gcd(num_ < 0 ? -num_ : num_, den_);
+      if (g2 > 1) {
+        num_ /= g2;
+        den_ /= g2;
+      }
+      if (num_ == 0) {
+        den_ = 1;
+      }
+    }
+  }
+}
+
+PiRational PiRational::fromRadians(const double radians, const double tol) {
+  // Reduce to (-1, 1] in units of pi.
+  double x = radians / PI;
+  x = std::fmod(x, 2.0);
+  if (x > 1.0) {
+    x -= 2.0;
+  } else if (x <= -1.0) {
+    x += 2.0;
+  }
+  if (x < 0.0 && x > -1.0) {
+    // Snap symmetrically so that fromRadians(-a) == -fromRadians(a) and
+    // adjoint phases cancel exactly.
+    return -fromRadians(-x * PI, tol);
+  }
+  if (const auto [num, den] = continuedFraction(x, tol / PI, kMaxDenominator);
+      den != 0) {
+    return {num, den};
+  }
+  // Best-effort fallback with a fixed large denominator.
+  const std::int64_t den = kMaxDenominator;
+  const auto num = static_cast<std::int64_t>(
+      std::llround(x * static_cast<double>(den)));
+  return {num, den};
+}
+
+double PiRational::toRadians() const noexcept {
+  return PI * static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+PiRational& PiRational::operator+=(const PiRational& rhs) {
+  // 128-bit intermediates: denominators are bounded by kMaxDenominator, so
+  // the products below stay below 2^63 after gcd pre-reduction.
+  const std::int64_t g = std::gcd(den_, rhs.den_);
+  const std::int64_t rd = rhs.den_ / g;
+  num_ = num_ * rd + rhs.num_ * (den_ / g);
+  den_ *= rd;
+  normalize();
+  return *this;
+}
+
+PiRational& PiRational::operator-=(const PiRational& rhs) {
+  *this += -rhs;
+  return *this;
+}
+
+PiRational PiRational::operator-() const {
+  PiRational result = *this;
+  result.num_ = -result.num_;
+  result.normalize();
+  return result;
+}
+
+std::string PiRational::toString() const {
+  if (num_ == 0) {
+    return "0";
+  }
+  std::string s = (num_ == 1)    ? ""
+                  : (num_ == -1) ? "-"
+                                 : std::to_string(num_) + "*";
+  s += "pi";
+  if (den_ != 1) {
+    s += "/";
+    s += std::to_string(den_);
+  }
+  return s;
+}
+
+} // namespace veriqc::zx

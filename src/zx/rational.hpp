@@ -1,0 +1,78 @@
+/// \file rational.hpp
+/// \brief Exact spider phases as rational multiples of pi.
+///
+/// ZX rewriting needs to decide exactly whether a phase is Pauli (0, pi) or
+/// proper Clifford (+-pi/2) — floating-point phases would make those
+/// predicates unsound. Phases are stored as num/den * pi, normalized to the
+/// half-open interval (-1, 1] and fully reduced. Doubles coming from parsed
+/// circuits are snapped to small rationals by continued fractions (all angles
+/// in the benchmark set are multiples of pi/2^k and therefore exact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace veriqc::zx {
+
+class PiRational {
+public:
+  /// Zero phase.
+  constexpr PiRational() = default;
+
+  /// num/den * pi. \throws std::invalid_argument if den == 0.
+  PiRational(std::int64_t num, std::int64_t den);
+
+  /// Snap an angle in radians to a rational multiple of pi. Angles that have
+  /// no small-denominator representation within `tol` get a best-effort
+  /// approximation with denominator up to kMaxDenominator.
+  static PiRational fromRadians(double radians, double tol = 1e-12);
+
+  [[nodiscard]] std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t den() const noexcept { return den_; }
+  [[nodiscard]] double toRadians() const noexcept;
+
+  [[nodiscard]] bool isZero() const noexcept { return num_ == 0; }
+  /// 0 or pi.
+  [[nodiscard]] bool isPauli() const noexcept { return den_ == 1; }
+  /// Exactly pi.
+  [[nodiscard]] bool isPi() const noexcept { return num_ == 1 && den_ == 1; }
+  /// Multiple of pi/2 (i.e. a Clifford phase).
+  [[nodiscard]] bool isClifford() const noexcept { return den_ <= 2; }
+  /// Exactly +-pi/2.
+  [[nodiscard]] bool isProperClifford() const noexcept { return den_ == 2; }
+
+  PiRational& operator+=(const PiRational& rhs);
+  PiRational& operator-=(const PiRational& rhs);
+  [[nodiscard]] PiRational operator-() const;
+
+  friend PiRational operator+(PiRational lhs, const PiRational& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend PiRational operator-(PiRational lhs, const PiRational& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend bool operator==(const PiRational&, const PiRational&) = default;
+
+  [[nodiscard]] std::string toString() const;
+
+  /// pi and pi/2 constants.
+  static PiRational pi() { return {1, 1}; }
+  static PiRational halfPi() { return {1, 2}; }
+
+  static constexpr std::int64_t kMaxDenominator = 1LL << 31U;
+  /// Denominators beyond this mark a phase as inexact; normalization
+  /// re-snaps such phases to the closest small rational within
+  /// kPhaseTolerance (in units of pi).
+  static constexpr std::int64_t kResnapDenominator = 1LL << 24U;
+  static constexpr double kPhaseTolerance = 1e-9;
+
+private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+} // namespace veriqc::zx

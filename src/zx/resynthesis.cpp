@@ -1,0 +1,23 @@
+#include "zx/resynthesis.hpp"
+
+#include "compile/decompose.hpp"
+#include "zx/circuit_to_zx.hpp"
+#include "zx/extract.hpp"
+#include "opt/optimizer.hpp"
+#include "zx/simplify.hpp"
+
+namespace veriqc::zx {
+
+std::optional<QuantumCircuit> resynthesize(const QuantumCircuit& circuit) {
+  auto diagram = circuitToZX(compile::decomposeForZX(circuit));
+  fullReduce(diagram);
+  auto extracted = extractCircuit(std::move(diagram));
+  if (extracted.has_value()) {
+    // Peephole cleanup: extraction can emit cancelling pairs (H H, CX CX).
+    *extracted = opt::optimize(*extracted);
+    extracted->setName(circuit.name() + "_zxopt");
+  }
+  return extracted;
+}
+
+} // namespace veriqc::zx

@@ -1,0 +1,22 @@
+/// \file resynthesis.hpp
+/// \brief ZX-based circuit resynthesis: convert, fully reduce, extract —
+///        the PyZX optimization flow (Duncan et al. 2019; Kissinger &
+///        van de Wetering 2020) whose results the paper's DD checker can
+///        then verify independently.
+#pragma once
+
+#include "ir/circuit.hpp"
+
+#include <optional>
+
+namespace veriqc::zx {
+
+/// Resynthesize `circuit` through the ZX-calculus: decompose to the
+/// ZX-supported gate set, convert, full_reduce, and extract a circuit back.
+/// Returns std::nullopt when extraction gets stuck on phase gadgets (the
+/// result, when present, is equivalent to the input up to global phase —
+/// verify it with the checkers for defense in depth).
+[[nodiscard]] std::optional<QuantumCircuit>
+resynthesize(const QuantumCircuit& circuit);
+
+} // namespace veriqc::zx

@@ -1,0 +1,574 @@
+#include "zx/simplify.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace veriqc::zx {
+
+Simplifier::Simplifier(ZXDiagram& diagram, std::function<bool()> shouldStop)
+    : g_(diagram), shouldStop_(std::move(shouldStop)) {}
+
+bool Simplifier::isInterior(const Vertex v) const {
+  return g_.isPresent(v) && !g_.isBoundary(v);
+}
+
+bool Simplifier::isInteriorZ(const Vertex v) const {
+  return g_.isPresent(v) && g_.type(v) == VertexType::Z;
+}
+
+bool Simplifier::allNeighborsInteriorViaHadamard(const Vertex v) const {
+  for (const auto& [w, mult] : g_.neighbors(v)) {
+    if (w == v || mult.simple != 0 || mult.hadamard != 1 || !isInteriorZ(w)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Simplifier::allEdgesHadamardToSpiders(const Vertex v) const {
+  for (const auto& [w, mult] : g_.neighbors(v)) {
+    if (w == v) {
+      return false;
+    }
+    if (g_.isBoundary(w)) {
+      if (mult.total() != 1) {
+        return false;
+      }
+      continue;
+    }
+    if (mult.simple != 0 || mult.hadamard != 1 || !isInteriorZ(w)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Simplifier::normalizeVertex(const Vertex v) {
+  const auto loops = g_.edge(v, v);
+  if (loops.total() == 0) {
+    return;
+  }
+  g_.removeAllEdges(v, v);
+  if (loops.hadamard % 2 == 1) {
+    g_.addPhase(v, PiRational::pi());
+  }
+}
+
+void Simplifier::normalizePair(const Vertex u, const Vertex v) {
+  if (u == v || !isInteriorZ(u) || !isInteriorZ(v)) {
+    return;
+  }
+  const auto mult = g_.edge(u, v);
+  // Parallel Hadamard edges between Z spiders cancel pairwise (Hopf law).
+  for (int i = 0; i + 1 < mult.hadamard; i += 2) {
+    g_.removeEdge(u, v, EdgeType::Hadamard);
+    g_.removeEdge(u, v, EdgeType::Hadamard);
+  }
+}
+
+void Simplifier::fuse(const Vertex u, const Vertex v) {
+  g_.addPhase(u, g_.phase(v));
+  const auto vAdj = g_.neighbors(v); // copy
+  for (const auto& [w, mult] : vAdj) {
+    if (w == v) {
+      for (int i = 0; i < mult.simple; ++i) {
+        g_.addEdge(u, u, EdgeType::Simple);
+      }
+      for (int i = 0; i < mult.hadamard; ++i) {
+        g_.addEdge(u, u, EdgeType::Hadamard);
+      }
+    } else if (w == u) {
+      // One plain edge is consumed by the fusion; the rest become loops.
+      for (int i = 0; i + 1 < mult.simple; ++i) {
+        g_.addEdge(u, u, EdgeType::Simple);
+      }
+      for (int i = 0; i < mult.hadamard; ++i) {
+        g_.addEdge(u, u, EdgeType::Hadamard);
+      }
+    } else {
+      for (int i = 0; i < mult.simple; ++i) {
+        g_.addEdge(u, w, EdgeType::Simple);
+      }
+      for (int i = 0; i < mult.hadamard; ++i) {
+        g_.addEdge(u, w, EdgeType::Hadamard);
+      }
+    }
+  }
+  g_.removeVertex(v);
+  normalizeVertex(u);
+  const auto uAdj = g_.neighbors(u); // copy for safe normalization
+  for (const auto& [w, mult] : uAdj) {
+    normalizePair(u, w);
+  }
+  ++stats_.spiderFusions;
+}
+
+std::size_t Simplifier::spiderSimp() {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed && !stopping()) {
+    changed = false;
+    for (const auto v : g_.vertices()) {
+      if (!isInteriorZ(v)) {
+        continue;
+      }
+      bool fusedSomething = true;
+      while (fusedSomething && g_.isPresent(v)) {
+        fusedSomething = false;
+        for (const auto& [w, mult] : g_.neighbors(v)) {
+          if (w != v && mult.simple > 0 && isInteriorZ(w)) {
+            fuse(v, w);
+            ++count;
+            fusedSomething = true;
+            changed = true;
+            break; // adjacency changed; restart neighbor scan
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+void Simplifier::toGraphLike() {
+  for (const auto v : g_.vertices()) {
+    if (!g_.isPresent(v) || g_.type(v) != VertexType::X) {
+      continue;
+    }
+    const auto adj = g_.neighbors(v); // copy
+    for (const auto& [w, mult] : adj) {
+      if (w == v) {
+        continue; // both loop endpoints toggle: type is unchanged
+      }
+      g_.removeAllEdges(v, w);
+      for (int i = 0; i < mult.hadamard; ++i) {
+        g_.addEdge(v, w, EdgeType::Simple);
+      }
+      for (int i = 0; i < mult.simple; ++i) {
+        g_.addEdge(v, w, EdgeType::Hadamard);
+      }
+    }
+    g_.setType(v, VertexType::Z);
+  }
+  for (const auto v : g_.vertices()) {
+    if (isInteriorZ(v)) {
+      normalizeVertex(v);
+    }
+  }
+  spiderSimp();
+  for (const auto v : g_.vertices()) {
+    if (!isInteriorZ(v)) {
+      continue;
+    }
+    const auto adj = g_.neighbors(v);
+    for (const auto& [w, mult] : adj) {
+      normalizePair(v, w);
+    }
+  }
+}
+
+std::size_t Simplifier::idSimp() {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed && !stopping()) {
+    changed = false;
+    for (const auto v : g_.vertices()) {
+      if (!isInteriorZ(v) || !g_.phase(v).isZero() ||
+          g_.edge(v, v).total() != 0 || g_.degree(v) != 2) {
+        continue;
+      }
+      const auto& adj = g_.neighbors(v);
+      if (adj.size() == 1) {
+        // Both edges go to the same neighbor: removal leaves a self-loop.
+        const Vertex w = adj.begin()->first;
+        const auto mult = adj.begin()->second;
+        if (g_.isBoundary(w)) {
+          continue; // malformed boundary; leave untouched
+        }
+        const bool loopIsHadamard = (mult.hadamard % 2) == 1;
+        g_.removeVertex(v);
+        if (loopIsHadamard) {
+          g_.addPhase(w, PiRational::pi());
+        }
+        ++count;
+        ++stats_.idRemovals;
+        changed = true;
+        continue;
+      }
+      const Vertex w1 = adj.begin()->first;
+      const Vertex w2 = std::next(adj.begin())->first;
+      const bool h1 = adj.begin()->second.hadamard == 1;
+      const bool h2 = std::next(adj.begin())->second.hadamard == 1;
+      g_.removeVertex(v);
+      const EdgeType combined =
+          (h1 != h2) ? EdgeType::Hadamard : EdgeType::Simple;
+      g_.addEdge(w1, w2, combined);
+      ++count;
+      ++stats_.idRemovals;
+      changed = true;
+      if (isInteriorZ(w1) && isInteriorZ(w2)) {
+        if (g_.edge(w1, w2).simple > 0) {
+          fuse(w1, w2);
+        } else {
+          normalizePair(w1, w2);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+void Simplifier::toggleHadamard(const Vertex a, const Vertex b) {
+  if (g_.edge(a, b).hadamard > 0) {
+    g_.removeEdge(a, b, EdgeType::Hadamard);
+  } else {
+    g_.addEdge(a, b, EdgeType::Hadamard);
+  }
+}
+
+std::size_t Simplifier::lcompSimp() {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed && !stopping()) {
+    changed = false;
+    for (const auto v : g_.vertices()) {
+      if (!isInteriorZ(v) || !g_.phase(v).isProperClifford() ||
+          g_.edge(v, v).total() != 0 ||
+          !allNeighborsInteriorViaHadamard(v)) {
+        continue;
+      }
+      std::vector<Vertex> neighborhood;
+      neighborhood.reserve(g_.neighbors(v).size());
+      for (const auto& [w, mult] : g_.neighbors(v)) {
+        neighborhood.push_back(w);
+      }
+      const PiRational delta = -g_.phase(v);
+      g_.removeVertex(v);
+      for (std::size_t i = 0; i < neighborhood.size(); ++i) {
+        for (std::size_t j = i + 1; j < neighborhood.size(); ++j) {
+          toggleHadamard(neighborhood[i], neighborhood[j]);
+        }
+      }
+      for (const auto w : neighborhood) {
+        g_.addPhase(w, delta);
+      }
+      ++count;
+      ++stats_.localComplementations;
+      changed = true;
+    }
+  }
+  return count;
+}
+
+void Simplifier::pivot(const Vertex u, const Vertex v) {
+  std::vector<Vertex> exclusiveU;
+  std::vector<Vertex> exclusiveV;
+  std::vector<Vertex> common;
+  for (const auto& [w, mult] : g_.neighbors(u)) {
+    if (w == v) {
+      continue;
+    }
+    if (g_.connected(v, w)) {
+      common.push_back(w);
+    } else {
+      exclusiveU.push_back(w);
+    }
+  }
+  for (const auto& [w, mult] : g_.neighbors(v)) {
+    if (w != u && !g_.connected(u, w)) {
+      exclusiveV.push_back(w);
+    }
+  }
+  const PiRational pu = g_.phase(u);
+  const PiRational pv = g_.phase(v);
+  g_.removeVertex(u);
+  g_.removeVertex(v);
+  for (const auto a : exclusiveU) {
+    for (const auto b : exclusiveV) {
+      toggleHadamard(a, b);
+    }
+  }
+  for (const auto a : exclusiveU) {
+    for (const auto c : common) {
+      toggleHadamard(a, c);
+    }
+  }
+  for (const auto b : exclusiveV) {
+    for (const auto c : common) {
+      toggleHadamard(b, c);
+    }
+  }
+  for (const auto a : exclusiveU) {
+    g_.addPhase(a, pv);
+  }
+  for (const auto b : exclusiveV) {
+    g_.addPhase(b, pu);
+  }
+  for (const auto c : common) {
+    g_.addPhase(c, pu + pv + PiRational::pi());
+  }
+}
+
+std::size_t Simplifier::pivotSimp() {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed && !stopping()) {
+    changed = false;
+    for (const auto u : g_.vertices()) {
+      if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
+          !allNeighborsInteriorViaHadamard(u)) {
+        continue;
+      }
+      for (const auto& [v, mult] : g_.neighbors(u)) {
+        if (mult.hadamard != 1 || !g_.phase(v).isPauli() ||
+            !allNeighborsInteriorViaHadamard(v)) {
+          continue;
+        }
+        pivot(u, v);
+        ++count;
+        ++stats_.pivots;
+        changed = true;
+        break; // u is gone; adjacency iterators are invalid
+      }
+    }
+  }
+  return count;
+}
+
+void Simplifier::gadgetize(const Vertex v) {
+  const Vertex hub = g_.addVertex(VertexType::Z);
+  const Vertex leaf = g_.addVertex(VertexType::Z, g_.phase(v));
+  g_.addEdge(v, hub, EdgeType::Hadamard);
+  g_.addEdge(hub, leaf, EdgeType::Hadamard);
+  g_.setPhase(v, PiRational{});
+}
+
+std::size_t Simplifier::pivotGadgetSimp() {
+  // Termination: each rewrite keeps the spider count constant but strictly
+  // decreases the number of non-Pauli spiders of degree >= 2 — provided the
+  // pivot cannot grow an existing gadget leaf's degree, hence the
+  // no-leaf-neighbor guard on both pivot vertices.
+  const auto hasLeafNeighbor = [this](const Vertex v) {
+    for (const auto& [w, mult] : g_.neighbors(v)) {
+      if (!g_.isBoundary(w) && g_.degree(w) == 1) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed && !stopping()) {
+    changed = false;
+    for (const auto u : g_.vertices()) {
+      if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
+          !allNeighborsInteriorViaHadamard(u) || hasLeafNeighbor(u)) {
+        continue;
+      }
+      for (const auto& [v, mult] : g_.neighbors(u)) {
+        if (mult.hadamard != 1 || g_.phase(v).isPauli() ||
+            g_.degree(v) < 2 || !allNeighborsInteriorViaHadamard(v) ||
+            hasLeafNeighbor(v)) {
+          continue;
+        }
+        gadgetize(v);
+        pivot(u, v);
+        ++count;
+        ++stats_.gadgetPivots;
+        changed = true;
+        break; // u is gone; adjacency iterators are invalid
+      }
+    }
+  }
+  return count;
+}
+
+void Simplifier::unfuseBoundary(const Vertex b, const Vertex v) {
+  const auto mult = g_.edge(b, v);
+  const EdgeType original =
+      mult.hadamard > 0 ? EdgeType::Hadamard : EdgeType::Simple;
+  g_.removeEdge(b, v, original);
+  const Vertex w = g_.addVertex(VertexType::Z);
+  g_.addEdge(b, w,
+             original == EdgeType::Simple ? EdgeType::Hadamard
+                                          : EdgeType::Simple);
+  g_.addEdge(w, v, EdgeType::Hadamard);
+}
+
+std::size_t Simplifier::pivotBoundarySimp() {
+  // Termination measure: each rewrite removes one interior Pauli spider (u)
+  // with no boundary contact, and only adds boundary-adjacent phase-0
+  // spiders — so u must be strictly interior, v carries the boundary edges.
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed && !stopping()) {
+    changed = false;
+    for (const auto u : g_.vertices()) {
+      if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
+          !allNeighborsInteriorViaHadamard(u)) {
+        continue;
+      }
+      for (const auto& [v, mult] : g_.neighbors(u)) {
+        if (mult.hadamard != 1 || !g_.phase(v).isPauli() ||
+            !allEdgesHadamardToSpiders(v)) {
+          continue;
+        }
+        std::vector<Vertex> boundaries;
+        for (const auto& [w, m2] : g_.neighbors(v)) {
+          if (g_.isBoundary(w)) {
+            boundaries.push_back(w);
+          }
+        }
+        if (boundaries.empty()) {
+          continue; // plain pivotSimp covers the fully interior case
+        }
+        for (const auto b : boundaries) {
+          unfuseBoundary(b, v);
+        }
+        pivot(u, v);
+        ++count;
+        ++stats_.boundaryPivots;
+        changed = true;
+        break; // u is gone; adjacency iterators are invalid
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t Simplifier::gadgetSimp() {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed && !stopping()) {
+    changed = false;
+    // Gadgets keyed by the hub's neighborhood (excluding the leaf).
+    std::map<std::vector<Vertex>, std::pair<Vertex, Vertex>> seen;
+    for (const auto leaf : g_.vertices()) {
+      if (!isInteriorZ(leaf) || g_.degree(leaf) != 1) {
+        continue;
+      }
+      const auto& adj = g_.neighbors(leaf);
+      const Vertex hub = adj.begin()->first;
+      if (adj.begin()->second.hadamard != 1 || !isInteriorZ(hub) ||
+          !g_.phase(hub).isZero()) {
+        continue;
+      }
+      std::vector<Vertex> key;
+      bool eligible = true;
+      for (const auto& [w, mult] : g_.neighbors(hub)) {
+        if (w == leaf) {
+          continue;
+        }
+        if (mult.hadamard != 1 || mult.simple != 0) {
+          eligible = false;
+          break;
+        }
+        key.push_back(w);
+      }
+      if (!eligible || key.empty()) {
+        continue;
+      }
+      std::sort(key.begin(), key.end());
+      const auto it = seen.find(key);
+      if (it == seen.end()) {
+        seen.emplace(std::move(key), std::pair{hub, leaf});
+        continue;
+      }
+      const auto [hub0, leaf0] = it->second;
+      if (hub0 == hub) {
+        continue; // two leaves on one hub; leave to other rules
+      }
+      g_.addPhase(leaf0, g_.phase(leaf));
+      g_.removeVertex(leaf);
+      g_.removeVertex(hub);
+      ++count;
+      ++stats_.gadgetFusions;
+      changed = true;
+      break; // adjacency changed; rebuild the index
+    }
+  }
+  return count;
+}
+
+std::size_t Simplifier::interiorCliffordSimp() {
+  spiderSimp();
+  std::size_t total = 0;
+  while (!stopping()) {
+    std::size_t round = 0;
+    round += idSimp();
+    round += spiderSimp();
+    round += pivotSimp();
+    round += lcompSimp();
+    if (round == 0) {
+      break;
+    }
+    total += round;
+  }
+  return total;
+}
+
+std::size_t Simplifier::cliffordSimp() {
+  std::size_t total = 0;
+  while (!stopping()) {
+    total += interiorCliffordSimp();
+    const auto boundary = pivotBoundarySimp();
+    total += boundary;
+    if (boundary == 0) {
+      break;
+    }
+  }
+  return total;
+}
+
+bool Simplifier::fullReduce() {
+  toGraphLike();
+  interiorCliffordSimp();
+  pivotGadgetSimp();
+  while (!stopping()) {
+    cliffordSimp();
+    const auto i = gadgetSimp();
+    interiorCliffordSimp();
+    const auto j = pivotGadgetSimp();
+    if (i + j == 0) {
+      break;
+    }
+  }
+  return !stopping();
+}
+
+bool fullReduce(ZXDiagram& diagram, std::function<bool()> shouldStop) {
+  Simplifier simplifier(diagram, std::move(shouldStop));
+  return simplifier.fullReduce();
+}
+
+std::optional<Permutation> extractWirePermutation(const ZXDiagram& diagram) {
+  if (diagram.spiderCount() != 0 ||
+      diagram.inputs().size() != diagram.outputs().size()) {
+    return std::nullopt;
+  }
+  std::map<Vertex, Qubit> outputIndex;
+  for (Qubit i = 0; i < diagram.outputs().size(); ++i) {
+    outputIndex[diagram.outputs()[i]] = i;
+  }
+  std::vector<Qubit> perm(diagram.inputs().size());
+  for (Qubit i = 0; i < diagram.inputs().size(); ++i) {
+    const Vertex in = diagram.inputs()[i];
+    const auto& adj = diagram.neighbors(in);
+    if (adj.size() != 1 || adj.begin()->second.simple != 1 ||
+        adj.begin()->second.hadamard != 0) {
+      return std::nullopt;
+    }
+    const auto it = outputIndex.find(adj.begin()->first);
+    if (it == outputIndex.end()) {
+      return std::nullopt;
+    }
+    perm[i] = it->second;
+  }
+  Permutation result{perm};
+  if (!result.isValid()) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+} // namespace veriqc::zx

@@ -1,0 +1,115 @@
+/// \file simplify.hpp
+/// \brief Graph-like ZX-diagram simplification (Duncan et al., "Graph-
+///        theoretic simplification of quantum circuits with the ZX-calculus",
+///        plus the phase-gadget rules of Kissinger & van de Wetering).
+///
+/// All rewrites preserve the linear map up to a nonzero global scalar, which
+/// is exactly the invariance needed for equivalence checking up to global
+/// phase.
+#pragma once
+
+#include "ir/permutation.hpp"
+#include "zx/diagram.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+namespace veriqc::zx {
+
+/// Rewrite counts per rule family.
+struct SimplifyStats {
+  std::size_t spiderFusions = 0;
+  std::size_t idRemovals = 0;
+  std::size_t localComplementations = 0;
+  std::size_t pivots = 0;
+  std::size_t gadgetPivots = 0;
+  std::size_t boundaryPivots = 0;
+  std::size_t gadgetFusions = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return spiderFusions + idRemovals + localComplementations + pivots +
+           gadgetPivots + boundaryPivots + gadgetFusions;
+  }
+};
+
+/// Stateful simplifier bound to one diagram. The optional `shouldStop`
+/// callback is polled between rewrites; when it returns true the current
+/// pass returns early (used for timeouts).
+class Simplifier {
+public:
+  explicit Simplifier(ZXDiagram& diagram,
+                      std::function<bool()> shouldStop = {});
+
+  /// Turn the diagram graph-like: X spiders become Z spiders (toggling their
+  /// edges), adjacent Z spiders connected by plain wires fuse, parallel
+  /// Hadamard edges cancel modulo 2 and self-loops are resolved.
+  void toGraphLike();
+
+  /// Fuse all plain-wire-connected Z spider pairs. Returns #fusions.
+  std::size_t spiderSimp();
+  /// Remove phase-free arity-2 spiders. Returns #removals.
+  std::size_t idSimp();
+  /// Local complementation on +-pi/2 interior spiders. Returns #rewrites.
+  std::size_t lcompSimp();
+  /// Pivoting about interior Pauli-Pauli edges. Returns #rewrites.
+  std::size_t pivotSimp();
+  /// Pivoting where the non-Pauli partner is first turned into a phase
+  /// gadget. Returns #rewrites.
+  std::size_t pivotGadgetSimp();
+  /// Pivoting next to the boundary (boundary wires are unfused first).
+  std::size_t pivotBoundarySimp();
+  /// Fuse phase gadgets with identical connectivity. Returns #fusions.
+  std::size_t gadgetSimp();
+
+  /// spider/id/lcomp/pivot to fixpoint (after toGraphLike).
+  std::size_t interiorCliffordSimp();
+  /// interiorCliffordSimp + boundary pivots to fixpoint.
+  std::size_t cliffordSimp();
+  /// The full_reduce strategy used for equivalence checking.
+  /// \returns false when aborted by shouldStop.
+  bool fullReduce();
+
+  [[nodiscard]] const SimplifyStats& stats() const noexcept { return stats_; }
+
+private:
+  [[nodiscard]] bool stopping() const { return shouldStop_ && shouldStop_(); }
+  [[nodiscard]] bool isInterior(Vertex v) const;
+  [[nodiscard]] bool isInteriorZ(Vertex v) const;
+  /// All incident edges are single Hadamard edges to interior Z spiders.
+  [[nodiscard]] bool allNeighborsInteriorViaHadamard(Vertex v) const;
+  /// All incident edges are Hadamard (neighbors may include boundaries).
+  [[nodiscard]] bool allEdgesHadamardToSpiders(Vertex v) const;
+
+  /// Resolve self-loops on v (plain loops vanish; each Hadamard loop adds pi).
+  void normalizeVertex(Vertex v);
+  /// Cancel parallel Hadamard edges mod 2 between two Z spiders.
+  void normalizePair(Vertex u, Vertex v);
+  /// Fuse v into u (requires a plain edge between two Z spiders).
+  void fuse(Vertex u, Vertex v);
+  /// Toggle the single Hadamard edge between two interior spiders.
+  void toggleHadamard(Vertex a, Vertex b);
+  /// Core pivot about the Hadamard edge (u, v); preconditions checked by the
+  /// callers.
+  void pivot(Vertex u, Vertex v);
+  /// Split v's phase into a fresh phase gadget hanging off v.
+  void gadgetize(Vertex v);
+  /// Insert an identity-pair spider on the boundary edge (b, v) so that v
+  /// becomes interior-compatible.
+  void unfuseBoundary(Vertex b, Vertex v);
+
+  ZXDiagram& g_;
+  std::function<bool()> shouldStop_;
+  SimplifyStats stats_;
+};
+
+/// Convenience: full_reduce a diagram in place. Returns false on timeout.
+bool fullReduce(ZXDiagram& diagram, std::function<bool()> shouldStop = {});
+
+/// If the diagram is nothing but boundary vertices pairwise connected by
+/// single plain wires, return the permutation p with output p(i) connected
+/// to input i; otherwise std::nullopt (spiders remain, or Hadamard wires).
+[[nodiscard]] std::optional<Permutation>
+extractWirePermutation(const ZXDiagram& diagram);
+
+} // namespace veriqc::zx

@@ -1,0 +1,172 @@
+#include "zx/tensor.hpp"
+
+#include <cmath>
+#include <complex>
+#include <map>
+
+namespace veriqc::zx {
+
+namespace {
+using cd = std::complex<double>;
+
+struct FlatEdge {
+  std::size_t u;
+  std::size_t v;
+  bool hadamard;
+};
+} // namespace
+
+sim::Matrix toMatrix(const ZXDiagram& diagram, const std::size_t maxSpiders) {
+  if (diagram.inputs().size() != diagram.outputs().size()) {
+    throw CircuitError("zx::toMatrix: rectangular diagrams not supported");
+  }
+  // Index live vertices: boundaries get their fixed bits, spiders get
+  // summation slots.
+  std::map<Vertex, std::size_t> spiderSlot; // spider -> bit position
+  std::vector<Vertex> spiders;
+  for (const auto v : diagram.vertices()) {
+    if (!diagram.isBoundary(v)) {
+      spiderSlot[v] = spiders.size();
+      spiders.push_back(v);
+    }
+  }
+  if (spiders.size() > maxSpiders) {
+    throw CircuitError("zx::toMatrix: too many spiders for dense evaluation");
+  }
+  std::map<Vertex, std::size_t> inputBit;
+  std::map<Vertex, std::size_t> outputBit;
+  for (std::size_t i = 0; i < diagram.inputs().size(); ++i) {
+    inputBit[diagram.inputs()[i]] = i;
+  }
+  for (std::size_t i = 0; i < diagram.outputs().size(); ++i) {
+    outputBit[diagram.outputs()[i]] = i;
+  }
+
+  // Flatten edges once; the effective Hadamard parity folds in the X-to-Z
+  // conversion (each edge endpoint at an X spider conjugates by H).
+  std::vector<FlatEdge> edges;
+  const double invSqrt2 = 1.0 / std::sqrt(2.0);
+  for (const auto v : diagram.vertices()) {
+    for (const auto& [w, mult] : diagram.neighbors(v)) {
+      if (w < v) {
+        continue;
+      }
+      const bool vIsX =
+          !diagram.isBoundary(v) && diagram.type(v) == VertexType::X;
+      const bool wIsX =
+          !diagram.isBoundary(w) && diagram.type(w) == VertexType::X;
+      if (w == v) {
+        // Self-loop: plain loops contribute delta(s,s) = 1; Hadamard loops
+        // contribute H[s][s] = (-1)^s / sqrt(2). X conversion toggles both
+        // endpoints, leaving the loop type unchanged.
+        for (int i = 0; i < mult.hadamard; ++i) {
+          edges.push_back({spiderSlot.at(v), spiderSlot.at(v), true});
+        }
+        continue;
+      }
+      const int baseH = mult.hadamard;
+      const int baseS = mult.simple;
+      for (int i = 0; i < baseS + baseH; ++i) {
+        bool h = i < baseH;
+        if (vIsX) {
+          h = !h;
+        }
+        if (wIsX) {
+          h = !h;
+        }
+        // Encode endpoints: boundary bits resolved per (row, col) below.
+        edges.push_back({static_cast<std::size_t>(v),
+                         static_cast<std::size_t>(w), h});
+      }
+    }
+  }
+  const std::size_t dim = std::size_t{1} << diagram.inputs().size();
+  sim::Matrix result(dim);
+  const auto bitOf = [&](const Vertex vertex, const std::size_t assignment,
+                         const std::size_t row, const std::size_t col) {
+    if (diagram.isBoundary(vertex)) {
+      if (const auto it = inputBit.find(vertex); it != inputBit.end()) {
+        return (col >> it->second) & 1U;
+      }
+      return (row >> outputBit.at(vertex)) & 1U;
+    }
+    return (assignment >> spiderSlot.at(vertex)) & 1U;
+  };
+
+  const std::size_t assignments = std::size_t{1} << spiders.size();
+  for (std::size_t row = 0; row < dim; ++row) {
+    for (std::size_t col = 0; col < dim; ++col) {
+      cd sum{0.0, 0.0};
+      for (std::size_t a = 0; a < assignments; ++a) {
+        cd term{1.0, 0.0};
+        // Spider phase factors.
+        for (std::size_t s = 0; s < spiders.size(); ++s) {
+          if (((a >> s) & 1U) != 0) {
+            const auto phase = diagram.phase(spiders[s]).toRadians();
+            term *= std::exp(cd{0.0, phase});
+          }
+        }
+        // Edge factors. Self-loop entries reference spider slots directly.
+        for (const auto& edge : edges) {
+          std::size_t bu = 0;
+          std::size_t bv = 0;
+          if (edge.u == edge.v) {
+            bu = bv = (a >> edge.u) & 1U;
+          } else {
+            bu = bitOf(static_cast<Vertex>(edge.u), a, row, col);
+            bv = bitOf(static_cast<Vertex>(edge.v), a, row, col);
+          }
+          if (edge.hadamard) {
+            term *= invSqrt2 * ((bu & bv) != 0 ? -1.0 : 1.0);
+          } else if (bu != bv) {
+            term = cd{0.0, 0.0};
+            break;
+          }
+          if (term == cd{0.0, 0.0}) {
+            break;
+          }
+        }
+        sum += term;
+      }
+      result.at(row, col) = sum;
+    }
+  }
+  return result;
+}
+
+bool proportional(const sim::Matrix& a, const sim::Matrix& b,
+                  const double tol) {
+  if (a.dim() != b.dim()) {
+    return false;
+  }
+  // Find the entry of b with the largest magnitude as the reference.
+  std::size_t refRow = 0;
+  std::size_t refCol = 0;
+  double best = 0.0;
+  for (std::size_t r = 0; r < b.dim(); ++r) {
+    for (std::size_t c = 0; c < b.dim(); ++c) {
+      if (std::abs(b.at(r, c)) > best) {
+        best = std::abs(b.at(r, c));
+        refRow = r;
+        refCol = c;
+      }
+    }
+  }
+  if (best < tol) {
+    // b ~ 0: proportional iff a ~ 0.
+    return a.distance(sim::Matrix(a.dim())) < tol;
+  }
+  if (std::abs(a.at(refRow, refCol)) < tol * best) {
+    return false;
+  }
+  const cd lambda = a.at(refRow, refCol) / b.at(refRow, refCol);
+  double err = 0.0;
+  for (std::size_t r = 0; r < a.dim(); ++r) {
+    for (std::size_t c = 0; c < a.dim(); ++c) {
+      err += std::norm(a.at(r, c) - lambda * b.at(r, c));
+    }
+  }
+  return std::sqrt(err) < tol * std::abs(lambda) * static_cast<double>(a.dim());
+}
+
+} // namespace veriqc::zx

@@ -1,0 +1,24 @@
+/// \file tensor.hpp
+/// \brief Dense tensor evaluation of small ZX-diagrams.
+///
+/// Evaluates a diagram as the matrix mapping inputs to outputs by summing
+/// over all spider bit-assignments — exponential in the spider count and
+/// intended for cross-validating the rewrite rules in tests.
+#pragma once
+
+#include "sim/dense.hpp"
+#include "zx/diagram.hpp"
+
+namespace veriqc::zx {
+
+/// The 2^#outputs x 2^#inputs matrix realized by the diagram, up to the
+/// global scalar the simplifier drops. \throws CircuitError when the diagram
+/// has more than `maxSpiders` spiders (guard against runaway evaluation).
+[[nodiscard]] sim::Matrix toMatrix(const ZXDiagram& diagram,
+                                   std::size_t maxSpiders = 22);
+
+/// True if a and b are proportional: a == lambda * b for some lambda != 0.
+[[nodiscard]] bool proportional(const sim::Matrix& a, const sim::Matrix& b,
+                                double tol = 1e-9);
+
+} // namespace veriqc::zx

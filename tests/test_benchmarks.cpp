@@ -1,0 +1,269 @@
+#include "circuits/benchmarks.hpp"
+#include "circuits/error_injection.hpp"
+#include "sim/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace veriqc {
+namespace {
+
+TEST(CircuitsTest, GhzState) {
+  const auto c = circuits::ghz(3);
+  EXPECT_EQ(c.gateCount(), 3U);
+  auto state = sim::zeroState(3);
+  sim::applyLogical(c, state);
+  EXPECT_NEAR(std::abs(state[0]), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(state[7]), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CircuitsTest, GhzRejectsZeroQubits) {
+  EXPECT_THROW(circuits::ghz(0), std::invalid_argument);
+}
+
+TEST(CircuitsTest, QftMatrixIsFourierMatrix) {
+  const std::size_t n = 3;
+  const auto u = sim::circuitUnitary(circuits::qft(n, true));
+  const std::size_t dim = 8;
+  const double norm = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double angle = 2.0 * PI * static_cast<double>(r * c) /
+                           static_cast<double>(dim);
+      const std::complex<double> expected =
+          norm * std::exp(std::complex<double>{0.0, angle});
+      EXPECT_NEAR(std::abs(u.at(r, c) - expected), 0.0, 1e-9)
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(CircuitsTest, QftWithPermutationMatchesQftWithSwaps) {
+  const auto withSwaps = sim::circuitUnitary(circuits::qft(4, true));
+  const auto withPerm = sim::circuitUnitary(circuits::qft(4, false));
+  EXPECT_TRUE(withSwaps.equals(withPerm, 1e-9));
+}
+
+TEST(CircuitsTest, IqftInvertsQft) {
+  const auto u = sim::circuitUnitary(circuits::qft(3));
+  const auto v = sim::circuitUnitary(circuits::iqft(3));
+  EXPECT_TRUE(
+      u.multiply(v).equalsUpToGlobalPhase(sim::Matrix::identity(8)));
+}
+
+TEST(CircuitsTest, GraphStateHasCorrectStabilizerSigns) {
+  // For a 2-qubit graph with one edge, the state is (|00>+|01>+|10>-|11>)/2.
+  const auto c = circuits::graphState(2, {{0, 1}});
+  auto state = sim::zeroState(2);
+  sim::applyLogical(c, state);
+  EXPECT_NEAR(state[0].real(), 0.5, 1e-12);
+  EXPECT_NEAR(state[1].real(), 0.5, 1e-12);
+  EXPECT_NEAR(state[2].real(), 0.5, 1e-12);
+  EXPECT_NEAR(state[3].real(), -0.5, 1e-12);
+}
+
+TEST(CircuitsTest, RandomGraphStateIsDeterministicPerSeed) {
+  const auto a = circuits::randomGraphState(6, 3, 42);
+  const auto b = circuits::randomGraphState(6, 3, 42);
+  EXPECT_EQ(a.ops(), b.ops());
+  const auto c = circuits::randomGraphState(6, 3, 43);
+  EXPECT_NE(a.ops(), c.ops());
+}
+
+TEST(CircuitsTest, WStateAmplitudes) {
+  for (const std::size_t n : {2U, 3U, 5U}) {
+    auto state = sim::zeroState(n);
+    sim::applyLogical(circuits::wState(n), state);
+    const double expected = 1.0 / std::sqrt(static_cast<double>(n));
+    for (std::size_t q = 0; q < n; ++q) {
+      EXPECT_NEAR(std::abs(state[std::size_t{1} << q]), expected, 1e-9)
+          << "n=" << n << " q=" << q;
+    }
+    EXPECT_NEAR(std::abs(state[0]), 0.0, 1e-9);
+  }
+}
+
+TEST(CircuitsTest, CuccaroAdderAddsCorrectly) {
+  const std::size_t bits = 3;
+  const auto adder = circuits::cuccaroAdder(bits);
+  const std::size_t n = adder.numQubits();
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      auto state = sim::zeroState(n);
+      // Encode inputs: layout [cin, a0, b0, a1, b1, a2, b2, cout].
+      std::size_t index = 0;
+      for (std::size_t i = 0; i < bits; ++i) {
+        if ((a >> i) & 1U) {
+          index |= std::size_t{1} << (1 + 2 * i);
+        }
+        if ((b >> i) & 1U) {
+          index |= std::size_t{1} << (2 + 2 * i);
+        }
+      }
+      state[0] = 0.0;
+      state[index] = 1.0;
+      sim::applyLogical(adder, state);
+      // Find the output basis state.
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < state.size(); ++i) {
+        if (std::abs(state[i]) > 0.5) {
+          out = i;
+          break;
+        }
+      }
+      // Decode: b register now holds a+b (mod 8), cout the carry.
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < bits; ++i) {
+        sum |= ((out >> (2 + 2 * i)) & 1U) << i;
+      }
+      const std::uint64_t carry = (out >> (n - 1)) & 1U;
+      EXPECT_EQ(sum + (carry << bits), a + b) << "a=" << a << " b=" << b;
+      // The a register must be restored.
+      std::uint64_t aOut = 0;
+      for (std::size_t i = 0; i < bits; ++i) {
+        aOut |= ((out >> (1 + 2 * i)) & 1U) << i;
+      }
+      EXPECT_EQ(aOut, a);
+    }
+  }
+}
+
+TEST(CircuitsTest, ConstantAdderAddsConstant) {
+  const std::size_t bits = 4;
+  for (const std::uint64_t constant : {1U, 5U, 7U, 15U}) {
+    const auto adder = circuits::constantAdder(bits, constant);
+    for (std::uint64_t x = 0; x < 16; ++x) {
+      auto state = sim::zeroState(bits);
+      state[0] = 0.0;
+      state[x] = 1.0;
+      sim::applyLogical(adder, state);
+      const std::uint64_t expected = (x + constant) % 16;
+      EXPECT_NEAR(std::abs(state[expected]), 1.0, 1e-9)
+          << "x=" << x << " c=" << constant;
+    }
+  }
+}
+
+TEST(CircuitsTest, UrfLikeIsReversibleAndClassical) {
+  // The circuit must map every basis state to a single basis state.
+  const auto c = circuits::urfLike(4, 20, 99);
+  const auto u = sim::circuitUnitary(c);
+  for (std::size_t col = 0; col < 16; ++col) {
+    std::size_t ones = 0;
+    for (std::size_t row = 0; row < 16; ++row) {
+      const double mag = std::abs(u.at(row, col));
+      if (mag > 1e-9) {
+        EXPECT_NEAR(mag, 1.0, 1e-9);
+        ++ones;
+      }
+    }
+    EXPECT_EQ(ones, 1U);
+  }
+}
+
+TEST(CircuitsTest, GroverOracleGateCountGrowsWithIterations) {
+  const auto g1 = circuits::grover(4, 3, 1);
+  const auto g2 = circuits::grover(4, 3, 2);
+  EXPECT_GT(g2.gateCount(), g1.gateCount());
+}
+
+TEST(CircuitsTest, RandomCliffordContainsOnlyClifford) {
+  const auto c = circuits::randomClifford(4, 10, 5);
+  for (const auto& op : c.ops()) {
+    EXPECT_TRUE(op.type == OpType::H || op.type == OpType::S ||
+                op.type == OpType::Sdg ||
+                (op.type == OpType::X && op.controls.size() == 1))
+        << op.toString();
+  }
+}
+
+TEST(CircuitsTest, RandomCliffordTFractionProducesTs) {
+  const auto c = circuits::randomCliffordT(4, 20, 0.5, 5);
+  std::size_t tCount = 0;
+  for (const auto& op : c.ops()) {
+    if (op.type == OpType::T || op.type == OpType::Tdg) {
+      ++tCount;
+    }
+  }
+  EXPECT_GT(tCount, 10U);
+}
+
+TEST(CircuitsTest, BernsteinVaziraniRecoversSecret) {
+  for (const std::uint64_t secret : {0ULL, 5ULL, 13ULL, 15ULL}) {
+    auto state = sim::zeroState(4);
+    sim::applyLogical(circuits::bernsteinVazirani(4, secret), state);
+    EXPECT_NEAR(std::abs(state[secret]), 1.0, 1e-9) << secret;
+  }
+}
+
+TEST(CircuitsTest, DeutschJozsaDistinguishesConstantFromBalanced) {
+  // Constant oracle: measurement yields |0...0>.
+  auto constant = sim::zeroState(4);
+  sim::applyLogical(circuits::deutschJozsa(4, 0), constant);
+  EXPECT_NEAR(std::abs(constant[0]), 1.0, 1e-9);
+  // Balanced oracle: |0...0> amplitude vanishes.
+  auto balanced = sim::zeroState(4);
+  sim::applyLogical(circuits::deutschJozsa(4, 9), balanced);
+  EXPECT_NEAR(std::abs(balanced[0]), 0.0, 1e-9);
+}
+
+TEST(CircuitsTest, HiddenShiftRecoversShift) {
+  for (const std::uint64_t shift : {0ULL, 3ULL, 10ULL, 15ULL}) {
+    auto state = sim::zeroState(4);
+    sim::applyLogical(circuits::hiddenShift(4, shift), state);
+    EXPECT_NEAR(std::abs(state[shift]), 1.0, 1e-9) << shift;
+  }
+}
+
+TEST(CircuitsTest, HiddenShiftRequiresEvenWidth) {
+  EXPECT_THROW(circuits::hiddenShift(3, 1), std::invalid_argument);
+}
+
+TEST(ErrorInjectionTest, RemoveGateShrinksCircuit) {
+  std::mt19937_64 rng(1);
+  const auto c = circuits::ghz(4);
+  const auto damaged = circuits::removeRandomGate(c, rng);
+  ASSERT_TRUE(damaged.has_value());
+  EXPECT_EQ(damaged->gateCount(), c.gateCount() - 1);
+  const auto u = sim::circuitUnitary(c);
+  const auto v = sim::circuitUnitary(*damaged);
+  EXPECT_FALSE(u.equalsUpToGlobalPhase(v));
+}
+
+TEST(ErrorInjectionTest, RemoveGateOnEmptyCircuitFails) {
+  std::mt19937_64 rng(1);
+  const QuantumCircuit empty(2);
+  EXPECT_FALSE(circuits::removeRandomGate(empty, rng).has_value());
+}
+
+TEST(ErrorInjectionTest, FlipCnotChangesFunctionality) {
+  std::mt19937_64 rng(2);
+  const auto c = circuits::ghz(3);
+  const auto damaged = circuits::flipRandomCnot(c, rng);
+  ASSERT_TRUE(damaged.has_value());
+  EXPECT_EQ(damaged->gateCount(), c.gateCount());
+  const auto u = sim::circuitUnitary(c);
+  const auto v = sim::circuitUnitary(*damaged);
+  EXPECT_FALSE(u.equalsUpToGlobalPhase(v));
+}
+
+TEST(ErrorInjectionTest, FlipCnotRequiresCnot) {
+  std::mt19937_64 rng(3);
+  QuantumCircuit c(2);
+  c.h(0);
+  EXPECT_FALSE(circuits::flipRandomCnot(c, rng).has_value());
+}
+
+TEST(ErrorInjectionTest, InjectionIsDeterministicPerSeed) {
+  const auto c = circuits::randomCircuit(4, 30, 8);
+  std::mt19937_64 rngA(77);
+  std::mt19937_64 rngB(77);
+  const auto a = circuits::removeRandomGate(c, rngA);
+  const auto b = circuits::removeRandomGate(c, rngB);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->ops(), b->ops());
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,419 @@
+#include "check/manager.hpp"
+#include "circuits/benchmarks.hpp"
+#include "circuits/error_injection.hpp"
+#include "compile/decompose.hpp"
+#include "compile/mapper.hpp"
+#include "opt/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc::check {
+namespace {
+
+using circuits::ghz;
+using compile::Architecture;
+
+Configuration quickConfig() {
+  Configuration config;
+  config.simulationRuns = 8;
+  config.seed = 7;
+  return config;
+}
+
+// --- construction checker ----------------------------------------------------
+
+TEST(ConstructionCheckerTest, IdenticalCircuitsAreEquivalent) {
+  const auto result = ddConstructionCheck(ghz(3), ghz(3));
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Equivalent);
+}
+
+TEST(ConstructionCheckerTest, GlobalPhaseIsDetected) {
+  auto phased = ghz(3);
+  phased.setGlobalPhase(0.4);
+  const auto result = ddConstructionCheck(ghz(3), phased);
+  EXPECT_EQ(result.criterion,
+            EquivalenceCriterion::EquivalentUpToGlobalPhase);
+}
+
+TEST(ConstructionCheckerTest, DetectsMissingGate) {
+  auto damaged = ghz(3);
+  damaged.ops().pop_back();
+  const auto result = ddConstructionCheck(ghz(3), damaged);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::NotEquivalent);
+  EXPECT_LT(result.hilbertSchmidtFidelity, 0.999);
+}
+
+// --- dense baseline -----------------------------------------------------------
+
+TEST(DenseCheckTest, AgreesWithDDCheckers) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto a = circuits::randomCircuit(3, 20, seed);
+    const auto b = circuits::randomCircuit(3, 20, seed + 100);
+    const auto dense = denseCheck(a, b);
+    const auto construction = ddConstructionCheck(a, b);
+    EXPECT_EQ(provedEquivalent(dense.criterion),
+              provedEquivalent(construction.criterion))
+        << "seed " << seed;
+  }
+  const auto self = denseCheck(ghz(3), ghz(3));
+  EXPECT_EQ(self.criterion, EquivalenceCriterion::Equivalent);
+}
+
+TEST(DenseCheckTest, RejectsLargeCircuits) {
+  EXPECT_THROW((void)denseCheck(ghz(20), ghz(20)), CircuitError);
+}
+
+// --- alternating checker -----------------------------------------------------
+
+class OracleTest : public ::testing::TestWithParam<OracleStrategy> {};
+
+TEST_P(OracleTest, PaperExample5CompiledGhz) {
+  // Fig. 2 / Example 5: GHZ mapped to the 5-qubit linear architecture; the
+  // checker must absorb the reconstructed SWAP and equalize the output
+  // permutation.
+  Configuration config = quickConfig();
+  config.oracle = GetParam();
+  const auto compiled =
+      compile::compileForArchitecture(ghz(3), Architecture::linear(5));
+  const auto result = ddAlternatingCheck(ghz(3), compiled, config);
+  EXPECT_TRUE(provedEquivalent(result.criterion))
+      << toString(config.oracle) << ": " << result.toString();
+}
+
+TEST_P(OracleTest, RandomCircuitTimesInverse) {
+  Configuration config = quickConfig();
+  config.oracle = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto c = circuits::randomCircuit(4, 25, seed);
+    const auto result = ddAlternatingCheck(c, c, config);
+    EXPECT_TRUE(provedEquivalent(result.criterion)) << "seed " << seed;
+  }
+}
+
+TEST_P(OracleTest, DetectsFlippedCnot) {
+  Configuration config = quickConfig();
+  config.oracle = GetParam();
+  std::mt19937_64 rng(3);
+  const auto damaged = circuits::flipRandomCnot(ghz(4), rng);
+  ASSERT_TRUE(damaged.has_value());
+  const auto result = ddAlternatingCheck(ghz(4), *damaged, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::NotEquivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOracles, OracleTest,
+                         ::testing::Values(OracleStrategy::Naive,
+                                           OracleStrategy::Proportional,
+                                           OracleStrategy::Lookahead));
+
+TEST(AlternatingTest, HandlesRandomPermutations) {
+  // Random layouts/output permutations on both sides; equivalence decided
+  // against the dense ground truth.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng(seed);
+    auto c = circuits::randomCircuit(4, 20, seed);
+    std::vector<Qubit> v(4);
+    std::iota(v.begin(), v.end(), 0U);
+    auto permuted = c;
+    std::shuffle(v.begin(), v.end(), rng);
+    permuted.initialLayout() = Permutation(v);
+    std::shuffle(v.begin(), v.end(), rng);
+    permuted.outputPermutation() = Permutation(v);
+    const auto viaConstruction = ddConstructionCheck(c, permuted);
+    const auto viaAlternating = ddAlternatingCheck(c, permuted, quickConfig());
+    EXPECT_EQ(provedEquivalent(viaConstruction.criterion),
+              provedEquivalent(viaAlternating.criterion))
+        << "seed " << seed;
+  }
+}
+
+TEST(AlternatingTest, EquivalentAgainstCompiledManhattan) {
+  const auto arch = Architecture::ibmManhattanLike();
+  const auto original = ghz(6);
+  const auto compiled = compile::compileForArchitecture(original, arch);
+  const auto result = ddAlternatingCheck(original, compiled, quickConfig());
+  EXPECT_TRUE(provedEquivalent(result.criterion)) << result.toString();
+}
+
+TEST(AlternatingTest, SwapAbsorptionKeepsDiagramSmall) {
+  // A pure SWAP network must be verified without building any large DD.
+  QuantumCircuit swaps(6);
+  for (Qubit q = 0; q + 1 < 6; ++q) {
+    swaps.swap(q, q + 1);
+  }
+  QuantumCircuit asPermutation(6);
+  std::vector<Qubit> outPerm{5, 0, 1, 2, 3, 4};
+  asPermutation.outputPermutation() = Permutation(outPerm);
+  const auto result = ddAlternatingCheck(swaps, asPermutation, quickConfig());
+  EXPECT_TRUE(provedEquivalent(result.criterion)) << result.toString();
+  EXPECT_LE(result.peakNodes, 16U);
+}
+
+TEST(AlternatingTest, TraceShowsDiagramStaysNearIdentity) {
+  // The Fig. 4 intuition: verifying a compiled circuit with the alternating
+  // scheme keeps the diagram identity-sized throughout, far below the size
+  // of the full system-matrix DD.
+  Configuration config = quickConfig();
+  config.recordTrace = true;
+  const auto compiled =
+      compile::compileForArchitecture(ghz(6), Architecture::linear(8));
+  const auto result = ddAlternatingCheck(ghz(6), compiled, config);
+  ASSERT_TRUE(provedEquivalent(result.criterion));
+  ASSERT_FALSE(result.sizeTrace.empty());
+  for (const auto nodes : result.sizeTrace) {
+    EXPECT_LE(nodes, 24U); // identity on <= 8 wires is 8 nodes
+  }
+}
+
+TEST(AlternatingTest, TimeoutIsReported) {
+  Configuration config = quickConfig();
+  const auto c = circuits::randomCircuit(6, 200, 1);
+  const auto result =
+      ddAlternatingCheck(c, c, config, [] { return true; });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Timeout);
+}
+
+TEST(CompilationFlowTest, VerifiesCompiledCircuitsInLockstep) {
+  for (const auto* name : {"ghz", "qft", "grover"}) {
+    QuantumCircuit original = std::string(name) == "ghz" ? ghz(5)
+                              : std::string(name) == "qft"
+                                  ? circuits::qft(5)
+                                  : circuits::grover(4, 6);
+    compile::ExpansionCounts counts;
+    const auto compiled = compile::compileForArchitecture(
+        original, Architecture::linear(8), {}, &counts);
+    ASSERT_EQ(counts.size(), original.size()) << name;
+    std::size_t total = 0;
+    for (const auto c : counts) {
+      total += c;
+    }
+    ASSERT_EQ(total, compiled.size()) << name;
+    const auto result =
+        ddCompilationFlowCheck(original, compiled, counts, quickConfig());
+    EXPECT_TRUE(provedEquivalent(result.criterion))
+        << name << ": " << result.toString();
+  }
+}
+
+TEST(CompilationFlowTest, DetectsErrors) {
+  compile::ExpansionCounts counts;
+  const auto original = ghz(5);
+  auto compiled = compile::compileForArchitecture(
+      original, Architecture::linear(8), {}, &counts);
+  // Flip one CNOT in place (keeps the op count, so counts stay valid).
+  for (auto& op : compiled.ops()) {
+    if (op.type == OpType::X && op.controls.size() == 1) {
+      std::swap(op.controls[0], op.targets[0]);
+      break;
+    }
+  }
+  const auto result =
+      ddCompilationFlowCheck(original, compiled, counts, quickConfig());
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::NotEquivalent);
+}
+
+TEST(CompilationFlowTest, RejectsInconsistentCounts) {
+  const auto original = ghz(3);
+  const auto compiled =
+      compile::compileForArchitecture(original, Architecture::linear(5));
+  EXPECT_THROW((void)ddCompilationFlowCheck(original, compiled, {1, 1},
+                                            quickConfig()),
+               CircuitError);
+  const std::vector<std::size_t> wrongTotal(original.size(), 0);
+  EXPECT_THROW((void)ddCompilationFlowCheck(original, compiled, wrongTotal,
+                                            quickConfig()),
+               CircuitError);
+}
+
+TEST(CompilationFlowTest, LockstepKeepsDiagramSmall) {
+  compile::ExpansionCounts counts;
+  const auto original = circuits::qft(6);
+  const auto compiled = compile::compileForArchitecture(
+      original, Architecture::ibmManhattanLike(), {}, &counts);
+  auto config = quickConfig();
+  config.recordTrace = true;
+  const auto flow =
+      ddCompilationFlowCheck(original, compiled, counts, config);
+  ASSERT_TRUE(provedEquivalent(flow.criterion));
+  const auto plain = ddAlternatingCheck(original, compiled, config);
+  ASSERT_TRUE(provedEquivalent(plain.criterion));
+  // Lockstep keeps the diagram within the same order of magnitude as the
+  // proportional oracle (it cannot absorb SWAPs, so it is not strictly
+  // smaller).
+  EXPECT_LE(flow.peakNodes, 10 * plain.peakNodes + 256);
+}
+
+// --- simulation checker --------------------------------------------------------
+
+class StimuliKindTest : public ::testing::TestWithParam<sim::StimuliKind> {};
+
+TEST_P(StimuliKindTest, EquivalentYieldsProbablyEquivalent) {
+  Configuration config = quickConfig();
+  config.stimuliKind = GetParam();
+  const auto result = ddSimulationCheck(ghz(4), ghz(4), config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::ProbablyEquivalent);
+  EXPECT_EQ(result.performedSimulations, config.simulationRuns);
+}
+
+TEST_P(StimuliKindTest, DetectsInjectedErrors) {
+  Configuration config = quickConfig();
+  config.stimuliKind = GetParam();
+  std::mt19937_64 rng(5);
+  const auto base = circuits::grover(3, 4);
+  const auto missing = circuits::removeRandomGate(base, rng);
+  ASSERT_TRUE(missing.has_value());
+  const auto result = ddSimulationCheck(base, *missing, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::NotEquivalent)
+      << sim::toString(GetParam());
+  EXPECT_LE(result.performedSimulations, config.simulationRuns);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, StimuliKindTest,
+                         ::testing::Values(sim::StimuliKind::Classical,
+                                           sim::StimuliKind::LocalQuantum,
+                                           sim::StimuliKind::GlobalQuantum));
+
+// --- ZX checker -----------------------------------------------------------------
+
+TEST(ZXCheckerTest, PaperExample7CompiledGhz) {
+  const auto compiled =
+      compile::compileForArchitecture(ghz(3), Architecture::linear(5));
+  const auto result = zxCheck(ghz(3), compiled);
+  EXPECT_EQ(result.criterion,
+            EquivalenceCriterion::EquivalentUpToGlobalPhase)
+      << result.toString();
+}
+
+TEST(ZXCheckerTest, NonEquivalenceGivesNoInformation) {
+  auto damaged = ghz(3);
+  damaged.ops().pop_back();
+  const auto result = zxCheck(ghz(3), damaged);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::NoInformation);
+}
+
+TEST(ZXCheckerTest, HandlesMultiControlledViaDecomposition) {
+  const auto c = circuits::grover(3, 2);
+  const auto result = zxCheck(c, c);
+  EXPECT_EQ(result.criterion,
+            EquivalenceCriterion::EquivalentUpToGlobalPhase)
+      << result.toString();
+}
+
+TEST(ZXCheckerTest, VerifiesOptimizedCircuits) {
+  const auto original = compile::decomposeToCnot(circuits::quantumWalk(3, 1));
+  const auto optimized = opt::optimize(original);
+  const auto result = zxCheck(original, optimized);
+  EXPECT_EQ(result.criterion,
+            EquivalenceCriterion::EquivalentUpToGlobalPhase)
+      << result.toString();
+}
+
+// --- manager ---------------------------------------------------------------------
+
+TEST(ManagerTest, CombinedFlowEquivalent) {
+  const auto compiled =
+      compile::compileForArchitecture(ghz(4), Architecture::linear(6));
+  const auto result = checkEquivalence(ghz(4), compiled, quickConfig());
+  EXPECT_TRUE(provedEquivalent(result.criterion)) << result.toString();
+}
+
+TEST(ManagerTest, CombinedFlowNotEquivalent) {
+  std::mt19937_64 rng(11);
+  const auto compiled =
+      compile::compileForArchitecture(ghz(4), Architecture::linear(6));
+  const auto damaged = circuits::flipRandomCnot(compiled, rng);
+  ASSERT_TRUE(damaged.has_value());
+  const auto result = checkEquivalence(ghz(4), *damaged, quickConfig());
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::NotEquivalent);
+}
+
+TEST(ManagerTest, SequentialModeMatchesParallel) {
+  Configuration config = quickConfig();
+  config.parallel = false;
+  const auto result = checkEquivalence(ghz(3), ghz(3), config);
+  EXPECT_TRUE(provedEquivalent(result.criterion));
+}
+
+TEST(ManagerTest, ZXEngineCanBeEnabled) {
+  Configuration config = quickConfig();
+  config.runZX = true;
+  EquivalenceCheckingManager manager(ghz(3), ghz(3), config);
+  const auto result = manager.run();
+  EXPECT_TRUE(provedEquivalent(result.criterion));
+  EXPECT_EQ(manager.engineResults().size(), 3U);
+}
+
+TEST(ManagerTest, TimeoutProducesTimeout) {
+  Configuration config = quickConfig();
+  config.timeout = std::chrono::milliseconds(1);
+  config.simulationRuns = 1000000;
+  // A large circuit that cannot finish within 1 ms.
+  const auto c = compile::decomposeToCnot(circuits::grover(7, 13));
+  const auto result = checkEquivalence(c, c, config);
+  EXPECT_FALSE(isDefinitive(result.criterion));
+}
+
+TEST(ManagerTest, NoEnginesYieldsNoInformation) {
+  Configuration config;
+  config.runAlternating = false;
+  config.runSimulation = false;
+  const auto result = checkEquivalence(ghz(3), ghz(3), config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::NoInformation);
+}
+
+// --- cross-method consistency ------------------------------------------------------
+
+TEST(CrossMethodTest, AllMethodsAgreeOnOptimizedPairs) {
+  // Arbitrary-angle circuits: after ZYZ fusion the non-Clifford phases are
+  // no longer pairwise inverses, so the (incomplete) ZX rewriting may only
+  // answer NoInformation — it must never contradict the DD verdict
+  // (Sec. 6.2: rewriting succeeds when phases cancel; here they need not).
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto original =
+        compile::decomposeToCnot(circuits::randomCircuit(4, 30, seed));
+    const auto optimized = opt::optimize(original);
+    const auto construction = ddConstructionCheck(original, optimized);
+    const auto alternating =
+        ddAlternatingCheck(original, optimized, quickConfig());
+    const auto zx = zxCheck(original, optimized);
+    EXPECT_TRUE(provedEquivalent(construction.criterion)) << "seed " << seed;
+    EXPECT_TRUE(provedEquivalent(alternating.criterion)) << "seed " << seed;
+    EXPECT_NE(zx.criterion, EquivalenceCriterion::NotEquivalent)
+        << "seed " << seed;
+  }
+}
+
+TEST(CrossMethodTest, ZXProvesCliffordTOptimizedPairs) {
+  // On Clifford+T circuits the cancellation argument of Sec. 6.2 applies
+  // and the ZX engine must prove equivalence.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto original = circuits::randomCliffordT(4, 8, 0.25, seed);
+    auto shuffled = original;
+    opt::cancelInversePairs(shuffled);
+    opt::removeIdentities(shuffled);
+    const auto zx = zxCheck(original, shuffled);
+    EXPECT_TRUE(provedEquivalent(zx.criterion)) << "seed " << seed;
+    const auto alternating =
+        ddAlternatingCheck(original, shuffled, quickConfig());
+    EXPECT_TRUE(provedEquivalent(alternating.criterion)) << "seed " << seed;
+  }
+}
+
+TEST(CrossMethodTest, NoFalseNegativesOnDamagedCircuits) {
+  std::mt19937_64 rng(23);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto original = circuits::urfLike(4, 12, seed);
+    const auto damaged = circuits::removeRandomGate(original, rng);
+    ASSERT_TRUE(damaged.has_value());
+    const auto construction = ddConstructionCheck(original, *damaged);
+    const auto alternating =
+        ddAlternatingCheck(original, *damaged, quickConfig());
+    const auto zx = zxCheck(original, *damaged);
+    // Removing an MCX always changes a reversible function.
+    EXPECT_EQ(construction.criterion, EquivalenceCriterion::NotEquivalent);
+    EXPECT_EQ(alternating.criterion, EquivalenceCriterion::NotEquivalent);
+    EXPECT_FALSE(provedEquivalent(zx.criterion)) << "seed " << seed;
+  }
+}
+
+} // namespace
+} // namespace veriqc::check

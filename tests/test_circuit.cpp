@@ -1,0 +1,157 @@
+#include "circuits/benchmarks.hpp"
+#include "ir/circuit.hpp"
+#include "sim/dense.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc {
+namespace {
+
+QuantumCircuit randomlyPermuted(QuantumCircuit c, const std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Qubit> layout(c.numQubits());
+  std::iota(layout.begin(), layout.end(), 0U);
+  std::shuffle(layout.begin(), layout.end(), rng);
+  std::vector<Qubit> outPerm(c.numQubits());
+  std::iota(outPerm.begin(), outPerm.end(), 0U);
+  std::shuffle(outPerm.begin(), outPerm.end(), rng);
+  c.initialLayout() = Permutation{layout};
+  c.outputPermutation() = Permutation{outPerm};
+  return c;
+}
+
+TEST(CircuitTest, AppendValidates) {
+  QuantumCircuit c(2);
+  EXPECT_THROW(c.x(5), CircuitError);
+  EXPECT_NO_THROW(c.x(1));
+}
+
+TEST(CircuitTest, GateCountSkipsMeta) {
+  QuantumCircuit c(2);
+  c.h(0);
+  c.barrier();
+  c.cx(0, 1);
+  EXPECT_EQ(c.size(), 3U);
+  EXPECT_EQ(c.gateCount(), 2U);
+  EXPECT_EQ(c.multiQubitGateCount(), 1U);
+}
+
+TEST(CircuitTest, DepthOfGhz) {
+  EXPECT_EQ(circuits::ghz(4).depth(), 4U); // H then 3 sequential CNOTs
+}
+
+TEST(CircuitTest, WireIsIdle) {
+  QuantumCircuit c(3);
+  c.cx(0, 2);
+  EXPECT_FALSE(c.wireIsIdle(0));
+  EXPECT_TRUE(c.wireIsIdle(1));
+  EXPECT_FALSE(c.wireIsIdle(2));
+}
+
+TEST(CircuitTest, InvertedComposesToIdentity) {
+  const auto c = circuits::randomCircuit(3, 40, 11);
+  const auto u = sim::circuitUnitary(c);
+  const auto v = sim::circuitUnitary(c.inverted());
+  const auto prod = v.multiply(u);
+  EXPECT_TRUE(prod.equalsUpToGlobalPhase(sim::Matrix::identity(8)));
+}
+
+TEST(CircuitTest, InvertedSwapsPermutations) {
+  auto c = randomlyPermuted(circuits::randomCircuit(3, 20, 5), 6);
+  const auto inv = c.inverted();
+  EXPECT_EQ(inv.initialLayout(), c.outputPermutation());
+  EXPECT_EQ(inv.outputPermutation(), c.initialLayout());
+  const auto u = sim::circuitUnitary(c);
+  const auto v = sim::circuitUnitary(inv);
+  EXPECT_TRUE(v.multiply(u).equalsUpToGlobalPhase(sim::Matrix::identity(8)));
+}
+
+TEST(CircuitTest, WithExplicitPermutationsPreservesSemantics) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto c = randomlyPermuted(circuits::randomCircuit(4, 25, seed), seed + 100);
+    const auto folded = c.withExplicitPermutations();
+    EXPECT_TRUE(folded.initialLayout().isIdentity());
+    EXPECT_TRUE(folded.outputPermutation().isIdentity());
+    const auto u = sim::circuitUnitary(c);
+    const auto v = sim::circuitUnitary(folded);
+    EXPECT_TRUE(u.equals(v, 1e-9)) << "seed " << seed;
+  }
+}
+
+TEST(CircuitTest, PaddedPreservesSemanticsOnOriginalQubits) {
+  auto c = randomlyPermuted(circuits::randomCircuit(2, 15, 3), 4);
+  const auto p = c.padded(3);
+  EXPECT_EQ(p.numQubits(), 3U);
+  p.validate();
+  const auto u = sim::circuitUnitary(c);
+  const auto v = sim::circuitUnitary(p);
+  // The padded unitary acts as u (x) I: check the top-left block.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t col = 0; col < 4; ++col) {
+      EXPECT_NEAR(std::abs(v.at(r, col) - u.at(r, col)), 0.0, 1e-12);
+    }
+  }
+  EXPECT_THROW(p.padded(1), CircuitError);
+}
+
+TEST(CircuitTest, AlignCircuitsStripsCommonIdleQubits) {
+  QuantumCircuit a(5);
+  a.h(0);
+  a.cx(0, 3);
+  QuantumCircuit b(5);
+  b.h(0);
+  b.cx(0, 3);
+  b.z(2);
+  const auto [a2, b2] = alignCircuits(a, b);
+  // Qubits 1 and 4 are idle in both -> stripped.
+  EXPECT_EQ(a2.numQubits(), 3U);
+  EXPECT_EQ(b2.numQubits(), 3U);
+  a2.validate();
+  b2.validate();
+  const auto ua = sim::circuitUnitary(a2);
+  const auto ub = sim::circuitUnitary(b2);
+  EXPECT_FALSE(ua.equalsUpToGlobalPhase(ub)); // differ by the Z
+}
+
+TEST(CircuitTest, AlignCircuitsPadsDifferentWidths) {
+  const auto a = circuits::ghz(3);
+  auto b = circuits::ghz(3).padded(5);
+  const auto [a2, b2] = alignCircuits(a, b);
+  EXPECT_EQ(a2.numQubits(), b2.numQubits());
+  const auto ua = sim::circuitUnitary(a2);
+  const auto ub = sim::circuitUnitary(b2);
+  EXPECT_TRUE(ua.equalsUpToGlobalPhase(ub));
+}
+
+TEST(CircuitTest, AlignPreservesEquivalenceWithPermutations) {
+  // A circuit on 6 wires using only 3, with nontrivial layout, against the
+  // plain 3-qubit version.
+  const auto small = circuits::ghz(3);
+  QuantumCircuit big(6);
+  // Wires 1, 3, 4 hold logical 0, 1, 2.
+  big.initialLayout() = Permutation({3, 0, 4, 1, 2, 5});
+  big.outputPermutation() = Permutation({3, 0, 4, 1, 2, 5});
+  big.h(1);
+  big.cx(1, 3);
+  big.cx(1, 4);
+  const auto [a2, b2] = alignCircuits(small, big);
+  EXPECT_EQ(a2.numQubits(), 3U);
+  EXPECT_EQ(b2.numQubits(), 3U);
+  const auto ua = sim::circuitUnitary(a2);
+  const auto ub = sim::circuitUnitary(b2);
+  EXPECT_TRUE(ua.equalsUpToGlobalPhase(ub));
+}
+
+TEST(CircuitTest, ValidateChecksPermutationSizes) {
+  QuantumCircuit c(3);
+  c.initialLayout() = Permutation({0, 1});
+  EXPECT_THROW(c.validate(), CircuitError);
+}
+
+TEST(CircuitTest, ToStringContainsName) {
+  const auto c = circuits::ghz(3);
+  EXPECT_NE(c.toString().find("ghz_3"), std::string::npos);
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,303 @@
+#include "circuits/benchmarks.hpp"
+#include "compile/architecture.hpp"
+#include "compile/decompose.hpp"
+#include "compile/mapper.hpp"
+#include "sim/dense.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc {
+namespace {
+
+using compile::Architecture;
+
+void expectSameUnitary(const QuantumCircuit& a, const QuantumCircuit& b,
+                       const std::string& label, const double tol = 1e-9) {
+  const auto [a2, b2] = alignCircuits(a, b);
+  ASSERT_LE(a2.numQubits(), 12U) << label;
+  const auto ua = sim::circuitUnitary(a2);
+  const auto ub = sim::circuitUnitary(b2);
+  EXPECT_TRUE(ua.equalsUpToGlobalPhase(ub, tol)) << label;
+}
+
+// --- decomposition -----------------------------------------------------------
+
+TEST(DecomposeTest, McxAllSizesMatchDense) {
+  for (std::size_t n = 3; n <= 6; ++n) {
+    // k = n-1 controls: the no-free-wire case (square-root recursion).
+    QuantumCircuit c(n);
+    std::vector<Qubit> controls(n - 1);
+    std::iota(controls.begin(), controls.end(), 0U);
+    c.mcx(controls, static_cast<Qubit>(n - 1));
+    const auto d = compile::decomposeToCnot(c);
+    expectSameUnitary(c, d, "mcx k=" + std::to_string(n - 1));
+  }
+}
+
+TEST(DecomposeTest, McxWithBorrowedQubitsMatchesDense) {
+  // k = n-2: one borrowed wire available (the split construction).
+  for (std::size_t n = 4; n <= 7; ++n) {
+    QuantumCircuit c(n);
+    std::vector<Qubit> controls(n - 2);
+    std::iota(controls.begin(), controls.end(), 0U);
+    c.mcx(controls, static_cast<Qubit>(n - 1));
+    const auto d = compile::decomposeToCnot(c);
+    expectSameUnitary(c, d, "borrowed mcx n=" + std::to_string(n));
+  }
+}
+
+TEST(DecomposeTest, BorrowedQubitStateIsRestoredEvenWhenDirty) {
+  // The split construction must work for any (dirty) borrow state: check the
+  // full unitary, not just the |0> column — expectSameUnitary covers all
+  // basis states including those where the borrowed wire is |1>.
+  QuantumCircuit c(5);
+  c.mcx({0, 1, 2}, 4); // wire 3 is the borrow
+  const auto d = compile::decomposeToCnot(c);
+  expectSameUnitary(c, d, "dirty borrow");
+}
+
+TEST(DecomposeTest, MczAndMcpMatchDense) {
+  QuantumCircuit c(4);
+  c.mcz({0, 1, 2}, 3);
+  c.mcp({0, 1}, 3, 0.77);
+  c.mcp({0, 1, 2}, 3, -PI / 8.0);
+  const auto d = compile::decomposeToCnot(c);
+  expectSameUnitary(c, d, "mcz/mcp", 1e-8);
+}
+
+TEST(DecomposeTest, ControlledSwapMatchesDense) {
+  QuantumCircuit c(4);
+  c.cswap(0, 1, 2);
+  c.append(Operation(OpType::SWAP, {0, 3}, {1, 2})); // doubly controlled swap
+  const auto d = compile::decomposeToCnot(c);
+  expectSameUnitary(c, d, "cswap");
+}
+
+TEST(DecomposeTest, ControlledRotationsMatchDense) {
+  QuantumCircuit c(4);
+  c.crz(0, 1, 0.9);
+  c.append(Operation(OpType::RX, {0}, {1}, {0.4}));
+  c.append(Operation(OpType::RY, {2}, {3}, {-1.2}));
+  c.append(Operation(OpType::RZ, {0, 1}, {2}, {0.35}));
+  c.append(Operation(OpType::RY, {0, 3}, {1}, {0.81}));
+  c.append(Operation(OpType::H, {0, 1}, {3}));
+  c.append(Operation(OpType::Y, {0, 2}, {1}));
+  c.append(Operation(OpType::SX, {1, 2}, {0}));
+  const auto d = compile::decomposeToCnot(c);
+  expectSameUnitary(c, d, "controlled rotations", 1e-8);
+}
+
+TEST(DecomposeTest, ControlledU3MatchesDense) {
+  QuantumCircuit c(3);
+  c.append(Operation(OpType::U3, {0}, {1}, {1.1, 0.3, -0.7}));
+  c.append(Operation(OpType::U2, {2}, {0}, {0.5, 0.25}));
+  c.append(Operation(OpType::U3, {0, 2}, {1}, {0.9, -0.2, 0.4}));
+  const auto d = compile::decomposeToCnot(c);
+  expectSameUnitary(c, d, "cu3", 1e-8);
+}
+
+TEST(DecomposeTest, CnotTargetContainsOnlyCnotAndSingleQubit) {
+  const auto d = compile::decomposeToCnot(circuits::grover(4, 7));
+  for (const auto& op : d.ops()) {
+    if (op.isNonUnitary()) {
+      continue;
+    }
+    if (op.controls.empty()) {
+      EXPECT_TRUE(isSingleTargetType(op.type)) << op.toString();
+    } else {
+      EXPECT_EQ(op.controls.size(), 1U) << op.toString();
+      EXPECT_EQ(op.type, OpType::X) << op.toString();
+    }
+  }
+}
+
+TEST(DecomposeTest, ZXTargetKeepsAtMostOneControl) {
+  const auto d = compile::decomposeForZX(circuits::quantumWalk(3, 1));
+  for (const auto& op : d.ops()) {
+    EXPECT_LE(op.controls.size(), 1U) << op.toString();
+    if (op.type == OpType::SWAP) {
+      EXPECT_TRUE(op.controls.empty());
+    }
+  }
+  expectSameUnitary(circuits::quantumWalk(3, 1), d, "zx walk");
+}
+
+TEST(DecomposeTest, BenchmarksSurviveDecomposition) {
+  const std::vector<QuantumCircuit> cases = {
+      circuits::grover(3, 5), circuits::quantumWalk(2, 2),
+      circuits::constantAdder(4, 7), circuits::urfLike(4, 10, 3),
+      circuits::mixedReversible(4, 12, 9)};
+  for (const auto& c : cases) {
+    expectSameUnitary(c, compile::decomposeToCnot(c), c.name(), 1e-8);
+    expectSameUnitary(c, compile::decomposeForZX(c), c.name() + "_zx", 1e-8);
+  }
+}
+
+// --- architectures --------------------------------------------------------------
+
+TEST(ArchitectureTest, LinearDistances) {
+  const auto arch = Architecture::linear(5);
+  EXPECT_TRUE(arch.isConnected());
+  EXPECT_TRUE(arch.adjacent(1, 2));
+  EXPECT_FALSE(arch.adjacent(0, 2));
+  EXPECT_EQ(arch.distance(0, 4), 4U);
+  const auto path = arch.shortestPath(0, 3);
+  EXPECT_EQ(path.size(), 4U);
+  EXPECT_EQ(path.front(), 0U);
+  EXPECT_EQ(path.back(), 3U);
+}
+
+TEST(ArchitectureTest, RingWrapsAround) {
+  const auto arch = Architecture::ring(6);
+  EXPECT_EQ(arch.distance(0, 5), 1U);
+  EXPECT_EQ(arch.distance(0, 3), 3U);
+}
+
+TEST(ArchitectureTest, GridDistances) {
+  const auto arch = Architecture::grid(3, 4);
+  EXPECT_EQ(arch.numQubits(), 12U);
+  EXPECT_EQ(arch.distance(0, 11), 5U); // manhattan distance
+}
+
+TEST(ArchitectureTest, ManhattanLikeIs65QubitHeavyHex) {
+  const auto arch = Architecture::ibmManhattanLike();
+  EXPECT_EQ(arch.numQubits(), 65U);
+  EXPECT_TRUE(arch.isConnected());
+  EXPECT_EQ(arch.edges().size(), 72U);
+  // Heavy-hex: degree at most 3.
+  for (Qubit q = 0; q < 65; ++q) {
+    EXPECT_LE(arch.neighbors(q).size(), 3U) << "qubit " << q;
+    EXPECT_GE(arch.neighbors(q).size(), 1U) << "qubit " << q;
+  }
+}
+
+TEST(ArchitectureTest, RejectsInvalidEdges) {
+  EXPECT_THROW(Architecture("bad", 2, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(Architecture("bad", 2, {{1, 1}}), std::invalid_argument);
+}
+
+// --- mapping ------------------------------------------------------------------
+
+void expectRespectsCoupling(const QuantumCircuit& mapped,
+                            const Architecture& arch) {
+  for (const auto& op : mapped.ops()) {
+    if (op.isNonUnitary()) {
+      continue;
+    }
+    const auto used = op.usedQubits();
+    if (used.size() == 2) {
+      EXPECT_TRUE(arch.adjacent(used[0], used[1])) << op.toString();
+    } else {
+      EXPECT_LE(used.size(), 2U) << op.toString();
+    }
+  }
+}
+
+TEST(MapperTest, GhzLinear) {
+  // The paper's Fig. 2 scenario: GHZ preparation on a linear architecture.
+  const auto arch = Architecture::linear(5);
+  const auto compiled = compile::compileForArchitecture(circuits::ghz(3), arch);
+  expectRespectsCoupling(compiled, arch);
+  compiled.validate();
+  expectSameUnitary(circuits::ghz(3), compiled, "ghz linear");
+}
+
+TEST(MapperTest, MappedCircuitsPreserveSemantics) {
+  const auto arch = Architecture::grid(2, 3);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto c = circuits::randomCircuit(4, 25, seed);
+    const auto compiled = compile::compileForArchitecture(c, arch);
+    expectRespectsCoupling(compiled, arch);
+    expectSameUnitary(c, compiled, "seed " + std::to_string(seed), 1e-8);
+  }
+}
+
+TEST(MapperTest, TrivialPlacementKeepsOrder) {
+  compile::MapperOptions options;
+  options.placement = compile::MapperOptions::Placement::Trivial;
+  const auto arch = Architecture::linear(4);
+  QuantumCircuit c(3);
+  c.h(2);
+  const auto mapped =
+      compile::mapCircuit(compile::decomposeToCnot(c), arch, options);
+  EXPECT_EQ(mapped.ops()[0].targets[0], 2U);
+  EXPECT_TRUE(mapped.initialLayout().isIdentity());
+}
+
+TEST(MapperTest, RoutingInsertsSwaps) {
+  compile::MapperOptions options;
+  options.placement = compile::MapperOptions::Placement::Trivial;
+  const auto arch = Architecture::linear(4);
+  QuantumCircuit c(4);
+  c.cx(0, 3);
+  const auto mapped = compile::mapCircuit(c, arch, options);
+  std::size_t swaps = 0;
+  for (const auto& op : mapped.ops()) {
+    if (op.type == OpType::SWAP) {
+      ++swaps;
+    }
+  }
+  EXPECT_EQ(swaps, 2U);
+  EXPECT_FALSE(mapped.outputPermutation().isIdentity());
+  expectSameUnitary(c, mapped, "routing");
+}
+
+TEST(MapperTest, RejectsOversizedCircuits) {
+  const auto arch = Architecture::linear(2);
+  EXPECT_THROW((void)compile::mapCircuit(circuits::ghz(3), arch),
+               CircuitError);
+}
+
+TEST(MapperTest, RejectsUndcomposedInput) {
+  const auto arch = Architecture::linear(4);
+  QuantumCircuit c(3);
+  c.ccx(0, 1, 2);
+  EXPECT_THROW((void)compile::mapCircuit(c, arch), CircuitError);
+}
+
+class MapperArchitectureTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+public:
+  static Architecture makeArch(const int kind) {
+    switch (kind) {
+    case 0:
+      return Architecture::linear(6);
+    case 1:
+      return Architecture::ring(6);
+    case 2:
+      return Architecture::grid(2, 3);
+    default:
+      return Architecture::fullyConnected(6);
+    }
+  }
+};
+
+TEST_P(MapperArchitectureTest, RandomCircuitsMapCorrectlyEverywhere) {
+  const auto [kind, seed] = GetParam();
+  const auto arch = makeArch(kind);
+  const auto c = circuits::randomCircuit(4, 18, seed);
+  const auto compiled = compile::compileForArchitecture(c, arch);
+  expectRespectsCoupling(compiled, arch);
+  expectSameUnitary(c, compiled,
+                    arch.name() + " seed " + std::to_string(seed), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchitecturesTimesSeeds, MapperArchitectureTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+TEST(MapperTest, CompilationToManhattanProducesLargerCircuits) {
+  // Sec. 6.1: compiled circuits are considerably larger than the originals
+  // (|G'| > |G| in Table 1).
+  const auto arch = Architecture::ibmManhattanLike();
+  const auto original = circuits::ghz(8);
+  const auto compiled = compile::compileForArchitecture(original, arch);
+  expectRespectsCoupling(compiled, arch);
+  EXPECT_GT(compiled.gateCount(), original.gateCount());
+  EXPECT_EQ(compiled.numQubits(), 65U);
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,199 @@
+#include "circuits/benchmarks.hpp"
+#include "dd/compute_table.hpp"
+#include "dd/package.hpp"
+#include "dd/unique_table.hpp"
+#include "sim/dd_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc::dd {
+namespace {
+
+TEST(UniqueTableTest, DeduplicatesEqualNodes) {
+  UniqueTable<mNode> table;
+  mNode terminal;
+  terminal.v = kTerminalLevel;
+  auto* a = table.getFreeNode();
+  a->v = 0;
+  a->e = {mEdge{&terminal, {1.0, 0.0}}, mEdge{&terminal, {0.0, 0.0}},
+          mEdge{&terminal, {0.0, 0.0}}, mEdge{&terminal, {1.0, 0.0}}};
+  auto* canonical = table.lookup(a);
+  EXPECT_EQ(canonical, a);
+  auto* b = table.getFreeNode();
+  b->v = 0;
+  b->e = a->e;
+  auto* duplicate = table.lookup(b);
+  EXPECT_EQ(duplicate, a);
+  EXPECT_EQ(table.size(), 1U);
+}
+
+TEST(UniqueTableTest, FreeListReusesReturnedNodes) {
+  UniqueTable<mNode> table;
+  auto* a = table.getFreeNode();
+  table.returnNode(a);
+  auto* b = table.getFreeNode();
+  EXPECT_EQ(a, b);
+}
+
+TEST(UniqueTableTest, GrowsBeyondInitialBuckets) {
+  UniqueTable<mNode> table;
+  mNode terminal;
+  terminal.v = kTerminalLevel;
+  // Insert far more distinct nodes than the initial bucket count.
+  for (int i = 1; i <= 3000; ++i) {
+    auto* node = table.getFreeNode();
+    node->v = 0;
+    node->e = {mEdge{&terminal, {static_cast<double>(i), 0.0}},
+               mEdge{&terminal, {0.0, 0.0}}, mEdge{&terminal, {0.0, 0.0}},
+               mEdge{&terminal, {1.0, 0.0}}};
+    ASSERT_EQ(table.lookup(node), node) << i;
+  }
+  EXPECT_EQ(table.size(), 3000U);
+}
+
+TEST(UniqueTableTest, GarbageCollectRemovesOnlyDeadNodes) {
+  UniqueTable<mNode> table;
+  mNode terminal;
+  terminal.v = kTerminalLevel;
+  auto* alive = table.getFreeNode();
+  alive->v = 0;
+  alive->ref = 1;
+  alive->e = {mEdge{&terminal, {1.0, 0.0}}, mEdge{&terminal, {0.0, 0.0}},
+              mEdge{&terminal, {0.0, 0.0}}, mEdge{&terminal, {1.0, 0.0}}};
+  table.lookup(alive);
+  auto* dead = table.getFreeNode();
+  dead->v = 0;
+  dead->ref = 0;
+  dead->e = {mEdge{&terminal, {2.0, 0.0}}, mEdge{&terminal, {0.0, 0.0}},
+             mEdge{&terminal, {0.0, 0.0}}, mEdge{&terminal, {1.0, 0.0}}};
+  table.lookup(dead);
+  EXPECT_EQ(table.garbageCollect(), 1U);
+  EXPECT_EQ(table.size(), 1U);
+}
+
+TEST(ComputeTableTest, InsertLookupAndClear) {
+  ComputeTable<mEdge, mEdge, mEdge> table;
+  mNode node;
+  node.v = 0;
+  const mEdge key1{&node, {1.0, 0.0}};
+  const mEdge key2{&node, {0.5, 0.0}};
+  const mEdge value{&node, {0.25, 0.0}};
+  EXPECT_EQ(table.lookup(key1, key2), nullptr);
+  table.insert(key1, key2, value);
+  const auto* hit = table.lookup(key1, key2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, value);
+  // Different weight misses.
+  EXPECT_EQ(table.lookup(key2, key1), nullptr);
+  table.clear();
+  EXPECT_EQ(table.lookup(key1, key2), nullptr);
+  EXPECT_GE(table.lookups(), 3U);
+  EXPECT_EQ(table.hits(), 1U);
+}
+
+TEST(RealTableTest, NeighborBucketLookupAcrossBoundary) {
+  RealTable table(1e-6);
+  // Two values within tolerance but in adjacent buckets must unify.
+  const double v1 = 1.0 - 1e-7;
+  const double v2 = 1.0 + 1e-7;
+  const double a = table.lookup(v1);
+  const double b = table.lookup(v2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RealTableTest, CountsDistinctValues) {
+  RealTable table(1e-10);
+  (void)table.lookup(0.123);
+  (void)table.lookup(0.456);
+  (void)table.lookup(0.123 + 1e-12); // unifies
+  EXPECT_EQ(table.size(), 2U);
+  table.clear();
+  EXPECT_EQ(table.size(), 0U);
+}
+
+TEST(PackageTest, ZeroMatrixAbsorbsMultiplication) {
+  Package p(3);
+  const auto h = p.makeOperationDD(Operation(OpType::H, {}, {0}));
+  const auto zero = p.zeroMatrix();
+  EXPECT_TRUE(p.multiply(h, zero).isZero());
+  EXPECT_TRUE(p.multiply(zero, h).isZero());
+  // Adding zero is the identity of addition.
+  const auto sum = p.add(h, zero);
+  EXPECT_EQ(sum.p, h.p);
+  EXPECT_EQ(sum.w, h.w);
+}
+
+TEST(PackageTest, ConjugateTransposeIsInvolution) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Package p(3);
+    auto e = sim::buildUnitaryDD(p, circuits::randomCircuit(3, 15, seed));
+    const auto twice = p.conjugateTranspose(p.conjugateTranspose(e));
+    EXPECT_EQ(twice.p, e.p) << "seed " << seed;
+    EXPECT_NEAR(std::abs(twice.w - e.w), 0.0, 1e-12) << "seed " << seed;
+    p.decRef(e);
+  }
+}
+
+TEST(PackageTest, MultiplicationIsAssociative) {
+  Package p(2);
+  const auto a = p.makeOperationDD(Operation(OpType::H, {}, {0}));
+  const auto b = p.makeOperationDD(Operation(OpType::X, {0}, {1}));
+  const auto c = p.makeOperationDD(Operation(OpType::S, {}, {1}));
+  const auto left = p.multiply(p.multiply(a, b), c);
+  const auto right = p.multiply(a, p.multiply(b, c));
+  EXPECT_EQ(left.p, right.p);
+  EXPECT_NEAR(std::abs(left.w - right.w), 0.0, 1e-12);
+}
+
+TEST(PackageTest, BasisStateSizeMismatchThrows) {
+  Package p(3);
+  EXPECT_THROW((void)p.makeBasisState({true, false}), std::invalid_argument);
+}
+
+TEST(PackageTest, GetEntryOnZeroEdge) {
+  Package p(2);
+  EXPECT_EQ(p.getEntry(p.zeroMatrix(), 0, 0), std::complex<double>{});
+  EXPECT_EQ(p.getAmplitude(p.zeroVectorEdge(), 1), std::complex<double>{});
+}
+
+TEST(PackageTest, StatsReflectLiveNodes) {
+  Package p(4);
+  auto e = sim::buildUnitaryDD(p, circuits::qft(4));
+  const auto stats = p.stats();
+  EXPECT_GT(stats.matrixNodes, 4U);
+  EXPECT_GT(stats.allocations, 0U);
+  EXPECT_GT(stats.realNumbers, 0U);
+  p.decRef(e);
+}
+
+TEST(PackageTest, IsIdentityStrictVsGlobalPhase) {
+  Package p(2);
+  const auto ident = p.makeIdent();
+  EXPECT_TRUE(p.isIdentity(ident, false));
+  const mEdge phased{ident.p, std::complex<double>{0.0, 1.0}};
+  EXPECT_TRUE(p.isIdentity(phased, true));
+  EXPECT_FALSE(p.isIdentity(phased, false));
+  EXPECT_FALSE(p.isIdentity(p.zeroMatrix(), true));
+}
+
+TEST(PackageTest, TraceFidelityDistinguishes) {
+  Package p(2);
+  const auto x = p.makeOperationDD(Operation(OpType::X, {}, {0}));
+  EXPECT_LT(p.traceFidelity(x), 0.1);
+  EXPECT_NEAR(p.traceFidelity(p.makeIdent()), 1.0, 1e-12);
+}
+
+TEST(PackageTest, SwapDDEqualsThreeCnotProduct) {
+  Package p(3);
+  const auto swap = p.makeSwapDD(0, 2);
+  QuantumCircuit c(3);
+  c.cx(0, 2);
+  c.cx(2, 0);
+  c.cx(0, 2);
+  auto viaCx = sim::buildUnitaryDD(p, c);
+  EXPECT_EQ(swap.p, viaCx.p);
+  p.decRef(viaCx);
+}
+
+} // namespace
+} // namespace veriqc::dd

@@ -1,0 +1,286 @@
+#include "circuits/benchmarks.hpp"
+#include "dd/package.hpp"
+#include "sim/dd_simulator.hpp"
+#include "sim/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace veriqc {
+namespace {
+
+using dd::Package;
+
+/// Dense matrix of a DD for cross-validation.
+sim::Matrix toDense(const Package& p, const dd::mEdge& e) {
+  const std::size_t dim = std::size_t{1} << p.numQubits();
+  sim::Matrix m(dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      m.at(r, c) = p.getEntry(e, r, c);
+    }
+  }
+  return m;
+}
+
+TEST(RealTableTest, InternsWithinTolerance) {
+  dd::RealTable table(1e-10);
+  const double a = table.lookup(0.5);
+  const double b = table.lookup(0.5 + 1e-12);
+  EXPECT_EQ(a, b);
+  const double c = table.lookup(0.5 + 1e-6);
+  EXPECT_NE(a, c);
+}
+
+TEST(RealTableTest, ZeroSnapping) {
+  dd::RealTable table;
+  EXPECT_EQ(table.lookup(1e-15), 0.0);
+  EXPECT_EQ(table.lookup(-1e-15), 0.0);
+}
+
+TEST(RealTableTest, ExactSpecialValues) {
+  dd::RealTable table;
+  EXPECT_EQ(table.lookup(1.0), 1.0);
+  EXPECT_EQ(table.lookup(-1.0), -1.0);
+  EXPECT_EQ(table.lookup(0.0), 0.0);
+}
+
+TEST(DDTest, IdentityIsLinear) {
+  // Fig. 3b of the paper: the identity DD has one node per qubit.
+  Package p(8);
+  const auto ident = p.makeIdent();
+  EXPECT_EQ(p.nodeCount(ident), 8U);
+  EXPECT_NEAR(p.traceFidelity(ident), 1.0, 1e-12);
+}
+
+TEST(DDTest, GateDDMatchesDenseMatrix) {
+  Package p(3);
+  const std::vector<Operation> ops = {
+      Operation(OpType::H, {}, {1}),
+      Operation(OpType::X, {0}, {2}),
+      Operation(OpType::X, {0, 1}, {2}),
+      Operation(OpType::Z, {2}, {0}),
+      Operation(OpType::P, {1}, {0}, {0.3}),
+      Operation(OpType::RY, {}, {2}, {1.2}),
+      Operation(OpType::SWAP, {}, {0, 2}),
+      Operation(OpType::SWAP, {1}, {0, 2}),
+  };
+  for (const auto& op : ops) {
+    const auto e = p.makeOperationDD(op);
+    QuantumCircuit c(3);
+    c.append(op);
+    const auto expected = sim::circuitUnitary(c);
+    EXPECT_TRUE(toDense(p, e).equals(expected, 1e-12)) << op.toString();
+  }
+}
+
+TEST(DDTest, GhzMatrixStructure) {
+  // The paper's Example 4: the 3-qubit GHZ system matrix shares submatrices
+  // (U00 = U01 and U10 = -U11), giving a 5-node decision diagram (Fig. 3a)
+  // instead of the 64-entry matrix.
+  Package p(3);
+  auto e = sim::buildUnitaryDD(p, circuits::ghz(3));
+  EXPECT_EQ(p.nodeCount(e), 5U);
+  const auto expected = sim::circuitUnitary(circuits::ghz(3));
+  EXPECT_TRUE(toDense(p, e).equals(expected, 1e-12));
+  p.decRef(e);
+}
+
+TEST(DDTest, MultiplyMatchesDense) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Package p(3);
+    const auto c1 = circuits::randomCircuit(3, 12, seed);
+    const auto c2 = circuits::randomCircuit(3, 12, seed + 50);
+    auto e1 = sim::buildUnitaryDD(p, c1);
+    auto e2 = sim::buildUnitaryDD(p, c2);
+    const auto prod = p.multiply(e1, e2);
+    const auto expected =
+        sim::circuitUnitary(c1).multiply(sim::circuitUnitary(c2));
+    EXPECT_TRUE(toDense(p, prod).equals(expected, 1e-9)) << "seed " << seed;
+    p.decRef(e1);
+    p.decRef(e2);
+  }
+}
+
+TEST(DDTest, AddMatchesDense) {
+  Package p(2);
+  const auto h0 = p.makeOperationDD(Operation(OpType::H, {}, {0}));
+  const auto x1 = p.makeOperationDD(Operation(OpType::X, {}, {1}));
+  const auto sum = p.add(h0, x1);
+  const auto dense = toDense(p, sum);
+  QuantumCircuit ch(2);
+  ch.h(0);
+  QuantumCircuit cx(2);
+  cx.x(1);
+  const auto dh = sim::circuitUnitary(ch);
+  const auto dx = sim::circuitUnitary(cx);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(std::abs(dense.at(r, c) - (dh.at(r, c) + dx.at(r, c))), 0.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(DDTest, ConjugateTransposeMatchesDense) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Package p(3);
+    const auto c = circuits::randomCircuit(3, 15, seed);
+    auto e = sim::buildUnitaryDD(p, c);
+    const auto ct = p.conjugateTranspose(e);
+    const auto expected = sim::circuitUnitary(c).adjoint();
+    EXPECT_TRUE(toDense(p, ct).equals(expected, 1e-9));
+    p.decRef(e);
+  }
+}
+
+TEST(DDTest, UDaggerUIsIdentity) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Package p(4);
+    const auto c = circuits::randomCircuit(4, 30, seed);
+    auto e = sim::buildUnitaryDD(p, c);
+    const auto ct = p.conjugateTranspose(e);
+    const auto prod = p.multiply(ct, e);
+    EXPECT_TRUE(p.isIdentity(prod, false)) << "seed " << seed;
+    EXPECT_EQ(prod.p, p.makeIdent().p) << "seed " << seed;
+    p.decRef(e);
+  }
+}
+
+TEST(DDTest, TraceOfIdentityIsDimension) {
+  Package p(5);
+  const auto t = p.trace(p.makeIdent());
+  EXPECT_NEAR(t.real(), 32.0, 1e-12);
+  EXPECT_NEAR(t.imag(), 0.0, 1e-12);
+}
+
+TEST(DDTest, TraceMatchesDense) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Package p(3);
+    const auto c = circuits::randomCircuit(3, 20, seed);
+    auto e = sim::buildUnitaryDD(p, c);
+    const auto t = p.trace(e);
+    const auto expected = sim::circuitUnitary(c).trace();
+    EXPECT_NEAR(std::abs(t - expected), 0.0, 1e-9);
+    p.decRef(e);
+  }
+}
+
+TEST(DDTest, CanonicityEqualCircuitsShareRoot) {
+  // Two different gate sequences with identical functionality must produce
+  // the exact same root node (canonicity).
+  Package p(2);
+  QuantumCircuit a(2);
+  a.h(0);
+  a.h(0);
+  QuantumCircuit b(2);
+  b.x(0);
+  b.x(0);
+  auto ea = sim::buildUnitaryDD(p, a);
+  auto eb = sim::buildUnitaryDD(p, b);
+  EXPECT_EQ(ea.p, eb.p);
+  p.decRef(ea);
+  p.decRef(eb);
+}
+
+TEST(DDTest, HilbertSchmidtDistinguishesNonEquivalent) {
+  Package p(3);
+  auto e1 = sim::buildUnitaryDD(p, circuits::ghz(3));
+  auto g2 = circuits::ghz(3);
+  g2.ops().pop_back(); // remove a gate
+  auto e2 = sim::buildUnitaryDD(p, g2);
+  const auto prod = p.multiply(p.conjugateTranspose(e1), e2);
+  EXPECT_LT(p.traceFidelity(prod), 0.999);
+  EXPECT_FALSE(p.isIdentity(prod));
+  p.decRef(e1);
+  p.decRef(e2);
+}
+
+TEST(DDTest, GarbageCollectionKeepsReferencedNodes) {
+  Package p(4);
+  auto kept = sim::buildUnitaryDD(p, circuits::qft(4));
+  const auto before = toDense(p, kept);
+  // Create garbage.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto tmp = sim::buildUnitaryDD(p, circuits::randomCircuit(4, 20, seed));
+    p.decRef(tmp);
+  }
+  const auto collected = p.garbageCollect(true);
+  EXPECT_GT(collected, 0U);
+  EXPECT_TRUE(toDense(p, kept).equals(before, 1e-15));
+  p.decRef(kept);
+}
+
+TEST(DDTest, RefCountingIsBalanced) {
+  Package p(3);
+  auto e = sim::buildUnitaryDD(p, circuits::ghz(3));
+  p.decRef(e);
+  p.garbageCollect(true);
+  // Only the permanently referenced identity chain remains.
+  EXPECT_EQ(p.stats().matrixNodes, 3U);
+}
+
+TEST(DDTest, VectorBasisStates) {
+  Package p(3);
+  const auto e = p.makeBasisState({true, false, true}); // |101> = index 5
+  EXPECT_NEAR(std::abs(p.getAmplitude(e, 5) - std::complex<double>{1.0}), 0.0,
+              1e-12);
+  EXPECT_NEAR(std::abs(p.getAmplitude(e, 0)), 0.0, 1e-12);
+}
+
+TEST(DDTest, MatrixVectorMultiplyMatchesDense) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Package p(3);
+    const auto c = circuits::randomCircuit(3, 20, seed);
+    auto state = sim::simulate(p, c, p.makeZeroState());
+    auto expected = sim::zeroState(3);
+    sim::applyLogical(c, expected);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(std::abs(p.getAmplitude(state, i) - expected[i]), 0.0, 1e-9)
+          << "seed " << seed << " index " << i;
+    }
+    p.decRef(state);
+  }
+}
+
+TEST(DDTest, InnerProductAndFidelity) {
+  Package p(3);
+  auto a = sim::simulate(p, circuits::ghz(3), p.makeZeroState());
+  auto b = sim::simulate(p, circuits::ghz(3), p.makeZeroState());
+  EXPECT_NEAR(p.fidelity(a, b), 1.0, 1e-9);
+  auto flipped = circuits::ghz(3);
+  flipped.x(0);
+  auto cEdge = sim::simulate(p, flipped, p.makeZeroState());
+  EXPECT_LT(p.fidelity(a, cEdge), 0.6);
+  p.decRef(a);
+  p.decRef(b);
+  p.decRef(cEdge);
+}
+
+TEST(DDTest, GateOutOfRangeThrows) {
+  Package p(2);
+  EXPECT_THROW(p.makeGateDD(gateMatrix(OpType::X, {}), {}, 5),
+               std::out_of_range);
+}
+
+class DDRandomEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DDRandomEquivalenceTest, CircuitTimesInverseIsIdentity) {
+  const auto seed = GetParam();
+  Package p(4);
+  const auto c = circuits::randomCircuit(4, 40, seed);
+  auto e = sim::buildUnitaryDD(p, c);
+  auto ei = sim::buildUnitaryDD(p, c.inverted());
+  const auto prod = p.multiply(ei, e);
+  EXPECT_TRUE(p.isIdentity(prod, true, 1e-9));
+  p.decRef(e);
+  p.decRef(ei);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DDRandomEquivalenceTest,
+                         ::testing::Range(std::uint64_t{0}, std::uint64_t{12}));
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,132 @@
+#include "circuits/benchmarks.hpp"
+#include "dd/package.hpp"
+#include "sim/dd_simulator.hpp"
+#include "sim/dense.hpp"
+#include "sim/stimuli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc {
+namespace {
+
+TEST(DDSimulationTest, GhzState) {
+  dd::Package p(3);
+  auto state = sim::simulate(p, circuits::ghz(3), p.makeZeroState());
+  EXPECT_NEAR(std::abs(p.getAmplitude(state, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(p.getAmplitude(state, 7)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(p.getAmplitude(state, 3)), 0.0, 1e-12);
+  p.decRef(state);
+}
+
+TEST(DDSimulationTest, SimulationRespectsPermutations) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    std::mt19937_64 rng(seed);
+    auto c = circuits::randomCircuit(4, 20, seed);
+    std::vector<Qubit> layout(4);
+    std::iota(layout.begin(), layout.end(), 0U);
+    std::shuffle(layout.begin(), layout.end(), rng);
+    c.initialLayout() = Permutation{layout};
+    std::shuffle(layout.begin(), layout.end(), rng);
+    c.outputPermutation() = Permutation{layout};
+
+    dd::Package p(4);
+    auto state = sim::simulate(p, c, p.makeZeroState());
+    auto expected = sim::zeroState(4);
+    sim::applyLogical(c, expected);
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_NEAR(std::abs(p.getAmplitude(state, i) - expected[i]), 0.0, 1e-9)
+          << "seed " << seed;
+    }
+    p.decRef(state);
+  }
+}
+
+TEST(DDSimulationTest, GroverAmplifiesMarkedElement) {
+  dd::Package p(4);
+  const std::uint64_t marked = 11;
+  auto state =
+      sim::simulate(p, circuits::grover(4, marked), p.makeZeroState());
+  const double probMarked = std::norm(p.getAmplitude(state, marked));
+  EXPECT_GT(probMarked, 0.9);
+  p.decRef(state);
+}
+
+TEST(DDSimulationTest, QpeExactIsDeterministic) {
+  const std::size_t precision = 4;
+  const std::uint64_t k = 11;
+  dd::Package p(precision + 1);
+  auto state = sim::simulate(p, circuits::qpeExact(precision, k),
+                             p.makeZeroState());
+  // The counting register reads exactly k; the eigenstate qubit stays |1>.
+  const std::size_t expected = k + (std::size_t{1} << precision);
+  EXPECT_NEAR(std::norm(p.getAmplitude(state, expected)), 1.0, 1e-9);
+  p.decRef(state);
+}
+
+TEST(DDSimulationTest, QuantumWalkIsUnitaryAndMoves) {
+  dd::Package p(4);
+  const auto walk = circuits::quantumWalk(3, 2);
+  auto state = sim::simulate(p, walk, p.makeZeroState());
+  double total = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    total += std::norm(p.getAmplitude(state, i));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // After two steps, the walker cannot sit on odd positions.
+  double oddMass = 0.0;
+  for (const std::size_t pos : {1, 3, 5, 7}) {
+    oddMass += std::norm(p.getAmplitude(state, pos));
+    oddMass += std::norm(p.getAmplitude(state, pos + 8));
+  }
+  EXPECT_NEAR(oddMass, 0.0, 1e-9);
+  p.decRef(state);
+}
+
+class StimuliTest : public ::testing::TestWithParam<sim::StimuliKind> {};
+
+TEST_P(StimuliTest, StimulusIsNormalized) {
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto prep = sim::generateStimulus(GetParam(), 4, rng);
+    auto state = sim::zeroState(4);
+    sim::applyGates(prep, state);
+    double total = 0.0;
+    for (const auto& amp : state) {
+      total += std::norm(amp);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(StimuliTest, StimuliVary) {
+  std::mt19937_64 rng(9);
+  const auto a = sim::generateStimulus(GetParam(), 5, rng);
+  const auto b = sim::generateStimulus(GetParam(), 5, rng);
+  auto sa = sim::zeroState(5);
+  auto sb = sim::zeroState(5);
+  sim::applyGates(a, sa);
+  sim::applyGates(b, sb);
+  EXPECT_LT(std::abs(sim::innerProduct(sa, sb)), 1.0 - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, StimuliTest,
+                         ::testing::Values(sim::StimuliKind::Classical,
+                                           sim::StimuliKind::LocalQuantum,
+                                           sim::StimuliKind::GlobalQuantum));
+
+TEST(StimuliTest, ClassicalStimulusIsBasisState) {
+  std::mt19937_64 rng(7);
+  const auto prep = sim::generateStimulus(sim::StimuliKind::Classical, 6, rng);
+  auto state = sim::zeroState(6);
+  sim::applyGates(prep, state);
+  std::size_t nonzero = 0;
+  for (const auto& amp : state) {
+    if (std::abs(amp) > 1e-12) {
+      ++nonzero;
+    }
+  }
+  EXPECT_EQ(nonzero, 1U);
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,136 @@
+#include "circuits/benchmarks.hpp"
+#include "sim/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace veriqc {
+namespace {
+
+using sim::Matrix;
+using sim::StateVector;
+
+TEST(DenseTest, ZeroStateIsBasisZero) {
+  const auto state = sim::zeroState(3);
+  EXPECT_EQ(state.size(), 8U);
+  EXPECT_DOUBLE_EQ(state[0].real(), 1.0);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(state[i], sim::Amplitude{});
+  }
+}
+
+TEST(DenseTest, HadamardCreatesSuperposition) {
+  auto state = sim::zeroState(1);
+  sim::applyOperation(Operation(OpType::H, {}, {0}), 1, state);
+  EXPECT_NEAR(state[0].real(), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(state[1].real(), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(DenseTest, GhzStateAmplitudes) {
+  // The paper's Fig. 1: GHZ(3) maps |000> to (|000> + |111>)/sqrt(2).
+  auto state = sim::zeroState(3);
+  sim::applyGates(circuits::ghz(3), state);
+  EXPECT_NEAR(std::abs(state[0]), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(state[7]), 1.0 / std::sqrt(2.0), 1e-12);
+  for (const std::size_t i : {1, 2, 3, 4, 5, 6}) {
+    EXPECT_NEAR(std::abs(state[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(DenseTest, CnotControlOrientation) {
+  // cx(control=0, target=1): |01> (q0=1) -> |11>.
+  auto state = sim::zeroState(2);
+  sim::applyOperation(Operation(OpType::X, {}, {0}), 2, state);
+  sim::applyOperation(Operation(OpType::X, {0}, {1}), 2, state);
+  EXPECT_NEAR(std::abs(state[3]), 1.0, 1e-12);
+}
+
+TEST(DenseTest, SwapExchangesQubits) {
+  auto state = sim::zeroState(2);
+  sim::applyOperation(Operation(OpType::X, {}, {0}), 2, state);
+  sim::applyOperation(Operation(OpType::SWAP, {}, {0, 1}), 2, state);
+  EXPECT_NEAR(std::abs(state[2]), 1.0, 1e-12); // |10>, q1 = 1
+}
+
+TEST(DenseTest, ControlledSwapRequiresControl) {
+  auto state = sim::zeroState(3);
+  sim::applyOperation(Operation(OpType::X, {}, {0}), 3, state);
+  // Control q2 = 0: no swap happens.
+  sim::applyOperation(Operation(OpType::SWAP, {2}, {0, 1}), 3, state);
+  EXPECT_NEAR(std::abs(state[1]), 1.0, 1e-12);
+  // Now set the control and swap.
+  sim::applyOperation(Operation(OpType::X, {}, {2}), 3, state);
+  sim::applyOperation(Operation(OpType::SWAP, {2}, {0, 1}), 3, state);
+  EXPECT_NEAR(std::abs(state[4 + 2]), 1.0, 1e-12); // q2=1, q1=1
+}
+
+TEST(DenseTest, CircuitUnitaryOfGhzMatchesPaperMatrix) {
+  // Fig. 1b: the first column is (1/sqrt 2)(e_0 + e_7).
+  const auto u = sim::circuitUnitary(circuits::ghz(3));
+  EXPECT_NEAR(std::abs(u.at(0, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(u.at(7, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(u.at(1, 0)), 0.0, 1e-12);
+}
+
+TEST(DenseTest, UnitaryIsUnitary) {
+  const auto u = sim::circuitUnitary(circuits::randomCircuit(3, 30, 7));
+  const auto prod = u.adjoint().multiply(u);
+  EXPECT_TRUE(prod.equals(Matrix::identity(8), 1e-9));
+}
+
+TEST(DenseTest, PermutationMatrixIsPermutation) {
+  const Permutation sigma({2, 0, 1});
+  const auto r = sim::permutationMatrix(sigma);
+  // Column z has exactly one 1.
+  for (std::size_t col = 0; col < 8; ++col) {
+    double sum = 0.0;
+    for (std::size_t row = 0; row < 8; ++row) {
+      sum += std::abs(r.at(row, col));
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // R(sigma) places logical sigma(w) on wire w: z = |q2 q1 q0> = |001>
+  // (logical 0 set). Wire 1 holds logical 0 => x = |010>.
+  EXPECT_NEAR(std::abs(r.at(2, 1)), 1.0, 1e-12);
+}
+
+TEST(DenseTest, ApplyLogicalRespectsInitialLayout) {
+  // One wire, X on wire 0; with layout wire0 -> logical1 and wire1 -> logical0
+  // the X acts on logical qubit 1.
+  QuantumCircuit c(2);
+  c.x(0);
+  c.initialLayout() = Permutation({1, 0});
+  c.outputPermutation() = Permutation({1, 0});
+  auto state = sim::zeroState(2);
+  sim::applyLogical(c, state);
+  EXPECT_NEAR(std::abs(state[2]), 1.0, 1e-12); // logical q1 flipped
+}
+
+TEST(DenseTest, InnerProductOfOrthogonalStates) {
+  auto a = sim::zeroState(2);
+  auto b = sim::zeroState(2);
+  sim::applyOperation(Operation(OpType::X, {}, {0}), 2, b);
+  EXPECT_NEAR(std::abs(sim::innerProduct(a, b)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sim::innerProduct(a, a)), 1.0, 1e-12);
+}
+
+TEST(DenseTest, GlobalPhaseAppliedByApplyGates) {
+  QuantumCircuit c(1);
+  c.setGlobalPhase(PI / 2.0);
+  auto state = sim::zeroState(1);
+  sim::applyGates(c, state);
+  EXPECT_NEAR(state[0].imag(), 1.0, 1e-12);
+}
+
+TEST(DenseTest, EqualsUpToGlobalPhase) {
+  const auto u = sim::circuitUnitary(circuits::randomCircuit(3, 20, 3));
+  QuantumCircuit phased = circuits::randomCircuit(3, 20, 3);
+  phased.setGlobalPhase(0.823);
+  const auto v = sim::circuitUnitary(phased);
+  EXPECT_TRUE(u.equalsUpToGlobalPhase(v));
+  EXPECT_FALSE(u.equals(v, 1e-9));
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,114 @@
+/// End-to-end flows across modules: the QASM-file pipeline the paper's
+/// setup uses ("all benchmarks are provided in the form of QASM files,
+/// which serves as a common language for both tools"), plus whole-pipeline
+/// property tests.
+#include "check/manager.hpp"
+#include "circuits/benchmarks.hpp"
+#include "circuits/error_injection.hpp"
+#include "compile/architecture.hpp"
+#include "compile/decompose.hpp"
+#include "compile/mapper.hpp"
+#include "opt/optimizer.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc {
+namespace {
+
+check::Configuration quickConfig() {
+  check::Configuration config;
+  config.simulationRuns = 8;
+  return config;
+}
+
+TEST(IntegrationTest, QasmRoundTripThroughBothCheckers) {
+  // original -> QASM -> parse -> compile -> QASM -> parse -> check.
+  const auto original = circuits::grover(4, 9);
+  const auto asText = qasm::write(compile::decomposeToCnot(original));
+  const auto reparsed = qasm::parse(asText);
+  const auto compiled = compile::compileForArchitecture(
+      reparsed, compile::Architecture::linear(8));
+  const auto viaQasmAgain =
+      qasm::parse(qasm::write(compiled.withExplicitPermutations()));
+  const auto dd = check::checkEquivalence(original, viaQasmAgain, quickConfig());
+  EXPECT_TRUE(check::provedEquivalent(dd.criterion)) << dd.toString();
+  const auto zx = check::zxCheck(original, viaQasmAgain);
+  EXPECT_TRUE(check::provedEquivalent(zx.criterion)) << zx.toString();
+}
+
+TEST(IntegrationTest, CompileOptimizeVerifyPipeline) {
+  // The two use cases chained: compile, then optimize the compiled circuit,
+  // then verify optimized-vs-original across the whole pipeline.
+  const auto original = circuits::quantumWalk(3, 2);
+  const auto compiled = compile::compileForArchitecture(
+      original, compile::Architecture::grid(3, 3));
+  const auto optimized = opt::optimize(compiled);
+  EXPECT_LE(optimized.gateCount(), compiled.gateCount());
+  const auto verdict = check::checkEquivalence(original, optimized, quickConfig());
+  EXPECT_TRUE(check::provedEquivalent(verdict.criterion)) << verdict.toString();
+}
+
+class PipelinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelinePropertyTest, CompiledCircuitsVerifyAndErrorsAreCaught) {
+  const auto seed = GetParam();
+  const auto original = circuits::randomCircuit(4, 20, seed);
+  const auto compiled = compile::compileForArchitecture(
+      original, compile::Architecture::ring(6));
+  auto config = quickConfig();
+  config.seed = seed;
+  const auto ok = check::checkEquivalence(original, compiled, config);
+  EXPECT_TRUE(check::provedEquivalent(ok.criterion))
+      << "seed " << seed << ": " << ok.toString();
+
+  std::mt19937_64 rng(seed + 1);
+  const auto damaged = circuits::flipRandomCnot(compiled, rng);
+  if (damaged.has_value()) {
+    const auto bad = check::checkEquivalence(original, *damaged, config);
+    EXPECT_EQ(bad.criterion, check::EquivalenceCriterion::NotEquivalent)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
+                         ::testing::Range(std::uint64_t{0}, std::uint64_t{8}));
+
+TEST(IntegrationTest, Table1StyleInstanceEndToEnd) {
+  // One full Table-1 cell: compiled Grover with an injected missing gate.
+  const auto original = circuits::grover(4, 5);
+  const auto compiled = compile::compileForArchitecture(
+      original, compile::Architecture::ibmManhattanLike());
+  std::mt19937_64 rng(4);
+  const auto missing = circuits::removeRandomGate(compiled, rng);
+  ASSERT_TRUE(missing.has_value());
+  auto config = quickConfig();
+  config.simulationRuns = 16;
+  const auto verdict = check::checkEquivalence(original, *missing, config);
+  EXPECT_EQ(verdict.criterion, check::EquivalenceCriterion::NotEquivalent);
+  // The ZX engine alone must not claim equivalence.
+  const auto zx = check::zxCheck(original, *missing);
+  EXPECT_FALSE(check::provedEquivalent(zx.criterion));
+}
+
+TEST(IntegrationTest, WStateAcrossEngines) {
+  const auto original = circuits::wState(4);
+  const auto compiled = compile::compileForArchitecture(
+      original, compile::Architecture::linear(6));
+  const auto dd = check::checkEquivalence(original, compiled, quickConfig());
+  EXPECT_TRUE(check::provedEquivalent(dd.criterion)) << dd.toString();
+}
+
+TEST(IntegrationTest, CuccaroAdderCompiledAndChecked) {
+  const auto original = circuits::cuccaroAdder(2); // 6 qubits
+  const auto compiled = compile::compileForArchitecture(
+      original, compile::Architecture::grid(2, 4));
+  const auto verdict = check::checkEquivalence(original, compiled, quickConfig());
+  EXPECT_TRUE(check::provedEquivalent(verdict.criterion)) << verdict.toString();
+  const auto zx = check::zxCheck(original, compiled);
+  EXPECT_TRUE(check::provedEquivalent(zx.criterion)) << zx.toString();
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,162 @@
+/// Cross-cutting behaviours not covered by the per-module suites.
+#include "check/manager.hpp"
+#include "circuits/benchmarks.hpp"
+#include "compile/architecture.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+#include "sim/dense.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc {
+namespace {
+
+TEST(ResultTest, ToStringMentionsMethodAndVerdict) {
+  check::Result result;
+  result.criterion = check::EquivalenceCriterion::NotEquivalent;
+  result.method = "dd-alternating(proportional)";
+  result.runtimeSeconds = 1.5;
+  result.performedSimulations = 3;
+  result.hilbertSchmidtFidelity = 0.25;
+  const auto text = result.toString();
+  EXPECT_NE(text.find("not equivalent"), std::string::npos);
+  EXPECT_NE(text.find("dd-alternating"), std::string::npos);
+  EXPECT_NE(text.find("3 simulations"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+}
+
+TEST(ResultTest, CriterionNames) {
+  using check::EquivalenceCriterion;
+  EXPECT_EQ(check::toString(EquivalenceCriterion::Equivalent), "equivalent");
+  EXPECT_EQ(check::toString(EquivalenceCriterion::Timeout), "timeout");
+  EXPECT_EQ(check::toString(EquivalenceCriterion::ProbablyEquivalent),
+            "probably equivalent");
+  EXPECT_TRUE(check::isDefinitive(EquivalenceCriterion::NotEquivalent));
+  EXPECT_FALSE(check::isDefinitive(EquivalenceCriterion::ProbablyEquivalent));
+  EXPECT_FALSE(
+      check::provedEquivalent(EquivalenceCriterion::ProbablyEquivalent));
+}
+
+TEST(ManagerTest, ZXOnlyConfiguration) {
+  check::Configuration config;
+  config.runAlternating = false;
+  config.runSimulation = false;
+  config.runZX = true;
+  const auto result =
+      check::checkEquivalence(circuits::ghz(3), circuits::ghz(3), config);
+  EXPECT_EQ(result.criterion,
+            check::EquivalenceCriterion::EquivalentUpToGlobalPhase);
+  EXPECT_EQ(result.method, "zx-calculus");
+}
+
+TEST(ManagerTest, SimulationOnlyGivesProbablyEquivalent) {
+  check::Configuration config;
+  config.runAlternating = false;
+  config.runZX = false;
+  config.simulationRuns = 4;
+  const auto result =
+      check::checkEquivalence(circuits::ghz(3), circuits::ghz(3), config);
+  EXPECT_EQ(result.criterion,
+            check::EquivalenceCriterion::ProbablyEquivalent);
+}
+
+TEST(QasmWriterTest, AllControlledSpellings) {
+  QuantumCircuit c(5);
+  c.cy(0, 1);
+  c.ch(0, 1);
+  c.append(Operation(OpType::RX, {0}, {1}, {0.5}));
+  c.append(Operation(OpType::RY, {0}, {1}, {0.5}));
+  c.crz(0, 1, 0.5);
+  c.mcx({0, 1, 2}, 3);
+  c.mcx({0, 1, 2, 3}, 4);
+  c.mcz({0, 1}, 2);
+  const auto text = qasm::write(c);
+  for (const char* mnemonic :
+       {"cy ", "ch ", "crx(", "cry(", "crz(", "c3x ", "c4x ", "ccz "}) {
+    EXPECT_NE(text.find(mnemonic), std::string::npos) << mnemonic;
+  }
+  // And it round-trips.
+  const auto reparsed = qasm::parse(text);
+  const auto u = sim::circuitUnitary(c);
+  const auto v = sim::circuitUnitary(reparsed);
+  EXPECT_TRUE(u.equals(v, 1e-9));
+}
+
+TEST(OperationTest, MetaOperationsSkipQubitValidation) {
+  // Barrier may reference any wires (including none).
+  EXPECT_NO_THROW(Operation(OpType::Barrier, {}, {}).validate(1));
+  EXPECT_NO_THROW(Operation(OpType::Measure, {}, {7}).validate(2));
+}
+
+TEST(PermutationTest, ComposeIsAssociative) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Qubit> v(6);
+    std::iota(v.begin(), v.end(), 0U);
+    std::shuffle(v.begin(), v.end(), rng);
+    const Permutation a(v);
+    std::shuffle(v.begin(), v.end(), rng);
+    const Permutation b(v);
+    std::shuffle(v.begin(), v.end(), rng);
+    const Permutation c(v);
+    EXPECT_EQ(a.compose(b).compose(c), a.compose(b.compose(c)));
+  }
+}
+
+TEST(ArchitectureTest, FullyConnectedHasAllEdges) {
+  const auto arch = compile::Architecture::fullyConnected(5);
+  for (Qubit a = 0; a < 5; ++a) {
+    for (Qubit b = 0; b < 5; ++b) {
+      if (a != b) {
+        EXPECT_TRUE(arch.adjacent(a, b));
+        EXPECT_EQ(arch.distance(a, b), 1U);
+      }
+    }
+  }
+}
+
+TEST(AlignTest, WireWithPermutationMismatchIsNotStripped) {
+  // Wires 1 and 2 of `b` are gate-idle, but the permutations claim their
+  // logical qubits moved — the conservative idle test must not strip them.
+  QuantumCircuit a(3);
+  a.h(0);
+  QuantumCircuit b(3);
+  b.h(0);
+  b.outputPermutation() = Permutation({0, 2, 1});
+  const auto [a2, b2] = alignCircuits(a, b);
+  EXPECT_EQ(a2.numQubits(), 3U);
+  EXPECT_EQ(b2.numQubits(), 3U);
+}
+
+TEST(AlignTest, ConsistentlyIdleLogicalQubitIsStripped) {
+  QuantumCircuit a(3);
+  a.h(0);
+  a.swap(0, 2);
+  QuantumCircuit b(3);
+  b.h(2);
+  b.initialLayout() = Permutation({2, 1, 0});
+  b.outputPermutation() = Permutation({2, 1, 0});
+  // Logical qubit 1 is idle in both; it is removed consistently.
+  const auto [a2, b2] = alignCircuits(a, b);
+  EXPECT_EQ(a2.numQubits(), 2U);
+  EXPECT_EQ(b2.numQubits(), 2U);
+  // Stripping must preserve the (non-)equivalence verdict: a applies an
+  // extra logical 0<->2 swap that b does not.
+  const bool alignedVerdict = sim::circuitUnitary(a2).equalsUpToGlobalPhase(
+      sim::circuitUnitary(b2));
+  const bool originalVerdict = sim::circuitUnitary(a).equalsUpToGlobalPhase(
+      sim::circuitUnitary(b));
+  EXPECT_EQ(alignedVerdict, originalVerdict);
+  EXPECT_FALSE(alignedVerdict);
+}
+
+TEST(CircuitTest, GlobalPhaseAccumulates) {
+  QuantumCircuit c(1);
+  c.setGlobalPhase(0.5);
+  c.addGlobalPhase(0.25);
+  EXPECT_DOUBLE_EQ(c.globalPhase(), 0.75);
+  EXPECT_DOUBLE_EQ(c.inverted().globalPhase(), -0.75);
+}
+
+} // namespace
+} // namespace veriqc

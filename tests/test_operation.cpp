@@ -1,0 +1,142 @@
+#include "ir/gate_matrix.hpp"
+#include "ir/operation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace veriqc {
+namespace {
+
+using cd = std::complex<double>;
+
+void expectUnitary(const GateMatrix& m) {
+  // m * m^dagger == I
+  const cd a = m[0] * std::conj(m[0]) + m[1] * std::conj(m[1]);
+  const cd b = m[0] * std::conj(m[2]) + m[1] * std::conj(m[3]);
+  const cd c = m[2] * std::conj(m[0]) + m[3] * std::conj(m[1]);
+  const cd d = m[2] * std::conj(m[2]) + m[3] * std::conj(m[3]);
+  EXPECT_NEAR(std::abs(a - cd{1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(b), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(c), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(d - cd{1.0}), 0.0, 1e-12);
+}
+
+class GateMatrixUnitaryTest : public ::testing::TestWithParam<OpType> {};
+
+TEST_P(GateMatrixUnitaryTest, MatrixIsUnitary) {
+  const auto type = GetParam();
+  std::vector<double> params;
+  for (std::size_t i = 0; i < numParameters(type); ++i) {
+    params.push_back(0.3 + 0.7 * static_cast<double>(i));
+  }
+  expectUnitary(gateMatrix(type, params));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSingleQubitGates, GateMatrixUnitaryTest,
+    ::testing::Values(OpType::I, OpType::H, OpType::X, OpType::Y, OpType::Z,
+                      OpType::S, OpType::Sdg, OpType::T, OpType::Tdg,
+                      OpType::SX, OpType::SXdg, OpType::RX, OpType::RY,
+                      OpType::RZ, OpType::P, OpType::U2, OpType::U3));
+
+class GateInverseTest : public ::testing::TestWithParam<OpType> {};
+
+TEST_P(GateInverseTest, InverseMatrixIsAdjoint) {
+  const auto type = GetParam();
+  std::vector<double> params;
+  for (std::size_t i = 0; i < numParameters(type); ++i) {
+    params.push_back(0.4 * static_cast<double>(i + 1));
+  }
+  const Operation op(type, {}, {0}, params);
+  const auto inv = op.inverse();
+  const auto m = gateMatrix(op.type, op.params);
+  const auto mi = gateMatrix(inv.type, inv.params);
+  // m * mi == identity up to global phase: check |tr(m * mi)| == 2.
+  const cd t = m[0] * mi[0] + m[1] * mi[2] + m[2] * mi[1] + m[3] * mi[3];
+  EXPECT_NEAR(std::abs(t), 2.0, 1e-12)
+      << toString(type) << " inverse incorrect";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSingleQubitGates, GateInverseTest,
+    ::testing::Values(OpType::I, OpType::H, OpType::X, OpType::Y, OpType::Z,
+                      OpType::S, OpType::Sdg, OpType::T, OpType::Tdg,
+                      OpType::SX, OpType::SXdg, OpType::RX, OpType::RY,
+                      OpType::RZ, OpType::P, OpType::U2, OpType::U3));
+
+TEST(OperationTest, ValidateRejectsOutOfRange) {
+  const Operation op(OpType::X, {}, {5});
+  EXPECT_THROW(op.validate(3), CircuitError);
+  EXPECT_NO_THROW(op.validate(6));
+}
+
+TEST(OperationTest, ValidateRejectsDuplicateQubits) {
+  const Operation op(OpType::X, {1}, {1});
+  EXPECT_THROW(op.validate(3), CircuitError);
+}
+
+TEST(OperationTest, ValidateRejectsWrongParamCount) {
+  const Operation op(OpType::RZ, {}, {0}, {});
+  EXPECT_THROW(op.validate(3), CircuitError);
+}
+
+TEST(OperationTest, ValidateRejectsSwapWithOneTarget) {
+  const Operation op(OpType::SWAP, {}, {0});
+  EXPECT_THROW(op.validate(3), CircuitError);
+}
+
+TEST(OperationTest, UsedQubitsContainsControlsAndTargets) {
+  const Operation op(OpType::X, {2, 4}, {1});
+  const auto used = op.usedQubits();
+  EXPECT_EQ(used.size(), 3U);
+  EXPECT_TRUE(op.actsOn(2));
+  EXPECT_TRUE(op.actsOn(4));
+  EXPECT_TRUE(op.actsOn(1));
+  EXPECT_FALSE(op.actsOn(0));
+}
+
+TEST(OperationTest, IsInverseOfDetectsPairs) {
+  const Operation s(OpType::S, {}, {0});
+  const Operation sdg(OpType::Sdg, {}, {0});
+  EXPECT_TRUE(s.isInverseOf(sdg));
+  EXPECT_TRUE(sdg.isInverseOf(s));
+  EXPECT_FALSE(s.isInverseOf(s));
+
+  const Operation rz(OpType::RZ, {}, {0}, {0.5});
+  const Operation rzInv(OpType::RZ, {}, {0}, {-0.5});
+  EXPECT_TRUE(rz.isInverseOf(rzInv));
+  EXPECT_FALSE(rz.isInverseOf(rz));
+
+  const Operation h(OpType::H, {}, {0});
+  EXPECT_TRUE(h.isInverseOf(h));
+}
+
+TEST(OperationTest, IsInverseOfIgnoresControlOrder) {
+  const Operation a(OpType::X, {1, 2}, {0});
+  const Operation b(OpType::X, {2, 1}, {0});
+  EXPECT_TRUE(a.isInverseOf(b));
+}
+
+TEST(OperationTest, BareSwapDetection) {
+  EXPECT_TRUE(Operation(OpType::SWAP, {}, {0, 1}).isBareSwap());
+  EXPECT_FALSE(Operation(OpType::SWAP, {2}, {0, 1}).isBareSwap());
+  EXPECT_FALSE(Operation(OpType::X, {}, {0}).isBareSwap());
+}
+
+TEST(OperationTest, ToStringShowsControlsAndParams) {
+  const Operation op(OpType::P, {1}, {0}, {0.25});
+  const auto str = op.toString();
+  EXPECT_NE(str.find("cp"), std::string::npos);
+  EXPECT_NE(str.find("0.25"), std::string::npos);
+}
+
+TEST(OperationTest, U2InverseIsU3) {
+  const Operation u2(OpType::U2, {}, {0}, {0.3, 0.7});
+  const auto inv = u2.inverse();
+  EXPECT_EQ(inv.type, OpType::U3);
+  EXPECT_EQ(inv.params.size(), 3U);
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,85 @@
+#include "ir/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace veriqc {
+namespace {
+
+TEST(PermutationTest, IdentityIsIdentity) {
+  const auto id = Permutation::identity(5);
+  EXPECT_TRUE(id.isIdentity());
+  EXPECT_TRUE(id.isValid());
+  EXPECT_EQ(id.size(), 5U);
+  for (Qubit i = 0; i < 5; ++i) {
+    EXPECT_EQ(id[i], i);
+  }
+}
+
+TEST(PermutationTest, ConstructorRejectsNonBijection) {
+  EXPECT_THROW(Permutation({0, 0, 1}), CircuitError);
+  EXPECT_THROW(Permutation({0, 3, 1}), CircuitError);
+}
+
+TEST(PermutationTest, ComposeDefinition) {
+  const Permutation a({1, 2, 0});
+  const Permutation b({2, 0, 1});
+  const auto c = a.compose(b);
+  for (Qubit i = 0; i < 3; ++i) {
+    EXPECT_EQ(c[i], a[b[i]]);
+  }
+}
+
+TEST(PermutationTest, ComposeSizeMismatchThrows) {
+  EXPECT_THROW(Permutation({1, 0}).compose(Permutation({0, 1, 2})),
+               CircuitError);
+}
+
+TEST(PermutationTest, InverseComposesToIdentity) {
+  const Permutation p({3, 1, 0, 2});
+  EXPECT_TRUE(p.compose(p.inverse()).isIdentity());
+  EXPECT_TRUE(p.inverse().compose(p).isIdentity());
+}
+
+TEST(PermutationTest, SwapImages) {
+  auto p = Permutation::identity(3);
+  p.swapImages(0, 2);
+  EXPECT_EQ(p[0], 2U);
+  EXPECT_EQ(p[2], 0U);
+  EXPECT_EQ(p[1], 1U);
+}
+
+TEST(PermutationTest, ExtendAddsFixedPoints) {
+  Permutation p({1, 0});
+  p.extend(4);
+  EXPECT_EQ(p.size(), 4U);
+  EXPECT_EQ(p[2], 2U);
+  EXPECT_EQ(p[3], 3U);
+  EXPECT_TRUE(p.isValid());
+}
+
+TEST(PermutationTest, TranspositionsRebuildPermutation) {
+  std::mt19937_64 rng(42);
+  for (std::size_t n = 1; n <= 8; ++n) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<Qubit> map(n);
+      std::iota(map.begin(), map.end(), 0U);
+      std::shuffle(map.begin(), map.end(), rng);
+      const Permutation target{map};
+      auto rebuilt = Permutation::identity(n);
+      for (const auto& [a, b] : target.transpositions()) {
+        rebuilt.swapImages(a, b);
+      }
+      EXPECT_EQ(rebuilt, target);
+    }
+  }
+}
+
+TEST(PermutationTest, ToStringMentionsMappings) {
+  const Permutation p({1, 0});
+  EXPECT_NE(p.toString().find("0->1"), std::string::npos);
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,192 @@
+#include "circuits/benchmarks.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+#include "sim/dense.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc {
+namespace {
+
+TEST(QasmParserTest, MinimalProgram) {
+  const auto c = qasm::parse(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0], q[1];
+  )");
+  EXPECT_EQ(c.numQubits(), 2U);
+  ASSERT_EQ(c.size(), 2U);
+  EXPECT_EQ(c.ops()[0].type, OpType::H);
+  EXPECT_EQ(c.ops()[1].type, OpType::X);
+  EXPECT_EQ(c.ops()[1].controls, std::vector<Qubit>{0});
+}
+
+TEST(QasmParserTest, ExpressionsInParameters) {
+  const auto c = qasm::parse(R"(
+    qreg q[1];
+    rz(pi/4) q[0];
+    rz(-pi) q[0];
+    rz(2*pi/8 + 0.5) q[0];
+    rz(cos(0)) q[0];
+    rz(2^3) q[0];
+  )");
+  ASSERT_EQ(c.size(), 5U);
+  EXPECT_NEAR(c.ops()[0].params[0], PI / 4.0, 1e-12);
+  EXPECT_NEAR(c.ops()[1].params[0], -PI, 1e-12);
+  EXPECT_NEAR(c.ops()[2].params[0], PI / 4.0 + 0.5, 1e-12);
+  EXPECT_NEAR(c.ops()[3].params[0], 1.0, 1e-12);
+  EXPECT_NEAR(c.ops()[4].params[0], 8.0, 1e-12);
+}
+
+TEST(QasmParserTest, RegisterBroadcast) {
+  const auto c = qasm::parse(R"(
+    qreg q[3];
+    h q;
+  )");
+  EXPECT_EQ(c.size(), 3U);
+  for (const auto& op : c.ops()) {
+    EXPECT_EQ(op.type, OpType::H);
+  }
+}
+
+TEST(QasmParserTest, TwoQuantumRegistersAreFlattened) {
+  const auto c = qasm::parse(R"(
+    qreg a[2];
+    qreg b[2];
+    x a[1];
+    x b[0];
+  )");
+  EXPECT_EQ(c.numQubits(), 4U);
+  EXPECT_EQ(c.ops()[0].targets, std::vector<Qubit>{1});
+  EXPECT_EQ(c.ops()[1].targets, std::vector<Qubit>{2});
+}
+
+TEST(QasmParserTest, UserDefinedGateExpansion) {
+  const auto c = qasm::parse(R"(
+    qreg q[2];
+    gate bell a, b { h a; cx a, b; }
+    bell q[0], q[1];
+  )");
+  ASSERT_EQ(c.size(), 2U);
+  EXPECT_EQ(c.ops()[0].type, OpType::H);
+  EXPECT_EQ(c.ops()[1].controls, std::vector<Qubit>{0});
+}
+
+TEST(QasmParserTest, ParameterizedUserGate) {
+  const auto c = qasm::parse(R"(
+    qreg q[1];
+    gate twist(theta) a { rz(theta/2) a; rz(theta/2) a; }
+    twist(pi) q[0];
+  )");
+  ASSERT_EQ(c.size(), 2U);
+  EXPECT_NEAR(c.ops()[0].params[0], PI / 2.0, 1e-12);
+}
+
+TEST(QasmParserTest, NestedUserGates) {
+  const auto c = qasm::parse(R"(
+    qreg q[2];
+    gate inner a { x a; }
+    gate outer a, b { inner a; cx a, b; inner b; }
+    outer q[0], q[1];
+  )");
+  EXPECT_EQ(c.size(), 3U);
+}
+
+TEST(QasmParserTest, MultiControlledGates) {
+  const auto c = qasm::parse(R"(
+    qreg q[5];
+    ccx q[0], q[1], q[2];
+    c3x q[0], q[1], q[2], q[3];
+    c4x q[0], q[1], q[2], q[3], q[4];
+  )");
+  EXPECT_EQ(c.ops()[0].controls.size(), 2U);
+  EXPECT_EQ(c.ops()[1].controls.size(), 3U);
+  EXPECT_EQ(c.ops()[2].controls.size(), 4U);
+}
+
+TEST(QasmParserTest, MeasureAndBarrierAreMeta) {
+  const auto c = qasm::parse(R"(
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    barrier q;
+    measure q -> c;
+  )");
+  EXPECT_EQ(c.gateCount(), 1U);
+  EXPECT_EQ(c.size(), 4U); // h + barrier + 2 measures
+}
+
+TEST(QasmParserTest, ErrorsCarryPositions) {
+  try {
+    (void)qasm::parse("qreg q[2];\nfoo q[0];\n");
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    EXPECT_EQ(e.line(), 2U);
+  }
+}
+
+TEST(QasmParserTest, RejectsUnsupportedStatements) {
+  EXPECT_THROW((void)qasm::parse("qreg q[1]; creg c[1]; reset q[0];"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parse("qreg q[1]; creg c[1]; if (c==0) x q[0];"),
+               qasm::ParseError);
+}
+
+TEST(QasmParserTest, RejectsOutOfRangeIndex) {
+  EXPECT_THROW((void)qasm::parse("qreg q[2]; x q[5];"), qasm::ParseError);
+}
+
+TEST(QasmParserTest, RejectsArityMismatch) {
+  EXPECT_THROW((void)qasm::parse("qreg q[2]; cx q[0];"), qasm::ParseError);
+  EXPECT_THROW((void)qasm::parse("qreg q[1]; rz q[0];"), qasm::ParseError);
+}
+
+TEST(QasmWriterTest, RoundTripPreservesSemantics) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto original = circuits::randomCircuit(4, 30, seed);
+    const auto text = qasm::write(original);
+    const auto reparsed = qasm::parse(text);
+    ASSERT_EQ(reparsed.numQubits(), original.numQubits());
+    const auto u = sim::circuitUnitary(original);
+    const auto v = sim::circuitUnitary(reparsed);
+    EXPECT_TRUE(u.equals(v, 1e-9)) << "seed " << seed;
+  }
+}
+
+TEST(QasmWriterTest, RoundTripBenchmarks) {
+  const std::vector<QuantumCircuit> cases = {
+      circuits::ghz(4), circuits::qft(4), circuits::grover(3, 5),
+      circuits::quantumWalk(3, 2), circuits::wState(4)};
+  for (const auto& original : cases) {
+    const auto reparsed = qasm::parse(qasm::write(original));
+    const auto u = sim::circuitUnitary(original.withExplicitPermutations());
+    const auto v = sim::circuitUnitary(reparsed);
+    EXPECT_TRUE(u.equals(v, 1e-9)) << original.name();
+  }
+}
+
+TEST(QasmWriterTest, EmitsPermutationComments) {
+  auto c = circuits::qft(3, false); // output permutation is the reversal
+  const auto text = qasm::write(c);
+  EXPECT_NE(text.find("// o 2 1 0"), std::string::npos);
+}
+
+TEST(QasmWriterTest, RejectsTooManyControls) {
+  QuantumCircuit c(6);
+  c.mcx({0, 1, 2, 3, 4}, 5);
+  EXPECT_THROW((void)qasm::write(c), CircuitError);
+}
+
+TEST(QasmWriterTest, FileRoundTrip) {
+  const auto original = circuits::ghz(3);
+  const std::string path = ::testing::TempDir() + "/veriqc_ghz.qasm";
+  qasm::writeFile(original, path);
+  const auto reparsed = qasm::parseFile(path);
+  EXPECT_EQ(reparsed.gateCount(), original.gateCount());
+}
+
+} // namespace
+} // namespace veriqc

@@ -1,0 +1,139 @@
+#include "qasm/revlib.hpp"
+#include "sim/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace veriqc {
+namespace {
+
+TEST(RevLibTest, MinimalToffoliFile) {
+  const auto c = qasm::parseReal(R"(
+.version 2.0
+.numvars 3
+.variables a b c
+.begin
+t3 a b c
+t2 a b
+t1 a
+.end
+)");
+  EXPECT_EQ(c.numQubits(), 3U);
+  ASSERT_EQ(c.size(), 3U);
+  EXPECT_EQ(c.ops()[0].controls.size(), 2U);
+  EXPECT_EQ(c.ops()[1].controls.size(), 1U);
+  EXPECT_EQ(c.ops()[2].controls.size(), 0U);
+}
+
+TEST(RevLibTest, CommentsAndHeaderDirectivesIgnored) {
+  const auto c = qasm::parseReal(R"(
+# a RevLib file
+.version 2.0
+.numvars 2
+.variables a b
+.inputs a b
+.outputs a b
+.constants --
+.garbage --
+.begin
+t2 a b  # cnot
+.end
+)");
+  EXPECT_EQ(c.size(), 1U);
+}
+
+TEST(RevLibTest, NegativeControlsBecomeXConjugation) {
+  const auto c = qasm::parseReal(R"(
+.numvars 2
+.variables a b
+t2 -a b
+)");
+  // x a; cx a,b; x a
+  ASSERT_EQ(c.size(), 3U);
+  EXPECT_EQ(c.ops()[0].type, OpType::X);
+  EXPECT_EQ(c.ops()[2].type, OpType::X);
+  // Semantics: b flips when a == 0.
+  auto state = sim::zeroState(2);
+  sim::applyLogical(c, state);
+  EXPECT_NEAR(std::abs(state[2]), 1.0, 1e-12); // |10>: b=1, a=0
+}
+
+TEST(RevLibTest, FredkinAndPeres) {
+  const auto c = qasm::parseReal(R"(
+.numvars 3
+.variables a b c
+f3 a b c
+p3 a b c
+)");
+  ASSERT_EQ(c.size(), 3U);
+  EXPECT_EQ(c.ops()[0].type, OpType::SWAP);
+  EXPECT_EQ(c.ops()[0].controls.size(), 1U);
+  // Peres = ccx; cx.
+  EXPECT_EQ(c.ops()[1].controls.size(), 2U);
+  EXPECT_EQ(c.ops()[2].controls.size(), 1U);
+}
+
+TEST(RevLibTest, PeresSemantics) {
+  // Peres(a,b,c): c ^= a&b, then b ^= a.
+  const auto c = qasm::parseReal(R"(
+.numvars 3
+.variables a b c
+p3 a b c
+)");
+  auto state = sim::zeroState(3);
+  state[0] = 0.0;
+  state[3] = 1.0; // a=1, b=1, c=0
+  sim::applyLogical(c, state);
+  // c ^= 1; b ^= 1 -> a=1, b=0, c=1 -> index 5
+  EXPECT_NEAR(std::abs(state[5]), 1.0, 1e-12);
+}
+
+TEST(RevLibTest, ControlledV) {
+  const auto c = qasm::parseReal(R"(
+.numvars 2
+.variables a b
+v2 a b
+v+2 a b
+)");
+  ASSERT_EQ(c.size(), 2U);
+  EXPECT_EQ(c.ops()[0].type, OpType::SX);
+  EXPECT_EQ(c.ops()[1].type, OpType::SXdg);
+  // V followed by V-dagger is the identity.
+  const auto u = sim::circuitUnitary(c);
+  EXPECT_TRUE(u.equalsUpToGlobalPhase(sim::Matrix::identity(4)));
+}
+
+TEST(RevLibTest, ImplicitVariableNames) {
+  const auto c = qasm::parseReal(R"(
+.numvars 3
+t2 x0 x2
+)");
+  ASSERT_EQ(c.size(), 1U);
+  EXPECT_EQ(c.ops()[0].targets[0], 2U);
+}
+
+TEST(RevLibTest, Errors) {
+  EXPECT_THROW((void)qasm::parseReal(".numvars 2\nq2 a b\n"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parseReal(".numvars 2\n.variables a b\nt2 a z\n"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parseReal("t1 a\n"), qasm::ParseError);
+  EXPECT_THROW((void)qasm::parseReal(".numvars 2\n.variables a b\nt2 a -b\n"),
+               qasm::ParseError);
+}
+
+TEST(RevLibTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/veriqc_test.real";
+  {
+    std::ofstream out(path);
+    out << ".numvars 2\n.variables a b\nt2 a b\n";
+  }
+  const auto c = qasm::parseRealFile(path);
+  EXPECT_EQ(c.size(), 1U);
+  EXPECT_THROW((void)qasm::parseRealFile("/nonexistent.real"),
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace veriqc

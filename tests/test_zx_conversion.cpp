@@ -1,0 +1,105 @@
+#include "circuits/benchmarks.hpp"
+#include "sim/dense.hpp"
+#include "zx/circuit_to_zx.hpp"
+#include "zx/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc::zx {
+namespace {
+
+/// Check that the ZX-diagram of a one-gate circuit realizes that gate's
+/// matrix up to a scalar.
+void expectGateSemantics(const Operation& op, const std::size_t nqubits) {
+  QuantumCircuit c(nqubits);
+  c.append(op);
+  const auto zxMatrix = toMatrix(circuitToZX(c));
+  const auto expected = sim::circuitUnitary(c);
+  // Non-dyadic angles are snapped to rationals within ~1e-9 per gate.
+  EXPECT_TRUE(proportional(zxMatrix, expected, 1e-6)) << op.toString();
+}
+
+TEST(ZXConversionTest, SingleQubitGates) {
+  for (const auto type :
+       {OpType::I, OpType::H, OpType::X, OpType::Y, OpType::Z, OpType::S,
+        OpType::Sdg, OpType::T, OpType::Tdg, OpType::SX, OpType::SXdg}) {
+    expectGateSemantics(Operation(type, {}, {0}), 1);
+  }
+}
+
+TEST(ZXConversionTest, RotationGates) {
+  for (const double theta : {0.25, -1.1, PI / 8.0, 2.0}) {
+    expectGateSemantics(Operation(OpType::RX, {}, {0}, {theta}), 1);
+    expectGateSemantics(Operation(OpType::RY, {}, {0}, {theta}), 1);
+    expectGateSemantics(Operation(OpType::RZ, {}, {0}, {theta}), 1);
+    expectGateSemantics(Operation(OpType::P, {}, {0}, {theta}), 1);
+  }
+  expectGateSemantics(Operation(OpType::U2, {}, {0}, {0.3, 0.8}), 1);
+  expectGateSemantics(Operation(OpType::U3, {}, {0}, {1.1, 0.4, -0.6}), 1);
+}
+
+TEST(ZXConversionTest, TwoQubitGates) {
+  expectGateSemantics(Operation(OpType::X, {0}, {1}), 2);
+  expectGateSemantics(Operation(OpType::X, {1}, {0}), 2);
+  expectGateSemantics(Operation(OpType::Z, {0}, {1}), 2);
+  expectGateSemantics(Operation(OpType::Y, {0}, {1}), 2);
+  expectGateSemantics(Operation(OpType::H, {0}, {1}), 2);
+  expectGateSemantics(Operation(OpType::SWAP, {}, {0, 1}), 2);
+  for (const double theta : {0.7, -0.4, PI / 4.0}) {
+    expectGateSemantics(Operation(OpType::P, {0}, {1}, {theta}), 2);
+    expectGateSemantics(Operation(OpType::RZ, {0}, {1}, {theta}), 2);
+    expectGateSemantics(Operation(OpType::RX, {0}, {1}, {theta}), 2);
+    expectGateSemantics(Operation(OpType::RY, {0}, {1}, {theta}), 2);
+  }
+  expectGateSemantics(Operation(OpType::S, {0}, {1}), 2);
+  expectGateSemantics(Operation(OpType::T, {1}, {0}), 2);
+}
+
+TEST(ZXConversionTest, RejectsMultiControlled) {
+  QuantumCircuit c(3);
+  c.ccx(0, 1, 2);
+  EXPECT_THROW((void)circuitToZX(c), CircuitError);
+  QuantumCircuit c2(3);
+  c2.cswap(0, 1, 2);
+  EXPECT_THROW((void)circuitToZX(c2), CircuitError);
+}
+
+TEST(ZXConversionTest, RandomCircuitsMatchDense) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    // Restrict to the ZX-supported set: build from the random Clifford+T
+    // family plus rotations.
+    // Kept small: dense evaluation is exponential in the spider count.
+    auto c = circuits::randomCliffordT(3, 2, 0.3, seed);
+    c.rz(0, 0.37);
+    c.rx(1, -0.92);
+    c.swap(0, 2);
+    c.cp(1, 2, 0.55);
+    const auto m = toMatrix(circuitToZX(c));
+    const auto expected = sim::circuitUnitary(c);
+    EXPECT_TRUE(proportional(m, expected, 1e-6)) << "seed " << seed;
+  }
+}
+
+TEST(ZXConversionTest, PermutationsBecomeWireCrossings) {
+  // Fig. 6b-style: a circuit with layout and output permutation adds no
+  // spiders relative to the plain circuit.
+  QuantumCircuit c(3);
+  c.initialLayout() = Permutation({1, 2, 0});
+  c.outputPermutation() = Permutation({2, 0, 1});
+  c.h(0);
+  c.swap(0, 2);
+  const auto d = circuitToZX(c);
+  EXPECT_EQ(d.spiderCount(), 0U); // H is an edge, SWAP a crossing
+  const auto m = toMatrix(d);
+  const auto expected = sim::circuitUnitary(c);
+  EXPECT_TRUE(proportional(m, expected));
+}
+
+TEST(ZXConversionTest, GhzDiagramSemantics) {
+  // Fig. 6a of the paper.
+  const auto d = circuitToZX(circuits::ghz(3));
+  EXPECT_TRUE(proportional(toMatrix(d), sim::circuitUnitary(circuits::ghz(3))));
+}
+
+} // namespace
+} // namespace veriqc::zx

@@ -1,0 +1,103 @@
+#include "circuits/benchmarks.hpp"
+#include "sim/dense.hpp"
+#include "zx/circuit_to_zx.hpp"
+#include "zx/diagram.hpp"
+#include "zx/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc::zx {
+namespace {
+
+TEST(ZXDiagramTest, AddRemoveVertices) {
+  ZXDiagram d;
+  const auto a = d.addVertex(VertexType::Z, PiRational(1, 2));
+  const auto b = d.addVertex(VertexType::X);
+  EXPECT_EQ(d.vertexCount(), 2U);
+  EXPECT_EQ(d.phase(a), PiRational(1, 2));
+  d.addEdge(a, b, EdgeType::Hadamard);
+  EXPECT_TRUE(d.connected(a, b));
+  EXPECT_EQ(d.degree(a), 1U);
+  d.removeVertex(b);
+  EXPECT_EQ(d.vertexCount(), 1U);
+  EXPECT_FALSE(d.isPresent(b));
+  EXPECT_EQ(d.degree(a), 0U);
+}
+
+TEST(ZXDiagramTest, ParallelEdgesAndLoops) {
+  ZXDiagram d;
+  const auto a = d.addVertex(VertexType::Z);
+  const auto b = d.addVertex(VertexType::Z);
+  d.addEdge(a, b, EdgeType::Simple);
+  d.addEdge(a, b, EdgeType::Hadamard);
+  EXPECT_EQ(d.edge(a, b).simple, 1);
+  EXPECT_EQ(d.edge(a, b).hadamard, 1);
+  EXPECT_EQ(d.degree(a), 2U);
+  d.addEdge(a, a, EdgeType::Simple);
+  EXPECT_EQ(d.degree(a), 4U); // self-loop counts twice
+  d.removeEdge(a, b, EdgeType::Simple);
+  EXPECT_EQ(d.edge(a, b).simple, 0);
+  EXPECT_THROW(d.removeEdge(a, b, EdgeType::Simple), CircuitError);
+}
+
+TEST(ZXDiagramTest, EdgeAndSpiderCounts) {
+  const auto d = circuitToZX(circuits::ghz(3));
+  // h: 0 spiders (edge toggle); each cx: 2 spiders.
+  EXPECT_EQ(d.spiderCount(), 4U);
+  EXPECT_EQ(d.inputs().size(), 3U);
+  EXPECT_EQ(d.outputs().size(), 3U);
+}
+
+TEST(ZXDiagramTest, AdjointNegatesPhases) {
+  QuantumCircuit c(1);
+  c.t(0);
+  const auto d = circuitToZX(c).adjoint();
+  bool found = false;
+  for (const auto v : d.vertices()) {
+    if (!d.isBoundary(v)) {
+      EXPECT_EQ(d.phase(v), PiRational(-1, 4));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(d.inputs().size(), 1U);
+}
+
+TEST(ZXDiagramTest, AdjointSemantics) {
+  // Small: dense tensor validation is exponential in the spider count, and
+  // randomCircuit may emit CCX which the converter rejects — Clifford+T+
+  // rotations stay in the supported set.
+  auto c = circuits::randomCliffordT(3, 2, 0.3, 17);
+  c.rz(0, 0.4);
+  c.cp(1, 2, -0.9);
+  const auto m = toMatrix(circuitToZX(c).adjoint());
+  const auto expected = sim::circuitUnitary(c).adjoint();
+  EXPECT_TRUE(proportional(m, expected, 1e-6));
+}
+
+TEST(ZXDiagramTest, ComposeSemantics) {
+  const auto c1 = circuits::randomCliffordT(2, 3, 0.3, 1);
+  const auto c2 = circuits::randomCliffordT(2, 3, 0.3, 2);
+  const auto composed = circuitToZX(c1).compose(circuitToZX(c2));
+  // compose = run c1 then c2 => matrix U2 * U1
+  const auto expected =
+      sim::circuitUnitary(c2).multiply(sim::circuitUnitary(c1));
+  EXPECT_TRUE(proportional(toMatrix(composed), expected, 1e-6));
+}
+
+TEST(ZXDiagramTest, ComposeInterfaceMismatchThrows) {
+  const auto d1 = circuitToZX(circuits::ghz(2));
+  const auto d2 = circuitToZX(circuits::ghz(3));
+  EXPECT_THROW((void)d1.compose(d2), CircuitError);
+}
+
+TEST(ZXDiagramTest, ToStringShowsStructure) {
+  const auto d = circuitToZX(circuits::ghz(2));
+  const auto str = d.toString();
+  EXPECT_NE(str.find("ZXDiagram"), std::string::npos);
+  EXPECT_NE(str.find("Z("), std::string::npos);
+  EXPECT_NE(str.find("X("), std::string::npos);
+}
+
+} // namespace
+} // namespace veriqc::zx

@@ -1,0 +1,158 @@
+#include "check/dd_checkers.hpp"
+#include "circuits/benchmarks.hpp"
+#include "sim/dense.hpp"
+#include "zx/circuit_to_zx.hpp"
+#include "zx/extract.hpp"
+#include "zx/resynthesis.hpp"
+#include "zx/simplify.hpp"
+#include "zx/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc::zx {
+namespace {
+
+/// Extract after full reduction and compare against the dense semantics.
+void expectRoundTrip(const QuantumCircuit& c) {
+  auto d = circuitToZX(c);
+  fullReduce(d);
+  const auto extracted = extractCircuit(std::move(d));
+  ASSERT_TRUE(extracted.has_value()) << c.name();
+  EXPECT_TRUE(proportional(sim::circuitUnitary(*extracted),
+                           sim::circuitUnitary(c), 1e-6))
+      << c.name();
+}
+
+TEST(ExtractTest, SingleGates) {
+  for (const auto type : {OpType::H, OpType::S, OpType::T, OpType::Z}) {
+    QuantumCircuit c(1);
+    c.append(Operation(type, {}, {0}));
+    expectRoundTrip(c);
+  }
+}
+
+TEST(ExtractTest, TwoQubitGates) {
+  QuantumCircuit cx(2);
+  cx.cx(0, 1);
+  expectRoundTrip(cx);
+  QuantumCircuit cz(2);
+  cz.cz(0, 1);
+  expectRoundTrip(cz);
+  QuantumCircuit swap(2);
+  swap.swap(0, 1);
+  expectRoundTrip(swap);
+}
+
+class ExtractCliffordTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtractCliffordTest, RandomCliffordRoundTrips) {
+  expectRoundTrip(circuits::randomClifford(4, 8, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractCliffordTest,
+                         ::testing::Range(std::uint64_t{0},
+                                          std::uint64_t{10}));
+
+TEST(ExtractTest, CliffordTRoundTripsOrGracefullyDeclines) {
+  std::size_t succeeded = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto c = circuits::randomCliffordT(3, 4, 0.15, seed);
+    auto d = circuitToZX(c);
+    fullReduce(d);
+    const auto extracted = extractCircuit(std::move(d));
+    if (!extracted.has_value()) {
+      continue; // phase gadgets: documented limitation
+    }
+    ++succeeded;
+    EXPECT_TRUE(proportional(sim::circuitUnitary(*extracted),
+                             sim::circuitUnitary(c), 1e-6))
+        << "seed " << seed;
+  }
+  EXPECT_GE(succeeded, 5U); // most instances extract fine
+}
+
+TEST(ExtractTest, BenchmarkCircuits) {
+  expectRoundTrip(circuits::ghz(5));
+  expectRoundTrip(circuits::randomGraphState(5, 3, 2));
+}
+
+TEST(ExtractTest, QftExtractsViaGadgetRescue) {
+  // The reduced QFT diagram contains phase gadgets; the boundary-pivot
+  // rescue pulls them to the frontier and extraction succeeds.
+  for (const std::size_t n : {3U, 4U}) {
+    auto d = circuitToZX(circuits::qft(n));
+    fullReduce(d);
+    const auto extracted = extractCircuit(std::move(d));
+    ASSERT_TRUE(extracted.has_value()) << n;
+    EXPECT_TRUE(proportional(sim::circuitUnitary(*extracted),
+                             sim::circuitUnitary(circuits::qft(n)), 1e-6))
+        << n;
+  }
+}
+
+TEST(ExtractTest, UnrescuableGadgetsStillDeclineGracefully) {
+  // Some reduced diagrams (e.g. a decomposed Toffoli) keep gadget
+  // configurations the rescue cannot reach; extraction must return nullopt
+  // rather than a wrong circuit.
+  QuantumCircuit c(3);
+  c.h(2);
+  c.cx(1, 2);
+  c.tdg(2);
+  c.cx(0, 2);
+  c.t(2);
+  c.cx(1, 2);
+  c.tdg(2);
+  c.cx(0, 2);
+  c.t(1);
+  c.t(2);
+  c.h(2);
+  c.cx(0, 1);
+  c.t(0);
+  c.tdg(1);
+  c.cx(0, 1);
+  auto d = circuitToZX(c);
+  fullReduce(d);
+  const auto extracted = extractCircuit(std::move(d));
+  if (extracted.has_value()) {
+    EXPECT_TRUE(proportional(sim::circuitUnitary(*extracted),
+                             sim::circuitUnitary(c), 1e-6));
+  }
+  SUCCEED(); // either verified extraction or a graceful decline
+}
+
+TEST(ExtractTest, CliffordResynthesisShrinksCircuits) {
+  // Graph-theoretic simplification is a strong Clifford optimizer: the
+  // extracted circuit of a deep random Clifford circuit is much smaller.
+  const auto original = circuits::randomClifford(4, 30, 7);
+  const auto resynthesized = resynthesize(original);
+  ASSERT_TRUE(resynthesized.has_value());
+  EXPECT_LT(resynthesized->gateCount(), original.gateCount() / 2);
+}
+
+TEST(ExtractTest, ResynthesisVerifiedByDDChecker) {
+  // The paper's complementarity, demonstrated: ZX optimizes, DDs verify.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto original = circuits::randomClifford(5, 12, seed);
+    const auto resynthesized = resynthesize(original);
+    ASSERT_TRUE(resynthesized.has_value()) << "seed " << seed;
+    const auto verdict = check::ddAlternatingCheck(original, *resynthesized);
+    EXPECT_TRUE(check::provedEquivalent(verdict.criterion))
+        << "seed " << seed << ": " << verdict.toString();
+  }
+}
+
+TEST(ExtractTest, NonGraphLikeInputToleratedViaReduce) {
+  // extractCircuit is specified for graph-like diagrams; resynthesize()
+  // handles arbitrary circuits by reducing first.
+  QuantumCircuit c(3);
+  c.h(0);
+  c.ccx(0, 1, 2); // needs decomposition inside resynthesize
+  const auto result = resynthesize(c);
+  if (result.has_value()) {
+    EXPECT_TRUE(proportional(sim::circuitUnitary(*result),
+                             sim::circuitUnitary(c), 1e-6));
+  }
+}
+
+} // namespace
+} // namespace veriqc::zx

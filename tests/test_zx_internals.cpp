@@ -1,0 +1,152 @@
+#include "circuits/benchmarks.hpp"
+#include "zx/circuit_to_zx.hpp"
+#include "zx/simplify.hpp"
+#include "zx/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veriqc::zx {
+namespace {
+
+ZXDiagram bareWires(const std::size_t n, const Permutation& perm) {
+  ZXDiagram d;
+  std::vector<Vertex> inputs;
+  std::vector<Vertex> outputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(d.addVertex(VertexType::Boundary));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    outputs.push_back(d.addVertex(VertexType::Boundary));
+  }
+  for (Qubit i = 0; i < n; ++i) {
+    d.addEdge(inputs[i], outputs[perm[i]], EdgeType::Simple);
+  }
+  d.setInputs(inputs);
+  d.setOutputs(outputs);
+  return d;
+}
+
+TEST(WirePermutationTest, IdentityWires) {
+  const auto d = bareWires(4, Permutation::identity(4));
+  const auto perm = extractWirePermutation(d);
+  ASSERT_TRUE(perm.has_value());
+  EXPECT_TRUE(perm->isIdentity());
+}
+
+TEST(WirePermutationTest, CrossedWires) {
+  const Permutation expected({2, 0, 1});
+  const auto d = bareWires(3, expected);
+  const auto perm = extractWirePermutation(d);
+  ASSERT_TRUE(perm.has_value());
+  EXPECT_EQ(*perm, expected);
+}
+
+TEST(WirePermutationTest, HadamardWireIsNotAPermutation) {
+  ZXDiagram d;
+  const auto in = d.addVertex(VertexType::Boundary);
+  const auto out = d.addVertex(VertexType::Boundary);
+  d.addEdge(in, out, EdgeType::Hadamard);
+  d.setInputs({in});
+  d.setOutputs({out});
+  EXPECT_FALSE(extractWirePermutation(d).has_value());
+}
+
+TEST(WirePermutationTest, LeftoverSpiderIsNotAPermutation) {
+  ZXDiagram d;
+  const auto in = d.addVertex(VertexType::Boundary);
+  const auto mid = d.addVertex(VertexType::Z, PiRational(1, 4));
+  const auto out = d.addVertex(VertexType::Boundary);
+  d.addEdge(in, mid, EdgeType::Simple);
+  d.addEdge(mid, out, EdgeType::Simple);
+  d.setInputs({in});
+  d.setOutputs({out});
+  EXPECT_FALSE(extractWirePermutation(d).has_value());
+}
+
+TEST(WirePermutationTest, InputConnectedToInputIsRejected) {
+  ZXDiagram d;
+  const auto in1 = d.addVertex(VertexType::Boundary);
+  const auto in2 = d.addVertex(VertexType::Boundary);
+  const auto out1 = d.addVertex(VertexType::Boundary);
+  const auto out2 = d.addVertex(VertexType::Boundary);
+  d.addEdge(in1, in2, EdgeType::Simple);
+  d.addEdge(out1, out2, EdgeType::Simple);
+  d.setInputs({in1, in2});
+  d.setOutputs({out1, out2});
+  EXPECT_FALSE(extractWirePermutation(d).has_value());
+}
+
+TEST(SimplifierStatsTest, CountsAreConsistent) {
+  auto d = circuitToZX(circuits::randomClifford(4, 8, 2))
+               .compose(circuitToZX(circuits::randomClifford(4, 8, 2))
+                            .adjoint());
+  Simplifier s(d);
+  ASSERT_TRUE(s.fullReduce());
+  const auto& stats = s.stats();
+  EXPECT_GT(stats.spiderFusions, 0U);
+  EXPECT_EQ(stats.total(),
+            stats.spiderFusions + stats.idRemovals +
+                stats.localComplementations + stats.pivots +
+                stats.gadgetPivots + stats.boundaryPivots +
+                stats.gadgetFusions);
+}
+
+TEST(PiRationalResnapTest, SymmetricSnapCancelsExactly) {
+  for (const double angle : {0.3, 1.7, 0.001, 2.9}) {
+    const auto plus = PiRational::fromRadians(angle);
+    const auto minus = PiRational::fromRadians(-angle);
+    EXPECT_TRUE((plus + minus).isZero()) << angle;
+  }
+}
+
+TEST(PiRationalResnapTest, AccumulatedResidualsSnapToZero) {
+  // Approximant arithmetic: a + b - (a+b) computed on snapped values must
+  // normalize back to zero.
+  const double a = 0.7234981;
+  const double b = -0.4417733;
+  const auto sum = PiRational::fromRadians(a) + PiRational::fromRadians(b) -
+                   PiRational::fromRadians(a + b);
+  EXPECT_TRUE(sum.isZero()) << sum.toString();
+}
+
+TEST(PiRationalResnapTest, DyadicAnglesStayExact) {
+  // Exact dyadics are never re-snapped.
+  auto phase = PiRational(1, 1024);
+  for (int i = 0; i < 1023; ++i) {
+    phase += PiRational(1, 1024);
+  }
+  EXPECT_EQ(phase, PiRational(1, 1));
+}
+
+TEST(GraphLikeInvariantTest, HoldsAfterFullReduce) {
+  auto d = circuitToZX(circuits::randomCliffordT(4, 6, 0.2, 9));
+  Simplifier s(d);
+  ASSERT_TRUE(s.fullReduce());
+  for (const auto v : d.vertices()) {
+    if (d.isBoundary(v)) {
+      EXPECT_LE(d.degree(v), 1U);
+      continue;
+    }
+    EXPECT_EQ(d.type(v), VertexType::Z);
+    for (const auto& [w, mult] : d.neighbors(v)) {
+      EXPECT_NE(w, v) << "self loop survived";
+      if (!d.isBoundary(w)) {
+        EXPECT_EQ(mult.simple, 0) << "plain spider-spider edge survived";
+        EXPECT_LE(mult.hadamard, 1);
+      }
+    }
+  }
+}
+
+TEST(ComposeAdjointTest, DoubleAdjointPreservesSemantics) {
+  QuantumCircuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.t(1);
+  const auto d = circuitToZX(c);
+  const auto twice = d.adjoint().adjoint();
+  EXPECT_TRUE(proportional(toMatrix(twice), toMatrix(d)));
+}
+
+} // namespace
+} // namespace veriqc::zx

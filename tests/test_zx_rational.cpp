@@ -1,0 +1,80 @@
+#include "ir/types.hpp"
+#include "zx/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace veriqc::zx {
+namespace {
+
+TEST(PiRationalTest, DefaultIsZero) {
+  const PiRational r;
+  EXPECT_TRUE(r.isZero());
+  EXPECT_TRUE(r.isPauli());
+  EXPECT_TRUE(r.isClifford());
+  EXPECT_FALSE(r.isProperClifford());
+}
+
+TEST(PiRationalTest, NormalizationToHalfOpenInterval) {
+  EXPECT_EQ(PiRational(3, 1), PiRational(1, 1));   // 3pi = pi
+  EXPECT_EQ(PiRational(-1, 1), PiRational(1, 1));  // -pi = pi
+  EXPECT_EQ(PiRational(5, 2), PiRational(1, 2));   // 5pi/2 = pi/2
+  EXPECT_EQ(PiRational(-3, 2), PiRational(1, 2));  // -3pi/2 = pi/2
+  EXPECT_EQ(PiRational(4, 2), PiRational(0, 1));   // 2pi = 0
+  EXPECT_EQ(PiRational(2, 4), PiRational(1, 2));   // reduction
+}
+
+TEST(PiRationalTest, Predicates) {
+  EXPECT_TRUE(PiRational(1, 1).isPi());
+  EXPECT_TRUE(PiRational(1, 1).isPauli());
+  EXPECT_TRUE(PiRational(1, 2).isProperClifford());
+  EXPECT_TRUE(PiRational(-1, 2).isProperClifford());
+  EXPECT_TRUE(PiRational(1, 2).isClifford());
+  EXPECT_FALSE(PiRational(1, 4).isClifford());
+  EXPECT_FALSE(PiRational(1, 4).isPauli());
+}
+
+TEST(PiRationalTest, Arithmetic) {
+  EXPECT_EQ(PiRational(1, 4) + PiRational(1, 4), PiRational(1, 2));
+  EXPECT_EQ(PiRational(1, 2) + PiRational(1, 2), PiRational(1, 1));
+  EXPECT_EQ(PiRational(1, 1) + PiRational(1, 1), PiRational(0, 1));
+  EXPECT_EQ(PiRational(1, 4) - PiRational(1, 2), PiRational(-1, 4));
+  EXPECT_EQ(-PiRational(1, 2), PiRational(-1, 2));
+  EXPECT_EQ(-PiRational(1, 1), PiRational(1, 1)); // -pi = pi
+}
+
+TEST(PiRationalTest, FromRadiansExactDyadics) {
+  EXPECT_EQ(PiRational::fromRadians(PI), PiRational(1, 1));
+  EXPECT_EQ(PiRational::fromRadians(PI / 2.0), PiRational(1, 2));
+  EXPECT_EQ(PiRational::fromRadians(-PI / 4.0), PiRational(-1, 4));
+  EXPECT_EQ(PiRational::fromRadians(PI / 1024.0), PiRational(1, 1024));
+  EXPECT_EQ(PiRational::fromRadians(3.0 * PI / 8.0), PiRational(3, 8));
+  EXPECT_EQ(PiRational::fromRadians(2.0 * PI), PiRational(0, 1));
+  EXPECT_EQ(PiRational::fromRadians(5.0 * PI / 2.0), PiRational(1, 2));
+}
+
+TEST(PiRationalTest, FromRadiansRoundTrip) {
+  for (const double angle : {0.1, 1.3, -2.7, 3.0, 0.0001}) {
+    const auto r = PiRational::fromRadians(angle);
+    const double back = r.toRadians();
+    // Equal modulo 2*pi.
+    const double diff = std::remainder(angle - back, 2.0 * PI);
+    EXPECT_NEAR(diff, 0.0, 1e-4) << angle;
+  }
+}
+
+TEST(PiRationalTest, RejectsZeroDenominator) {
+  EXPECT_THROW(PiRational(1, 0), std::invalid_argument);
+}
+
+TEST(PiRationalTest, ToString) {
+  EXPECT_EQ(PiRational(0, 1).toString(), "0");
+  EXPECT_EQ(PiRational(1, 1).toString(), "pi");
+  EXPECT_EQ(PiRational(1, 2).toString(), "pi/2");
+  EXPECT_EQ(PiRational(-1, 4).toString(), "-pi/4");
+  EXPECT_EQ(PiRational(3, 4).toString(), "3*pi/4");
+}
+
+} // namespace
+} // namespace veriqc::zx
