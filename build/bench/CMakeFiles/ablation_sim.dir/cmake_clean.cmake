@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sim.dir/ablation_sim.cpp.o"
+  "CMakeFiles/ablation_sim.dir/ablation_sim.cpp.o.d"
+  "ablation_sim"
+  "ablation_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tolerance.dir/ablation_tolerance.cpp.o"
+  "CMakeFiles/ablation_tolerance.dir/ablation_tolerance.cpp.o.d"
+  "ablation_tolerance"
+  "ablation_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

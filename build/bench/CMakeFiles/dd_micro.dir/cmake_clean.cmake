@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_micro.dir/dd_micro.cpp.o"
+  "CMakeFiles/dd_micro.dir/dd_micro.cpp.o.d"
+  "dd_micro"
+  "dd_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

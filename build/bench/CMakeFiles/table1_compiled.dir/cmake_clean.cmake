@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_compiled.dir/table1_compiled.cpp.o"
+  "CMakeFiles/table1_compiled.dir/table1_compiled.cpp.o.d"
+  "table1_compiled"
+  "table1_compiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_compiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zx_micro.dir/zx_micro.cpp.o"
+  "CMakeFiles/zx_micro.dir/zx_micro.cpp.o.d"
+  "zx_micro"
+  "zx_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zx_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

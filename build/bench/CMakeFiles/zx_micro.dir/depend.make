@@ -1,0 +1,2 @@
+# Empty dependencies file for zx_micro.
+# This may be replaced when dependencies are built.

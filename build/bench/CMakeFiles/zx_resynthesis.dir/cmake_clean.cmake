@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zx_resynthesis.dir/zx_resynthesis.cpp.o"
+  "CMakeFiles/zx_resynthesis.dir/zx_resynthesis.cpp.o.d"
+  "zx_resynthesis"
+  "zx_resynthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zx_resynthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_qasm.dir/check_qasm.cpp.o"
+  "CMakeFiles/check_qasm.dir/check_qasm.cpp.o.d"
+  "check_qasm"
+  "check_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/check/CMakeFiles/veriqc_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/veriqc_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/veriqc_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/zx/CMakeFiles/veriqc_zx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/veriqc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/veriqc_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/veriqc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/veriqc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_compilation.dir/verify_compilation.cpp.o"
+  "CMakeFiles/verify_compilation.dir/verify_compilation.cpp.o.d"
+  "verify_compilation"
+  "verify_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

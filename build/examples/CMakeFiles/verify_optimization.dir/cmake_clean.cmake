@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_optimization.dir/verify_optimization.cpp.o"
+  "CMakeFiles/verify_optimization.dir/verify_optimization.cpp.o.d"
+  "verify_optimization"
+  "verify_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

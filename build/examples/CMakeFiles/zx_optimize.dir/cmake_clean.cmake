@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zx_optimize.dir/zx_optimize.cpp.o"
+  "CMakeFiles/zx_optimize.dir/zx_optimize.cpp.o.d"
+  "zx_optimize"
+  "zx_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zx_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/dd_checkers.cpp" "src/check/CMakeFiles/veriqc_check.dir/dd_checkers.cpp.o" "gcc" "src/check/CMakeFiles/veriqc_check.dir/dd_checkers.cpp.o.d"
+  "/root/repo/src/check/manager.cpp" "src/check/CMakeFiles/veriqc_check.dir/manager.cpp.o" "gcc" "src/check/CMakeFiles/veriqc_check.dir/manager.cpp.o.d"
+  "/root/repo/src/check/result.cpp" "src/check/CMakeFiles/veriqc_check.dir/result.cpp.o" "gcc" "src/check/CMakeFiles/veriqc_check.dir/result.cpp.o.d"
+  "/root/repo/src/check/zx_checker.cpp" "src/check/CMakeFiles/veriqc_check.dir/zx_checker.cpp.o" "gcc" "src/check/CMakeFiles/veriqc_check.dir/zx_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/veriqc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/veriqc_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/veriqc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/zx/CMakeFiles/veriqc_zx.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/veriqc_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/veriqc_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

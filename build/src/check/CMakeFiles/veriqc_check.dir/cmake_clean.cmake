@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_check.dir/dd_checkers.cpp.o"
+  "CMakeFiles/veriqc_check.dir/dd_checkers.cpp.o.d"
+  "CMakeFiles/veriqc_check.dir/manager.cpp.o"
+  "CMakeFiles/veriqc_check.dir/manager.cpp.o.d"
+  "CMakeFiles/veriqc_check.dir/result.cpp.o"
+  "CMakeFiles/veriqc_check.dir/result.cpp.o.d"
+  "CMakeFiles/veriqc_check.dir/zx_checker.cpp.o"
+  "CMakeFiles/veriqc_check.dir/zx_checker.cpp.o.d"
+  "libveriqc_check.a"
+  "libveriqc_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_circuits.dir/benchmarks.cpp.o"
+  "CMakeFiles/veriqc_circuits.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/veriqc_circuits.dir/error_injection.cpp.o"
+  "CMakeFiles/veriqc_circuits.dir/error_injection.cpp.o.d"
+  "libveriqc_circuits.a"
+  "libveriqc_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

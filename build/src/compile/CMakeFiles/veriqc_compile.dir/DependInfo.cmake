@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compile/architecture.cpp" "src/compile/CMakeFiles/veriqc_compile.dir/architecture.cpp.o" "gcc" "src/compile/CMakeFiles/veriqc_compile.dir/architecture.cpp.o.d"
+  "/root/repo/src/compile/decompose.cpp" "src/compile/CMakeFiles/veriqc_compile.dir/decompose.cpp.o" "gcc" "src/compile/CMakeFiles/veriqc_compile.dir/decompose.cpp.o.d"
+  "/root/repo/src/compile/mapper.cpp" "src/compile/CMakeFiles/veriqc_compile.dir/mapper.cpp.o" "gcc" "src/compile/CMakeFiles/veriqc_compile.dir/mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/veriqc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_compile.dir/architecture.cpp.o"
+  "CMakeFiles/veriqc_compile.dir/architecture.cpp.o.d"
+  "CMakeFiles/veriqc_compile.dir/decompose.cpp.o"
+  "CMakeFiles/veriqc_compile.dir/decompose.cpp.o.d"
+  "CMakeFiles/veriqc_compile.dir/mapper.cpp.o"
+  "CMakeFiles/veriqc_compile.dir/mapper.cpp.o.d"
+  "libveriqc_compile.a"
+  "libveriqc_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libveriqc_compile.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dd/export.cpp" "src/dd/CMakeFiles/veriqc_dd.dir/export.cpp.o" "gcc" "src/dd/CMakeFiles/veriqc_dd.dir/export.cpp.o.d"
+  "/root/repo/src/dd/package.cpp" "src/dd/CMakeFiles/veriqc_dd.dir/package.cpp.o" "gcc" "src/dd/CMakeFiles/veriqc_dd.dir/package.cpp.o.d"
+  "/root/repo/src/dd/real_table.cpp" "src/dd/CMakeFiles/veriqc_dd.dir/real_table.cpp.o" "gcc" "src/dd/CMakeFiles/veriqc_dd.dir/real_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/veriqc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_dd.dir/export.cpp.o"
+  "CMakeFiles/veriqc_dd.dir/export.cpp.o.d"
+  "CMakeFiles/veriqc_dd.dir/package.cpp.o"
+  "CMakeFiles/veriqc_dd.dir/package.cpp.o.d"
+  "CMakeFiles/veriqc_dd.dir/real_table.cpp.o"
+  "CMakeFiles/veriqc_dd.dir/real_table.cpp.o.d"
+  "libveriqc_dd.a"
+  "libveriqc_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

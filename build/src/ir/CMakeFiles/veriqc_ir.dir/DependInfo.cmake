@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/circuit.cpp" "src/ir/CMakeFiles/veriqc_ir.dir/circuit.cpp.o" "gcc" "src/ir/CMakeFiles/veriqc_ir.dir/circuit.cpp.o.d"
+  "/root/repo/src/ir/gate_matrix.cpp" "src/ir/CMakeFiles/veriqc_ir.dir/gate_matrix.cpp.o" "gcc" "src/ir/CMakeFiles/veriqc_ir.dir/gate_matrix.cpp.o.d"
+  "/root/repo/src/ir/op_type.cpp" "src/ir/CMakeFiles/veriqc_ir.dir/op_type.cpp.o" "gcc" "src/ir/CMakeFiles/veriqc_ir.dir/op_type.cpp.o.d"
+  "/root/repo/src/ir/operation.cpp" "src/ir/CMakeFiles/veriqc_ir.dir/operation.cpp.o" "gcc" "src/ir/CMakeFiles/veriqc_ir.dir/operation.cpp.o.d"
+  "/root/repo/src/ir/permutation.cpp" "src/ir/CMakeFiles/veriqc_ir.dir/permutation.cpp.o" "gcc" "src/ir/CMakeFiles/veriqc_ir.dir/permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

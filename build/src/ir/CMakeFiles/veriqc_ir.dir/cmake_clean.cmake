@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_ir.dir/circuit.cpp.o"
+  "CMakeFiles/veriqc_ir.dir/circuit.cpp.o.d"
+  "CMakeFiles/veriqc_ir.dir/gate_matrix.cpp.o"
+  "CMakeFiles/veriqc_ir.dir/gate_matrix.cpp.o.d"
+  "CMakeFiles/veriqc_ir.dir/op_type.cpp.o"
+  "CMakeFiles/veriqc_ir.dir/op_type.cpp.o.d"
+  "CMakeFiles/veriqc_ir.dir/operation.cpp.o"
+  "CMakeFiles/veriqc_ir.dir/operation.cpp.o.d"
+  "CMakeFiles/veriqc_ir.dir/permutation.cpp.o"
+  "CMakeFiles/veriqc_ir.dir/permutation.cpp.o.d"
+  "libveriqc_ir.a"
+  "libveriqc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/veriqc_opt.dir/optimizer.cpp.o.d"
+  "libveriqc_opt.a"
+  "libveriqc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qasm/lexer.cpp" "src/qasm/CMakeFiles/veriqc_qasm.dir/lexer.cpp.o" "gcc" "src/qasm/CMakeFiles/veriqc_qasm.dir/lexer.cpp.o.d"
+  "/root/repo/src/qasm/parser.cpp" "src/qasm/CMakeFiles/veriqc_qasm.dir/parser.cpp.o" "gcc" "src/qasm/CMakeFiles/veriqc_qasm.dir/parser.cpp.o.d"
+  "/root/repo/src/qasm/revlib.cpp" "src/qasm/CMakeFiles/veriqc_qasm.dir/revlib.cpp.o" "gcc" "src/qasm/CMakeFiles/veriqc_qasm.dir/revlib.cpp.o.d"
+  "/root/repo/src/qasm/writer.cpp" "src/qasm/CMakeFiles/veriqc_qasm.dir/writer.cpp.o" "gcc" "src/qasm/CMakeFiles/veriqc_qasm.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/veriqc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_qasm.dir/lexer.cpp.o"
+  "CMakeFiles/veriqc_qasm.dir/lexer.cpp.o.d"
+  "CMakeFiles/veriqc_qasm.dir/parser.cpp.o"
+  "CMakeFiles/veriqc_qasm.dir/parser.cpp.o.d"
+  "CMakeFiles/veriqc_qasm.dir/revlib.cpp.o"
+  "CMakeFiles/veriqc_qasm.dir/revlib.cpp.o.d"
+  "CMakeFiles/veriqc_qasm.dir/writer.cpp.o"
+  "CMakeFiles/veriqc_qasm.dir/writer.cpp.o.d"
+  "libveriqc_qasm.a"
+  "libveriqc_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dd_simulator.cpp" "src/sim/CMakeFiles/veriqc_sim.dir/dd_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/veriqc_sim.dir/dd_simulator.cpp.o.d"
+  "/root/repo/src/sim/dense.cpp" "src/sim/CMakeFiles/veriqc_sim.dir/dense.cpp.o" "gcc" "src/sim/CMakeFiles/veriqc_sim.dir/dense.cpp.o.d"
+  "/root/repo/src/sim/stimuli.cpp" "src/sim/CMakeFiles/veriqc_sim.dir/stimuli.cpp.o" "gcc" "src/sim/CMakeFiles/veriqc_sim.dir/stimuli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/veriqc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/veriqc_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_sim.dir/dd_simulator.cpp.o"
+  "CMakeFiles/veriqc_sim.dir/dd_simulator.cpp.o.d"
+  "CMakeFiles/veriqc_sim.dir/dense.cpp.o"
+  "CMakeFiles/veriqc_sim.dir/dense.cpp.o.d"
+  "CMakeFiles/veriqc_sim.dir/stimuli.cpp.o"
+  "CMakeFiles/veriqc_sim.dir/stimuli.cpp.o.d"
+  "libveriqc_sim.a"
+  "libveriqc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zx/circuit_to_zx.cpp" "src/zx/CMakeFiles/veriqc_zx.dir/circuit_to_zx.cpp.o" "gcc" "src/zx/CMakeFiles/veriqc_zx.dir/circuit_to_zx.cpp.o.d"
+  "/root/repo/src/zx/diagram.cpp" "src/zx/CMakeFiles/veriqc_zx.dir/diagram.cpp.o" "gcc" "src/zx/CMakeFiles/veriqc_zx.dir/diagram.cpp.o.d"
+  "/root/repo/src/zx/export.cpp" "src/zx/CMakeFiles/veriqc_zx.dir/export.cpp.o" "gcc" "src/zx/CMakeFiles/veriqc_zx.dir/export.cpp.o.d"
+  "/root/repo/src/zx/extract.cpp" "src/zx/CMakeFiles/veriqc_zx.dir/extract.cpp.o" "gcc" "src/zx/CMakeFiles/veriqc_zx.dir/extract.cpp.o.d"
+  "/root/repo/src/zx/rational.cpp" "src/zx/CMakeFiles/veriqc_zx.dir/rational.cpp.o" "gcc" "src/zx/CMakeFiles/veriqc_zx.dir/rational.cpp.o.d"
+  "/root/repo/src/zx/resynthesis.cpp" "src/zx/CMakeFiles/veriqc_zx.dir/resynthesis.cpp.o" "gcc" "src/zx/CMakeFiles/veriqc_zx.dir/resynthesis.cpp.o.d"
+  "/root/repo/src/zx/simplify.cpp" "src/zx/CMakeFiles/veriqc_zx.dir/simplify.cpp.o" "gcc" "src/zx/CMakeFiles/veriqc_zx.dir/simplify.cpp.o.d"
+  "/root/repo/src/zx/tensor.cpp" "src/zx/CMakeFiles/veriqc_zx.dir/tensor.cpp.o" "gcc" "src/zx/CMakeFiles/veriqc_zx.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/veriqc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/veriqc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/veriqc_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/veriqc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/veriqc_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriqc_zx.dir/circuit_to_zx.cpp.o"
+  "CMakeFiles/veriqc_zx.dir/circuit_to_zx.cpp.o.d"
+  "CMakeFiles/veriqc_zx.dir/diagram.cpp.o"
+  "CMakeFiles/veriqc_zx.dir/diagram.cpp.o.d"
+  "CMakeFiles/veriqc_zx.dir/export.cpp.o"
+  "CMakeFiles/veriqc_zx.dir/export.cpp.o.d"
+  "CMakeFiles/veriqc_zx.dir/extract.cpp.o"
+  "CMakeFiles/veriqc_zx.dir/extract.cpp.o.d"
+  "CMakeFiles/veriqc_zx.dir/rational.cpp.o"
+  "CMakeFiles/veriqc_zx.dir/rational.cpp.o.d"
+  "CMakeFiles/veriqc_zx.dir/resynthesis.cpp.o"
+  "CMakeFiles/veriqc_zx.dir/resynthesis.cpp.o.d"
+  "CMakeFiles/veriqc_zx.dir/simplify.cpp.o"
+  "CMakeFiles/veriqc_zx.dir/simplify.cpp.o.d"
+  "CMakeFiles/veriqc_zx.dir/tensor.cpp.o"
+  "CMakeFiles/veriqc_zx.dir/tensor.cpp.o.d"
+  "libveriqc_zx.a"
+  "libveriqc_zx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriqc_zx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dd_internals.dir/test_dd_internals.cpp.o"
+  "CMakeFiles/test_dd_internals.dir/test_dd_internals.cpp.o.d"
+  "test_dd_internals"
+  "test_dd_internals.pdb"
+  "test_dd_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dd_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dd_simulation.dir/test_dd_simulation.cpp.o"
+  "CMakeFiles/test_dd_simulation.dir/test_dd_simulation.cpp.o.d"
+  "test_dd_simulation"
+  "test_dd_simulation.pdb"
+  "test_dd_simulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dd_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revlib.dir/test_revlib.cpp.o"
+  "CMakeFiles/test_revlib.dir/test_revlib.cpp.o.d"
+  "test_revlib"
+  "test_revlib.pdb"
+  "test_revlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

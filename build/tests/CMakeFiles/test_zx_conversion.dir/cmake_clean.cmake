@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx_conversion.dir/test_zx_conversion.cpp.o"
+  "CMakeFiles/test_zx_conversion.dir/test_zx_conversion.cpp.o.d"
+  "test_zx_conversion"
+  "test_zx_conversion.pdb"
+  "test_zx_conversion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx_extract.dir/test_zx_extract.cpp.o"
+  "CMakeFiles/test_zx_extract.dir/test_zx_extract.cpp.o.d"
+  "test_zx_extract"
+  "test_zx_extract.pdb"
+  "test_zx_extract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx_internals.dir/test_zx_internals.cpp.o"
+  "CMakeFiles/test_zx_internals.dir/test_zx_internals.cpp.o.d"
+  "test_zx_internals"
+  "test_zx_internals.pdb"
+  "test_zx_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx_rational.dir/test_zx_rational.cpp.o"
+  "CMakeFiles/test_zx_rational.dir/test_zx_rational.cpp.o.d"
+  "test_zx_rational"
+  "test_zx_rational.pdb"
+  "test_zx_rational[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx_rational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_permutation[1]_include.cmake")
+include("/root/repo/build/tests/test_operation[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_dense[1]_include.cmake")
+include("/root/repo/build/tests/test_dd_package[1]_include.cmake")
+include("/root/repo/build/tests/test_dd_simulation[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmarks[1]_include.cmake")
+include("/root/repo/build/tests/test_qasm[1]_include.cmake")
+include("/root/repo/build/tests/test_zx_rational[1]_include.cmake")
+include("/root/repo/build/tests/test_zx_diagram[1]_include.cmake")
+include("/root/repo/build/tests/test_zx_conversion[1]_include.cmake")
+include("/root/repo/build/tests/test_zx_simplify[1]_include.cmake")
+include("/root/repo/build/tests/test_compile[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_check[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_revlib[1]_include.cmake")
+include("/root/repo/build/tests/test_dd_internals[1]_include.cmake")
+include("/root/repo/build/tests/test_zx_internals[1]_include.cmake")
+include("/root/repo/build/tests/test_zx_extract[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
