@@ -1,5 +1,6 @@
 /// \file dd_micro.cpp
 /// \brief Google-benchmark microbenchmarks of the decision-diagram package.
+#include "check/dd_checkers.hpp"
 #include "circuits/benchmarks.hpp"
 #include "dd/package.hpp"
 #include "sim/dd_simulator.hpp"
@@ -10,6 +11,16 @@ namespace {
 
 using namespace veriqc;
 
+/// Attach the package's cache hit rates as benchmark counters.
+void reportCacheCounters(benchmark::State& state, const dd::Package& package) {
+  const auto stats = package.stats();
+  state.counters["gate_cache_hit_rate"] = stats.gateCache.hitRate();
+  const auto compute = stats.computeTotal();
+  state.counters["compute_hit_rate"] = compute.hitRate();
+  state.counters["compute_collisions"] =
+      static_cast<double>(compute.collisions);
+}
+
 void BM_MakeGateDD(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   dd::Package package(n);
@@ -18,6 +29,7 @@ void BM_MakeGateDD(benchmark::State& state) {
     benchmark::DoNotOptimize(
         package.makeGateDD(matrix, {}, static_cast<Qubit>(n / 2)));
   }
+  reportCacheCounters(state, package);
 }
 BENCHMARK(BM_MakeGateDD)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
@@ -30,30 +42,37 @@ void BM_MakeControlledGateDD(benchmark::State& state) {
     benchmark::DoNotOptimize(
         package.makeGateDD(matrix, controls, static_cast<Qubit>(n - 1)));
   }
+  reportCacheCounters(state, package);
 }
 BENCHMARK(BM_MakeControlledGateDD)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_BuildUnitaryGhz(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto circuit = circuits::ghz(n);
+  double hitRate = 0.0;
   for (auto _ : state) {
     dd::Package package(n);
     auto e = sim::buildUnitaryDD(package, circuit);
     benchmark::DoNotOptimize(e);
+    hitRate = package.stats().gateCache.hitRate();
     package.decRef(e);
   }
+  state.counters["gate_cache_hit_rate"] = hitRate;
 }
 BENCHMARK(BM_BuildUnitaryGhz)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_BuildUnitaryQft(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto circuit = circuits::qft(n);
+  double hitRate = 0.0;
   for (auto _ : state) {
     dd::Package package(n);
     auto e = sim::buildUnitaryDD(package, circuit);
     benchmark::DoNotOptimize(e);
+    hitRate = package.stats().gateCache.hitRate();
     package.decRef(e);
   }
+  state.counters["gate_cache_hit_rate"] = hitRate;
 }
 // Full QFT matrix DDs grow steeply with n (the construction
 // infeasibility the alternating checker avoids) — keep sizes small.
@@ -93,6 +112,50 @@ void BM_SimulateGrover(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateGrover)->Arg(4)->Arg(6);
+
+/// Table-1-style repeated-gate workload: Grover iterations repeat the same
+/// oracle/diffusion gates over and over, so the gate-DD cache carries the
+/// construction.
+void BM_BuildUnitaryGroverRepeated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::grover(n, 3);
+  double hitRate = 0.0;
+  for (auto _ : state) {
+    dd::Package package(n);
+    auto e = sim::buildUnitaryDD(package, circuit);
+    benchmark::DoNotOptimize(e);
+    hitRate = package.stats().gateCache.hitRate();
+    package.decRef(e);
+  }
+  state.counters["gate_cache_hit_rate"] = hitRate;
+}
+BENCHMARK(BM_BuildUnitaryGroverRepeated)->Arg(4)->Arg(6);
+
+/// Random-stimuli equivalence check: sequential (1 worker) vs. a small
+/// thread pool. Each worker owns its own package; identical verdicts by
+/// construction (per-stimulus-index seeding).
+void BM_SimulationCheckThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::grover(5, 3);
+  check::Configuration config;
+  config.simulationRuns = 16;
+  config.simulationThreads = threads;
+  config.stimuliKind = sim::StimuliKind::LocalQuantum;
+  std::size_t performed = 0;
+  for (auto _ : state) {
+    const auto result = check::ddSimulationCheck(circuit, circuit, config);
+    benchmark::DoNotOptimize(result);
+    performed = result.performedSimulations;
+  }
+  state.counters["performed"] = static_cast<double>(performed);
+}
+BENCHMARK(BM_SimulationCheckThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 

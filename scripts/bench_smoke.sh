@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build Release, run the DD-kernel microbenchmarks and write their JSON
+# (timings + cache hit-rate counters) to BENCH_dd_kernel.json at the repo
+# root, so successive PRs accumulate a perf trajectory to compare against.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="BENCH_dd_kernel.json"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target dd_micro >/dev/null
+
+"./$BUILD_DIR/bench/dd_micro" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.1 \
+  --benchmark_filter='BM_MakeGateDD|BM_MakeControlledGateDD|BM_BuildUnitary|BM_SimulationCheckThreads' \
+  >"$OUT"
+
+echo "Wrote $OUT"
+echo
+echo "=== cache-stats digest ==="
+# Per-benchmark wall time plus the cache counters embedded in the JSON.
+grep -E '"(name|real_time|gate_cache_hit_rate|compute_hit_rate|performed)"' \
+  "$OUT" | sed -e 's/^[[:space:]]*//' -e 's/,$//'

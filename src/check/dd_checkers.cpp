@@ -5,8 +5,12 @@
 #include "sim/dd_simulator.hpp"
 #include "sim/dense.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <mutex>
+#include <thread>
 
 namespace veriqc::check {
 
@@ -16,6 +20,23 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(const Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Copy a package's cache counters into the result record.
+void recordCacheStats(const dd::Package& package, Result& result) {
+  const auto stats = package.stats();
+  result.computeCacheStats += stats.computeTotal();
+  result.gateCacheStats += stats.gateCache;
+}
+
+/// Independent seed for stimulus `run` (splitmix64 mix of seed and index):
+/// makes the generated stimulus a function of (seed, run) alone, independent
+/// of which worker draws it and in which order.
+std::uint64_t stimulusSeed(const std::uint64_t seed, const std::uint64_t run) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (run + 1);
+  z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31U);
 }
 
 /// Align the two circuits and optionally reconstruct SWAP gates so the
@@ -219,6 +240,7 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   const auto e2 = aborted ? package.makeIdent() : build(b, aborted);
   if (aborted) {
     result.criterion = EquivalenceCriterion::Timeout;
+    recordCacheStats(package, result);
     result.runtimeSeconds = secondsSince(start);
     return result;
   }
@@ -241,6 +263,7 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
                            ? EquivalenceCriterion::EquivalentUpToGlobalPhase
                            : EquivalenceCriterion::NotEquivalent;
   }
+  recordCacheStats(package, result);
   result.runtimeSeconds = secondsSince(start);
   return result;
 }
@@ -268,6 +291,7 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
     }
     if (timedOut()) {
       result.criterion = EquivalenceCriterion::Timeout;
+      recordCacheStats(package, result);
       result.runtimeSeconds = secondsSince(start);
       result.peakNodes = acc.peak();
       return result;
@@ -338,6 +362,7 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   }
 
   result.criterion = classify(package, acc.edge(), config, result);
+  recordCacheStats(package, result);
   result.peakNodes = acc.peak();
   result.sizeTrace = acc.takeTrace();
   result.runtimeSeconds = secondsSince(start);
@@ -377,6 +402,7 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
   for (const auto count : expansionCounts) {
     if (stop && stop()) {
       result.criterion = EquivalenceCriterion::Timeout;
+      recordCacheStats(package, result);
       result.runtimeSeconds = secondsSince(start);
       result.peakNodes = acc.peak();
       return result;
@@ -411,6 +437,7 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
         {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
   }
   result.criterion = classify(package, acc.edge(), flowConfig, result);
+  recordCacheStats(package, result);
   result.peakNodes = acc.peak();
   result.sizeTrace = acc.takeTrace();
   result.runtimeSeconds = secondsSince(start);
@@ -423,41 +450,111 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   Result result;
   result.method = "dd-simulation(" + toString(config.stimuliKind) + ")";
   const auto [a, b] = alignCircuits(c1, c2);
-  dd::Package package(a.numQubits(), config.numericalTolerance);
-  std::mt19937_64 rng(config.seed);
 
-  for (std::size_t run = 0; run < config.simulationRuns; ++run) {
-    if (stop && stop()) {
-      result.criterion = EquivalenceCriterion::Timeout;
-      break;
+  const std::size_t runs = config.simulationRuns;
+  std::size_t workers =
+      config.simulationThreads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config.simulationThreads;
+  workers = std::min(workers, std::max<std::size_t>(1, runs));
+
+  constexpr std::size_t kNoFail = std::numeric_limits<std::size_t>::max();
+  std::atomic<std::size_t> nextRun{0};
+  // Smallest failing stimulus index found so far. Runs are claimed in index
+  // order and a run only aborts once a *smaller* index has failed, so every
+  // index below the final value is fully simulated: the first counterexample
+  // is deterministic regardless of thread count and scheduling.
+  std::atomic<std::size_t> failIndex{kNoFail};
+  std::atomic<bool> sawTimeout{false};
+  std::atomic<std::size_t> performed{0};
+  std::mutex resultMutex; // guards the non-atomic result fields below
+  std::size_t peakNodes = 0;
+
+  const auto workerFn = [&]() {
+    // The DD package is documented single-threaded: one per worker.
+    dd::Package package(a.numQubits(), config.numericalTolerance);
+    while (true) {
+      const std::size_t run =
+          nextRun.fetch_add(1, std::memory_order_relaxed);
+      if (run >= runs ||
+          run > failIndex.load(std::memory_order_relaxed)) {
+        break;
+      }
+      if (stop && stop()) {
+        sawTimeout.store(true, std::memory_order_relaxed);
+        break;
+      }
+      // Abort mid-simulation on external stop or once an earlier stimulus
+      // already proved non-equivalence.
+      const auto localStop = [&stop, &failIndex, run]() {
+        return (stop && stop()) ||
+               failIndex.load(std::memory_order_relaxed) < run;
+      };
+      std::mt19937_64 rng(stimulusSeed(config.seed, run));
+      const auto stimulus =
+          sim::generateStimulus(config.stimuliKind, a.numQubits(), rng);
+      const auto input =
+          sim::simulate(package, stimulus, package.makeZeroState(), localStop);
+      const auto out1 = sim::simulate(package, a, input, localStop);
+      const auto out2 = sim::simulate(package, b, input, localStop);
+      const bool abortedExternal = stop && stop();
+      const bool abortedLocal =
+          failIndex.load(std::memory_order_relaxed) < run;
+      const double fidelity = (abortedExternal || abortedLocal)
+                                  ? 1.0
+                                  : package.fidelity(out1, out2);
+      package.decRef(input);
+      package.decRef(out1);
+      package.decRef(out2);
+      package.garbageCollect();
+      if (abortedExternal) {
+        sawTimeout.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (abortedLocal) {
+        continue; // moot: a smaller counterexample exists
+      }
+      performed.fetch_add(1, std::memory_order_relaxed);
+      const auto stats = package.stats();
+      {
+        std::scoped_lock lock(resultMutex);
+        peakNodes =
+            std::max(peakNodes, stats.matrixNodes + stats.vectorNodes);
+      }
+      if (std::abs(fidelity - 1.0) > config.checkTolerance) {
+        std::size_t expected = failIndex.load(std::memory_order_relaxed);
+        while (run < expected &&
+               !failIndex.compare_exchange_weak(expected, run,
+                                                std::memory_order_relaxed)) {
+        }
+      }
     }
-    const auto stimulus =
-        sim::generateStimulus(config.stimuliKind, a.numQubits(), rng);
-    const auto input =
-        sim::simulate(package, stimulus, package.makeZeroState(), stop);
-    const auto out1 = sim::simulate(package, a, input, stop);
-    const auto out2 = sim::simulate(package, b, input, stop);
-    const bool aborted = stop && stop();
-    const double fidelity = aborted ? 1.0 : package.fidelity(out1, out2);
-    package.decRef(input);
-    package.decRef(out1);
-    package.decRef(out2);
-    package.garbageCollect();
-    if (aborted) {
-      result.criterion = EquivalenceCriterion::Timeout;
-      break;
+    std::scoped_lock lock(resultMutex);
+    recordCacheStats(package, result);
+  };
+
+  if (workers <= 1) {
+    workerFn();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads.emplace_back(workerFn);
     }
-    ++result.performedSimulations;
-    result.peakNodes = std::max(result.peakNodes,
-                                package.stats().matrixNodes +
-                                    package.stats().vectorNodes);
-    if (std::abs(fidelity - 1.0) > config.checkTolerance) {
-      result.criterion = EquivalenceCriterion::NotEquivalent;
-      result.runtimeSeconds = secondsSince(start);
-      return result;
+    for (auto& thread : threads) {
+      thread.join();
     }
   }
-  if (result.criterion != EquivalenceCriterion::Timeout) {
+
+  result.performedSimulations = performed.load();
+  result.peakNodes = peakNodes;
+  const auto firstFail = failIndex.load();
+  if (firstFail != kNoFail) {
+    result.criterion = EquivalenceCriterion::NotEquivalent;
+    result.counterexampleStimulus = static_cast<std::int64_t>(firstFail);
+  } else if (sawTimeout.load()) {
+    result.criterion = EquivalenceCriterion::Timeout;
+  } else {
     result.criterion = EquivalenceCriterion::ProbablyEquivalent;
   }
   result.runtimeSeconds = secondsSince(start);

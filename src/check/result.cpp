@@ -44,6 +44,15 @@ std::string Result::toString() const {
   if (hilbertSchmidtFidelity >= 0.0) {
     os << ", HS fidelity " << hilbertSchmidtFidelity;
   }
+  if (counterexampleStimulus >= 0) {
+    os << ", counterexample stimulus #" << counterexampleStimulus;
+  }
+  if (computeCacheStats.lookups > 0) {
+    os << ", compute-cache hit rate " << computeCacheStats.hitRate();
+  }
+  if (gateCacheStats.lookups > 0) {
+    os << ", gate-cache hit rate " << gateCacheStats.hitRate();
+  }
   os << "]";
   return os.str();
 }

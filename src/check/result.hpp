@@ -2,6 +2,7 @@
 /// \brief Verdicts, configuration and result records for equivalence checking.
 #pragma once
 
+#include "dd/compute_table.hpp"
 #include "dd/real_table.hpp"
 #include "sim/stimuli.hpp"
 
@@ -63,6 +64,11 @@ struct Configuration {
   /// decision diagrams small on entangling circuits, while random product
   /// or entangled inputs can blow the vector DD up exponentially.
   sim::StimuliKind stimuliKind = sim::StimuliKind::Classical;
+  /// Worker threads for the random-stimuli checker (0 = hardware
+  /// concurrency). Each worker owns its own DD package; stimuli are seeded
+  /// per run index, so the verdict — and the counterexample, if any — is
+  /// identical for every thread count.
+  std::size_t simulationThreads = 1;
   std::uint64_t seed = 42;
   /// Wall-clock budget; zero means unlimited.
   std::chrono::milliseconds timeout{0};
@@ -87,6 +93,12 @@ struct Result {
   std::size_t peakNodes = 0;            ///< DD engines: max live node count
   std::size_t rewrites = 0;             ///< ZX engine: rewrite count
   std::size_t remainingSpiders = 0;     ///< ZX engine: spiders at the end
+  /// Index of the stimulus that proved non-equivalence (-1 = none).
+  std::int64_t counterexampleStimulus = -1;
+  /// Aggregated DD compute-table counters (summed over all packages used).
+  dd::CacheStats computeCacheStats;
+  /// Aggregated gate-DD construction cache counters.
+  dd::CacheStats gateCacheStats;
   /// Diagram node count after each gate application (when recordTrace).
   std::vector<std::size_t> sizeTrace;
 

@@ -1,113 +1,188 @@
 /// \file compute_table.hpp
 /// \brief Operation caches (memoization) for decision-diagram operations.
+///
+/// Both tables are direct-mapped (collisions overwrite) and
+/// *generation-stamped*: every entry carries the generation in which it was
+/// written, and invalidating the whole table is a single generation bump
+/// instead of an O(table size) sweep. Garbage collection — which must drop
+/// all cached results because they may reference collected nodes — therefore
+/// costs O(1) per table. Entries are also allocated lazily on first insert,
+/// so packages that never exercise an operation pay nothing for its cache.
 #pragma once
 
 #include "dd/node.hpp"
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace veriqc::dd {
 
-/// Direct-mapped cache for binary DD operations. Collisions overwrite.
+/// Hit/miss/collision counters of one operation cache.
+struct CacheStats {
+  std::size_t lookups = 0;       ///< total lookup calls
+  std::size_t hits = 0;          ///< lookups returning a cached result
+  std::size_t collisions = 0;    ///< live entry present but key mismatched
+  std::size_t inserts = 0;       ///< total insert calls
+  std::size_t invalidations = 0; ///< generation bumps (clear() calls)
+
+  [[nodiscard]] double hitRate() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+
+  CacheStats& operator+=(const CacheStats& other) noexcept {
+    lookups += other.lookups;
+    hits += other.hits;
+    collisions += other.collisions;
+    inserts += other.inserts;
+    invalidations += other.invalidations;
+    return *this;
+  }
+};
+
+/// Direct-mapped, generation-stamped cache for binary DD operations.
 template <typename LeftEdge, typename RightEdge, typename ResultEdge>
 class ComputeTable {
 public:
-  static constexpr std::size_t kNumEntries = 1U << 16U;
+  static constexpr std::size_t kDefaultEntries = 1U << 16U;
 
-  ComputeTable() : entries_(kNumEntries) {}
+  explicit ComputeTable(const std::size_t numEntries = kDefaultEntries)
+      : mask_(std::bit_ceil(numEntries < 2 ? std::size_t{2} : numEntries) -
+              1) {}
 
   void insert(const LeftEdge& lhs, const RightEdge& rhs,
               const ResultEdge& result) {
+    if (entries_.empty()) {
+      entries_.resize(mask_ + 1);
+    }
     auto& entry = entries_[hash(lhs, rhs)];
     entry.lhs = lhs;
     entry.rhs = rhs;
     entry.result = result;
-    entry.valid = true;
+    entry.gen = generation_;
+    ++stats_.inserts;
   }
 
   /// Returns nullptr on miss.
   [[nodiscard]] const ResultEdge* lookup(const LeftEdge& lhs,
                                          const RightEdge& rhs) {
-    ++lookups_;
-    const auto& entry = entries_[hash(lhs, rhs)];
-    if (!entry.valid || !(entry.lhs == lhs) || !(entry.rhs == rhs)) {
+    ++stats_.lookups;
+    if (entries_.empty()) {
       return nullptr;
     }
-    ++hits_;
+    const auto& entry = entries_[hash(lhs, rhs)];
+    if (entry.gen != generation_) {
+      return nullptr;
+    }
+    if (!(entry.lhs == lhs) || !(entry.rhs == rhs)) {
+      ++stats_.collisions;
+      return nullptr;
+    }
+    ++stats_.hits;
     return &entry.result;
   }
 
-  void clear() {
-    for (auto& entry : entries_) {
-      entry.valid = false;
-    }
+  /// O(1): bumps the generation, logically emptying the table.
+  void clear() noexcept {
+    ++generation_;
+    ++stats_.invalidations;
   }
 
-  [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t lookups() const noexcept { return stats_.lookups; }
+  [[nodiscard]] std::size_t hits() const noexcept { return stats_.hits; }
 
 private:
   struct Entry {
     LeftEdge lhs{};
     RightEdge rhs{};
     ResultEdge result{};
-    bool valid = false;
+    std::uint64_t gen = 0; ///< 0 = never written (generation_ starts at 1)
   };
 
-  static std::size_t hash(const LeftEdge& lhs, const RightEdge& rhs) noexcept {
+  [[nodiscard]] std::size_t hash(const LeftEdge& lhs,
+                                 const RightEdge& rhs) const noexcept {
     std::size_t h = std::hash<const void*>{}(lhs.p);
     h = combineHash(h, hashWeight(lhs.w));
     h = combineHash(h, std::hash<const void*>{}(rhs.p));
     h = combineHash(h, hashWeight(rhs.w));
-    return h & (kNumEntries - 1);
+    return h & mask_;
   }
 
-  std::vector<Entry> entries_;
-  std::size_t lookups_ = 0;
-  std::size_t hits_ = 0;
+  std::size_t mask_;
+  std::uint64_t generation_ = 1;
+  std::vector<Entry> entries_; ///< allocated on first insert
+  CacheStats stats_;
 };
 
-/// Direct-mapped cache for unary DD operations keyed on the node only.
+/// Direct-mapped, generation-stamped cache for unary DD operations keyed on
+/// the node only.
 template <typename Node, typename Result> class UnaryComputeTable {
 public:
-  static constexpr std::size_t kNumEntries = 1U << 14U;
+  static constexpr std::size_t kDefaultEntries = 1U << 14U;
 
-  UnaryComputeTable() : entries_(kNumEntries) {}
+  explicit UnaryComputeTable(const std::size_t numEntries = kDefaultEntries)
+      : mask_(std::bit_ceil(numEntries < 2 ? std::size_t{2} : numEntries) -
+              1) {}
 
   void insert(const Node* arg, const Result& result) {
+    if (entries_.empty()) {
+      entries_.resize(mask_ + 1);
+    }
     auto& entry = entries_[hash(arg)];
     entry.arg = arg;
     entry.result = result;
-    entry.valid = true;
+    entry.gen = generation_;
+    ++stats_.inserts;
   }
 
   [[nodiscard]] const Result* lookup(const Node* arg) {
-    const auto& entry = entries_[hash(arg)];
-    if (!entry.valid || entry.arg != arg) {
+    ++stats_.lookups;
+    if (entries_.empty()) {
       return nullptr;
     }
+    const auto& entry = entries_[hash(arg)];
+    if (entry.gen != generation_) {
+      return nullptr;
+    }
+    if (entry.arg != arg) {
+      ++stats_.collisions;
+      return nullptr;
+    }
+    ++stats_.hits;
     return &entry.result;
   }
 
-  void clear() {
-    for (auto& entry : entries_) {
-      entry.valid = false;
-    }
+  /// O(1): bumps the generation, logically emptying the table.
+  void clear() noexcept {
+    ++generation_;
+    ++stats_.invalidations;
   }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t lookups() const noexcept { return stats_.lookups; }
+  [[nodiscard]] std::size_t hits() const noexcept { return stats_.hits; }
 
 private:
   struct Entry {
     const Node* arg = nullptr;
     Result result{};
-    bool valid = false;
+    std::uint64_t gen = 0;
   };
 
-  static std::size_t hash(const Node* arg) noexcept {
-    return std::hash<const void*>{}(arg) & (kNumEntries - 1);
+  [[nodiscard]] std::size_t hash(const Node* arg) const noexcept {
+    return std::hash<const void*>{}(arg) & mask_;
   }
 
+  std::size_t mask_;
+  std::uint64_t generation_ = 1;
   std::vector<Entry> entries_;
+  CacheStats stats_;
 };
 
 } // namespace veriqc::dd

@@ -4,14 +4,25 @@
 #include <tuple>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <set>
 #include <stdexcept>
 
 namespace veriqc::dd {
 
-Package::Package(const std::size_t nqubits, const double tolerance)
+Package::Package(const std::size_t nqubits, const double tolerance,
+                 const PackageConfig& config)
     : nqubits_(nqubits), reals_(tolerance), mTables_(nqubits),
-      vTables_(nqubits) {
+      vTables_(nqubits), multiplyTable_(config.computeTableEntries),
+      multiplyVectorTable_(config.computeTableEntries),
+      addTable_(config.computeTableEntries),
+      addVectorTable_(config.computeTableEntries),
+      conjTransTable_(config.unaryTableEntries),
+      traceTable_(config.unaryTableEntries),
+      innerProductTable_(config.computeTableEntries),
+      gateCacheMaxEntries_(std::max<std::size_t>(1, config.gateCacheMaxEntries)),
+      gcInitialThreshold_(config.gcInitialThreshold),
+      gcThreshold_(config.gcInitialThreshold) {
   mTerminal_.v = kTerminalLevel;
   vTerminal_.v = kTerminalLevel;
   idTable_.reserve(nqubits);
@@ -103,14 +114,75 @@ vEdge Package::makeVectorNode(const Level v,
   return {node, topWeight};
 }
 
+std::int64_t Package::quantize(const double value) const noexcept {
+  const double scaled = value / reals_.tolerance();
+  if (std::abs(scaled) < 9.0e18) {
+    return static_cast<std::int64_t>(std::llround(scaled));
+  }
+  // Out of quantization range (absurdly large entry): key on the bit pattern.
+  std::int64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+Package::GateKey Package::makeGateKey(const GateMatrix& matrix,
+                                      const std::span<const Qubit> controls,
+                                      const Qubit target) const {
+  GateKey key;
+  key.kind = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    key.matrix[2 * i] = quantize(matrix[i].real());
+    key.matrix[2 * i + 1] = quantize(matrix[i].imag());
+  }
+  key.controls.assign(controls.begin(), controls.end());
+  std::sort(key.controls.begin(), key.controls.end());
+  key.target = target;
+  return key;
+}
+
+template <typename Builder>
+mEdge Package::cachedGateDD(GateKey&& key, Builder&& build) {
+  ++gateCacheStats_.lookups;
+  if (const auto it = gateCache_.find(key); it != gateCache_.end()) {
+    ++gateCacheStats_.hits;
+    return it->second;
+  }
+  const mEdge result = build(key);
+  if (gateCache_.size() >= gateCacheMaxEntries_) {
+    clearGateCache();
+  }
+  // Referenced so the cached diagram survives garbage collection; released
+  // again when the cache is flushed.
+  incRef(result);
+  gateCache_.emplace(std::move(key), result);
+  ++gateCacheStats_.inserts;
+  return result;
+}
+
+void Package::clearGateCache() {
+  for (auto& [key, edge] : gateCache_) {
+    decRef(edge);
+  }
+  gateCache_.clear();
+  ++gateCacheStats_.invalidations;
+}
+
 mEdge Package::makeGateDD(const GateMatrix& matrix,
                           const std::span<const Qubit> controls,
                           const Qubit target) {
   if (target >= nqubits_) {
     throw std::out_of_range("makeGateDD: target out of range");
   }
-  std::vector<Qubit> ctrls(controls.begin(), controls.end());
-  std::sort(ctrls.begin(), ctrls.end());
+  return cachedGateDD(makeGateKey(matrix, controls, target),
+                      [this, &matrix](const GateKey& key) {
+                        return buildGateDD(matrix, key.controls, key.target);
+                      });
+}
+
+mEdge Package::buildGateDD(const GateMatrix& matrix,
+                           const std::vector<Qubit>& sortedControls,
+                           const Qubit target) {
+  const auto& ctrls = sortedControls;
   const auto isControl = [&ctrls](const Level z) {
     return std::binary_search(ctrls.begin(), ctrls.end(),
                               static_cast<Qubit>(z));
@@ -151,6 +223,19 @@ mEdge Package::makeGateDD(const GateMatrix& matrix,
 
 mEdge Package::makeSwapDD(const Qubit a, const Qubit b,
                           const std::span<const Qubit> controls) {
+  GateKey key;
+  key.kind = 1;
+  key.controls.assign(controls.begin(), controls.end());
+  std::sort(key.controls.begin(), key.controls.end());
+  key.target = a;
+  key.target2 = b;
+  return cachedGateDD(std::move(key), [this, a, b](const GateKey& k) {
+    return buildSwapDD(a, b, k.controls);
+  });
+}
+
+mEdge Package::buildSwapDD(const Qubit a, const Qubit b,
+                           const std::vector<Qubit>& controls) {
   const GateMatrix x = gateMatrix(OpType::X, {});
   // swap(a,b) = cx(b,a) . c{a, controls}x(b) . cx(b,a)
   const std::array<Qubit, 1> outerCtrl{b};
@@ -565,6 +650,7 @@ std::size_t Package::garbageCollect(const bool force) {
   for (const auto& table : vTables_) {
     live += table.size();
   }
+  peakMatrixNodes_ = std::max(peakMatrixNodes_, live);
   if (!force && live < gcThreshold_) {
     return 0;
   }
@@ -575,6 +661,7 @@ std::size_t Package::garbageCollect(const bool force) {
   for (auto& table : vTables_) {
     collected += table.garbageCollect();
   }
+  // O(1) generation bumps — cached results may reference collected nodes.
   multiplyTable_.clear();
   multiplyVectorTable_.clear();
   addTable_.clear();
@@ -582,7 +669,9 @@ std::size_t Package::garbageCollect(const bool force) {
   conjTransTable_.clear();
   traceTable_.clear();
   innerProductTable_.clear();
-  gcThreshold_ = std::max<std::size_t>(65536, 2 * (live - collected));
+  // The gate-DD cache holds references to its diagrams, so its entries are
+  // never collected and stay valid here.
+  gcThreshold_ = std::max(gcInitialThreshold_, 2 * (live - collected));
   ++gcRuns_;
   return collected;
 }
@@ -624,6 +713,17 @@ PackageStats Package::stats() const {
   }
   s.gcRuns = gcRuns_;
   s.realNumbers = reals_.size();
+  s.peakMatrixNodes = std::max(peakMatrixNodes_, s.matrixNodes);
+  s.gcThreshold = gcThreshold_;
+  s.multiply = multiplyTable_.stats();
+  s.multiplyVector = multiplyVectorTable_.stats();
+  s.add = addTable_.stats();
+  s.addVector = addVectorTable_.stats();
+  s.conjugateTranspose = conjTransTable_.stats();
+  s.trace = traceTable_.stats();
+  s.innerProduct = innerProductTable_.stats();
+  s.gateCache = gateCacheStats_;
+  s.gateCacheEntries = gateCache_.size();
   return s;
 }
 

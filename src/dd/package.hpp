@@ -13,11 +13,31 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <set>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 namespace veriqc::dd {
+
+/// Initial (and minimum) live-node threshold that triggers garbage
+/// collection; the threshold then adapts to twice the surviving node count.
+inline constexpr std::size_t kGcInitialThreshold = 65536;
+
+/// Sizing knobs of a package's caches. The defaults match the tuned hot-path
+/// configuration; tests shrink them to exercise collision and eviction paths.
+struct PackageConfig {
+  /// Entries per binary compute table (multiply, add, inner product);
+  /// rounded up to a power of two.
+  std::size_t computeTableEntries = 1U << 16U;
+  /// Entries per unary compute table (conjugate-transpose, trace).
+  std::size_t unaryTableEntries = 1U << 14U;
+  /// Gate-DD cache entries before the cache is flushed wholesale.
+  std::size_t gateCacheMaxEntries = 4096;
+  /// Initial live-node threshold for garbage collection.
+  std::size_t gcInitialThreshold = kGcInitialThreshold;
+};
 
 /// Aggregate statistics of a package instance.
 struct PackageStats {
@@ -27,6 +47,31 @@ struct PackageStats {
   std::size_t gcRuns = 0;        ///< garbage collections performed
   std::size_t realNumbers = 0;   ///< interned canonical reals
   std::size_t peakMatrixNodes = 0;
+  std::size_t gcThreshold = 0;   ///< current adaptive GC trigger
+
+  // Per-cache hit/miss/collision counters.
+  CacheStats multiply;
+  CacheStats multiplyVector;
+  CacheStats add;
+  CacheStats addVector;
+  CacheStats conjugateTranspose;
+  CacheStats trace;
+  CacheStats innerProduct;
+  CacheStats gateCache;          ///< the gate-DD construction cache
+  std::size_t gateCacheEntries = 0; ///< currently cached gate DDs
+
+  /// Sum over all seven compute tables (excludes the gate-DD cache).
+  [[nodiscard]] CacheStats computeTotal() const noexcept {
+    CacheStats total;
+    total += multiply;
+    total += multiplyVector;
+    total += add;
+    total += addVector;
+    total += conjugateTranspose;
+    total += trace;
+    total += innerProduct;
+    return total;
+  }
 };
 
 /// One package instance owns all nodes, unique tables and caches for a fixed
@@ -35,7 +80,8 @@ struct PackageStats {
 class Package {
 public:
   explicit Package(std::size_t nqubits,
-                   double tolerance = RealTable::kDefaultTolerance);
+                   double tolerance = RealTable::kDefaultTolerance,
+                   const PackageConfig& config = {});
 
   ~Package();
   Package(const Package&) = delete;
@@ -63,11 +109,13 @@ public:
   /// Canonical vector node.
   vEdge makeVectorNode(Level v, const std::array<vEdge, 2>& children);
 
-  /// DD of a (multi-)controlled single-qubit gate.
+  /// DD of a (multi-)controlled single-qubit gate. Results are memoized in
+  /// the gate-DD cache keyed on the tolerance-quantized matrix, the control
+  /// set and the target level, so repeated gates are built once.
   mEdge makeGateDD(const GateMatrix& matrix, std::span<const Qubit> controls,
                    Qubit target);
 
-  /// DD of a (controlled) SWAP via the three-CNOT construction.
+  /// DD of a (controlled) SWAP via the three-CNOT construction (memoized).
   mEdge makeSwapDD(Qubit a, Qubit b, std::span<const Qubit> controls = {});
 
   /// DD of an arbitrary circuit operation; qubits are relabeled through
@@ -115,8 +163,14 @@ public:
   void decRef(const vEdge& e) noexcept;
 
   /// Collect dead nodes if the live-node count exceeds the adaptive
-  /// threshold (always when `force`). All caches are invalidated.
+  /// threshold (always when `force`). All compute tables are invalidated
+  /// (an O(1) generation bump each); cached gate DDs stay referenced and
+  /// therefore remain valid across collections.
   std::size_t garbageCollect(bool force = false);
+
+  /// Drops all cached gate DDs (releasing their references). Called
+  /// automatically when the cache outgrows its configured bound.
+  void clearGateCache();
 
   /// Number of distinct nodes reachable from e (terminal excluded).
   [[nodiscard]] std::size_t nodeCount(const mEdge& e) const;
@@ -125,6 +179,50 @@ public:
   [[nodiscard]] PackageStats stats() const;
 
 private:
+  /// Cache key of a constructed gate DD. Matrix entries are quantized by the
+  /// interning tolerance, so parameter values that would intern to the same
+  /// canonical reals share an entry. Controls/target are DD levels (i.e. the
+  /// permutation applied by makeOperationDD is part of the key).
+  struct GateKey {
+    std::array<std::int64_t, 8> matrix{}; ///< quantized re/im of the 4 entries
+    std::uint64_t kind = 0;               ///< 0 = matrix gate, 1 = SWAP
+    std::vector<Qubit> controls;          ///< sorted control levels
+    Qubit target = 0;
+    Qubit target2 = 0; ///< second SWAP target (unused for matrix gates)
+
+    bool operator==(const GateKey&) const = default;
+  };
+
+  struct GateKeyHash {
+    std::size_t operator()(const GateKey& key) const noexcept {
+      std::size_t h = std::hash<std::uint64_t>{}(key.kind);
+      for (const auto q : key.matrix) {
+        h = combineHash(h, std::hash<std::int64_t>{}(q));
+      }
+      for (const auto c : key.controls) {
+        h = combineHash(h, std::hash<Qubit>{}(c));
+      }
+      h = combineHash(h, std::hash<Qubit>{}(key.target));
+      h = combineHash(h, std::hash<Qubit>{}(key.target2));
+      return h;
+    }
+  };
+
+  [[nodiscard]] std::int64_t quantize(double value) const noexcept;
+  [[nodiscard]] GateKey makeGateKey(const GateMatrix& matrix,
+                                    std::span<const Qubit> controls,
+                                    Qubit target) const;
+
+  /// Cache lookup/insert around a gate-DD builder. The builder is only
+  /// invoked on a miss; its result is referenced so it survives GC.
+  template <typename Builder>
+  mEdge cachedGateDD(GateKey&& key, Builder&& build);
+
+  /// Uncached construction bodies behind the gate-DD cache.
+  mEdge buildGateDD(const GateMatrix& matrix,
+                    const std::vector<Qubit>& sortedControls, Qubit target);
+  mEdge buildSwapDD(Qubit a, Qubit b, const std::vector<Qubit>& controls);
+
   template <typename Node>
   static void countNodes(const Node* node, std::set<const Node*>& seen);
 
@@ -150,10 +248,16 @@ private:
   UnaryComputeTable<mNode, std::complex<double>> traceTable_;
   ComputeTable<vEdge, vEdge, std::complex<double>> innerProductTable_;
 
+  std::unordered_map<GateKey, mEdge, GateKeyHash> gateCache_;
+  std::size_t gateCacheMaxEntries_;
+  CacheStats gateCacheStats_;
+
   std::vector<mEdge> idTable_; ///< idTable_[k] = identity on levels 0..k
 
-  std::size_t gcThreshold_ = 65536;
+  std::size_t gcInitialThreshold_;
+  std::size_t gcThreshold_;
   std::size_t gcRuns_ = 0;
+  std::size_t peakMatrixNodes_ = 0;
 };
 
 } // namespace veriqc::dd

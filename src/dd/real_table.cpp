@@ -11,20 +11,57 @@ double RealTable::lookup(const double value) {
     return 0.0;
   }
   const auto key = keyOf(value);
+  // A representative within tolerance can sit in the value's own bin or in
+  // one of its neighbours (bin width == tolerance).
   for (const auto k : {key - 1, key, key + 1}) {
-    const auto it = buckets_.find(k);
-    if (it == buckets_.end()) {
-      continue;
-    }
-    for (const auto candidate : it->second) {
-      if (std::abs(candidate - value) < tolerance_) {
-        return candidate;
-      }
+    const Slot* slot = find(k);
+    if (slot != nullptr && std::abs(slot->value - value) < tolerance_) {
+      return slot->value;
     }
   }
-  buckets_[key].push_back(value);
-  ++count_;
+  insert(key, value);
   return value;
+}
+
+const RealTable::Slot* RealTable::find(const std::int64_t key) const noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = hashKey(key) & mask;
+  while (slots_[idx].occupied) {
+    if (slots_[idx].key == key) {
+      return &slots_[idx];
+    }
+    idx = (idx + 1) & mask;
+  }
+  return nullptr;
+}
+
+void RealTable::insert(const std::int64_t key, const double value) {
+  if (4 * (count_ + 1) > 3 * slots_.size()) {
+    grow();
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = hashKey(key) & mask;
+  while (slots_[idx].occupied) {
+    idx = (idx + 1) & mask;
+  }
+  slots_[idx] = {key, value, true};
+  ++count_;
+}
+
+void RealTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const auto& slot : old) {
+    if (!slot.occupied) {
+      continue;
+    }
+    std::size_t idx = hashKey(slot.key) & mask;
+    while (slots_[idx].occupied) {
+      idx = (idx + 1) & mask;
+    }
+    slots_[idx] = slot;
+  }
 }
 
 } // namespace veriqc::dd

@@ -7,13 +7,19 @@
 /// up (the effect discussed in Sec. 3 and Sec. 6.2 of the paper). This table
 /// interns doubles: the first value seen within `tolerance` of a lookup
 /// becomes the canonical representative for that neighbourhood.
+///
+/// Values are binned by floor(value / tolerance); any two values in the same
+/// bin are within tolerance of each other, so each bin holds at most one
+/// canonical representative. That invariant lets the table be a flat
+/// open-addressed hash map from bin key to representative — one contiguous
+/// allocation, linear probing, no per-bucket vectors or node allocations on
+/// the hot path.
 #pragma once
 
 #include <cmath>
 #include <complex>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace veriqc::dd {
@@ -24,8 +30,10 @@ public:
   /// (1024 * machine epsilon ~ 2.3e-13).
   static constexpr double kDefaultTolerance = 1024.0 * 2.220446049250313e-16;
 
+  static constexpr std::size_t kInitialSlots = 1U << 12U;
+
   explicit RealTable(double tolerance = kDefaultTolerance)
-      : tolerance_(tolerance) {}
+      : tolerance_(tolerance), slots_(kInitialSlots) {}
 
   [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
   void setTolerance(double tol) noexcept { tolerance_ = tol; }
@@ -50,19 +58,40 @@ public:
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
   void clear() {
-    buckets_.clear();
+    slots_.assign(kInitialSlots, Slot{});
     count_ = 0;
   }
 
 private:
+  struct Slot {
+    std::int64_t key = 0;
+    double value = 0.0;
+    bool occupied = false;
+  };
+
   [[nodiscard]] std::int64_t keyOf(double value) const noexcept {
     return static_cast<std::int64_t>(std::floor(value / tolerance_));
   }
 
+  static std::size_t hashKey(std::int64_t key) noexcept {
+    // splitmix64 finalizer: bin keys are sequential, so they need scrambling.
+    auto z = static_cast<std::uint64_t>(key) + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(z ^ (z >> 31U));
+  }
+
+  /// The slot holding `key`, or nullptr. Probes linearly until an empty slot.
+  [[nodiscard]] const Slot* find(std::int64_t key) const noexcept;
+
+  void insert(std::int64_t key, double value);
+  void grow();
+
   double tolerance_;
-  std::unordered_map<std::int64_t, std::vector<double>> buckets_;
+  std::vector<Slot> slots_; ///< size is always a power of two
   std::size_t count_ = 0;
 };
 

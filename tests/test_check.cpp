@@ -272,6 +272,44 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, StimuliKindTest,
                                            sim::StimuliKind::LocalQuantum,
                                            sim::StimuliKind::GlobalQuantum));
 
+TEST(SimulationThreadsTest, VerdictDeterministicAcrossThreadCounts) {
+  // Stimuli are seeded per run index, not per worker, so the counterexample
+  // found must be identical no matter how runs are scheduled onto threads.
+  std::mt19937_64 rng(5);
+  const auto base = circuits::grover(3, 4);
+  const auto missing = circuits::removeRandomGate(base, rng);
+  ASSERT_TRUE(missing.has_value());
+  Configuration config = quickConfig();
+  config.simulationRuns = 16;
+  std::vector<std::int64_t> counterexamples;
+  for (const auto threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    config.simulationThreads = threads;
+    const auto result = ddSimulationCheck(base, *missing, config);
+    EXPECT_EQ(result.criterion, EquivalenceCriterion::NotEquivalent)
+        << threads << " threads";
+    ASSERT_GE(result.counterexampleStimulus, 0) << threads << " threads";
+    counterexamples.push_back(result.counterexampleStimulus);
+  }
+  EXPECT_EQ(counterexamples[1], counterexamples[0]);
+  EXPECT_EQ(counterexamples[2], counterexamples[0]);
+}
+
+TEST(SimulationThreadsTest, EquivalentPairAgreesAcrossThreadCounts) {
+  Configuration config = quickConfig();
+  config.simulationRuns = 16;
+  // 0 = one worker per hardware thread.
+  for (const auto threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                             std::size_t{0}}) {
+    config.simulationThreads = threads;
+    const auto result = ddSimulationCheck(ghz(4), ghz(4), config);
+    EXPECT_EQ(result.criterion, EquivalenceCriterion::ProbablyEquivalent)
+        << threads << " threads";
+    EXPECT_EQ(result.performedSimulations, config.simulationRuns)
+        << threads << " threads";
+    EXPECT_GT(result.computeCacheStats.lookups, 0U) << threads << " threads";
+  }
+}
+
 // --- ZX checker -----------------------------------------------------------------
 
 TEST(ZXCheckerTest, PaperExample7CompiledGhz) {

@@ -91,6 +91,68 @@ TEST(ComputeTableTest, InsertLookupAndClear) {
   EXPECT_EQ(table.hits(), 1U);
 }
 
+TEST(ComputeTableTest, GenerationBumpInvalidatesInConstantTime) {
+  ComputeTable<mEdge, mEdge, mEdge> table(8);
+  mNode node;
+  node.v = 0;
+  const mEdge key{&node, {1.0, 0.0}};
+  const mEdge value{&node, {0.5, 0.0}};
+  table.insert(key, key, value);
+  ASSERT_NE(table.lookup(key, key), nullptr);
+  table.clear();
+  EXPECT_EQ(table.lookup(key, key), nullptr);
+  EXPECT_EQ(table.stats().invalidations, 1U);
+  // A stale entry must not resurface in the new generation, but fresh
+  // inserts behave as in an empty table.
+  table.insert(key, key, value);
+  const auto* hit = table.lookup(key, key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, value);
+}
+
+TEST(ComputeTableTest, CollisionStressNeverReturnsWrongValue) {
+  // Two slots: nearly every insert evicts and mismatched lookups collide.
+  ComputeTable<mEdge, mEdge, mEdge> table(2);
+  EXPECT_EQ(table.capacity(), 2U);
+  mNode node;
+  node.v = 0;
+  constexpr int kKeys = 256;
+  for (int i = 0; i < kKeys; ++i) {
+    const mEdge lhs{&node, {static_cast<double>(i), 0.0}};
+    const mEdge rhs{&node, {0.0, static_cast<double>(i)}};
+    table.insert(lhs, rhs, mEdge{&node, {static_cast<double>(i), -1.0}});
+  }
+  for (int i = 0; i < kKeys; ++i) {
+    const mEdge lhs{&node, {static_cast<double>(i), 0.0}};
+    const mEdge rhs{&node, {0.0, static_cast<double>(i)}};
+    const auto* hit = table.lookup(lhs, rhs);
+    if (hit != nullptr) {
+      // A hit must carry exactly the value inserted under this key.
+      EXPECT_EQ(hit->w, (std::complex<double>{static_cast<double>(i), -1.0}))
+          << i;
+    }
+  }
+  EXPECT_GT(table.stats().collisions, 0U);
+  EXPECT_LT(table.stats().hits, static_cast<std::size_t>(kKeys));
+}
+
+TEST(UnaryComputeTableTest, CountsLookupsHitsAndInvalidations) {
+  UnaryComputeTable<mNode, mEdge> table(4);
+  mNode a;
+  a.v = 0;
+  mNode b;
+  b.v = 1;
+  EXPECT_EQ(table.lookup(&a), nullptr); // miss on an empty table is counted
+  table.insert(&a, mEdge{&a, {1.0, 0.0}});
+  ASSERT_NE(table.lookup(&a), nullptr);
+  EXPECT_EQ(table.lookup(&b), nullptr);
+  EXPECT_EQ(table.stats().lookups, 3U);
+  EXPECT_EQ(table.stats().hits, 1U);
+  table.clear();
+  EXPECT_EQ(table.lookup(&a), nullptr);
+  EXPECT_EQ(table.stats().invalidations, 1U);
+}
+
 TEST(RealTableTest, NeighborBucketLookupAcrossBoundary) {
   RealTable table(1e-6);
   // Two values within tolerance but in adjacent buckets must unify.
@@ -193,6 +255,85 @@ TEST(PackageTest, SwapDDEqualsThreeCnotProduct) {
   auto viaCx = sim::buildUnitaryDD(p, c);
   EXPECT_EQ(swap.p, viaCx.p);
   p.decRef(viaCx);
+}
+
+TEST(PackageTest, GarbageCollectionInvalidatesComputeCaches) {
+  Package p(3);
+  auto e = sim::buildUnitaryDD(p, circuits::randomCircuit(3, 20, 1));
+  (void)p.multiply(e, e);
+  const auto before = p.stats();
+  EXPECT_GT(before.multiply.lookups, 0U);
+  p.garbageCollect(true);
+  const auto after = p.stats();
+  EXPECT_GT(after.multiply.invalidations, before.multiply.invalidations);
+  // Recomputation after the generation bump still yields canonical results.
+  const auto prod1 = p.multiply(e, e);
+  const auto prod2 = p.multiply(e, e);
+  EXPECT_EQ(prod1.p, prod2.p);
+  EXPECT_EQ(prod1.w, prod2.w);
+  p.decRef(e);
+}
+
+TEST(PackageTest, GateCacheHitsAcrossGarbageCollection) {
+  Package p(3);
+  const auto matrix = gateMatrix(OpType::H, {});
+  const auto first = p.makeGateDD(matrix, {}, 1);
+  // Create garbage and force a collection; the cached gate DD holds its own
+  // reference, so the identical canonical node must come back afterwards.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto tmp = sim::buildUnitaryDD(p, circuits::randomCircuit(3, 15, seed));
+    p.decRef(tmp);
+  }
+  EXPECT_GT(p.garbageCollect(true), 0U);
+  const auto second = p.makeGateDD(matrix, {}, 1);
+  EXPECT_EQ(second.p, first.p);
+  EXPECT_EQ(second.w, first.w);
+  EXPECT_GE(p.stats().gateCache.hits, 1U);
+}
+
+TEST(PackageTest, GateCacheFlushPreservesCorrectness) {
+  PackageConfig config;
+  config.gateCacheMaxEntries = 2; // force frequent wholesale flushes
+  Package p(2, RealTable::kDefaultTolerance, config);
+  const auto reference =
+      p.makeOperationDD(Operation(OpType::P, {}, {0}, {0.1}));
+  for (int i = 1; i <= 8; ++i) {
+    (void)p.makeOperationDD(
+        Operation(OpType::P, {}, {0}, {0.1 * i + 0.05}));
+  }
+  const auto stats = p.stats();
+  EXPECT_GT(stats.gateCache.invalidations, 0U);
+  EXPECT_LE(stats.gateCacheEntries, 2U);
+  // Rebuilding an evicted gate still yields the canonical node.
+  const auto again = p.makeOperationDD(Operation(OpType::P, {}, {0}, {0.1}));
+  EXPECT_EQ(again.p, reference.p);
+  EXPECT_EQ(again.w, reference.w);
+}
+
+TEST(PackageTest, TinyComputeTablesRemainCorrect) {
+  // Shrunken tables make collisions the common case; results must not change.
+  PackageConfig config;
+  config.computeTableEntries = 4;
+  config.unaryTableEntries = 2;
+  Package p(4, RealTable::kDefaultTolerance, config);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto e = sim::buildUnitaryDD(p, circuits::randomCircuit(4, 30, seed));
+    const auto ct = p.conjugateTranspose(e);
+    EXPECT_TRUE(p.isIdentity(p.multiply(ct, e), false)) << "seed " << seed;
+    p.decRef(e);
+  }
+  const auto stats = p.stats();
+  EXPECT_GT(stats.computeTotal().collisions, 0U);
+  EXPECT_GT(stats.conjugateTranspose.lookups, 0U);
+}
+
+TEST(PackageTest, GcThresholdIsConfigurableAndExposed) {
+  PackageConfig config;
+  config.gcInitialThreshold = 128;
+  Package p(2, RealTable::kDefaultTolerance, config);
+  EXPECT_EQ(p.stats().gcThreshold, 128U);
+  Package q(2);
+  EXPECT_EQ(q.stats().gcThreshold, kGcInitialThreshold);
 }
 
 } // namespace

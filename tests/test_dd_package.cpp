@@ -216,6 +216,9 @@ TEST(DDTest, RefCountingIsBalanced) {
   Package p(3);
   auto e = sim::buildUnitaryDD(p, circuits::ghz(3));
   p.decRef(e);
+  // Cached gate DDs hold references of their own; release them so the
+  // balance over *all* reference sources can be observed.
+  p.clearGateCache();
   p.garbageCollect(true);
   // Only the permanently referenced identity chain remains.
   EXPECT_EQ(p.stats().matrixNodes, 3U);
