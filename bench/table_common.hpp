@@ -108,6 +108,10 @@ inline const char* verdictMark(const check::EquivalenceCriterion c) {
     return "NI ";
   case check::EquivalenceCriterion::Timeout:
     return "TO ";
+  case check::EquivalenceCriterion::Cancelled:
+    return "CAN";
+  case check::EquivalenceCriterion::NotRun:
+    return "-- ";
   }
   return "?  ";
 }

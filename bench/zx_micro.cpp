@@ -1,6 +1,7 @@
 /// \file zx_micro.cpp
 /// \brief Google-benchmark microbenchmarks of the ZX-calculus engine.
 #include "circuits/benchmarks.hpp"
+#include "compile/decompose.hpp"
 #include "zx/circuit_to_zx.hpp"
 #include "zx/simplify.hpp"
 
@@ -61,6 +62,44 @@ void BM_QftReduction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QftReduction)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_GroverReduction(benchmark::State& state) {
+  // The heaviest fullReduce workload of the repo's circuit families: Grover
+  // composed with its own adjoint. Dominated by the pivot/gadget passes, so
+  // it is the headline number for the worklist scheduler.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = zx::circuitToZX(
+      compile::decomposeForZX(circuits::grover(n, 2 * n - 2)));
+  const auto adjointDiagram = base.adjoint();
+  std::size_t rewrites = 0;
+  std::size_t sweeps = 0;
+  for (auto _ : state) {
+    auto composed = base.compose(adjointDiagram);
+    zx::Simplifier simplifier(composed);
+    benchmark::DoNotOptimize(simplifier.fullReduce());
+    rewrites = simplifier.stats().total();
+    sweeps = simplifier.stats()
+                 .rules[static_cast<std::size_t>(zx::SimplifyRule::Spider)]
+                 .candidates;
+  }
+  state.counters["rewrites"] = static_cast<double>(rewrites);
+  state.counters["spider_candidates"] = static_cast<double>(sweeps);
+}
+BENCHMARK(BM_GroverReduction)->Arg(5)->Arg(6);
+
+void BM_CliffordReductionLarge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::randomClifford(n, 200, 2);
+  std::size_t rewrites = 0;
+  for (auto _ : state) {
+    auto diagram = zx::circuitToZX(circuit);
+    zx::Simplifier simplifier(diagram);
+    benchmark::DoNotOptimize(simplifier.fullReduce());
+    rewrites = simplifier.stats().total();
+  }
+  state.counters["rewrites"] = static_cast<double>(rewrites);
+}
+BENCHMARK(BM_CliffordReductionLarge)->Arg(16);
 
 } // namespace
 

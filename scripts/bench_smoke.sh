@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Build Release, run the DD-kernel microbenchmarks and write their JSON
-# (timings + cache hit-rate counters) to BENCH_dd_kernel.json at the repo
-# root, so successive PRs accumulate a perf trajectory to compare against.
+# Build Release, run the DD-kernel and ZX-engine microbenchmarks and write
+# their JSON (timings + counters) to BENCH_dd_kernel.json / BENCH_zx.json at
+# the repo root, so successive PRs accumulate a perf trajectory to compare
+# against.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -9,9 +10,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="BENCH_dd_kernel.json"
+OUT_ZX="BENCH_zx.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target dd_micro >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target dd_micro zx_micro >/dev/null
 
 "./$BUILD_DIR/bench/dd_micro" \
   --benchmark_format=json \
@@ -19,9 +21,19 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target dd_micro >/dev/null
   --benchmark_filter='BM_MakeGateDD|BM_MakeControlledGateDD|BM_BuildUnitary|BM_SimulationCheckThreads' \
   >"$OUT"
 
-echo "Wrote $OUT"
+"./$BUILD_DIR/bench/zx_micro" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.1 \
+  --benchmark_filter='BM_GroverReduction|BM_CliffordReductionLarge|BM_EquivalenceReduction|BM_QftReduction' \
+  >"$OUT_ZX"
+
+echo "Wrote $OUT and $OUT_ZX"
 echo
 echo "=== cache-stats digest ==="
 # Per-benchmark wall time plus the cache counters embedded in the JSON.
 grep -E '"(name|real_time|gate_cache_hit_rate|compute_hit_rate|performed)"' \
   "$OUT" | sed -e 's/^[[:space:]]*//' -e 's/,$//'
+echo
+echo "=== zx digest ==="
+grep -E '"(name|real_time|rewrites|spider_candidates)"' \
+  "$OUT_ZX" | sed -e 's/^[[:space:]]*//' -e 's/,$//'

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Run the tier-1 ctest suite under AddressSanitizer + UBSan (the asan-ubsan
+# CMake preset). Any sanitizer report aborts the offending test, so a green
+# run means the suite is clean of heap errors and UB on the exercised paths.
+#
+# Usage: scripts/check_sanitized.sh [ctest-regex]
+#   ctest-regex: optional -R filter (default: run everything)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j"$(nproc)" >/dev/null
+
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=0"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+if [[ $# -ge 1 ]]; then
+  ctest --test-dir build-asan --output-on-failure -R "$1"
+else
+  ctest --preset asan-ubsan
+fi

@@ -12,8 +12,9 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// Combine per-engine outcomes into one verdict: a definitive answer wins
-/// (ties broken by runtime), then ProbablyEquivalent, then Timeout, then
-/// NoInformation.
+/// (ties broken by runtime), then ProbablyEquivalent, then Timeout, then the
+/// first engine that at least ran (skipped/cancelled slots carry no
+/// information of their own).
 Result combine(const std::vector<Result>& results, const double elapsed) {
   const Result* best = nullptr;
   for (const auto& r : results) {
@@ -33,6 +34,15 @@ Result combine(const std::vector<Result>& results, const double elapsed) {
   if (best == nullptr) {
     for (const auto& r : results) {
       if (r.criterion == EquivalenceCriterion::Timeout) {
+        best = &r;
+        break;
+      }
+    }
+  }
+  if (best == nullptr) {
+    for (const auto& r : results) {
+      if (r.criterion != EquivalenceCriterion::NotRun &&
+          r.criterion != EquivalenceCriterion::Cancelled) {
         best = &r;
         break;
       }
@@ -67,17 +77,23 @@ Result EquivalenceCheckingManager::run() {
 
   using Engine = std::function<Result()>;
   std::vector<Engine> engines;
+  std::vector<std::string> engineNames;
   if (config_.runAlternating) {
     engines.emplace_back(
         [this, &stop] { return ddAlternatingCheck(c1_, c2_, config_, stop); });
+    engineNames.emplace_back("dd-alternating(" + toString(config_.oracle) +
+                             ")");
   }
   if (config_.runSimulation && config_.simulationRuns > 0) {
     engines.emplace_back(
         [this, &stop] { return ddSimulationCheck(c1_, c2_, config_, stop); });
+    engineNames.emplace_back("dd-simulation(" +
+                             toString(config_.stimuliKind) + ")");
   }
   if (config_.runZX) {
     engines.emplace_back(
         [this, &stop] { return zxCheck(c1_, c2_, config_, stop); });
+    engineNames.emplace_back("zx-calculus");
   }
   if (engines.empty()) {
     Result none;
@@ -85,7 +101,14 @@ Result EquivalenceCheckingManager::run() {
     return none;
   }
 
+  // Pre-fill every slot as "never started" so that a sequential run which
+  // stops early leaves an honest record for the skipped engines.
   engineResults_.resize(engines.size());
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    engineResults_[i] = Result{};
+    engineResults_[i].criterion = EquivalenceCriterion::NotRun;
+    engineResults_[i].method = engineNames[i];
+  }
   if (config_.parallel && engines.size() > 1) {
     std::vector<std::thread> threads;
     threads.reserve(engines.size());
@@ -106,7 +129,11 @@ Result EquivalenceCheckingManager::run() {
     for (std::size_t i = 0; i < engines.size(); ++i) {
       engineResults_[i] = engines[i]();
       if (isDefinitive(engineResults_[i].criterion)) {
+        // The question is settled — skip the remaining engines instead of
+        // running them against a tripped stop token (their aborted partial
+        // results would be meaningless and cost time).
         cancel.store(true, std::memory_order_relaxed);
+        break;
       }
     }
   }

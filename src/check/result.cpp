@@ -18,6 +18,10 @@ std::string toString(const EquivalenceCriterion criterion) {
     return "no information";
   case EquivalenceCriterion::Timeout:
     return "timeout";
+  case EquivalenceCriterion::Cancelled:
+    return "cancelled";
+  case EquivalenceCriterion::NotRun:
+    return "not run";
   }
   return "unknown";
 }
@@ -46,6 +50,12 @@ std::string Result::toString() const {
   }
   if (counterexampleStimulus >= 0) {
     os << ", counterexample stimulus #" << counterexampleStimulus;
+  }
+  if (rewrites > 0) {
+    os << ", " << rewrites << " rewrites";
+  }
+  if (!zxRuleDigest.empty()) {
+    os << ", zx rules {" << zxRuleDigest << "}";
   }
   if (computeCacheStats.lookups > 0) {
     os << ", compute-cache hit rate " << computeCacheStats.hitRate();

@@ -21,6 +21,8 @@ enum class EquivalenceCriterion : std::uint8_t {
   ProbablyEquivalent,         ///< all random stimuli agreed (no proof)
   NoInformation,              ///< the method terminated without a verdict
   Timeout,                    ///< the deadline was hit
+  Cancelled,                  ///< stopped because a sibling engine finished
+  NotRun,                     ///< the engine was never started
 };
 
 [[nodiscard]] std::string toString(EquivalenceCriterion criterion);
@@ -76,6 +78,13 @@ struct Configuration {
   bool runAlternating = true;
   bool runSimulation = true;
   bool runZX = false;
+  /// Enable the non-Clifford phase-gadget rule families in the ZX engine
+  /// (gadget pivoting and phase-gadget fusion). Disabling them stops the
+  /// reduction at the Clifford fixed point — still sound, possibly weaker.
+  bool zxGadgetRules = true;
+  /// Tolerance for snapping rotation angles to small-denominator multiples
+  /// of pi when converting circuits to ZX-diagrams.
+  double zxPhaseSnapTolerance = 1e-12;
   /// Run the engines on parallel threads (first definitive verdict wins).
   bool parallel = true;
   /// Record the diagram size after every gate application (alternating
@@ -93,6 +102,9 @@ struct Result {
   std::size_t peakNodes = 0;            ///< DD engines: max live node count
   std::size_t rewrites = 0;             ///< ZX engine: rewrite count
   std::size_t remainingSpiders = 0;     ///< ZX engine: spiders at the end
+  /// ZX engine: per-rule scheduler digest (candidates/matches/rewrites and
+  /// wall time per rule family), empty when the ZX engine did not run.
+  std::string zxRuleDigest;
   /// Index of the stimulus that proved non-equivalence (-1 = none).
   std::int64_t counterexampleStimulus = -1;
   /// Aggregated DD compute-table counters (summed over all packages used).

@@ -10,26 +10,43 @@ namespace veriqc::check {
 
 Result zxCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
                const Configuration& config, const StopToken& stop) {
-  const auto start = std::chrono::steady_clock::now();
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
   Result result;
   result.method = "zx-calculus";
   const auto elapsed = [&start] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  // Track the configured deadline locally so an early abort can be
+  // attributed correctly: past the deadline it is a Timeout, before it the
+  // only other source of `stop` is a sibling engine's definitive verdict
+  // (Cancelled).
+  const auto deadline = config.timeout.count() > 0
+                            ? start + config.timeout
+                            : Clock::time_point::max();
+  const auto shouldStop = [&stop, deadline] {
+    return (stop && stop()) || Clock::now() >= deadline;
   };
 
   const auto [a, b] = alignCircuits(c1, c2);
-  auto diagram = zx::circuitToZX(compile::decomposeForZX(a))
-                     .compose(zx::circuitToZX(compile::decomposeForZX(b))
-                                  .adjoint());
-  zx::Simplifier simplifier(diagram, stop);
+  auto diagram =
+      zx::circuitToZX(compile::decomposeForZX(a), config.zxPhaseSnapTolerance)
+          .compose(zx::circuitToZX(compile::decomposeForZX(b),
+                                   config.zxPhaseSnapTolerance)
+                       .adjoint());
+  zx::SimplifierOptions options;
+  options.gadgetRules = config.zxGadgetRules;
+  zx::Simplifier simplifier(diagram, shouldStop, options);
   const bool completed = simplifier.fullReduce();
   result.rewrites = simplifier.stats().total();
+  result.zxRuleDigest = simplifier.stats().digest();
   result.remainingSpiders = diagram.spiderCount();
   result.runtimeSeconds = elapsed();
   if (!completed) {
-    result.criterion = EquivalenceCriterion::Timeout;
+    result.criterion = Clock::now() >= deadline
+                           ? EquivalenceCriterion::Timeout
+                           : EquivalenceCriterion::Cancelled;
     return result;
   }
   // Both diagrams were built over logical qubits, so equivalence requires
@@ -40,7 +57,6 @@ Result zxCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   } else {
     result.criterion = EquivalenceCriterion::NoInformation;
   }
-  (void)config;
   return result;
 }
 

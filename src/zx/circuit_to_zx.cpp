@@ -9,8 +9,9 @@ namespace {
 /// instead of creating a spider — the "Hadamard box is an edge" view).
 class Builder {
 public:
-  explicit Builder(const QuantumCircuit& circuit)
-      : circuit_(circuit), last_(circuit.numQubits()),
+  Builder(const QuantumCircuit& circuit, const double phaseSnapTolerance)
+      : circuit_(circuit), snapTolerance_(phaseSnapTolerance),
+        last_(circuit.numQubits()),
         pending_(circuit.numQubits(), EdgeType::Simple) {
     std::vector<Vertex> inputs(circuit.numQubits());
     for (Qubit l = 0; l < circuit.numQubits(); ++l) {
@@ -83,7 +84,7 @@ private:
   /// Controlled phase: cp(theta) = p(theta/2) c; cx; p(-theta/2) t; cx;
   /// p(theta/2) t  (the qelib1 cu1 decomposition).
   void cp(const Qubit control, const Qubit target, const double theta) {
-    const auto half = PiRational::fromRadians(theta / 2.0);
+    const auto half = PiRational::fromRadians(theta / 2.0, snapTolerance_);
     zPhase(control, half);
     cx(control, target);
     zPhase(target, -half);
@@ -92,7 +93,7 @@ private:
   }
 
   void crz(const Qubit control, const Qubit target, const double theta) {
-    const auto half = PiRational::fromRadians(theta / 2.0);
+    const auto half = PiRational::fromRadians(theta / 2.0, snapTolerance_);
     zPhase(target, half);
     cx(control, target);
     zPhase(target, -half);
@@ -153,25 +154,25 @@ private:
       xPhase(t, -PiRational::halfPi());
       return;
     case OpType::RX:
-      xPhase(t, PiRational::fromRadians(op.params[0]));
+      xPhase(t, PiRational::fromRadians(op.params[0], snapTolerance_));
       return;
     case OpType::RY:
-      ry(t, PiRational::fromRadians(op.params[0]));
+      ry(t, PiRational::fromRadians(op.params[0], snapTolerance_));
       return;
     case OpType::RZ:
     case OpType::P:
-      zPhase(t, PiRational::fromRadians(op.params[0]));
+      zPhase(t, PiRational::fromRadians(op.params[0], snapTolerance_));
       return;
     case OpType::U2:
       // u2(phi, lambda) = rz(phi) ry(pi/2) rz(lambda) up to global phase.
-      zPhase(t, PiRational::fromRadians(op.params[1]));
+      zPhase(t, PiRational::fromRadians(op.params[1], snapTolerance_));
       ry(t, PiRational::halfPi());
-      zPhase(t, PiRational::fromRadians(op.params[0]));
+      zPhase(t, PiRational::fromRadians(op.params[0], snapTolerance_));
       return;
     case OpType::U3:
-      zPhase(t, PiRational::fromRadians(op.params[2]));
-      ry(t, PiRational::fromRadians(op.params[0]));
-      zPhase(t, PiRational::fromRadians(op.params[1]));
+      zPhase(t, PiRational::fromRadians(op.params[2], snapTolerance_));
+      ry(t, PiRational::fromRadians(op.params[0], snapTolerance_));
+      zPhase(t, PiRational::fromRadians(op.params[1], snapTolerance_));
       return;
     case OpType::SWAP:
       std::swap(last_[op.targets[0]], last_[op.targets[1]]);
@@ -252,6 +253,7 @@ private:
   }
 
   const QuantumCircuit& circuit_;
+  double snapTolerance_;
   ZXDiagram diagram_;
   std::vector<Vertex> last_;
   std::vector<EdgeType> pending_;
@@ -259,8 +261,9 @@ private:
 
 } // namespace
 
-ZXDiagram circuitToZX(const QuantumCircuit& circuit) {
-  return Builder(circuit).run();
+ZXDiagram circuitToZX(const QuantumCircuit& circuit,
+                      const double phaseSnapTolerance) {
+  return Builder(circuit, phaseSnapTolerance).run();
 }
 
 } // namespace veriqc::zx

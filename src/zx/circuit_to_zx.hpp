@@ -15,7 +15,12 @@ namespace veriqc::zx {
 /// rotations (CP/CRX/CRY/CRZ), and SWAP/CSWAP. Gates with two or more
 /// controls must be decomposed first (mirroring the paper, where circuits are
 /// compiled before being handed to the ZX tool).
+///
+/// Rotation angles are snapped to nearby small-denominator multiples of pi
+/// within `phaseSnapTolerance` (see PiRational::fromRadians), so numerically
+/// noisy but semantically Clifford+T circuits still simplify symbolically.
 /// \throws CircuitError on unsupported operations.
-[[nodiscard]] ZXDiagram circuitToZX(const QuantumCircuit& circuit);
+[[nodiscard]] ZXDiagram circuitToZX(const QuantumCircuit& circuit,
+                                    double phaseSnapTolerance = 1e-12);
 
 } // namespace veriqc::zx

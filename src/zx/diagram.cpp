@@ -1,8 +1,26 @@
 #include "zx/diagram.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace veriqc::zx {
+
+namespace {
+
+NeighborList::iterator lowerBound(NeighborList& list, const Vertex key) {
+  return std::lower_bound(
+      list.begin(), list.end(), key,
+      [](const NeighborEntry& e, const Vertex k) { return e.vertex < k; });
+}
+
+NeighborList::const_iterator lowerBound(const NeighborList& list,
+                                        const Vertex key) {
+  return std::lower_bound(
+      list.begin(), list.end(), key,
+      [](const NeighborEntry& e, const Vertex k) { return e.vertex < k; });
+}
+
+} // namespace
 
 Vertex ZXDiagram::addVertex(const VertexType type, const PiRational phase) {
   const auto v = static_cast<Vertex>(types_.size());
@@ -15,39 +33,39 @@ Vertex ZXDiagram::addVertex(const VertexType type, const PiRational phase) {
 }
 
 void ZXDiagram::addEdge(const Vertex u, const Vertex v, const EdgeType type) {
-  auto& mult = adj_.at(u)[v];
-  if (type == EdgeType::Simple) {
-    ++mult.simple;
-  } else {
-    ++mult.hadamard;
-  }
-  if (u != v) {
-    auto& back = adj_.at(v)[u];
-    if (type == EdgeType::Simple) {
-      ++back.simple;
-    } else {
-      ++back.hadamard;
+  const auto bump = [type](NeighborList& list, const Vertex key) {
+    auto it = lowerBound(list, key);
+    if (it == list.end() || it->vertex != key) {
+      it = list.insert(it, NeighborEntry{key, {}});
     }
+    if (type == EdgeType::Simple) {
+      ++it->edges.simple;
+    } else {
+      ++it->edges.hadamard;
+    }
+  };
+  bump(adj_.at(u), v);
+  if (u != v) {
+    bump(adj_.at(v), u);
   }
 }
 
 void ZXDiagram::removeEdge(const Vertex u, const Vertex v,
                            const EdgeType type) {
-  const auto update = [type](std::map<Vertex, EdgeMultiplicity>& adj,
-                             const Vertex key) {
-    const auto it = adj.find(key);
-    if (it == adj.end() ||
-        (type == EdgeType::Simple ? it->second.simple
-                                  : it->second.hadamard) <= 0) {
+  const auto update = [type](NeighborList& list, const Vertex key) {
+    const auto it = lowerBound(list, key);
+    if (it == list.end() || it->vertex != key ||
+        (type == EdgeType::Simple ? it->edges.simple
+                                  : it->edges.hadamard) <= 0) {
       throw CircuitError("ZXDiagram::removeEdge: edge not present");
     }
     if (type == EdgeType::Simple) {
-      --it->second.simple;
+      --it->edges.simple;
     } else {
-      --it->second.hadamard;
+      --it->edges.hadamard;
     }
-    if (it->second.total() == 0) {
-      adj.erase(it);
+    if (it->edges.total() == 0) {
+      list.erase(it);
     }
   };
   update(adj_.at(u), v);
@@ -57,9 +75,15 @@ void ZXDiagram::removeEdge(const Vertex u, const Vertex v,
 }
 
 void ZXDiagram::removeAllEdges(const Vertex u, const Vertex v) {
-  adj_.at(u).erase(v);
+  const auto drop = [](NeighborList& list, const Vertex key) {
+    const auto it = lowerBound(list, key);
+    if (it != list.end() && it->vertex == key) {
+      list.erase(it);
+    }
+  };
+  drop(adj_.at(u), v);
   if (u != v) {
-    adj_.at(v).erase(u);
+    drop(adj_.at(v), u);
   }
 }
 
@@ -69,7 +93,11 @@ void ZXDiagram::removeVertex(const Vertex v) {
   }
   for (const auto& [neighbor, mult] : adj_.at(v)) {
     if (neighbor != v) {
-      adj_.at(neighbor).erase(v);
+      auto& list = adj_.at(neighbor);
+      const auto it = lowerBound(list, v);
+      if (it != list.end() && it->vertex == v) {
+        list.erase(it);
+      }
     }
   }
   adj_.at(v).clear();
@@ -78,9 +106,10 @@ void ZXDiagram::removeVertex(const Vertex v) {
 }
 
 EdgeMultiplicity ZXDiagram::edge(const Vertex u, const Vertex v) const {
-  const auto& adj = adj_.at(u);
-  const auto it = adj.find(v);
-  return it == adj.end() ? EdgeMultiplicity{} : it->second;
+  const auto& list = adj_.at(u);
+  const auto it = lowerBound(list, v);
+  return (it == list.end() || it->vertex != v) ? EdgeMultiplicity{}
+                                               : it->edges;
 }
 
 std::size_t ZXDiagram::degree(const Vertex v) const {
@@ -174,11 +203,11 @@ ZXDiagram ZXDiagram::compose(const ZXDiagram& next) const {
     // A boundary vertex has exactly one incident edge.
     const auto takeNeighbor = [&result](const Vertex b) {
       const auto& adj = result.adj_.at(b);
-      if (adj.size() != 1 || adj.begin()->second.total() != 1) {
+      if (adj.size() != 1 || adj.front().edges.total() != 1) {
         throw CircuitError("ZXDiagram::compose: malformed boundary");
       }
-      const Vertex neighbor = adj.begin()->first;
-      const EdgeType type = adj.begin()->second.hadamard > 0
+      const Vertex neighbor = adj.front().vertex;
+      const EdgeType type = adj.front().edges.hadamard > 0
                                 ? EdgeType::Hadamard
                                 : EdgeType::Simple;
       return std::pair{neighbor, type};

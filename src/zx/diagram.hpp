@@ -6,7 +6,6 @@
 #include "zx/rational.hpp"
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace veriqc::zx {
@@ -31,6 +30,20 @@ struct EdgeMultiplicity {
 
   [[nodiscard]] int total() const noexcept { return simple + hadamard; }
 };
+
+/// One adjacency slot: the neighbor id plus the parallel-edge multiplicities
+/// towards it. Structured bindings decompose it like the map entries it
+/// replaced: `for (const auto& [w, mult] : diagram.neighbors(v))`.
+struct NeighborEntry {
+  Vertex vertex;
+  EdgeMultiplicity edges;
+};
+
+/// Flat adjacency row, sorted by neighbor id. Lookups are a binary search on
+/// a contiguous array (one cache line for typical spider degrees) instead of
+/// a pointer-chasing tree walk; iteration order matches the previous
+/// std::map-based representation exactly (ascending neighbor id).
+using NeighborList = std::vector<NeighborEntry>;
 
 /// A ZX-diagram as an undirected multigraph. Vertices are never reindexed;
 /// removed vertices leave holes (test with isPresent). Self-loops are allowed
@@ -76,10 +89,9 @@ public:
   void setPhase(Vertex v, PiRational phase) { phases_.at(v) = phase; }
   void addPhase(Vertex v, const PiRational& delta) { phases_.at(v) += delta; }
 
-  /// Adjacency of v: neighbor -> multiplicities. Self-loops appear under
-  /// key v itself.
-  [[nodiscard]] const std::map<Vertex, EdgeMultiplicity>&
-  neighbors(Vertex v) const {
+  /// Adjacency of v, sorted by neighbor id. Self-loops appear under v
+  /// itself.
+  [[nodiscard]] const NeighborList& neighbors(Vertex v) const {
     return adj_.at(v);
   }
 
@@ -129,7 +141,7 @@ private:
   std::vector<VertexType> types_;
   std::vector<PiRational> phases_;
   std::vector<bool> present_;
-  std::vector<std::map<Vertex, EdgeMultiplicity>> adj_;
+  std::vector<NeighborList> adj_;
   std::vector<Vertex> inputs_;
   std::vector<Vertex> outputs_;
   std::size_t liveCount_ = 0;

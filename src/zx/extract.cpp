@@ -127,10 +127,10 @@ public:
 private:
   [[nodiscard]] Vertex outputNeighbor(const Qubit q) const {
     const auto& adj = d_.neighbors(d_.outputs()[q]);
-    if (adj.size() != 1 || adj.begin()->second.total() != 1) {
+    if (adj.size() != 1 || adj.front().edges.total() != 1) {
       throw CircuitError("extractCircuit: malformed output boundary");
     }
-    return adj.begin()->first;
+    return adj.front().vertex;
   }
 
   [[nodiscard]] bool edgeIsHadamard(const Vertex a, const Vertex b) const {

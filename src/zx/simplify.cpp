@@ -1,12 +1,101 @@
 #include "zx/simplify.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <iomanip>
 #include <map>
+#include <sstream>
 
 namespace veriqc::zx {
 
-Simplifier::Simplifier(ZXDiagram& diagram, std::function<bool()> shouldStop)
-    : g_(diagram), shouldStop_(std::move(shouldStop)) {}
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+double SimplifyStats::totalSeconds() const noexcept {
+  double sum = 0.0;
+  for (const auto& rule : rules) {
+    sum += rule.seconds;
+  }
+  return sum;
+}
+
+std::string SimplifyStats::digest() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const auto& r = rules[i];
+    if (r.candidates == 0) {
+      continue;
+    }
+    if (!first) {
+      os << "; ";
+    }
+    first = false;
+    os << kSimplifyRuleNames[i] << " r" << r.rewrites << "/m" << r.matches
+       << "/c" << r.candidates << " " << std::fixed << std::setprecision(2)
+       << r.seconds * 1e3 << "ms";
+  }
+  return os.str();
+}
+
+// --- worklist ----------------------------------------------------------------
+
+void Simplifier::Worklist::reset(const ZXDiagram& g) {
+  generation_ += 2; // invalidates both current- and next-sweep stamps
+  sweep_.clear();
+  nextSweep_.clear();
+  position_ = -1;
+  const auto bound = static_cast<std::size_t>(g.vertexBound());
+  if (stamp_.size() < bound) {
+    stamp_.resize(bound, 0);
+  }
+  sweep_.reserve(g.vertexCount());
+  for (Vertex v = 0; v < bound; ++v) {
+    if (g.isPresent(v)) {
+      sweep_.push_back(v); // ascending: already a valid min-heap
+      stamp_[v] = generation_;
+    }
+  }
+}
+
+void Simplifier::Worklist::push(const Vertex v) {
+  if (v >= stamp_.size()) {
+    stamp_.resize(static_cast<std::size_t>(v) + 1, 0);
+  }
+  if (stamp_[v] >= generation_) {
+    return; // already pending
+  }
+  if (static_cast<std::int64_t>(v) > position_) {
+    stamp_[v] = generation_;
+    sweep_.push_back(v);
+    std::push_heap(sweep_.begin(), sweep_.end(), std::greater<>{});
+  } else {
+    stamp_[v] = generation_ + 1;
+    nextSweep_.push_back(v);
+    std::push_heap(nextSweep_.begin(), nextSweep_.end(), std::greater<>{});
+  }
+}
+
+Vertex Simplifier::Worklist::pop() {
+  if (sweep_.empty()) {
+    ++generation_;
+    sweep_.swap(nextSweep_);
+    position_ = -1;
+  }
+  std::pop_heap(sweep_.begin(), sweep_.end(), std::greater<>{});
+  const Vertex v = sweep_.back();
+  sweep_.pop_back();
+  position_ = static_cast<std::int64_t>(v);
+  stamp_[v] = 0;
+  return v;
+}
+
+// --- simplifier --------------------------------------------------------------
+
+Simplifier::Simplifier(ZXDiagram& diagram, std::function<bool()> shouldStop,
+                       SimplifierOptions options)
+    : g_(diagram), shouldStop_(std::move(shouldStop)), options_(options) {}
 
 bool Simplifier::isInterior(const Vertex v) const {
   return g_.isPresent(v) && !g_.isBoundary(v);
@@ -41,6 +130,51 @@ bool Simplifier::allEdgesHadamardToSpiders(const Vertex v) const {
     }
   }
   return true;
+}
+
+template <typename TryRule>
+std::size_t Simplifier::runPass(const SimplifyRule rule, TryRule&& tryRule) {
+  auto& rs = stats_.rules[static_cast<std::size_t>(rule)];
+  const auto start = Clock::now();
+  worklist_.reset(g_);
+  std::size_t count = 0;
+  while (!worklist_.empty()) {
+    const Vertex v = worklist_.pop();
+    ++rs.candidates;
+    // Poll the stop token at a throttle: rewrites are individually sound, so
+    // letting a handful through after a stop request is harmless.
+    if ((rs.candidates & 15U) == 0 && stopping()) {
+      break;
+    }
+    const std::size_t applied = tryRule(v);
+    if (applied > 0) {
+      ++rs.matches;
+      count += applied;
+    }
+  }
+  rs.rewrites += count;
+  rs.seconds += std::chrono::duration<double>(Clock::now() - start).count();
+  return count;
+}
+
+void Simplifier::touchNeighborhood(const Vertex v) {
+  if (!g_.isPresent(v)) {
+    return;
+  }
+  worklist_.push(v);
+  for (const auto& [w, mult] : g_.neighbors(v)) {
+    worklist_.push(w);
+  }
+}
+
+void Simplifier::touchNeighborhood2(const Vertex v) {
+  if (!g_.isPresent(v)) {
+    return;
+  }
+  worklist_.push(v);
+  for (const auto& [w, mult] : g_.neighbors(v)) {
+    touchNeighborhood(w);
+  }
 }
 
 void Simplifier::normalizeVertex(const Vertex v) {
@@ -100,34 +234,38 @@ void Simplifier::fuse(const Vertex u, const Vertex v) {
   for (const auto& [w, mult] : uAdj) {
     normalizePair(u, w);
   }
+  // The merged vertex and everything it touches (including neighbors whose
+  // parallel Hadamard pairs just cancelled) are fresh rule candidates.
+  worklist_.push(u);
+  for (const auto& [w, mult] : uAdj) {
+    worklist_.push(w);
+  }
   ++stats_.spiderFusions;
 }
 
-std::size_t Simplifier::spiderSimp() {
-  std::size_t count = 0;
-  bool changed = true;
-  while (changed && !stopping()) {
-    changed = false;
-    for (const auto v : g_.vertices()) {
-      if (!isInteriorZ(v)) {
-        continue;
-      }
-      bool fusedSomething = true;
-      while (fusedSomething && g_.isPresent(v)) {
-        fusedSomething = false;
-        for (const auto& [w, mult] : g_.neighbors(v)) {
-          if (w != v && mult.simple > 0 && isInteriorZ(w)) {
-            fuse(v, w);
-            ++count;
-            fusedSomething = true;
-            changed = true;
-            break; // adjacency changed; restart neighbor scan
-          }
-        }
+std::size_t Simplifier::trySpider(const Vertex v) {
+  if (!isInteriorZ(v)) {
+    return 0;
+  }
+  std::size_t applied = 0;
+  bool fusedSomething = true;
+  while (fusedSomething && g_.isPresent(v)) {
+    fusedSomething = false;
+    for (const auto& [w, mult] : g_.neighbors(v)) {
+      if (w != v && mult.simple > 0 && isInteriorZ(w)) {
+        fuse(v, w);
+        ++applied;
+        fusedSomething = true;
+        break; // adjacency changed; restart neighbor scan
       }
     }
   }
-  return count;
+  return applied;
+}
+
+std::size_t Simplifier::spiderSimp() {
+  return runPass(SimplifyRule::Spider,
+                 [this](const Vertex v) { return trySpider(v); });
 }
 
 void Simplifier::toGraphLike() {
@@ -167,55 +305,52 @@ void Simplifier::toGraphLike() {
   }
 }
 
-std::size_t Simplifier::idSimp() {
-  std::size_t count = 0;
-  bool changed = true;
-  while (changed && !stopping()) {
-    changed = false;
-    for (const auto v : g_.vertices()) {
-      if (!isInteriorZ(v) || !g_.phase(v).isZero() ||
-          g_.edge(v, v).total() != 0 || g_.degree(v) != 2) {
-        continue;
-      }
-      const auto& adj = g_.neighbors(v);
-      if (adj.size() == 1) {
-        // Both edges go to the same neighbor: removal leaves a self-loop.
-        const Vertex w = adj.begin()->first;
-        const auto mult = adj.begin()->second;
-        if (g_.isBoundary(w)) {
-          continue; // malformed boundary; leave untouched
-        }
-        const bool loopIsHadamard = (mult.hadamard % 2) == 1;
-        g_.removeVertex(v);
-        if (loopIsHadamard) {
-          g_.addPhase(w, PiRational::pi());
-        }
-        ++count;
-        ++stats_.idRemovals;
-        changed = true;
-        continue;
-      }
-      const Vertex w1 = adj.begin()->first;
-      const Vertex w2 = std::next(adj.begin())->first;
-      const bool h1 = adj.begin()->second.hadamard == 1;
-      const bool h2 = std::next(adj.begin())->second.hadamard == 1;
-      g_.removeVertex(v);
-      const EdgeType combined =
-          (h1 != h2) ? EdgeType::Hadamard : EdgeType::Simple;
-      g_.addEdge(w1, w2, combined);
-      ++count;
-      ++stats_.idRemovals;
-      changed = true;
-      if (isInteriorZ(w1) && isInteriorZ(w2)) {
-        if (g_.edge(w1, w2).simple > 0) {
-          fuse(w1, w2);
-        } else {
-          normalizePair(w1, w2);
-        }
-      }
+std::size_t Simplifier::tryId(const Vertex v) {
+  if (!isInteriorZ(v) || !g_.phase(v).isZero() ||
+      g_.edge(v, v).total() != 0 || g_.degree(v) != 2) {
+    return 0;
+  }
+  const auto& adj = g_.neighbors(v);
+  if (adj.size() == 1) {
+    // Both edges go to the same neighbor: removal leaves a self-loop.
+    const Vertex w = adj.front().vertex;
+    const auto mult = adj.front().edges;
+    if (g_.isBoundary(w)) {
+      return 0; // malformed boundary; leave untouched
+    }
+    const bool loopIsHadamard = (mult.hadamard % 2) == 1;
+    g_.removeVertex(v);
+    if (loopIsHadamard) {
+      g_.addPhase(w, PiRational::pi());
+    }
+    ++stats_.idRemovals;
+    touchNeighborhood(w);
+    return 1;
+  }
+  const Vertex w1 = adj[0].vertex;
+  const Vertex w2 = adj[1].vertex;
+  const bool h1 = adj[0].edges.hadamard == 1;
+  const bool h2 = adj[1].edges.hadamard == 1;
+  g_.removeVertex(v);
+  const EdgeType combined = (h1 != h2) ? EdgeType::Hadamard
+                                       : EdgeType::Simple;
+  g_.addEdge(w1, w2, combined);
+  ++stats_.idRemovals;
+  if (isInteriorZ(w1) && isInteriorZ(w2)) {
+    if (g_.edge(w1, w2).simple > 0) {
+      fuse(w1, w2);
+    } else {
+      normalizePair(w1, w2);
     }
   }
-  return count;
+  touchNeighborhood(w1);
+  touchNeighborhood(w2);
+  return 1;
+}
+
+std::size_t Simplifier::idSimp() {
+  return runPass(SimplifyRule::Id,
+                 [this](const Vertex v) { return tryId(v); });
 }
 
 void Simplifier::toggleHadamard(const Vertex a, const Vertex b) {
@@ -226,41 +361,39 @@ void Simplifier::toggleHadamard(const Vertex a, const Vertex b) {
   }
 }
 
-std::size_t Simplifier::lcompSimp() {
-  std::size_t count = 0;
-  bool changed = true;
-  while (changed && !stopping()) {
-    changed = false;
-    for (const auto v : g_.vertices()) {
-      if (!isInteriorZ(v) || !g_.phase(v).isProperClifford() ||
-          g_.edge(v, v).total() != 0 ||
-          !allNeighborsInteriorViaHadamard(v)) {
-        continue;
-      }
-      std::vector<Vertex> neighborhood;
-      neighborhood.reserve(g_.neighbors(v).size());
-      for (const auto& [w, mult] : g_.neighbors(v)) {
-        neighborhood.push_back(w);
-      }
-      const PiRational delta = -g_.phase(v);
-      g_.removeVertex(v);
-      for (std::size_t i = 0; i < neighborhood.size(); ++i) {
-        for (std::size_t j = i + 1; j < neighborhood.size(); ++j) {
-          toggleHadamard(neighborhood[i], neighborhood[j]);
-        }
-      }
-      for (const auto w : neighborhood) {
-        g_.addPhase(w, delta);
-      }
-      ++count;
-      ++stats_.localComplementations;
-      changed = true;
+std::size_t Simplifier::tryLcomp(const Vertex v) {
+  if (!isInteriorZ(v) || !g_.phase(v).isProperClifford() ||
+      g_.edge(v, v).total() != 0 || !allNeighborsInteriorViaHadamard(v)) {
+    return 0;
+  }
+  std::vector<Vertex> neighborhood;
+  neighborhood.reserve(g_.neighbors(v).size());
+  for (const auto& [w, mult] : g_.neighbors(v)) {
+    neighborhood.push_back(w);
+  }
+  const PiRational delta = -g_.phase(v);
+  g_.removeVertex(v);
+  for (std::size_t i = 0; i < neighborhood.size(); ++i) {
+    for (std::size_t j = i + 1; j < neighborhood.size(); ++j) {
+      toggleHadamard(neighborhood[i], neighborhood[j]);
     }
   }
-  return count;
+  for (const auto w : neighborhood) {
+    g_.addPhase(w, delta);
+  }
+  for (const auto w : neighborhood) {
+    touchNeighborhood(w);
+  }
+  ++stats_.localComplementations;
+  return 1;
 }
 
-void Simplifier::pivot(const Vertex u, const Vertex v) {
+std::size_t Simplifier::lcompSimp() {
+  return runPass(SimplifyRule::Lcomp,
+                 [this](const Vertex v) { return tryLcomp(v); });
+}
+
+void Simplifier::pivot(const Vertex u, const Vertex v, const int touchDepth) {
   std::vector<Vertex> exclusiveU;
   std::vector<Vertex> exclusiveV;
   std::vector<Vertex> common;
@@ -307,32 +440,47 @@ void Simplifier::pivot(const Vertex u, const Vertex v) {
   for (const auto c : common) {
     g_.addPhase(c, pu + pv + PiRational::pi());
   }
+  // Everything whose edges or phase changed — and its neighbors, whose
+  // match status can depend on those phases and edges — goes back on the
+  // worklist.
+  const auto touch = [this, touchDepth](const Vertex x) {
+    if (touchDepth >= 2) {
+      touchNeighborhood2(x);
+    } else {
+      touchNeighborhood(x);
+    }
+  };
+  for (const auto a : exclusiveU) {
+    touch(a);
+  }
+  for (const auto b : exclusiveV) {
+    touch(b);
+  }
+  for (const auto c : common) {
+    touch(c);
+  }
+}
+
+std::size_t Simplifier::tryPivot(const Vertex u) {
+  if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
+      !allNeighborsInteriorViaHadamard(u)) {
+    return 0;
+  }
+  for (const auto& [v, mult] : g_.neighbors(u)) {
+    if (mult.hadamard != 1 || !g_.phase(v).isPauli() ||
+        !allNeighborsInteriorViaHadamard(v)) {
+      continue;
+    }
+    pivot(u, v);
+    ++stats_.pivots;
+    return 1; // u is gone; adjacency iterators are invalid
+  }
+  return 0;
 }
 
 std::size_t Simplifier::pivotSimp() {
-  std::size_t count = 0;
-  bool changed = true;
-  while (changed && !stopping()) {
-    changed = false;
-    for (const auto u : g_.vertices()) {
-      if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
-          !allNeighborsInteriorViaHadamard(u)) {
-        continue;
-      }
-      for (const auto& [v, mult] : g_.neighbors(u)) {
-        if (mult.hadamard != 1 || !g_.phase(v).isPauli() ||
-            !allNeighborsInteriorViaHadamard(v)) {
-          continue;
-        }
-        pivot(u, v);
-        ++count;
-        ++stats_.pivots;
-        changed = true;
-        break; // u is gone; adjacency iterators are invalid
-      }
-    }
-  }
-  return count;
+  return runPass(SimplifyRule::Pivot,
+                 [this](const Vertex u) { return tryPivot(u); });
 }
 
 void Simplifier::gadgetize(const Vertex v) {
@@ -341,46 +489,44 @@ void Simplifier::gadgetize(const Vertex v) {
   g_.addEdge(v, hub, EdgeType::Hadamard);
   g_.addEdge(hub, leaf, EdgeType::Hadamard);
   g_.setPhase(v, PiRational{});
+  worklist_.push(v);
+  worklist_.push(hub);
+  worklist_.push(leaf);
 }
 
-std::size_t Simplifier::pivotGadgetSimp() {
+std::size_t Simplifier::tryPivotGadget(const Vertex u) {
   // Termination: each rewrite keeps the spider count constant but strictly
   // decreases the number of non-Pauli spiders of degree >= 2 — provided the
   // pivot cannot grow an existing gadget leaf's degree, hence the
   // no-leaf-neighbor guard on both pivot vertices.
-  const auto hasLeafNeighbor = [this](const Vertex v) {
-    for (const auto& [w, mult] : g_.neighbors(v)) {
+  const auto hasLeafNeighbor = [this](const Vertex x) {
+    for (const auto& [w, mult] : g_.neighbors(x)) {
       if (!g_.isBoundary(w) && g_.degree(w) == 1) {
         return true;
       }
     }
     return false;
   };
-  std::size_t count = 0;
-  bool changed = true;
-  while (changed && !stopping()) {
-    changed = false;
-    for (const auto u : g_.vertices()) {
-      if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
-          !allNeighborsInteriorViaHadamard(u) || hasLeafNeighbor(u)) {
-        continue;
-      }
-      for (const auto& [v, mult] : g_.neighbors(u)) {
-        if (mult.hadamard != 1 || g_.phase(v).isPauli() ||
-            g_.degree(v) < 2 || !allNeighborsInteriorViaHadamard(v) ||
-            hasLeafNeighbor(v)) {
-          continue;
-        }
-        gadgetize(v);
-        pivot(u, v);
-        ++count;
-        ++stats_.gadgetPivots;
-        changed = true;
-        break; // u is gone; adjacency iterators are invalid
-      }
-    }
+  if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
+      !allNeighborsInteriorViaHadamard(u) || hasLeafNeighbor(u)) {
+    return 0;
   }
-  return count;
+  for (const auto& [v, mult] : g_.neighbors(u)) {
+    if (mult.hadamard != 1 || g_.phase(v).isPauli() || g_.degree(v) < 2 ||
+        !allNeighborsInteriorViaHadamard(v) || hasLeafNeighbor(v)) {
+      continue;
+    }
+    gadgetize(v);
+    pivot(u, v, 2);
+    ++stats_.gadgetPivots;
+    return 1; // u is gone; adjacency iterators are invalid
+  }
+  return 0;
+}
+
+std::size_t Simplifier::pivotGadgetSimp() {
+  return runPass(SimplifyRule::PivotGadget,
+                 [this](const Vertex u) { return tryPivotGadget(u); });
 }
 
 void Simplifier::unfuseBoundary(const Vertex b, const Vertex v) {
@@ -393,101 +539,117 @@ void Simplifier::unfuseBoundary(const Vertex b, const Vertex v) {
              original == EdgeType::Simple ? EdgeType::Hadamard
                                           : EdgeType::Simple);
   g_.addEdge(w, v, EdgeType::Hadamard);
+  worklist_.push(v);
+  worklist_.push(w);
 }
 
-std::size_t Simplifier::pivotBoundarySimp() {
+std::size_t Simplifier::tryPivotBoundary(const Vertex u) {
   // Termination measure: each rewrite removes one interior Pauli spider (u)
   // with no boundary contact, and only adds boundary-adjacent phase-0
   // spiders — so u must be strictly interior, v carries the boundary edges.
-  std::size_t count = 0;
-  bool changed = true;
-  while (changed && !stopping()) {
-    changed = false;
-    for (const auto u : g_.vertices()) {
-      if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
-          !allNeighborsInteriorViaHadamard(u)) {
-        continue;
-      }
-      for (const auto& [v, mult] : g_.neighbors(u)) {
-        if (mult.hadamard != 1 || !g_.phase(v).isPauli() ||
-            !allEdgesHadamardToSpiders(v)) {
-          continue;
-        }
-        std::vector<Vertex> boundaries;
-        for (const auto& [w, m2] : g_.neighbors(v)) {
-          if (g_.isBoundary(w)) {
-            boundaries.push_back(w);
-          }
-        }
-        if (boundaries.empty()) {
-          continue; // plain pivotSimp covers the fully interior case
-        }
-        for (const auto b : boundaries) {
-          unfuseBoundary(b, v);
-        }
-        pivot(u, v);
-        ++count;
-        ++stats_.boundaryPivots;
-        changed = true;
-        break; // u is gone; adjacency iterators are invalid
+  if (!isInteriorZ(u) || !g_.phase(u).isPauli() ||
+      !allNeighborsInteriorViaHadamard(u)) {
+    return 0;
+  }
+  for (const auto& [v, mult] : g_.neighbors(u)) {
+    if (mult.hadamard != 1 || !g_.phase(v).isPauli() ||
+        !allEdgesHadamardToSpiders(v)) {
+      continue;
+    }
+    std::vector<Vertex> boundaries;
+    for (const auto& [w, m2] : g_.neighbors(v)) {
+      if (g_.isBoundary(w)) {
+        boundaries.push_back(w);
       }
     }
+    if (boundaries.empty()) {
+      continue; // plain pivotSimp covers the fully interior case
+    }
+    for (const auto b : boundaries) {
+      unfuseBoundary(b, v);
+    }
+    pivot(u, v, 2);
+    ++stats_.boundaryPivots;
+    return 1; // u is gone; adjacency iterators are invalid
   }
-  return count;
+  return 0;
+}
+
+std::size_t Simplifier::pivotBoundarySimp() {
+  return runPass(SimplifyRule::PivotBoundary,
+                 [this](const Vertex u) { return tryPivotBoundary(u); });
 }
 
 std::size_t Simplifier::gadgetSimp() {
-  std::size_t count = 0;
-  bool changed = true;
-  while (changed && !stopping()) {
-    changed = false;
-    // Gadgets keyed by the hub's neighborhood (excluding the leaf).
-    std::map<std::vector<Vertex>, std::pair<Vertex, Vertex>> seen;
-    for (const auto leaf : g_.vertices()) {
-      if (!isInteriorZ(leaf) || g_.degree(leaf) != 1) {
+  // Gadgets keyed by the hub's neighborhood (excluding the leaf); the flat
+  // adjacency is sorted, so keys come out canonical without extra sorting.
+  // Entries persist across the whole pass and are validated lazily on hit:
+  // a fusion only perturbs hubs adjacent to the removed hub, whose leaves
+  // get re-enqueued and re-registered.
+  std::map<std::vector<Vertex>, std::pair<Vertex, Vertex>> seen;
+  const auto gadgetKey =
+      [this](const Vertex hub,
+             const Vertex leaf) -> std::optional<std::vector<Vertex>> {
+    std::vector<Vertex> key;
+    for (const auto& [w, mult] : g_.neighbors(hub)) {
+      if (w == leaf) {
         continue;
       }
-      const auto& adj = g_.neighbors(leaf);
-      const Vertex hub = adj.begin()->first;
-      if (adj.begin()->second.hadamard != 1 || !isInteriorZ(hub) ||
-          !g_.phase(hub).isZero()) {
-        continue;
+      if (mult.hadamard != 1 || mult.simple != 0) {
+        return std::nullopt;
       }
-      std::vector<Vertex> key;
-      bool eligible = true;
-      for (const auto& [w, mult] : g_.neighbors(hub)) {
-        if (w == leaf) {
-          continue;
-        }
-        if (mult.hadamard != 1 || mult.simple != 0) {
-          eligible = false;
-          break;
-        }
-        key.push_back(w);
-      }
-      if (!eligible || key.empty()) {
-        continue;
-      }
-      std::sort(key.begin(), key.end());
-      const auto it = seen.find(key);
-      if (it == seen.end()) {
-        seen.emplace(std::move(key), std::pair{hub, leaf});
-        continue;
-      }
-      const auto [hub0, leaf0] = it->second;
-      if (hub0 == hub) {
-        continue; // two leaves on one hub; leave to other rules
-      }
-      g_.addPhase(leaf0, g_.phase(leaf));
-      g_.removeVertex(leaf);
-      g_.removeVertex(hub);
-      ++count;
-      ++stats_.gadgetFusions;
-      changed = true;
-      break; // adjacency changed; rebuild the index
+      key.push_back(w);
     }
-  }
-  return count;
+    if (key.empty()) {
+      return std::nullopt;
+    }
+    return key;
+  };
+  return runPass(
+      SimplifyRule::Gadget, [this, &seen, &gadgetKey](const Vertex leaf) {
+        if (!isInteriorZ(leaf) || g_.degree(leaf) != 1) {
+          return std::size_t{0};
+        }
+        const auto& adj = g_.neighbors(leaf);
+        const Vertex hub = adj.front().vertex;
+        if (adj.front().edges.hadamard != 1 || !isInteriorZ(hub) ||
+            !g_.phase(hub).isZero()) {
+          return std::size_t{0};
+        }
+        const auto key = gadgetKey(hub, leaf);
+        if (!key) {
+          return std::size_t{0};
+        }
+        const auto it = seen.find(*key);
+        if (it == seen.end()) {
+          seen.emplace(*key, std::pair{hub, leaf});
+          return std::size_t{0};
+        }
+        const auto [hub0, leaf0] = it->second;
+        if (hub0 == hub) {
+          return std::size_t{0}; // two leaves on one hub; other rules apply
+        }
+        const bool stillGadget =
+            g_.isPresent(hub0) && g_.isPresent(leaf0) && isInteriorZ(leaf0) &&
+            g_.degree(leaf0) == 1 && g_.edge(leaf0, hub0).hadamard == 1 &&
+            isInteriorZ(hub0) && g_.phase(hub0).isZero() &&
+            gadgetKey(hub0, leaf0) == key;
+        if (!stillGadget) {
+          it->second = {hub, leaf};
+          return std::size_t{0};
+        }
+        g_.addPhase(leaf0, g_.phase(leaf));
+        const auto hubAdj = g_.neighbors(hub); // copy: removal invalidates
+        g_.removeVertex(leaf);
+        g_.removeVertex(hub);
+        for (const auto& [w, mult] : hubAdj) {
+          if (w != leaf) {
+            touchNeighborhood(w);
+          }
+        }
+        ++stats_.gadgetFusions;
+        return std::size_t{1};
+      });
 }
 
 std::size_t Simplifier::interiorCliffordSimp() {
@@ -523,6 +685,11 @@ std::size_t Simplifier::cliffordSimp() {
 bool Simplifier::fullReduce() {
   toGraphLike();
   interiorCliffordSimp();
+  if (!options_.gadgetRules) {
+    // Clifford-only mode: stop at the cliffordSimp fixed point.
+    cliffordSimp();
+    return !stopping();
+  }
   pivotGadgetSimp();
   while (!stopping()) {
     cliffordSimp();
@@ -536,8 +703,9 @@ bool Simplifier::fullReduce() {
   return !stopping();
 }
 
-bool fullReduce(ZXDiagram& diagram, std::function<bool()> shouldStop) {
-  Simplifier simplifier(diagram, std::move(shouldStop));
+bool fullReduce(ZXDiagram& diagram, std::function<bool()> shouldStop,
+                SimplifierOptions options) {
+  Simplifier simplifier(diagram, std::move(shouldStop), options);
   return simplifier.fullReduce();
 }
 
@@ -554,11 +722,11 @@ std::optional<Permutation> extractWirePermutation(const ZXDiagram& diagram) {
   for (Qubit i = 0; i < diagram.inputs().size(); ++i) {
     const Vertex in = diagram.inputs()[i];
     const auto& adj = diagram.neighbors(in);
-    if (adj.size() != 1 || adj.begin()->second.simple != 1 ||
-        adj.begin()->second.hadamard != 0) {
+    if (adj.size() != 1 || adj.front().edges.simple != 1 ||
+        adj.front().edges.hadamard != 0) {
       return std::nullopt;
     }
-    const auto it = outputIndex.find(adj.begin()->first);
+    const auto it = outputIndex.find(adj.front().vertex);
     if (it == outputIndex.end()) {
       return std::nullopt;
     }

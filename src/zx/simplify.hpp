@@ -6,16 +6,50 @@
 /// All rewrites preserve the linear map up to a nonzero global scalar, which
 /// is exactly the invariance needed for equivalence checking up to global
 /// phase.
+///
+/// Scheduling is worklist-driven: each rule pass seeds a candidate queue
+/// once from the live vertices and every rewrite re-enqueues only the
+/// touched vertex neighborhoods, so a pass costs O(diagram + work done)
+/// instead of restarting full-diagram scans after each rewrite. Candidates
+/// are processed in ascending-id rounds, which reproduces the rewrite order
+/// (and therefore the SimplifyStats counts) of the previous scan-based
+/// engine.
 #pragma once
 
 #include "ir/permutation.hpp"
 #include "zx/diagram.hpp"
 
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <string>
+#include <vector>
 
 namespace veriqc::zx {
+
+/// Rule families of the simplifier, used to index per-rule statistics.
+enum class SimplifyRule : std::uint8_t {
+  Spider,        ///< spider fusion
+  Id,            ///< identity (phase-free arity-2 spider) removal
+  Lcomp,         ///< local complementation
+  Pivot,         ///< interior Pauli-Pauli pivot
+  PivotGadget,   ///< pivot after gadgetizing the non-Pauli partner
+  PivotBoundary, ///< pivot next to the boundary
+  Gadget,        ///< phase-gadget fusion
+};
+inline constexpr std::size_t kSimplifyRuleCount = 7;
+inline constexpr std::array<const char*, kSimplifyRuleCount>
+    kSimplifyRuleNames = {"spider",      "id",          "lcomp", "pivot",
+                          "pivotGadget", "pivotBound",  "gadget"};
+
+/// Observability counters for one rule family.
+struct RuleStats {
+  std::size_t candidates = 0; ///< worklist entries examined
+  std::size_t matches = 0;    ///< candidates where the rule pattern matched
+  std::size_t rewrites = 0;   ///< rewrites applied (cascades count each)
+  double seconds = 0.0;       ///< wall time spent inside the pass
+};
 
 /// Rewrite counts per rule family.
 struct SimplifyStats {
@@ -27,19 +61,38 @@ struct SimplifyStats {
   std::size_t boundaryPivots = 0;
   std::size_t gadgetFusions = 0;
 
+  /// Per-rule scheduler counters, indexed by SimplifyRule.
+  std::array<RuleStats, kSimplifyRuleCount> rules{};
+
   [[nodiscard]] std::size_t total() const noexcept {
     return spiderFusions + idRemovals + localComplementations + pivots +
            gadgetPivots + boundaryPivots + gadgetFusions;
   }
+
+  /// Wall time summed over all passes.
+  [[nodiscard]] double totalSeconds() const noexcept;
+
+  /// Compact per-rule digest ("spider r12/m8/c40 0.1ms; ...") listing only
+  /// rules that examined at least one candidate; empty if nothing ran.
+  [[nodiscard]] std::string digest() const;
+};
+
+/// Tuning knobs for the simplifier, threaded from check::Configuration.
+struct SimplifierOptions {
+  /// Apply the non-Clifford phase-gadget rule families (gadget pivoting and
+  /// phase-gadget fusion) in fullReduce. When false, fullReduce stops at the
+  /// Clifford fixed point (cliffordSimp) — still sound, possibly weaker.
+  bool gadgetRules = true;
 };
 
 /// Stateful simplifier bound to one diagram. The optional `shouldStop`
 /// callback is polled between rewrites; when it returns true the current
-/// pass returns early (used for timeouts).
+/// pass returns early (used for timeouts and sibling-engine cancellation).
 class Simplifier {
 public:
   explicit Simplifier(ZXDiagram& diagram,
-                      std::function<bool()> shouldStop = {});
+                      std::function<bool()> shouldStop = {},
+                      SimplifierOptions options = {});
 
   /// Turn the diagram graph-like: X spiders become Z spiders (toggling their
   /// edges), adjacent Z spiders connected by plain wires fuse, parallel
@@ -73,6 +126,38 @@ public:
   [[nodiscard]] const SimplifyStats& stats() const noexcept { return stats_; }
 
 private:
+  /// Candidate queue with O(1) stamped membership that replays the rewrite
+  /// order of a full ascending-id rescan loop exactly: candidates drain in
+  /// ascending id within a sweep, a re-enqueued candidate above the current
+  /// scan position joins the current sweep (a rescan would still reach it),
+  /// and one at or below the position waits for the next sweep (a rescan
+  /// would only see it on the next iteration). Stale entries (vertices
+  /// removed after being queued) are filtered by the rule matchers via
+  /// isPresent.
+  class Worklist {
+  public:
+    /// Invalidate all queued entries and start a fresh pass seeded with
+    /// every live vertex.
+    void reset(const ZXDiagram& g);
+    void push(Vertex v);
+    [[nodiscard]] bool empty() const noexcept {
+      return sweep_.empty() && nextSweep_.empty();
+    }
+    Vertex pop();
+
+  private:
+    /// Min-heaps: candidates for the current and the following sweep. A
+    /// sorted seed vector is already a valid min-heap, so reset() adopts it
+    /// without re-heapifying element by element.
+    std::vector<Vertex> sweep_;
+    std::vector<Vertex> nextSweep_;
+    /// Id of the last vertex popped this sweep (-1 at sweep start).
+    std::int64_t position_ = -1;
+    /// stamp_[v] >= generation_ means v is pending (current or next sweep).
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t generation_ = 0;
+  };
+
   [[nodiscard]] bool stopping() const { return shouldStop_ && shouldStop_(); }
   [[nodiscard]] bool isInterior(Vertex v) const;
   [[nodiscard]] bool isInteriorZ(Vertex v) const;
@@ -80,6 +165,28 @@ private:
   [[nodiscard]] bool allNeighborsInteriorViaHadamard(Vertex v) const;
   /// All incident edges are Hadamard (neighbors may include boundaries).
   [[nodiscard]] bool allEdgesHadamardToSpiders(Vertex v) const;
+
+  /// Run one worklist pass: seed every live vertex, drain, let `tryRule`
+  /// apply rewrites at each candidate (returning how many it applied) and
+  /// re-enqueue what it touched. Returns the total rewrites applied.
+  template <typename TryRule>
+  std::size_t runPass(SimplifyRule rule, TryRule&& tryRule);
+
+  /// Re-enqueue v (if still present) and all its current neighbors.
+  void touchNeighborhood(Vertex v);
+  /// Re-enqueue v's 2-hop neighborhood. Needed by the pivot variants whose
+  /// candidacy inspects neighbor degrees (hasLeafNeighbor): a changed edge
+  /// endpoint sits up to two hops from candidates it re-enables.
+  void touchNeighborhood2(Vertex v);
+
+  // Per-candidate rule bodies; each returns the number of rewrites applied
+  // at the candidate and re-enqueues the touched neighborhoods.
+  std::size_t trySpider(Vertex v);
+  std::size_t tryId(Vertex v);
+  std::size_t tryLcomp(Vertex v);
+  std::size_t tryPivot(Vertex u);
+  std::size_t tryPivotGadget(Vertex u);
+  std::size_t tryPivotBoundary(Vertex u);
 
   /// Resolve self-loops on v (plain loops vanish; each Hadamard loop adds pi).
   void normalizeVertex(Vertex v);
@@ -90,8 +197,9 @@ private:
   /// Toggle the single Hadamard edge between two interior spiders.
   void toggleHadamard(Vertex a, Vertex b);
   /// Core pivot about the Hadamard edge (u, v); preconditions checked by the
-  /// callers.
-  void pivot(Vertex u, Vertex v);
+  /// callers. Touched neighborhoods are re-enqueued to the given depth
+  /// (1 hop for the plain pivot, 2 hops for the leaf-guarded variants).
+  void pivot(Vertex u, Vertex v, int touchDepth = 1);
   /// Split v's phase into a fresh phase gadget hanging off v.
   void gadgetize(Vertex v);
   /// Insert an identity-pair spider on the boundary edge (b, v) so that v
@@ -100,11 +208,14 @@ private:
 
   ZXDiagram& g_;
   std::function<bool()> shouldStop_;
+  SimplifierOptions options_;
   SimplifyStats stats_;
+  Worklist worklist_;
 };
 
 /// Convenience: full_reduce a diagram in place. Returns false on timeout.
-bool fullReduce(ZXDiagram& diagram, std::function<bool()> shouldStop = {});
+bool fullReduce(ZXDiagram& diagram, std::function<bool()> shouldStop = {},
+                SimplifierOptions options = {});
 
 /// If the diagram is nothing but boundary vertices pairwise connected by
 /// single plain wires, return the permutation p with output p(i) connected

@@ -1,0 +1,169 @@
+/// Randomized agreement checks between the DD and ZX paradigms, plus the
+/// manager's sequential-skip and the ZX checker's stop-attribution contracts.
+#include "check/manager.hpp"
+#include "circuits/benchmarks.hpp"
+#include "circuits/error_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+
+namespace veriqc::check {
+namespace {
+
+Configuration quickConfig() {
+  Configuration config;
+  config.simulationRuns = 8;
+  config.seed = 7;
+  return config;
+}
+
+// --- cross-paradigm agreement ------------------------------------------------
+
+TEST(CrossParadigmTest, ZXAndAlternatingAgreeOnCliffordTInverses) {
+  // Composing a Clifford+T circuit with its own inverse lets the phases
+  // cancel (Sec. 6.2), so both paradigms must prove equivalence.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto c = circuits::randomCliffordT(4, 10, 0.25, seed);
+    const auto zx = zxCheck(c, c);
+    EXPECT_EQ(zx.criterion, EquivalenceCriterion::EquivalentUpToGlobalPhase)
+        << "seed " << seed << ": " << zx.toString();
+    const auto dd = ddAlternatingCheck(c, c, quickConfig());
+    EXPECT_TRUE(provedEquivalent(dd.criterion)) << "seed " << seed;
+  }
+}
+
+TEST(CrossParadigmTest, SingleGateMutantsNeverProveEquivalent) {
+  // The ZX engine is incomplete but sound: for a circuit damaged by either
+  // error model it may fail to decide, but it must never certify
+  // equivalence — and the DD checker must prove non-equivalence.
+  std::mt19937_64 rng(17);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto base = circuits::randomCliffordT(4, 12, 0.2, seed);
+    const auto mutant = (seed % 2 == 0)
+                            ? circuits::removeRandomGate(base, rng)
+                            : circuits::flipRandomCnot(base, rng);
+    ASSERT_TRUE(mutant.has_value()) << "seed " << seed;
+    const auto dd = ddAlternatingCheck(base, *mutant, quickConfig());
+    if (dd.criterion != EquivalenceCriterion::NotEquivalent) {
+      // Rarely the mutation is a no-op (e.g. flipping a CNOT sandwiched in
+      // a symmetric context); agreement is all that can be required then.
+      continue;
+    }
+    const auto zx = zxCheck(base, *mutant);
+    EXPECT_FALSE(provedEquivalent(zx.criterion))
+        << "seed " << seed << ": " << zx.toString();
+  }
+}
+
+// --- manager sequential skipping ---------------------------------------------
+
+TEST(ManagerSequentialTest, SkipsRemainingEnginesAfterDefinitiveVerdict) {
+  Configuration config = quickConfig();
+  config.parallel = false;
+  config.runZX = true;
+  EquivalenceCheckingManager manager(circuits::ghz(3), circuits::ghz(3),
+                                     config);
+  const auto result = manager.run();
+  EXPECT_TRUE(provedEquivalent(result.criterion)) << result.toString();
+  const auto& slots = manager.engineResults();
+  ASSERT_EQ(slots.size(), 3U);
+  // The alternating checker settles the question immediately; everything
+  // after it must be left untouched and honestly marked as skipped.
+  EXPECT_TRUE(isDefinitive(slots[0].criterion)) << slots[0].toString();
+  EXPECT_EQ(slots[1].criterion, EquivalenceCriterion::NotRun);
+  EXPECT_EQ(slots[2].criterion, EquivalenceCriterion::NotRun);
+  EXPECT_EQ(slots[2].method, "zx-calculus");
+  EXPECT_EQ(slots[1].runtimeSeconds, 0.0);
+}
+
+TEST(ManagerSequentialTest, NotRunSlotsNeverWinTheCombinedVerdict) {
+  Configuration config = quickConfig();
+  config.parallel = false;
+  config.runAlternating = false;
+  config.runSimulation = false;
+  config.runZX = true;
+  // Arbitrary-angle optimized pairs can leave the (incomplete) ZX engine
+  // with NoInformation; the combined verdict must still be that engine's
+  // real outcome, never a synthetic NotRun.
+  auto damaged = circuits::ghz(3);
+  damaged.ops().pop_back();
+  const auto result = checkEquivalence(circuits::ghz(3), damaged, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::NoInformation)
+      << result.toString();
+}
+
+// --- ZX checker stop attribution ---------------------------------------------
+
+TEST(ZXStopAttributionTest, SiblingCancellationIsNotATimeout) {
+  const auto c = circuits::randomCliffordT(4, 10, 0.2, 1);
+  Configuration config; // no deadline configured
+  const auto result = zxCheck(c, c, config, [] { return true; });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Cancelled)
+      << result.toString();
+}
+
+TEST(ZXStopAttributionTest, DeadlineExpiryIsATimeout) {
+  // The checker measures its deadline from its own start, so the workload
+  // must reliably outlast the 1 ms budget (this reduction takes tens of
+  // milliseconds even in Release builds).
+  const auto c = circuits::randomClifford(16, 200, 2);
+  Configuration config;
+  config.timeout = std::chrono::milliseconds(1);
+  const auto result = zxCheck(c, c, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Timeout)
+      << result.toString();
+}
+
+TEST(ZXStopAttributionTest, CompletedRunReportsRuleDigest) {
+  const auto c = circuits::randomCliffordT(4, 10, 0.25, 3);
+  const auto result = zxCheck(c, c);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::EquivalentUpToGlobalPhase);
+  EXPECT_GT(result.rewrites, 0U);
+  EXPECT_NE(result.zxRuleDigest.find("spider"), std::string::npos)
+      << result.zxRuleDigest;
+  // The digest also reaches the human-readable summary.
+  EXPECT_NE(result.toString().find("zx rules"), std::string::npos);
+}
+
+// --- configuration knobs -----------------------------------------------------
+
+TEST(ZXConfigTest, GadgetRulesOffStillProvesCliffordPairs) {
+  Configuration config;
+  config.zxGadgetRules = false;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto c = circuits::randomClifford(4, 12, seed);
+    const auto result = zxCheck(c, c, config);
+    EXPECT_EQ(result.criterion,
+              EquivalenceCriterion::EquivalentUpToGlobalPhase)
+        << "seed " << seed << ": " << result.toString();
+  }
+}
+
+TEST(ZXConfigTest, PhaseSnapRecoversNoisyCliffordTAngles) {
+  // Perturb every T phase by ~1e-13: with the default snap tolerance the
+  // ZX engine sees exact PiRationals and still proves equivalence.
+  const auto clean = circuits::randomCliffordT(4, 12, 0.3, 9);
+  auto noisy = clean;
+  for (auto& op : noisy.ops()) {
+    if (op.type == OpType::T) {
+      op.type = OpType::RZ;
+      op.params = {PI / 4.0 + 1e-13};
+    }
+  }
+  const auto snapped = zxCheck(clean, noisy);
+  EXPECT_EQ(snapped.criterion,
+            EquivalenceCriterion::EquivalentUpToGlobalPhase)
+      << snapped.toString();
+  // With snapping effectively disabled the noisy angles stay irrational,
+  // the phases no longer cancel symbolically, and the sound engine must
+  // refuse to certify (it may not claim non-equivalence either).
+  Configuration strict;
+  strict.zxPhaseSnapTolerance = 0.0;
+  const auto unsnapped = zxCheck(clean, noisy, strict);
+  EXPECT_NE(unsnapped.criterion, EquivalenceCriterion::NotEquivalent);
+}
+
+} // namespace
+} // namespace veriqc::check
