@@ -110,6 +110,10 @@ inline const char* verdictMark(const check::EquivalenceCriterion c) {
     return "TO ";
   case check::EquivalenceCriterion::Cancelled:
     return "CAN";
+  case check::EquivalenceCriterion::ResourceExhausted:
+    return "RES";
+  case check::EquivalenceCriterion::EngineError:
+    return "ERR";
   case check::EquivalenceCriterion::NotRun:
     return "-- ";
   }

@@ -2,7 +2,9 @@
 # Build Release, run the DD-kernel and ZX-engine microbenchmarks and write
 # their JSON (timings + counters) to BENCH_dd_kernel.json / BENCH_zx.json at
 # the repo root, so successive PRs accumulate a perf trajectory to compare
-# against.
+# against. When GNU time is available each JSON also records the
+# benchmark process's peak resident set size (peak_rss_kb), giving the
+# resource-governor work a memory baseline to compare budgets against.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -15,25 +17,58 @@ OUT_ZX="BENCH_zx.json"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target dd_micro zx_micro >/dev/null
 
-"./$BUILD_DIR/bench/dd_micro" \
-  --benchmark_format=json \
-  --benchmark_min_time=0.1 \
-  --benchmark_filter='BM_MakeGateDD|BM_MakeControlledGateDD|BM_BuildUnitary|BM_SimulationCheckThreads' \
-  >"$OUT"
+# Run one benchmark binary, writing its JSON to $2, and inject the process's
+# peak RSS (in kB) as a top-level "peak_rss_kb" key. Exact via GNU time when
+# installed; otherwise approximated by sampling the kernel's VmHWM high-water
+# mark while the benchmark runs (monotone, so the last sample is the peak up
+# to the sampling interval). If neither source works the JSON is unchanged.
+run_bench() {
+  local bin="$1" out="$2"
+  shift 2
+  local rss=""
+  if [[ -x /usr/bin/time ]] &&
+    /usr/bin/time -v true >/dev/null 2>&1; then
+    local timelog
+    timelog="$(mktemp)"
+    /usr/bin/time -v "$bin" "$@" >"$out" 2>"$timelog"
+    rss="$(awk '/Maximum resident set size/ {print $NF}' "$timelog")"
+    rm -f "$timelog"
+  elif [[ -d /proc/self ]]; then
+    "$bin" "$@" >"$out" &
+    local pid=$!
+    local sample
+    while kill -0 "$pid" 2>/dev/null; do
+      sample="$(awk '/^VmHWM:/ {print $2}' "/proc/$pid/status" 2>/dev/null)" \
+        || true
+      [[ -n "$sample" ]] && rss="$sample"
+      sleep 0.2
+    done
+    wait "$pid"
+  else
+    "$bin" "$@" >"$out"
+  fi
+  if [[ -n "$rss" ]]; then
+    sed -i "0,/{/s//{\n  \"peak_rss_kb\": $rss,/" "$out"
+  fi
+}
 
-"./$BUILD_DIR/bench/zx_micro" \
+run_bench "./$BUILD_DIR/bench/dd_micro" "$OUT" \
   --benchmark_format=json \
   --benchmark_min_time=0.1 \
-  --benchmark_filter='BM_GroverReduction|BM_CliffordReductionLarge|BM_EquivalenceReduction|BM_QftReduction' \
-  >"$OUT_ZX"
+  --benchmark_filter='BM_MakeGateDD|BM_MakeControlledGateDD|BM_BuildUnitary|BM_SimulationCheckThreads'
+
+run_bench "./$BUILD_DIR/bench/zx_micro" "$OUT_ZX" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.1 \
+  --benchmark_filter='BM_GroverReduction|BM_CliffordReductionLarge|BM_EquivalenceReduction|BM_QftReduction'
 
 echo "Wrote $OUT and $OUT_ZX"
 echo
 echo "=== cache-stats digest ==="
 # Per-benchmark wall time plus the cache counters embedded in the JSON.
-grep -E '"(name|real_time|gate_cache_hit_rate|compute_hit_rate|performed)"' \
+grep -E '"(name|real_time|gate_cache_hit_rate|compute_hit_rate|performed|peak_rss_kb)"' \
   "$OUT" | sed -e 's/^[[:space:]]*//' -e 's/,$//'
 echo
 echo "=== zx digest ==="
-grep -E '"(name|real_time|rewrites|spider_candidates)"' \
+grep -E '"(name|real_time|rewrites|spider_candidates|peak_rss_kb)"' \
   "$OUT_ZX" | sed -e 's/^[[:space:]]*//' -e 's/,$//'

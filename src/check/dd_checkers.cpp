@@ -29,6 +29,16 @@ void recordCacheStats(const dd::Package& package, Result& result) {
   result.gateCacheStats += stats.gateCache;
 }
 
+/// Package sizing/budget knobs derived from the checker configuration: the
+/// resource governor's DD-node and memory budgets apply to every package an
+/// engine creates.
+dd::PackageConfig packageConfigFor(const Configuration& config) {
+  dd::PackageConfig packageConfig;
+  packageConfig.maxNodes = config.maxDDNodes;
+  packageConfig.maxMemoryMB = config.maxMemoryMB;
+  return packageConfig;
+}
+
 /// Independent seed for stimulus `run` (splitmix64 mix of seed and index):
 /// makes the generated stimulus a function of (seed, run) alone, independent
 /// of which worker draws it and in which order.
@@ -177,6 +187,22 @@ private:
   bool invert_;
 };
 
+/// Finish `result` for an engine that tripped a resource budget: graceful
+/// degradation keeps the cache/peak statistics gathered so far and captures
+/// the diagnostic, so a manager (or caller) can report what ran out and
+/// retry with a larger budget.
+Result resourceExhausted(Result result, const dd::Package& package,
+                         const ResourceLimitError& e,
+                         const Clock::time_point start) {
+  result.criterion = EquivalenceCriterion::ResourceExhausted;
+  result.errorMessage = e.what();
+  recordCacheStats(package, result);
+  result.peakNodes =
+      std::max(result.peakNodes, package.stats().peakMatrixNodes);
+  result.runtimeSeconds = secondsSince(start);
+  return result;
+}
+
 } // namespace
 
 Result denseCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
@@ -210,7 +236,8 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   Result result;
   result.method = "dd-construction";
   const auto [a, b] = prepare(c1, c2, config);
-  dd::Package package(a.numQubits(), config.numericalTolerance);
+  dd::Package package(a.numQubits(), config.numericalTolerance,
+                      packageConfigFor(config));
 
   const auto build = [&](const QuantumCircuit& circuit,
                          bool& aborted) -> dd::mEdge {
@@ -235,33 +262,38 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
     return acc.edge();
   };
 
-  bool aborted = false;
-  const auto e1 = build(a, aborted);
-  const auto e2 = aborted ? package.makeIdent() : build(b, aborted);
-  if (aborted) {
-    result.criterion = EquivalenceCriterion::Timeout;
-    recordCacheStats(package, result);
-    result.runtimeSeconds = secondsSince(start);
-    return result;
-  }
-  // Canonicity: equal functionality implies equal root nodes.
-  if (e1.p == e2.p) {
-    result.hilbertSchmidtFidelity = 1.0;
-    if (std::abs(e1.w - e2.w) < config.checkTolerance) {
-      result.criterion = EquivalenceCriterion::Equivalent;
-    } else if (std::abs(std::abs(e1.w) - std::abs(e2.w)) <
-               config.checkTolerance) {
-      result.criterion = EquivalenceCriterion::EquivalentUpToGlobalPhase;
-    } else {
-      result.criterion = EquivalenceCriterion::NotEquivalent;
+  try {
+    bool aborted = false;
+    const auto e1 = build(a, aborted);
+    const auto e2 = aborted ? package.makeIdent() : build(b, aborted);
+    if (aborted) {
+      result.criterion = EquivalenceCriterion::Timeout;
+      recordCacheStats(package, result);
+      result.runtimeSeconds = secondsSince(start);
+      return result;
     }
-  } else {
-    const auto product = package.multiply(package.conjugateTranspose(e1), e2);
-    const double fidelity = package.traceFidelity(product);
-    result.hilbertSchmidtFidelity = fidelity;
-    result.criterion = std::abs(fidelity - 1.0) < config.checkTolerance
-                           ? EquivalenceCriterion::EquivalentUpToGlobalPhase
-                           : EquivalenceCriterion::NotEquivalent;
+    // Canonicity: equal functionality implies equal root nodes.
+    if (e1.p == e2.p) {
+      result.hilbertSchmidtFidelity = 1.0;
+      if (std::abs(e1.w - e2.w) < config.checkTolerance) {
+        result.criterion = EquivalenceCriterion::Equivalent;
+      } else if (std::abs(std::abs(e1.w) - std::abs(e2.w)) <
+                 config.checkTolerance) {
+        result.criterion = EquivalenceCriterion::EquivalentUpToGlobalPhase;
+      } else {
+        result.criterion = EquivalenceCriterion::NotEquivalent;
+      }
+    } else {
+      const auto product =
+          package.multiply(package.conjugateTranspose(e1), e2);
+      const double fidelity = package.traceFidelity(product);
+      result.hilbertSchmidtFidelity = fidelity;
+      result.criterion = std::abs(fidelity - 1.0) < config.checkTolerance
+                             ? EquivalenceCriterion::EquivalentUpToGlobalPhase
+                             : EquivalenceCriterion::NotEquivalent;
+    }
+  } catch (const ResourceLimitError& e) {
+    return resourceExhausted(std::move(result), package, e, start);
   }
   recordCacheStats(package, result);
   result.runtimeSeconds = secondsSince(start);
@@ -274,7 +306,8 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   Result result;
   result.method = "dd-alternating(" + toString(config.oracle) + ")";
   const auto [a, b] = prepare(c1, c2, config);
-  dd::Package package(a.numQubits(), config.numericalTolerance);
+  dd::Package package(a.numQubits(), config.numericalTolerance,
+                      packageConfigFor(config));
 
   TaskSide right(a, /*invert=*/true); // G^dagger, multiplied from the right
   TaskSide left(b, /*invert=*/false); // G', multiplied from the left
@@ -282,86 +315,94 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
 
   const auto timedOut = [&]() { return stop && stop(); };
 
-  // Gate-application loop driven by the configured oracle.
-  while (true) {
-    const bool leftPending = left.absorbSwaps();
-    const bool rightPending = right.absorbSwaps();
-    if (!leftPending && !rightPending) {
-      break;
-    }
-    if (timedOut()) {
-      result.criterion = EquivalenceCriterion::Timeout;
-      recordCacheStats(package, result);
-      result.runtimeSeconds = secondsSince(start);
-      result.peakNodes = acc.peak();
-      return result;
-    }
-    if (!leftPending) {
-      acc.applyRight(right.takeGateDD(package));
-      continue;
-    }
-    if (!rightPending) {
-      acc.applyLeft(left.takeGateDD(package));
-      continue;
-    }
-    switch (config.oracle) {
-    case OracleStrategy::Naive:
-      // Finish the left side first, then unwind the right side.
-      acc.applyLeft(left.takeGateDD(package));
-      break;
-    case OracleStrategy::Proportional: {
-      // Choose the side that lags behind its proportional schedule.
-      const double progressLeft =
-          static_cast<double>(left.total() - left.remaining()) /
-          static_cast<double>(left.total());
-      const double progressRight =
-          static_cast<double>(right.total() - right.remaining()) /
-          static_cast<double>(right.total());
-      if (progressLeft <= progressRight) {
-        acc.applyLeft(left.takeGateDD(package));
-      } else {
+  try {
+    // Gate-application loop driven by the configured oracle.
+    while (true) {
+      const bool leftPending = left.absorbSwaps();
+      const bool rightPending = right.absorbSwaps();
+      if (!leftPending && !rightPending) {
+        break;
+      }
+      if (timedOut()) {
+        result.criterion = EquivalenceCriterion::Timeout;
+        recordCacheStats(package, result);
+        result.runtimeSeconds = secondsSince(start);
+        result.peakNodes = acc.peak();
+        return result;
+      }
+      if (!leftPending) {
         acc.applyRight(right.takeGateDD(package));
+        continue;
       }
-      break;
-    }
-    case OracleStrategy::Lookahead: {
-      const auto gateLeft = left.peekGateDD(package);
-      const auto gateRight = right.peekGateDD(package);
-      const auto candidateLeft = package.multiply(gateLeft, acc.edge());
-      const auto candidateRight = package.multiply(acc.edge(), gateRight);
-      if (package.nodeCount(candidateLeft) <=
-          package.nodeCount(candidateRight)) {
-        left.consume();
-        acc.replace(candidateLeft);
-      } else {
-        right.consume();
-        acc.replace(candidateRight);
+      if (!rightPending) {
+        acc.applyLeft(left.takeGateDD(package));
+        continue;
       }
-      break;
+      switch (config.oracle) {
+      case OracleStrategy::Naive:
+        // Finish the left side first, then unwind the right side.
+        acc.applyLeft(left.takeGateDD(package));
+        break;
+      case OracleStrategy::Proportional: {
+        // Choose the side that lags behind its proportional schedule.
+        const double progressLeft =
+            static_cast<double>(left.total() - left.remaining()) /
+            static_cast<double>(left.total());
+        const double progressRight =
+            static_cast<double>(right.total() - right.remaining()) /
+            static_cast<double>(right.total());
+        if (progressLeft <= progressRight) {
+          acc.applyLeft(left.takeGateDD(package));
+        } else {
+          acc.applyRight(right.takeGateDD(package));
+        }
+        break;
+      }
+      case OracleStrategy::Lookahead: {
+        const auto gateLeft = left.peekGateDD(package);
+        const auto gateRight = right.peekGateDD(package);
+        const auto candidateLeft = package.multiply(gateLeft, acc.edge());
+        const auto candidateRight = package.multiply(acc.edge(), gateRight);
+        if (package.nodeCount(candidateLeft) <=
+            package.nodeCount(candidateRight)) {
+          left.consume();
+          acc.replace(candidateLeft);
+        } else {
+          right.consume();
+          acc.replace(candidateRight);
+        }
+        break;
+      }
+      }
     }
+
+    // Global phases: E accumulates G'.G^dagger, so the relative phase is
+    // phase(b) - phase(a).
+    const double relativePhase = b.globalPhase() - a.globalPhase();
+    if (relativePhase != 0.0) {
+      const auto& e = acc.edge();
+      acc.replace(
+          {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
     }
-  }
 
-  // Global phases: E accumulates G'.G^dagger, so the relative phase is
-  // phase(b) - phase(a).
-  const double relativePhase = b.globalPhase() - a.globalPhase();
-  if (relativePhase != 0.0) {
-    const auto& e = acc.edge();
-    acc.replace(
-        {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
-  }
+    // Equalize the tracked permutations against the output permutations:
+    // E should equal R(tau) with tau = L o O^-1 o O' o L'^-1.
+    const auto tau = right.trackedPermutation()
+                         .compose(a.outputPermutation().inverse())
+                         .compose(b.outputPermutation())
+                         .compose(left.trackedPermutation().inverse());
+    for (const auto& [x, y] : tau.transpositions()) {
+      acc.applyRight(package.makeSwapDD(x, y));
+    }
 
-  // Equalize the tracked permutations against the output permutations:
-  // E should equal R(tau) with tau = L o O^-1 o O' o L'^-1.
-  const auto tau = right.trackedPermutation()
-                       .compose(a.outputPermutation().inverse())
-                       .compose(b.outputPermutation())
-                       .compose(left.trackedPermutation().inverse());
-  for (const auto& [x, y] : tau.transpositions()) {
-    acc.applyRight(package.makeSwapDD(x, y));
+    result.criterion = classify(package, acc.edge(), config, result);
+  } catch (const ResourceLimitError& e) {
+    // The diagram outgrew its budget mid-check: degrade to a cooperative
+    // abort so a sibling engine's verdict can still decide the question.
+    result.peakNodes = acc.peak();
+    result.sizeTrace = acc.takeTrace();
+    return resourceExhausted(std::move(result), package, e, start);
   }
-
-  result.criterion = classify(package, acc.edge(), config, result);
   recordCacheStats(package, result);
   result.peakNodes = acc.peak();
   result.sizeTrace = acc.takeTrace();
@@ -394,49 +435,56 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
   Configuration flowConfig = config;
   flowConfig.reconstructSwaps = false; // counts refer to the raw gate lists
   const auto [a, b] = alignCircuits(original, compiled);
-  dd::Package package(a.numQubits(), flowConfig.numericalTolerance);
+  dd::Package package(a.numQubits(), flowConfig.numericalTolerance,
+                      packageConfigFor(flowConfig));
   TaskSide right(a, /*invert=*/true);
   TaskSide left(b, /*invert=*/false);
   Accumulator acc(package, flowConfig.recordTrace);
 
-  for (const auto count : expansionCounts) {
-    if (stop && stop()) {
-      result.criterion = EquivalenceCriterion::Timeout;
-      recordCacheStats(package, result);
-      result.runtimeSeconds = secondsSince(start);
-      result.peakNodes = acc.peak();
-      return result;
-    }
-    for (std::size_t i = 0; i < count; ++i) {
-      if (left.absorbSwaps()) {
-        acc.applyLeft(left.takeGateDD(package));
+  try {
+    for (const auto count : expansionCounts) {
+      if (stop && stop()) {
+        result.criterion = EquivalenceCriterion::Timeout;
+        recordCacheStats(package, result);
+        result.runtimeSeconds = secondsSince(start);
+        result.peakNodes = acc.peak();
+        return result;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        if (left.absorbSwaps()) {
+          acc.applyLeft(left.takeGateDD(package));
+        }
+      }
+      if (right.absorbSwaps()) {
+        acc.applyRight(right.takeGateDD(package));
       }
     }
-    if (right.absorbSwaps()) {
+    while (left.absorbSwaps()) {
+      acc.applyLeft(left.takeGateDD(package));
+    }
+    while (right.absorbSwaps()) {
       acc.applyRight(right.takeGateDD(package));
     }
-  }
-  while (left.absorbSwaps()) {
-    acc.applyLeft(left.takeGateDD(package));
-  }
-  while (right.absorbSwaps()) {
-    acc.applyRight(right.takeGateDD(package));
-  }
 
-  const auto tau = right.trackedPermutation()
-                       .compose(a.outputPermutation().inverse())
-                       .compose(b.outputPermutation())
-                       .compose(left.trackedPermutation().inverse());
-  for (const auto& [x, y] : tau.transpositions()) {
-    acc.applyRight(package.makeSwapDD(x, y));
+    const auto tau = right.trackedPermutation()
+                         .compose(a.outputPermutation().inverse())
+                         .compose(b.outputPermutation())
+                         .compose(left.trackedPermutation().inverse());
+    for (const auto& [x, y] : tau.transpositions()) {
+      acc.applyRight(package.makeSwapDD(x, y));
+    }
+    const double relativePhase = b.globalPhase() - a.globalPhase();
+    if (relativePhase != 0.0) {
+      const auto& e = acc.edge();
+      acc.replace(
+          {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
+    }
+    result.criterion = classify(package, acc.edge(), flowConfig, result);
+  } catch (const ResourceLimitError& e) {
+    result.peakNodes = acc.peak();
+    result.sizeTrace = acc.takeTrace();
+    return resourceExhausted(std::move(result), package, e, start);
   }
-  const double relativePhase = b.globalPhase() - a.globalPhase();
-  if (relativePhase != 0.0) {
-    const auto& e = acc.edge();
-    acc.replace(
-        {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
-  }
-  result.criterion = classify(package, acc.edge(), flowConfig, result);
   recordCacheStats(package, result);
   result.peakNodes = acc.peak();
   result.sizeTrace = acc.takeTrace();
@@ -466,71 +514,92 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   // is deterministic regardless of thread count and scheduling.
   std::atomic<std::size_t> failIndex{kNoFail};
   std::atomic<bool> sawTimeout{false};
+  // Workers must not let exceptions escape (raw std::thread would
+  // std::terminate). A tripped resource budget is remembered as a flag so the
+  // surviving workers' verdicts still count; any other exception is captured
+  // once and rethrown on the caller's thread after the join.
+  std::atomic<bool> sawResourceLimit{false};
   std::atomic<std::size_t> performed{0};
   std::mutex resultMutex; // guards the non-atomic result fields below
   std::size_t peakNodes = 0;
+  std::string resourceLimitMessage;
+  std::exception_ptr workerError;
 
   const auto workerFn = [&]() {
-    // The DD package is documented single-threaded: one per worker.
-    dd::Package package(a.numQubits(), config.numericalTolerance);
-    while (true) {
-      const std::size_t run =
-          nextRun.fetch_add(1, std::memory_order_relaxed);
-      if (run >= runs ||
-          run > failIndex.load(std::memory_order_relaxed)) {
-        break;
-      }
-      if (stop && stop()) {
-        sawTimeout.store(true, std::memory_order_relaxed);
-        break;
-      }
-      // Abort mid-simulation on external stop or once an earlier stimulus
-      // already proved non-equivalence.
-      const auto localStop = [&stop, &failIndex, run]() {
-        return (stop && stop()) ||
-               failIndex.load(std::memory_order_relaxed) < run;
-      };
-      std::mt19937_64 rng(stimulusSeed(config.seed, run));
-      const auto stimulus =
-          sim::generateStimulus(config.stimuliKind, a.numQubits(), rng);
-      const auto input =
-          sim::simulate(package, stimulus, package.makeZeroState(), localStop);
-      const auto out1 = sim::simulate(package, a, input, localStop);
-      const auto out2 = sim::simulate(package, b, input, localStop);
-      const bool abortedExternal = stop && stop();
-      const bool abortedLocal =
-          failIndex.load(std::memory_order_relaxed) < run;
-      const double fidelity = (abortedExternal || abortedLocal)
-                                  ? 1.0
-                                  : package.fidelity(out1, out2);
-      package.decRef(input);
-      package.decRef(out1);
-      package.decRef(out2);
-      package.garbageCollect();
-      if (abortedExternal) {
-        sawTimeout.store(true, std::memory_order_relaxed);
-        break;
-      }
-      if (abortedLocal) {
-        continue; // moot: a smaller counterexample exists
-      }
-      performed.fetch_add(1, std::memory_order_relaxed);
-      const auto stats = package.stats();
-      {
-        std::scoped_lock lock(resultMutex);
-        peakNodes =
-            std::max(peakNodes, stats.matrixNodes + stats.vectorNodes);
-      }
-      if (std::abs(fidelity - 1.0) > config.checkTolerance) {
-        std::size_t expected = failIndex.load(std::memory_order_relaxed);
-        while (run < expected &&
-               !failIndex.compare_exchange_weak(expected, run,
-                                                std::memory_order_relaxed)) {
+    try {
+      // The DD package is documented single-threaded: one per worker.
+      dd::Package package(a.numQubits(), config.numericalTolerance,
+                          packageConfigFor(config));
+      while (true) {
+        const std::size_t run =
+            nextRun.fetch_add(1, std::memory_order_relaxed);
+        if (run >= runs ||
+            run > failIndex.load(std::memory_order_relaxed)) {
+          break;
+        }
+        if (stop && stop()) {
+          sawTimeout.store(true, std::memory_order_relaxed);
+          break;
+        }
+        // Abort mid-simulation on external stop or once an earlier stimulus
+        // already proved non-equivalence.
+        const auto localStop = [&stop, &failIndex, run]() {
+          return (stop && stop()) ||
+                 failIndex.load(std::memory_order_relaxed) < run;
+        };
+        std::mt19937_64 rng(stimulusSeed(config.seed, run));
+        const auto stimulus =
+            sim::generateStimulus(config.stimuliKind, a.numQubits(), rng);
+        const auto input =
+            sim::simulate(package, stimulus, package.makeZeroState(), localStop);
+        const auto out1 = sim::simulate(package, a, input, localStop);
+        const auto out2 = sim::simulate(package, b, input, localStop);
+        const bool abortedExternal = stop && stop();
+        const bool abortedLocal =
+            failIndex.load(std::memory_order_relaxed) < run;
+        const double fidelity = (abortedExternal || abortedLocal)
+                                    ? 1.0
+                                    : package.fidelity(out1, out2);
+        package.decRef(input);
+        package.decRef(out1);
+        package.decRef(out2);
+        package.garbageCollect();
+        if (abortedExternal) {
+          sawTimeout.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (abortedLocal) {
+          continue; // moot: a smaller counterexample exists
+        }
+        performed.fetch_add(1, std::memory_order_relaxed);
+        const auto stats = package.stats();
+        {
+          std::scoped_lock lock(resultMutex);
+          peakNodes =
+              std::max(peakNodes, stats.matrixNodes + stats.vectorNodes);
+        }
+        if (std::abs(fidelity - 1.0) > config.checkTolerance) {
+          std::size_t expected = failIndex.load(std::memory_order_relaxed);
+          while (run < expected &&
+                 !failIndex.compare_exchange_weak(expected, run,
+                                                  std::memory_order_relaxed)) {
+          }
         }
       }
+      std::scoped_lock lock(resultMutex);
+      recordCacheStats(package, result);
+    } catch (const ResourceLimitError& e) {
+      sawResourceLimit.store(true, std::memory_order_relaxed);
+      std::scoped_lock lock(resultMutex);
+      if (resourceLimitMessage.empty()) {
+        resourceLimitMessage = e.what();
+      }
+    } catch (...) {
+      std::scoped_lock lock(resultMutex);
+      if (!workerError) {
+        workerError = std::current_exception();
+      }
     }
-    std::scoped_lock lock(resultMutex);
-    recordCacheStats(package, result);
   };
 
   if (workers <= 1) {
@@ -545,13 +614,21 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
       thread.join();
     }
   }
+  if (workerError) {
+    std::rethrow_exception(workerError);
+  }
 
   result.performedSimulations = performed.load();
   result.peakNodes = peakNodes;
   const auto firstFail = failIndex.load();
   if (firstFail != kNoFail) {
+    // A counterexample is definitive even when another worker ran out of
+    // budget or the deadline passed: the circuits differ.
     result.criterion = EquivalenceCriterion::NotEquivalent;
     result.counterexampleStimulus = static_cast<std::int64_t>(firstFail);
+  } else if (sawResourceLimit.load() && performed.load() < runs) {
+    result.criterion = EquivalenceCriterion::ResourceExhausted;
+    result.errorMessage = resourceLimitMessage;
   } else if (sawTimeout.load()) {
     result.criterion = EquivalenceCriterion::Timeout;
   } else {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <new>
 #include <thread>
 
 namespace veriqc::check {
@@ -11,10 +12,52 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Exception firewall around one engine: whatever an engine throws is
+/// converted into a per-slot Result instead of unwinding into the manager
+/// (where a raw std::thread would std::terminate the process). Resource
+/// budgets (and allocation failure, their unplanned cousin) degrade to
+/// ResourceExhausted; everything else becomes EngineError. The captured
+/// diagnostic is preserved so Result::toString can surface it.
+Result runGuarded(const std::function<Result()>& engine,
+                  const std::string& name) {
+  const auto start = Clock::now();
+  const auto failed = [&](const EquivalenceCriterion criterion,
+                          std::string message) {
+    Result result;
+    result.method = name;
+    result.criterion = criterion;
+    result.errorMessage = std::move(message);
+    result.runtimeSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
+  };
+  try {
+    return engine();
+  } catch (const ResourceLimitError& e) {
+    return failed(EquivalenceCriterion::ResourceExhausted, e.what());
+  } catch (const std::bad_alloc& e) {
+    return failed(EquivalenceCriterion::ResourceExhausted, e.what());
+  } catch (const std::exception& e) {
+    return failed(EquivalenceCriterion::EngineError, e.what());
+  } catch (...) {
+    return failed(EquivalenceCriterion::EngineError, "unknown exception");
+  }
+}
+
+/// True for slots whose outcome is an abnormal termination rather than an
+/// analysis result.
+bool isFailureSlot(const EquivalenceCriterion criterion) {
+  return criterion == EquivalenceCriterion::ResourceExhausted ||
+         criterion == EquivalenceCriterion::EngineError;
+}
+
 /// Combine per-engine outcomes into one verdict: a definitive answer wins
 /// (ties broken by runtime), then ProbablyEquivalent, then Timeout, then the
-/// first engine that at least ran (skipped/cancelled slots carry no
-/// information of their own).
+/// first engine that at least ran and terminated normally. Only when every
+/// surviving slot failed does a failure outcome become the verdict —
+/// ResourceExhausted (a budget did its job) before EngineError (a genuine
+/// fault). The combined record also lists which engines ran out of budget,
+/// so graceful degradation stays visible even when a sibling's verdict wins.
 Result combine(const std::vector<Result>& results, const double elapsed) {
   const Result* best = nullptr;
   for (const auto& r : results) {
@@ -23,35 +66,50 @@ Result combine(const std::vector<Result>& results, const double elapsed) {
       best = &r;
     }
   }
-  if (best == nullptr) {
+  const auto firstWith = [&results](const auto& pred) -> const Result* {
     for (const auto& r : results) {
-      if (r.criterion == EquivalenceCriterion::ProbablyEquivalent) {
-        best = &r;
-        break;
+      if (pred(r)) {
+        return &r;
       }
     }
+    return nullptr;
+  };
+  if (best == nullptr) {
+    best = firstWith([](const Result& r) {
+      return r.criterion == EquivalenceCriterion::ProbablyEquivalent;
+    });
   }
   if (best == nullptr) {
-    for (const auto& r : results) {
-      if (r.criterion == EquivalenceCriterion::Timeout) {
-        best = &r;
-        break;
-      }
-    }
+    best = firstWith([](const Result& r) {
+      return r.criterion == EquivalenceCriterion::Timeout;
+    });
   }
   if (best == nullptr) {
-    for (const auto& r : results) {
-      if (r.criterion != EquivalenceCriterion::NotRun &&
-          r.criterion != EquivalenceCriterion::Cancelled) {
-        best = &r;
-        break;
-      }
-    }
+    best = firstWith([](const Result& r) {
+      return r.criterion != EquivalenceCriterion::NotRun &&
+             r.criterion != EquivalenceCriterion::Cancelled &&
+             !isFailureSlot(r.criterion);
+    });
+  }
+  if (best == nullptr) {
+    best = firstWith([](const Result& r) {
+      return r.criterion == EquivalenceCriterion::ResourceExhausted;
+    });
+  }
+  if (best == nullptr) {
+    best = firstWith([](const Result& r) {
+      return r.criterion == EquivalenceCriterion::EngineError;
+    });
   }
   if (best == nullptr && !results.empty()) {
     best = &results.front();
   }
   Result combined = best != nullptr ? *best : Result{};
+  for (const auto& r : results) {
+    if (r.criterion == EquivalenceCriterion::ResourceExhausted) {
+      combined.resourceLimitedEngines.push_back(r.method);
+    }
+  }
   combined.runtimeSeconds = elapsed;
   return combined;
 }
@@ -95,6 +153,14 @@ Result EquivalenceCheckingManager::run() {
         [this, &stop] { return zxCheck(c1_, c2_, config_, stop); });
     engineNames.emplace_back("zx-calculus");
   }
+  if (config_.runDense) {
+    // Brute-force cross-check; throws CircuitError past denseMaxQubits, which
+    // the firewall turns into an EngineError slot rather than a crash.
+    engines.emplace_back([this] {
+      return denseCheck(c1_, c2_, config_, config_.denseMaxQubits);
+    });
+    engineNames.emplace_back("dense");
+  }
   if (engines.empty()) {
     Result none;
     none.method = "none";
@@ -113,8 +179,8 @@ Result EquivalenceCheckingManager::run() {
     std::vector<std::thread> threads;
     threads.reserve(engines.size());
     for (std::size_t i = 0; i < engines.size(); ++i) {
-      threads.emplace_back([this, &engines, &cancel, i] {
-        auto result = engines[i]();
+      threads.emplace_back([this, &engines, &engineNames, &cancel, i] {
+        auto result = runGuarded(engines[i], engineNames[i]);
         // A definitive verdict terminates the other engines early.
         if (isDefinitive(result.criterion)) {
           cancel.store(true, std::memory_order_relaxed);
@@ -127,7 +193,7 @@ Result EquivalenceCheckingManager::run() {
     }
   } else {
     for (std::size_t i = 0; i < engines.size(); ++i) {
-      engineResults_[i] = engines[i]();
+      engineResults_[i] = runGuarded(engines[i], engineNames[i]);
       if (isDefinitive(engineResults_[i].criterion)) {
         // The question is settled — skip the remaining engines instead of
         // running them against a tripped stop token (their aborted partial

@@ -20,6 +20,10 @@ std::string toString(const EquivalenceCriterion criterion) {
     return "timeout";
   case EquivalenceCriterion::Cancelled:
     return "cancelled";
+  case EquivalenceCriterion::ResourceExhausted:
+    return "resource exhausted";
+  case EquivalenceCriterion::EngineError:
+    return "engine error";
   case EquivalenceCriterion::NotRun:
     return "not run";
   }
@@ -62,6 +66,15 @@ std::string Result::toString() const {
   }
   if (gateCacheStats.lookups > 0) {
     os << ", gate-cache hit rate " << gateCacheStats.hitRate();
+  }
+  if (!errorMessage.empty()) {
+    os << ", error: " << errorMessage;
+  }
+  if (!resourceLimitedEngines.empty()) {
+    os << ", resource-limited engines:";
+    for (const auto& engine : resourceLimitedEngines) {
+      os << " " << engine;
+    }
   }
   os << "]";
   return os.str();

@@ -22,6 +22,8 @@ enum class EquivalenceCriterion : std::uint8_t {
   NoInformation,              ///< the method terminated without a verdict
   Timeout,                    ///< the deadline was hit
   Cancelled,                  ///< stopped because a sibling engine finished
+  ResourceExhausted,          ///< a configured resource budget was exceeded
+  EngineError,                ///< the engine failed with an error
   NotRun,                     ///< the engine was never started
 };
 
@@ -87,6 +89,24 @@ struct Configuration {
   double zxPhaseSnapTolerance = 1e-12;
   /// Run the engines on parallel threads (first definitive verdict wins).
   bool parallel = true;
+  /// Also run the dense brute-force baseline as a manager engine. Only
+  /// sensible for small circuits; past `denseMaxQubits` the engine fails
+  /// with EngineError (contained by the manager's exception firewall).
+  bool runDense = false;
+  /// Qubit cap of the dense baseline engine.
+  std::size_t denseMaxQubits = 12;
+  /// Resource governor: live DD nodes a single package may hold
+  /// (0 = unlimited). Checked at the garbage-collection boundary, i.e.
+  /// after every gate application; exceeding it aborts the engine with
+  /// ResourceExhausted instead of exhausting memory.
+  std::size_t maxDDNodes = 0;
+  /// Resource governor: live ZX-diagram vertices (0 = unlimited). Checked
+  /// after diagram construction and inside the simplifier's worklist drain.
+  std::size_t maxZXVertices = 0;
+  /// Resource governor: peak resident set size in MB (0 = unlimited).
+  /// Process-wide high-watermark via getrusage, polled at a throttle from
+  /// the DD garbage-collection boundary.
+  std::size_t maxMemoryMB = 0;
   /// Record the diagram size after every gate application (alternating
   /// checker) — the instrumentation behind the paper's Fig. 4 intuition.
   bool recordTrace = false;
@@ -107,6 +127,13 @@ struct Result {
   std::string zxRuleDigest;
   /// Index of the stimulus that proved non-equivalence (-1 = none).
   std::int64_t counterexampleStimulus = -1;
+  /// Diagnostic captured when the engine failed (EngineError) or tripped a
+  /// resource budget (ResourceExhausted); empty otherwise.
+  std::string errorMessage;
+  /// Manager verdicts only: engines that aborted on a resource budget this
+  /// run. Retrying with larger Configuration::max* budgets may let them
+  /// produce a (stronger) verdict.
+  std::vector<std::string> resourceLimitedEngines;
   /// Aggregated DD compute-table counters (summed over all packages used).
   dd::CacheStats computeCacheStats;
   /// Aggregated gate-DD construction cache counters.

@@ -37,8 +37,23 @@ Result zxCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
                        .adjoint());
   zx::SimplifierOptions options;
   options.gadgetRules = config.zxGadgetRules;
+  options.maxVertices = config.maxZXVertices;
   zx::Simplifier simplifier(diagram, shouldStop, options);
-  const bool completed = simplifier.fullReduce();
+  bool completed = false;
+  try {
+    // The simplifier checks the vertex budget itself, including against the
+    // freshly composed diagram (construction is what blows up on huge gate
+    // counts), so an over-budget input aborts before any rewriting starts.
+    completed = simplifier.fullReduce();
+  } catch (const ResourceLimitError& e) {
+    result.criterion = EquivalenceCriterion::ResourceExhausted;
+    result.errorMessage = e.what();
+    result.rewrites = simplifier.stats().total();
+    result.zxRuleDigest = simplifier.stats().digest();
+    result.remainingSpiders = diagram.spiderCount();
+    result.runtimeSeconds = elapsed();
+    return result;
+  }
   result.rewrites = simplifier.stats().total();
   result.zxRuleDigest = simplifier.stats().digest();
   result.remainingSpiders = diagram.spiderCount();

@@ -8,6 +8,10 @@
 #include <set>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace veriqc::dd {
 
 Package::Package(const std::size_t nqubits, const double tolerance,
@@ -22,7 +26,8 @@ Package::Package(const std::size_t nqubits, const double tolerance,
       innerProductTable_(config.computeTableEntries),
       gateCacheMaxEntries_(std::max<std::size_t>(1, config.gateCacheMaxEntries)),
       gcInitialThreshold_(config.gcInitialThreshold),
-      gcThreshold_(config.gcInitialThreshold) {
+      gcThreshold_(config.gcInitialThreshold), maxNodes_(config.maxNodes),
+      maxMemoryKB_(config.maxMemoryMB * 1024) {
   mTerminal_.v = kTerminalLevel;
   vTerminal_.v = kTerminalLevel;
   idTable_.reserve(nqubits);
@@ -651,7 +656,20 @@ std::size_t Package::garbageCollect(const bool force) {
     live += table.size();
   }
   peakMatrixNodes_ = std::max(peakMatrixNodes_, live);
-  if (!force && live < gcThreshold_) {
+  // Over the node budget: always attempt a collection first — only what
+  // survives it counts against the budget.
+  const bool overNodeBudget = maxNodes_ != 0 && live > maxNodes_;
+  if (!force && !overNodeBudget && live < gcThreshold_) {
+    // Memory is checked at a throttle even when no collection runs, so a
+    // governed engine whose live-node count stays under the GC threshold
+    // still cannot silently outgrow the memory budget.
+    if (maxMemoryKB_ != 0 && memoryCheckCountdown_-- == 0) {
+      memoryCheckCountdown_ = 15;
+      const auto rssKB = peakResidentSetKB();
+      if (rssKB > maxMemoryKB_) {
+        throw ResourceLimitError("resident memory (KB)", maxMemoryKB_, rssKB);
+      }
+    }
     return 0;
   }
   std::size_t collected = 0;
@@ -673,7 +691,36 @@ std::size_t Package::garbageCollect(const bool force) {
   // never collected and stay valid here.
   gcThreshold_ = std::max(gcInitialThreshold_, 2 * (live - collected));
   ++gcRuns_;
+  enforceResourceLimits(live - collected);
   return collected;
+}
+
+void Package::enforceResourceLimits(const std::size_t liveNodes) {
+  if (maxNodes_ != 0 && liveNodes > maxNodes_) {
+    throw ResourceLimitError("DD nodes", maxNodes_, liveNodes);
+  }
+  if (maxMemoryKB_ != 0) {
+    const auto rssKB = peakResidentSetKB();
+    if (rssKB > maxMemoryKB_) {
+      throw ResourceLimitError("resident memory (KB)", maxMemoryKB_, rssKB);
+    }
+  }
+}
+
+std::size_t Package::peakResidentSetKB() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
 }
 
 template <typename Node>

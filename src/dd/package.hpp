@@ -37,6 +37,15 @@ struct PackageConfig {
   std::size_t gateCacheMaxEntries = 4096;
   /// Initial live-node threshold for garbage collection.
   std::size_t gcInitialThreshold = kGcInitialThreshold;
+  /// Resource budget: live nodes this package may hold (0 = unlimited).
+  /// Checked at every garbageCollect() call; when a forced collection
+  /// cannot get back under the budget, a ResourceLimitError is thrown so
+  /// the owning engine aborts cooperatively instead of exhausting memory.
+  std::size_t maxNodes = 0;
+  /// Resource budget: process peak resident set size in MB (0 = unlimited).
+  /// Polled via getrusage at a throttle from garbageCollect(); note the
+  /// watermark is process-wide and never decreases.
+  std::size_t maxMemoryMB = 0;
 };
 
 /// Aggregate statistics of a package instance.
@@ -166,7 +175,14 @@ public:
   /// threshold (always when `force`). All compute tables are invalidated
   /// (an O(1) generation bump each); cached gate DDs stay referenced and
   /// therefore remain valid across collections.
+  /// \throws ResourceLimitError when a configured node or memory budget
+  ///         (PackageConfig::maxNodes / maxMemoryMB) remains exceeded even
+  ///         after a forced collection. With the default unlimited budgets
+  ///         this never throws.
   std::size_t garbageCollect(bool force = false);
+
+  /// Process-wide peak resident set size in kilobytes (0 if unavailable).
+  [[nodiscard]] static std::size_t peakResidentSetKB() noexcept;
 
   /// Drops all cached gate DDs (releasing their references). Called
   /// automatically when the cache outgrows its configured bound.
@@ -254,10 +270,17 @@ private:
 
   std::vector<mEdge> idTable_; ///< idTable_[k] = identity on levels 0..k
 
+  /// Enforce the node/memory budgets against the post-collection live node
+  /// count. \throws ResourceLimitError when a budget is exceeded.
+  void enforceResourceLimits(std::size_t liveNodes);
+
   std::size_t gcInitialThreshold_;
   std::size_t gcThreshold_;
   std::size_t gcRuns_ = 0;
   std::size_t peakMatrixNodes_ = 0;
+  std::size_t maxNodes_ = 0;
+  std::size_t maxMemoryKB_ = 0;
+  std::size_t memoryCheckCountdown_ = 0;
 };
 
 } // namespace veriqc::dd

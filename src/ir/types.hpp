@@ -2,6 +2,7 @@
 /// \brief Fundamental types shared across the veriqc library.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <numbers>
 #include <stdexcept>
@@ -18,10 +19,46 @@ inline constexpr double PI = std::numbers::pi_v<double>;
 inline constexpr double PI_2 = PI / 2.0;
 inline constexpr double PI_4 = PI / 4.0;
 
-/// Error raised for malformed circuits, operations or permutations.
-class CircuitError : public std::runtime_error {
+/// Root of the library's error taxonomy. Catching this (instead of
+/// std::exception) distinguishes errors veriqc raised deliberately — bad
+/// input, exhausted budgets — from toolchain/runtime failures. Concrete
+/// kinds: CircuitError (malformed input), qasm::ParseError (malformed
+/// source text, with position) and ResourceLimitError (a configured budget
+/// was exceeded; retry with a larger one).
+class VeriqcError : public std::runtime_error {
 public:
-  explicit CircuitError(const std::string& msg) : std::runtime_error(msg) {}
+  explicit VeriqcError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Error raised for malformed circuits, operations or permutations.
+class CircuitError : public VeriqcError {
+public:
+  explicit CircuitError(const std::string& msg) : VeriqcError(msg) {}
+};
+
+/// Error raised when a configured resource budget (DD nodes, ZX vertices,
+/// resident memory) is exceeded. Engines treat this as a cooperative abort:
+/// the verdict becomes ResourceExhausted rather than the process dying, and
+/// the caller may retry with a larger budget.
+class ResourceLimitError : public VeriqcError {
+public:
+  ResourceLimitError(const std::string& resource, const std::size_t limit,
+                     const std::size_t observed)
+      : VeriqcError("resource limit exceeded: " + resource + " (limit " +
+                    std::to_string(limit) + ", observed " +
+                    std::to_string(observed) + ")"),
+        resource_(resource), limit_(limit), observed_(observed) {}
+
+  [[nodiscard]] const std::string& resource() const noexcept {
+    return resource_;
+  }
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+  [[nodiscard]] std::size_t observed() const noexcept { return observed_; }
+
+private:
+  std::string resource_;
+  std::size_t limit_;
+  std::size_t observed_;
 };
 
 } // namespace veriqc

@@ -1,6 +1,7 @@
 #include "qasm/lexer.hpp"
 
 #include <cctype>
+#include <stdexcept>
 
 namespace veriqc::qasm {
 
@@ -85,13 +86,21 @@ std::vector<Token> tokenize(const std::string& source) {
       t.text = source.substr(start, pos - start);
       t.line = line;
       t.column = start - lineStart + 1;
-      if (isReal) {
-        t.kind = TokenKind::Real;
-        t.realValue = std::stod(t.text);
-      } else {
-        t.kind = TokenKind::Integer;
-        t.intValue = std::stoll(t.text);
-        t.realValue = static_cast<double>(t.intValue);
+      try {
+        if (isReal) {
+          t.kind = TokenKind::Real;
+          t.realValue = std::stod(t.text);
+        } else {
+          t.kind = TokenKind::Integer;
+          t.intValue = std::stoll(t.text);
+          t.realValue = static_cast<double>(t.intValue);
+        }
+      } catch (const std::out_of_range&) {
+        throw ParseError("numeric literal '" + t.text + "' out of range",
+                         t.line, t.column);
+      } catch (const std::invalid_argument&) {
+        throw ParseError("malformed numeric literal '" + t.text + "'", t.line,
+                         t.column);
       }
       tokens.push_back(std::move(t));
       continue;

@@ -2,19 +2,20 @@
 /// \brief Tokenizer for OpenQASM 2.0.
 #pragma once
 
+#include "ir/types.hpp"
+
 #include <cstddef>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace veriqc::qasm {
 
 /// Error with source position raised by the lexer/parser.
-class ParseError : public std::runtime_error {
+class ParseError : public VeriqcError {
 public:
   ParseError(const std::string& msg, std::size_t line, std::size_t column)
-      : std::runtime_error("QASM parse error at " + std::to_string(line) +
-                           ":" + std::to_string(column) + ": " + msg),
+      : VeriqcError("QASM parse error at " + std::to_string(line) + ":" +
+                    std::to_string(column) + ": " + msg),
         line_(line), column_(column) {}
 
   [[nodiscard]] std::size_t line() const noexcept { return line_; }

@@ -12,6 +12,12 @@ namespace veriqc::qasm {
 
 namespace {
 
+/// Upper bound on the total qubit count a QASM file may declare. Generous
+/// for any real circuit, but small enough that an adversarial
+/// `qreg q[999999999];` is rejected with a ParseError instead of exhausting
+/// memory in the QuantumCircuit constructor.
+constexpr long long kMaxTotalQubits = 1LL << 20U;
+
 // --- expression trees -------------------------------------------------------
 
 struct Expr;
@@ -305,6 +311,11 @@ private:
     if (size <= 0) {
       fail("register size must be positive");
     }
+    if (size > kMaxTotalQubits ||
+        static_cast<long long>(totalQubits_) + size > kMaxTotalQubits) {
+      fail("register size " + std::to_string(size) + " exceeds the limit of " +
+           std::to_string(kMaxTotalQubits) + " qubits");
+    }
     if (quantum) {
       if (qregs_.contains(name)) {
         fail("duplicate qreg '" + name + "'");
@@ -424,7 +435,7 @@ private:
     std::vector<double> params;
     params.reserve(call.params.size());
     for (const auto& expr : call.params) {
-      params.push_back(evaluate(*expr, {}));
+      params.push_back(evaluateChecked(*expr, {}, call.line, call.column));
     }
     for (std::size_t rep = 0; rep < width; ++rep) {
       std::vector<Qubit> qubits;
@@ -463,6 +474,25 @@ private:
     return {static_cast<Qubit>(offset + static_cast<std::size_t>(ref.index))};
   }
 
+  /// Evaluate a parameter expression, converting evaluation failures
+  /// (unbound parameters, unknown functions) and non-finite results into
+  /// positioned ParseErrors.
+  static double evaluateChecked(const Expr& expr, const Env& env,
+                                const std::size_t line,
+                                const std::size_t column) {
+    double value = 0.0;
+    try {
+      value = evaluate(expr, env);
+    } catch (const CircuitError& e) {
+      throw ParseError(e.what(), line, column);
+    }
+    if (!std::isfinite(value)) {
+      throw ParseError("parameter evaluates to a non-finite value", line,
+                       column);
+    }
+    return value;
+  }
+
   void applyGate(QuantumCircuit& circuit, const std::string& name,
                  const std::vector<double>& params,
                  const std::vector<Qubit>& qubits, const std::size_t line,
@@ -478,7 +508,12 @@ private:
           qubits.size() != builtin.numQubits) {
         throw ParseError("wrong arity for gate '" + name + "'", line, column);
       }
-      builtin.emit(circuit, params, qubits);
+      try {
+        builtin.emit(circuit, params, qubits);
+      } catch (const CircuitError& e) {
+        // e.g. duplicate qubit operands: cx q[0], q[0];
+        throw ParseError(e.what(), line, column);
+      }
       return;
     }
     const auto defIt = userGates_.find(name);
@@ -502,7 +537,8 @@ private:
       std::vector<double> subParams;
       subParams.reserve(call.params.size());
       for (const auto& expr : call.params) {
-        subParams.push_back(evaluate(*expr, env));
+        subParams.push_back(
+            evaluateChecked(*expr, env, call.line, call.column));
       }
       std::vector<Qubit> subQubits;
       subQubits.reserve(call.qubits.size());

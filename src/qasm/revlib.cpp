@@ -10,6 +10,10 @@ namespace veriqc::qasm {
 
 namespace {
 
+/// Upper bound on `.numvars`: rejects adversarial headers before the
+/// QuantumCircuit constructor tries to allocate for them.
+constexpr std::size_t kMaxNumvars = 1U << 20U;
+
 struct Line {
   std::vector<std::string> tokens;
   std::size_t number = 0;
@@ -92,8 +96,24 @@ QuantumCircuit parseReal(const std::string& source, const std::string& name) {
         if (line.tokens.size() != 2) {
           throw ParseError(".numvars needs one argument", line.number, 1);
         }
-        numvars = std::stoul(line.tokens[1]);
+        try {
+          numvars = std::stoul(line.tokens[1]);
+        } catch (const std::exception&) {
+          throw ParseError(".numvars argument '" + line.tokens[1] +
+                               "' is not a valid count",
+                           line.number, 1);
+        }
+        if (numvars > kMaxNumvars) {
+          throw ParseError(".numvars " + std::to_string(numvars) +
+                               " exceeds the limit of " +
+                               std::to_string(kMaxNumvars) + " variables",
+                           line.number, 1);
+        }
       } else if (head == ".variables") {
+        if (numvars != 0 && line.tokens.size() - 1 > numvars) {
+          throw ParseError(".variables lists more names than .numvars",
+                           line.number, 1);
+        }
         for (std::size_t i = 1; i < line.tokens.size(); ++i) {
           variables[line.tokens[i]] = static_cast<Qubit>(i - 1);
         }
@@ -130,41 +150,47 @@ QuantumCircuit parseReal(const std::string& source, const std::string& name) {
     if (qubits.empty()) {
       throw ParseError("gate without operands", line.number, 1);
     }
-    // Negative controls via X conjugation.
-    for (const auto q : negated) {
-      circuit.x(q);
-    }
-    const char kind = mnemonic[0];
-    if (kind == 't') {
-      const Qubit target = qubits.back();
-      qubits.pop_back();
-      circuit.mcx(qubits, target);
-    } else if (kind == 'f') {
-      if (qubits.size() < 2) {
-        throw ParseError("Fredkin needs two targets", line.number, 1);
+    try {
+      // Negative controls via X conjugation.
+      for (const auto q : negated) {
+        circuit.x(q);
       }
-      const Qubit b = qubits.back();
-      qubits.pop_back();
-      const Qubit a = qubits.back();
-      qubits.pop_back();
-      circuit.append(Operation(OpType::SWAP, qubits, {a, b}));
-    } else if (kind == 'p') {
-      if (qubits.size() != 3) {
-        throw ParseError("Peres gate needs three operands", line.number, 1);
+      const char kind = mnemonic[0];
+      if (kind == 't') {
+        const Qubit target = qubits.back();
+        qubits.pop_back();
+        circuit.mcx(qubits, target);
+      } else if (kind == 'f') {
+        if (qubits.size() < 2) {
+          throw ParseError("Fredkin needs two targets", line.number, 1);
+        }
+        const Qubit b = qubits.back();
+        qubits.pop_back();
+        const Qubit a = qubits.back();
+        qubits.pop_back();
+        circuit.append(Operation(OpType::SWAP, qubits, {a, b}));
+      } else if (kind == 'p') {
+        if (qubits.size() != 3) {
+          throw ParseError("Peres gate needs three operands", line.number, 1);
+        }
+        circuit.ccx(qubits[0], qubits[1], qubits[2]);
+        circuit.cx(qubits[0], qubits[1]);
+      } else if (kind == 'v') {
+        const bool dagger = mnemonic.size() > 1 && mnemonic[1] == '+';
+        const Qubit target = qubits.back();
+        qubits.pop_back();
+        circuit.append(Operation(dagger ? OpType::SXdg : OpType::SX, qubits,
+                                 {target}));
+      } else {
+        throw ParseError("unsupported gate '" + mnemonic + "'", line.number,
+                         1);
       }
-      circuit.ccx(qubits[0], qubits[1], qubits[2]);
-      circuit.cx(qubits[0], qubits[1]);
-    } else if (kind == 'v') {
-      const bool dagger = mnemonic.size() > 1 && mnemonic[1] == '+';
-      const Qubit target = qubits.back();
-      qubits.pop_back();
-      circuit.append(Operation(dagger ? OpType::SXdg : OpType::SX, qubits,
-                               {target}));
-    } else {
-      throw ParseError("unsupported gate '" + mnemonic + "'", line.number, 1);
-    }
-    for (const auto q : negated) {
-      circuit.x(q);
+      for (const auto q : negated) {
+        circuit.x(q);
+      }
+    } catch (const CircuitError& e) {
+      // e.g. a .variables name mapping past .numvars, or duplicate operands.
+      throw ParseError(e.what(), line.number, 1);
     }
   }
   ensureCircuit(lines.empty() ? 0 : lines.back().number);

@@ -97,6 +97,13 @@ Simplifier::Simplifier(ZXDiagram& diagram, std::function<bool()> shouldStop,
                        SimplifierOptions options)
     : g_(diagram), shouldStop_(std::move(shouldStop)), options_(options) {}
 
+void Simplifier::enforceVertexBudget() const {
+  if (options_.maxVertices != 0 && g_.vertexCount() > options_.maxVertices) {
+    throw ResourceLimitError("ZX vertices", options_.maxVertices,
+                             g_.vertexCount());
+  }
+}
+
 bool Simplifier::isInterior(const Vertex v) const {
   return g_.isPresent(v) && !g_.isBoundary(v);
 }
@@ -136,15 +143,20 @@ template <typename TryRule>
 std::size_t Simplifier::runPass(const SimplifyRule rule, TryRule&& tryRule) {
   auto& rs = stats_.rules[static_cast<std::size_t>(rule)];
   const auto start = Clock::now();
+  enforceVertexBudget();
   worklist_.reset(g_);
   std::size_t count = 0;
   while (!worklist_.empty()) {
     const Vertex v = worklist_.pop();
     ++rs.candidates;
-    // Poll the stop token at a throttle: rewrites are individually sound, so
-    // letting a handful through after a stop request is harmless.
-    if ((rs.candidates & 15U) == 0 && stopping()) {
-      break;
+    // Poll the stop token and the vertex budget at a throttle: rewrites are
+    // individually sound, so letting a handful through after a stop request
+    // (or a few vertices past the budget) is harmless.
+    if ((rs.candidates & 15U) == 0) {
+      if (stopping()) {
+        break;
+      }
+      enforceVertexBudget();
     }
     const std::size_t applied = tryRule(v);
     if (applied > 0) {

@@ -83,6 +83,12 @@ struct SimplifierOptions {
   /// phase-gadget fusion) in fullReduce. When false, fullReduce stops at the
   /// Clifford fixed point (cliffordSimp) — still sound, possibly weaker.
   bool gadgetRules = true;
+  /// Resource budget: live diagram vertices (0 = unlimited). Checked at the
+  /// start of every worklist pass and at a throttle while draining it
+  /// (vertexCount() is O(1)); rewrites that grow the diagram — gadgetizing
+  /// pivots, boundary unfusions — trip it instead of exhausting memory.
+  /// \throws ResourceLimitError from the simplification entry points.
+  std::size_t maxVertices = 0;
 };
 
 /// Stateful simplifier bound to one diagram. The optional `shouldStop`
@@ -159,6 +165,9 @@ private:
   };
 
   [[nodiscard]] bool stopping() const { return shouldStop_ && shouldStop_(); }
+  /// \throws ResourceLimitError when the configured vertex budget is
+  /// exceeded (no-op for the default unlimited budget).
+  void enforceVertexBudget() const;
   [[nodiscard]] bool isInterior(Vertex v) const;
   [[nodiscard]] bool isInteriorZ(Vertex v) const;
   /// All incident edges are single Hadamard edges to interior Z spiders.

@@ -398,6 +398,194 @@ TEST(ManagerTest, NoEnginesYieldsNoInformation) {
   EXPECT_EQ(result.criterion, EquivalenceCriterion::NoInformation);
 }
 
+// --- fault containment and resource governance -------------------------------
+
+TEST(FirewallTest, ThrowingEngineBecomesEngineErrorSlot) {
+  // Regression: an engine throwing inside a manager thread used to unwind
+  // into std::thread and std::terminate the process. Mismatched qubit counts
+  // align to 20 qubits, so the dense engine throws CircuitError past its
+  // size cap while the DD engines settle the (non-)equivalence.
+  Configuration config = quickConfig();
+  config.parallel = true;
+  config.runDense = true;
+  EquivalenceCheckingManager manager(ghz(2), ghz(20), config);
+  const auto combined = manager.run();
+  EXPECT_EQ(combined.criterion, EquivalenceCriterion::NotEquivalent)
+      << combined.toString();
+  const auto& slots = manager.engineResults();
+  ASSERT_EQ(slots.size(), 3U);
+  EXPECT_EQ(slots[2].method, "dense");
+  EXPECT_EQ(slots[2].criterion, EquivalenceCriterion::EngineError);
+  EXPECT_FALSE(slots[2].errorMessage.empty());
+  EXPECT_NE(slots[2].toString().find("engine error"), std::string::npos);
+}
+
+TEST(FirewallTest, SequentialModeContainsEngineErrorsToo) {
+  // Only ZX (which cannot decide this pair: NoInformation, not definitive)
+  // and dense (which throws): the sequential loop reaches the throwing
+  // engine and must contain it, and a ran-but-undecided slot outranks the
+  // EngineError slot in the combined verdict.
+  Configuration config = quickConfig();
+  config.parallel = false;
+  config.runAlternating = false;
+  config.runSimulation = false;
+  config.runZX = true;
+  config.runDense = true;
+  EquivalenceCheckingManager manager(ghz(2), ghz(20), config);
+  const auto combined = manager.run();
+  EXPECT_EQ(combined.criterion, EquivalenceCriterion::NoInformation)
+      << combined.toString();
+  const auto& slots = manager.engineResults();
+  ASSERT_EQ(slots.size(), 2U);
+  EXPECT_EQ(slots[1].criterion, EquivalenceCriterion::EngineError);
+  EXPECT_FALSE(slots[1].errorMessage.empty());
+}
+
+TEST(FirewallTest, DenseEngineWithinCapContributesNormally) {
+  Configuration config = quickConfig();
+  config.runDense = true;
+  config.runAlternating = false;
+  config.runSimulation = false;
+  const auto result = checkEquivalence(ghz(3), ghz(3), config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Equivalent);
+}
+
+TEST(FirewallTest, AllEnginesFailingStillReturnsAResult) {
+  // Only the dense engine, over its cap: the combined verdict must be the
+  // EngineError slot itself — never an exception out of run().
+  Configuration config = quickConfig();
+  config.runAlternating = false;
+  config.runSimulation = false;
+  config.runDense = true;
+  const auto result = checkEquivalence(ghz(2), ghz(20), config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::EngineError);
+  EXPECT_FALSE(result.errorMessage.empty());
+}
+
+TEST(ResourceGovernorTest, NodeBudgetDegradesAlternatingCheck) {
+  // Two unrelated 12-qubit circuits: the alternating product DD blows
+  // through a 20k-node budget long before completing.
+  Configuration config = quickConfig();
+  config.maxDDNodes = 20000;
+  const auto a = circuits::randomCircuit(12, 150, 1);
+  const auto b = circuits::randomCircuit(12, 150, 2);
+  const auto result = ddAlternatingCheck(a, b, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::ResourceExhausted);
+  EXPECT_NE(result.errorMessage.find("DD nodes"), std::string::npos)
+      << result.errorMessage;
+  EXPECT_NE(result.toString().find("resource exhausted"), std::string::npos);
+}
+
+TEST(ResourceGovernorTest, StressBudgetCappedManagerDegradesGracefully) {
+  // The acceptance scenario: with a node budget the alternating engine runs
+  // out (ResourceExhausted slot), the simulation engine's vector DDs stay
+  // within budget and prove non-equivalence, and the combined verdict comes
+  // from the survivor while recording who was resource-limited.
+  Configuration config = quickConfig();
+  config.parallel = false; // deterministic engine order
+  config.maxDDNodes = 20000;
+  const auto a = circuits::randomCircuit(12, 150, 1);
+  const auto b = circuits::randomCircuit(12, 150, 2);
+  EquivalenceCheckingManager manager(a, b, config);
+  const auto combined = manager.run();
+  EXPECT_EQ(combined.criterion, EquivalenceCriterion::NotEquivalent)
+      << combined.toString();
+  const auto& slots = manager.engineResults();
+  ASSERT_EQ(slots.size(), 2U);
+  EXPECT_EQ(slots[0].criterion, EquivalenceCriterion::ResourceExhausted);
+  EXPECT_EQ(slots[1].criterion, EquivalenceCriterion::NotEquivalent);
+  ASSERT_EQ(combined.resourceLimitedEngines.size(), 1U);
+  EXPECT_EQ(combined.resourceLimitedEngines[0], slots[0].method);
+  EXPECT_NE(combined.toString().find("resource-limited"), std::string::npos);
+}
+
+TEST(ResourceGovernorTest, ParallelBudgetCappedManagerStillDecides) {
+  Configuration config = quickConfig();
+  config.parallel = true;
+  config.maxDDNodes = 20000;
+  const auto a = circuits::randomCircuit(12, 150, 1);
+  const auto b = circuits::randomCircuit(12, 150, 2);
+  const auto combined = checkEquivalence(a, b, config);
+  EXPECT_EQ(combined.criterion, EquivalenceCriterion::NotEquivalent)
+      << combined.toString();
+}
+
+TEST(ResourceGovernorTest, SimulationReportsResourceExhaustion) {
+  // A budget so small even the vector DDs of a 12-qubit simulation trip it.
+  Configuration config = quickConfig();
+  config.maxDDNodes = 8;
+  const auto a = circuits::randomCircuit(12, 60, 3);
+  const auto result = ddSimulationCheck(a, a, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::ResourceExhausted);
+  EXPECT_FALSE(result.errorMessage.empty());
+}
+
+TEST(ResourceGovernorTest, MemoryBudgetTripsQuickly) {
+  // Any process has more than 1 MB resident, so the throttled RSS check must
+  // fire within the first handful of garbage-collection boundaries.
+  Configuration config = quickConfig();
+  config.maxMemoryMB = 1;
+  const auto c = circuits::randomCircuit(6, 100, 4);
+  const auto result = ddAlternatingCheck(c, c, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::ResourceExhausted);
+  EXPECT_NE(result.errorMessage.find("resident memory"), std::string::npos)
+      << result.errorMessage;
+}
+
+TEST(ResourceGovernorTest, ZXVertexBudgetReportsResourceExhaustion) {
+  Configuration config = quickConfig();
+  config.maxZXVertices = 8;
+  const auto c = circuits::qft(4);
+  const auto result = zxCheck(c, c, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::ResourceExhausted);
+  EXPECT_NE(result.errorMessage.find("ZX vertices"), std::string::npos)
+      << result.errorMessage;
+}
+
+TEST(ResourceGovernorTest, ZXBudgetSlotNeverBeatsSurvivingEngines) {
+  // Sequential simulation-then-ZX: ProbablyEquivalent is not definitive, so
+  // the loop continues into the budget-capped ZX engine — whose
+  // ResourceExhausted must not displace the survivor's verdict.
+  Configuration config = quickConfig();
+  config.parallel = false;
+  config.runAlternating = false;
+  config.runZX = true;
+  config.maxZXVertices = 8;
+  EquivalenceCheckingManager manager(ghz(3), ghz(3), config);
+  const auto combined = manager.run();
+  EXPECT_EQ(combined.criterion, EquivalenceCriterion::ProbablyEquivalent)
+      << combined.toString();
+  const auto& slots = manager.engineResults();
+  ASSERT_EQ(slots.size(), 2U);
+  EXPECT_EQ(slots[1].criterion, EquivalenceCriterion::ResourceExhausted);
+  ASSERT_EQ(combined.resourceLimitedEngines.size(), 1U);
+  EXPECT_EQ(combined.resourceLimitedEngines[0], "zx-calculus");
+}
+
+TEST(ResourceGovernorTest, UnlimitedBudgetsChangeNothing) {
+  Configuration config = quickConfig();
+  config.maxDDNodes = 0;
+  config.maxZXVertices = 0;
+  config.maxMemoryMB = 0;
+  config.runZX = true;
+  const auto result = checkEquivalence(ghz(4), ghz(4), config);
+  EXPECT_TRUE(provedEquivalent(result.criterion));
+  EXPECT_TRUE(result.resourceLimitedEngines.empty());
+}
+
+TEST(ErrorTaxonomyTest, HierarchyAndDiagnostics) {
+  // Every library error derives from VeriqcError; ResourceLimitError keeps
+  // its structured fields for programmatic retry logic.
+  const ResourceLimitError e("DD nodes", 100, 250);
+  EXPECT_EQ(e.resource(), "DD nodes");
+  EXPECT_EQ(e.limit(), 100U);
+  EXPECT_EQ(e.observed(), 250U);
+  EXPECT_NE(std::string(e.what()).find("DD nodes"), std::string::npos);
+  const CircuitError c("bad");
+  EXPECT_NE(dynamic_cast<const VeriqcError*>(&c), nullptr);
+  EXPECT_NE(dynamic_cast<const VeriqcError*>(&e), nullptr);
+}
+
 // --- cross-method consistency ------------------------------------------------------
 
 TEST(CrossMethodTest, AllMethodsAgreeOnOptimizedPairs) {

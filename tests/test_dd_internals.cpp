@@ -336,5 +336,38 @@ TEST(PackageTest, GcThresholdIsConfigurableAndExposed) {
   EXPECT_EQ(q.stats().gcThreshold, kGcInitialThreshold);
 }
 
+TEST(PackageTest, NodeBudgetThrowsWhenLiveNodesCannotBeCollected) {
+  PackageConfig config;
+  config.maxNodes = 2;
+  Package p(8, RealTable::kDefaultTolerance, config);
+  // An empty package is under any budget.
+  EXPECT_NO_THROW((void)p.garbageCollect(true));
+  // The 8-qubit identity holds 8 live nodes (referenced and additionally
+  // pinned by the package's identity cache), so a forced collection cannot
+  // shrink below the budget and must throw.
+  const auto ident = p.makeIdent();
+  p.incRef(ident);
+  try {
+    (void)p.garbageCollect(true);
+    FAIL() << "expected ResourceLimitError";
+  } catch (const ResourceLimitError& e) {
+    EXPECT_EQ(e.resource(), "DD nodes");
+    EXPECT_EQ(e.limit(), 2U);
+    EXPECT_GE(e.observed(), 8U);
+  }
+}
+
+TEST(PackageTest, UnlimitedBudgetNeverThrows) {
+  Package p(8);
+  const auto ident = p.makeIdent();
+  p.incRef(ident);
+  EXPECT_NO_THROW((void)p.garbageCollect(true));
+}
+
+TEST(PackageTest, PeakResidentSetIsReported) {
+  // getrusage-backed watermark: any live process has a nonzero peak RSS.
+  EXPECT_GT(Package::peakResidentSetKB(), 0U);
+}
+
 } // namespace
 } // namespace veriqc::dd

@@ -144,6 +144,110 @@ TEST(QasmParserTest, RejectsArityMismatch) {
   EXPECT_THROW((void)qasm::parse("qreg q[1]; rz q[0];"), qasm::ParseError);
 }
 
+// --- fuzz-style malformed inputs ---------------------------------------------
+
+// Every malformed input must fail with a positioned ParseError — never a
+// crash, a hang, or a stray exception type escaping the parser.
+
+TEST(QasmFuzzTest, TruncatedMidToken) {
+  const std::vector<std::string> cases = {
+      "OPENQASM 2.",
+      "qreg q[",
+      "qreg q[2",
+      "qreg q[2];\nrx(0.",
+      "qreg q[2];\ncx q[0",
+      "qreg q[2];\ninclude \"qelib1",
+  };
+  for (const auto& text : cases) {
+    EXPECT_THROW((void)qasm::parse(text), qasm::ParseError) << text;
+  }
+}
+
+TEST(QasmFuzzTest, EveryPrefixParsesOrThrowsParseError) {
+  // Truncation sweep over a program exercising every statement kind: each
+  // prefix must either parse or raise ParseError; anything else escaping
+  // (or an infinite loop) fails the test.
+  const std::string program =
+      "OPENQASM 2.0;\n"
+      "include \"qelib1.inc\";\n"
+      "qreg q[3];\n"
+      "creg c[3];\n"
+      "gate foo(t) a, b { rz(t/2) a; cx a, b; }\n"
+      "foo(pi/2) q[0], q[1];\n"
+      "ccx q[0], q[1], q[2];\n"
+      "barrier q;\n"
+      "measure q -> c;\n";
+  for (std::size_t len = 0; len <= program.size(); ++len) {
+    try {
+      (void)qasm::parse(program.substr(0, len));
+    } catch (const qasm::ParseError&) {
+      // expected for most truncation points
+    }
+  }
+}
+
+TEST(QasmFuzzTest, AbsurdRegisterSizesAreRejected) {
+  // Over the total-qubit cap but within long long range.
+  EXPECT_THROW((void)qasm::parse("qreg q[99999999];"), qasm::ParseError);
+  // Out of long long range entirely (stoll would throw std::out_of_range).
+  EXPECT_THROW((void)qasm::parse("qreg q[99999999999999999999999];"),
+               qasm::ParseError);
+  // Two registers that only jointly exceed the cap.
+  EXPECT_THROW((void)qasm::parse("qreg a[1000000];\nqreg b[1000000];"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parse("qreg q[-1];"), qasm::ParseError);
+}
+
+TEST(QasmFuzzTest, UnterminatedGateBody) {
+  EXPECT_THROW((void)qasm::parse("qreg q[2];\ngate foo a { x a;"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parse("qreg q[2];\ngate foo a {"),
+               qasm::ParseError);
+}
+
+TEST(QasmFuzzTest, MalformedParameters) {
+  // Unbound identifier in an angle.
+  EXPECT_THROW((void)qasm::parse("qreg q[1];\nrx(foo) q[0];"),
+               qasm::ParseError);
+  // Division by zero yields a non-finite angle.
+  EXPECT_THROW((void)qasm::parse("qreg q[1];\nrx(1/0) q[0];"),
+               qasm::ParseError);
+  // Out-of-range floating-point literal.
+  EXPECT_THROW((void)qasm::parse("qreg q[1];\nrx(1e999999) q[0];"),
+               qasm::ParseError);
+}
+
+TEST(QasmFuzzTest, MalformedParameterErrorsCarryPositions) {
+  try {
+    (void)qasm::parse("qreg q[1];\nrx(foo) q[0];");
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    EXPECT_EQ(e.line(), 2U);
+    EXPECT_GT(e.column(), 0U);
+  }
+}
+
+TEST(QasmFuzzTest, DuplicateOperandsAreParseErrors) {
+  // The emitted operation is invalid (duplicate qubit); the parser must wrap
+  // the CircuitError with source position rather than leak it.
+  try {
+    (void)qasm::parse("qreg q[2];\ncx q[0], q[0];");
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    EXPECT_EQ(e.line(), 2U);
+  }
+}
+
+TEST(QasmFuzzTest, ParseErrorIsPartOfTheTaxonomy) {
+  // ParseError sits under VeriqcError, so callers can catch the whole
+  // family at once.
+  try {
+    (void)qasm::parse("qreg q[");
+    FAIL() << "expected ParseError";
+  } catch (const VeriqcError&) {
+  }
+}
+
 TEST(QasmWriterTest, RoundTripPreservesSemantics) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     const auto original = circuits::randomCircuit(4, 30, seed);

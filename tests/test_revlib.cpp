@@ -123,6 +123,53 @@ TEST(RevLibTest, Errors) {
                qasm::ParseError);
 }
 
+TEST(RevLibFuzzTest, MalformedHeadersAreParseErrors) {
+  // Out-of-range numvars (stoul would throw) and absurd-but-parseable sizes.
+  EXPECT_THROW((void)qasm::parseReal(".numvars 99999999999999999999\nt1 x0\n"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parseReal(".numvars 99999999\nt1 x0\n"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parseReal(".numvars abc\nt1 x0\n"),
+               qasm::ParseError);
+  // More declared variables than numvars.
+  EXPECT_THROW((void)qasm::parseReal(".numvars 2\n.variables a b c\nt2 a b\n"),
+               qasm::ParseError);
+}
+
+TEST(RevLibFuzzTest, InvalidGateLinesAreParseErrors) {
+  // Duplicate operands make the emitted operation invalid; the reader must
+  // wrap the CircuitError with the line number instead of leaking it.
+  try {
+    (void)qasm::parseReal(".numvars 2\n.variables a b\nt2 a a\n");
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    EXPECT_EQ(e.line(), 3U);
+  }
+  // Operand lists too short for the gate kind.
+  EXPECT_THROW((void)qasm::parseReal(".numvars 3\n.variables a b c\nf3 a\n"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parseReal(".numvars 3\n.variables a b c\np3 a b\n"),
+               qasm::ParseError);
+}
+
+TEST(RevLibFuzzTest, EveryPrefixParsesOrThrowsParseError) {
+  const std::string program = ".version 2.0\n"
+                              ".numvars 3\n"
+                              ".variables a b c\n"
+                              ".begin\n"
+                              "t3 a b c\n"
+                              "f3 a b c\n"
+                              "v2 a b\n"
+                              ".end\n";
+  for (std::size_t len = 0; len <= program.size(); ++len) {
+    try {
+      (void)qasm::parseReal(program.substr(0, len));
+    } catch (const qasm::ParseError&) {
+      // expected for most truncation points
+    }
+  }
+}
+
 TEST(RevLibTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/veriqc_test.real";
   {

@@ -303,5 +303,32 @@ TEST(ZXSimplifyTest, GadgetFusionFiresOnPhasePolynomials) {
   EXPECT_TRUE(proportional(toMatrix(d), before));
 }
 
+TEST(SimplifierBudgetTest, VertexBudgetThrowsResourceLimitError) {
+  auto d = circuitToZX(circuits::qft(4));
+  ASSERT_GT(d.vertexCount(), 4U);
+  SimplifierOptions options;
+  options.maxVertices = 4;
+  Simplifier s(d, {}, options);
+  try {
+    (void)s.fullReduce();
+    FAIL() << "expected ResourceLimitError";
+  } catch (const ResourceLimitError& e) {
+    EXPECT_EQ(e.resource(), "ZX vertices");
+    EXPECT_EQ(e.limit(), 4U);
+    EXPECT_GE(e.observed(), d.vertexCount());
+  }
+}
+
+TEST(SimplifierBudgetTest, GenerousBudgetDoesNotInterfere) {
+  auto c = circuits::ghz(3);
+  auto d = circuitToZX(c);
+  const auto before = toMatrix(d);
+  SimplifierOptions options;
+  options.maxVertices = 1U << 20U;
+  Simplifier s(d, {}, options);
+  ASSERT_TRUE(s.fullReduce());
+  EXPECT_TRUE(proportional(toMatrix(d), before));
+}
+
 } // namespace
 } // namespace veriqc::zx
