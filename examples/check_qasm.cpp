@@ -4,13 +4,20 @@
 ///
 /// Usage: check_qasm <a.qasm> <b.qasm> [--method dd|zx|both]
 ///                   [--timeout <seconds>] [--sims <n>]
+///                   [--json <path>] [--trace]
+///        check_qasm --validate-report <path>
 ///
 /// Exit code: 0 = equivalent, 1 = not equivalent, 2 = undecided, 3 = error.
 #include "check/manager.hpp"
+#include "check/report.hpp"
+#include "obs/json.hpp"
+#include "obs/phase_timer.hpp"
 #include "qasm/parser.hpp"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -18,19 +25,54 @@ namespace {
 void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <a.qasm> <b.qasm> [--method dd|zx|both] "
-               "[--timeout <seconds>] [--sims <n>]\n",
-               prog);
+               "[--timeout <seconds>] [--sims <n>] [--json <path>] "
+               "[--trace]\n"
+               "       %s --validate-report <path>\n",
+               prog, prog);
+}
+
+/// Parse and schema-check an existing veriqc-report/v1 file. Exit code 0 on
+/// a valid report, 3 otherwise — this is what lets the bench harness (and
+/// any CI consumer) assert report integrity without a JSON toolchain.
+int validateReportFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path);
+    return 3;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const auto report = veriqc::obs::Json::parse(text.str());
+    const auto problems = veriqc::check::validateRunReport(report);
+    if (!problems.empty()) {
+      for (const auto& problem : problems) {
+        std::fprintf(stderr, "invalid report: %s\n", problem.c_str());
+      }
+      return 3;
+    }
+  } catch (const veriqc::obs::JsonError& e) {
+    std::fprintf(stderr, "invalid report: %s\n", e.what());
+    return 3;
+  }
+  std::printf("%s: valid %s\n", path,
+              std::string(veriqc::check::kReportSchemaId).c_str());
+  return 0;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
   using namespace veriqc;
+  if (argc == 3 && std::strcmp(argv[1], "--validate-report") == 0) {
+    return validateReportFile(argv[2]);
+  }
   if (argc < 3) {
     usage(argv[0]);
     return 3;
   }
   std::string method = "both";
+  std::string jsonPath;
   check::Configuration config;
   config.simulationRuns = 16;
   config.timeout = std::chrono::seconds(60);
@@ -41,6 +83,10 @@ int main(int argc, char** argv) {
       config.timeout = std::chrono::seconds(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--sims") == 0 && i + 1 < argc) {
       config.simulationRuns = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      config.recordTrace = true;
     } else {
       usage(argv[0]);
       return 3;
@@ -48,8 +94,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // One timer collects the frontend's parse phase together with the
+    // manager's prepare/engine/combine spans, so the report's phase list
+    // covers the whole invocation.
+    obs::PhaseTimer phases;
+    auto parseSpan = phases.scope("parse");
     const auto a = qasm::parseFile(argv[1]);
     const auto b = qasm::parseFile(argv[2]);
+    parseSpan.finish();
     std::printf("%s: %zu qubits, %zu gates\n", argv[1], a.numQubits(),
                 a.gateCount());
     std::printf("%s: %zu qubits, %zu gates\n", argv[2], b.numQubits(),
@@ -57,8 +109,16 @@ int main(int argc, char** argv) {
 
     config.runAlternating = config.runSimulation = (method != "zx");
     config.runZX = (method == "zx" || method == "both");
-    const auto result = check::checkEquivalence(a, b, config);
+    check::EquivalenceCheckingManager manager(a, b, config);
+    manager.usePhaseTimer(&phases);
+    const auto result = manager.run();
     std::printf("verdict: %s\n", result.toString().c_str());
+
+    if (!jsonPath.empty()) {
+      const auto report = check::buildRunReport(manager, result, config);
+      check::writeRunReport(report, jsonPath);
+      std::printf("report: %s\n", jsonPath.c_str());
+    }
 
     if (check::provedEquivalent(result.criterion)) {
       return 0;

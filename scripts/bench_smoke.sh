@@ -6,6 +6,11 @@
 # benchmark process's peak resident set size (peak_rss_kb), giving the
 # resource-governor work a memory baseline to compare budgets against.
 #
+# The smoke run also exercises the observability layer end-to-end: a
+# check_qasm invocation emits a veriqc-report/v1 run record to
+# BENCH_check_report.json, which is then schema-validated via
+# check_qasm --validate-report (a failing schema fails the bench).
+#
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -13,9 +18,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="BENCH_dd_kernel.json"
 OUT_ZX="BENCH_zx.json"
+OUT_REPORT="BENCH_check_report.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target dd_micro zx_micro >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target dd_micro zx_micro check_qasm >/dev/null
 
 # Run one benchmark binary, writing its JSON to $2, and inject the process's
 # peak RSS (in kB) as a top-level "peak_rss_kb" key. Exact via GNU time when
@@ -62,7 +69,37 @@ run_bench "./$BUILD_DIR/bench/zx_micro" "$OUT_ZX" \
   --benchmark_min_time=0.1 \
   --benchmark_filter='BM_GroverReduction|BM_CliffordReductionLarge|BM_EquivalenceReduction|BM_QftReduction'
 
-echo "Wrote $OUT and $OUT_ZX"
+# --- end-to-end run report ---------------------------------------------------
+# Check a GHZ preparation against an equivalent variant padded with
+# self-cancelling gates (exactly equivalent, so the run exercises the DD
+# engines to a definitive verdict) and record the structured report.
+QASM_DIR="$(mktemp -d)"
+trap 'rm -rf "$QASM_DIR"' EXIT
+cat >"$QASM_DIR/a.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+EOF
+cat >"$QASM_DIR/b.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+x q[2];
+x q[2];
+cx q[0],q[1];
+h q[1];
+h q[1];
+cx q[1],q[2];
+EOF
+"./$BUILD_DIR/examples/check_qasm" "$QASM_DIR/a.qasm" "$QASM_DIR/b.qasm" \
+  --trace --json "$OUT_REPORT" >/dev/null
+"./$BUILD_DIR/examples/check_qasm" --validate-report "$OUT_REPORT"
+
+echo "Wrote $OUT, $OUT_ZX and $OUT_REPORT"
 echo
 echo "=== cache-stats digest ==="
 # Per-benchmark wall time plus the cache counters embedded in the JSON.

@@ -22,11 +22,35 @@ double secondsSince(const Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Copy a package's cache counters into the result record.
+/// Poll the stop token inside tight gate loops only every this many
+/// iterations — cheap enough to keep deadlines honest on huge gate groups
+/// without a per-gate std::function call.
+constexpr std::size_t kStopPollStride = 16;
+
+/// The engine's own view of the configured deadline, measured from its own
+/// start. Tracking it locally lets an early stop be attributed correctly.
+Clock::time_point localDeadline(const Configuration& config,
+                                const Clock::time_point start) {
+  return config.timeout.count() > 0 ? start + config.timeout
+                                    : Clock::time_point::max();
+}
+
+/// Attribute an early stop (the discipline zxCheck established in PR 2):
+/// past the local deadline it is a Timeout; before it, the only other source
+/// of a tripped stop token is a sibling engine's definitive verdict —
+/// Cancelled, which combine() never ranks above a normally-completed slot.
+EquivalenceCriterion stopAttribution(const Clock::time_point deadline) {
+  return Clock::now() >= deadline ? EquivalenceCriterion::Timeout
+                                  : EquivalenceCriterion::Cancelled;
+}
+
+/// Copy a package's cache counters into the result record and feed the
+/// named-counter registry the run report serializes.
 void recordCacheStats(const dd::Package& package, Result& result) {
   const auto stats = package.stats();
   result.computeCacheStats += stats.computeTotal();
   result.gateCacheStats += stats.gateCache;
+  package.exportCounters(result.counters);
 }
 
 /// Package sizing/budget knobs derived from the checker configuration: the
@@ -233,6 +257,7 @@ Result denseCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
 Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
                            const Configuration& config, const StopToken& stop) {
   const auto start = Clock::now();
+  const auto deadline = localDeadline(config, start);
   Result result;
   result.method = "dd-construction";
   const auto [a, b] = prepare(c1, c2, config);
@@ -267,7 +292,7 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
     const auto e1 = build(a, aborted);
     const auto e2 = aborted ? package.makeIdent() : build(b, aborted);
     if (aborted) {
-      result.criterion = EquivalenceCriterion::Timeout;
+      result.criterion = stopAttribution(deadline);
       recordCacheStats(package, result);
       result.runtimeSeconds = secondsSince(start);
       return result;
@@ -303,6 +328,7 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
 Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
                           const Configuration& config, const StopToken& stop) {
   const auto start = Clock::now();
+  const auto deadline = localDeadline(config, start);
   Result result;
   result.method = "dd-alternating(" + toString(config.oracle) + ")";
   const auto [a, b] = prepare(c1, c2, config);
@@ -313,7 +339,7 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   TaskSide left(b, /*invert=*/false); // G', multiplied from the left
   Accumulator acc(package, config.recordTrace);
 
-  const auto timedOut = [&]() { return stop && stop(); };
+  const auto stopped = [&]() { return stop && stop(); };
 
   try {
     // Gate-application loop driven by the configured oracle.
@@ -323,11 +349,14 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
       if (!leftPending && !rightPending) {
         break;
       }
-      if (timedOut()) {
-        result.criterion = EquivalenceCriterion::Timeout;
+      if (stopped()) {
+        result.criterion = stopAttribution(deadline);
         recordCacheStats(package, result);
         result.runtimeSeconds = secondsSince(start);
         result.peakNodes = acc.peak();
+        // Keep the truncated size trajectory: a partial Fig. 4 curve is
+        // exactly what one wants to see from an aborted run.
+        result.sizeTrace = acc.takeTrace();
         return result;
       }
       if (!leftPending) {
@@ -363,14 +392,17 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
         const auto gateRight = right.peekGateDD(package);
         const auto candidateLeft = package.multiply(gateLeft, acc.edge());
         const auto candidateRight = package.multiply(acc.edge(), gateRight);
-        if (package.nodeCount(candidateLeft) <=
-            package.nodeCount(candidateRight)) {
+        const bool takeLeft = package.nodeCount(candidateLeft) <=
+                              package.nodeCount(candidateRight);
+        if (takeLeft) {
           left.consume();
-          acc.replace(candidateLeft);
         } else {
           right.consume();
-          acc.replace(candidateRight);
         }
+        // Reference the winner before reclaiming the loser so subdiagrams
+        // shared between the two candidates survive the release.
+        acc.replace(takeLeft ? candidateLeft : candidateRight);
+        package.release(takeLeft ? candidateRight : candidateLeft);
         break;
       }
       }
@@ -416,6 +448,7 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
                               const Configuration& config,
                               const StopToken& stop) {
   const auto start = Clock::now();
+  const auto deadline = localDeadline(config, start);
   Result result;
   result.method = "dd-alternating(compilation-flow)";
   if (expansionCounts.size() != original.size()) {
@@ -441,16 +474,31 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
   TaskSide left(b, /*invert=*/false);
   Accumulator acc(package, flowConfig.recordTrace);
 
+  // Fill the result record for an early abort, attributing the stop to the
+  // local deadline (Timeout) or a sibling's verdict (Cancelled) and keeping
+  // the truncated size trace.
+  const auto stoppedResult = [&]() -> Result {
+    result.criterion = stopAttribution(deadline);
+    recordCacheStats(package, result);
+    result.runtimeSeconds = secondsSince(start);
+    result.peakNodes = acc.peak();
+    result.sizeTrace = acc.takeTrace();
+    return result;
+  };
+
   try {
     for (const auto count : expansionCounts) {
       if (stop && stop()) {
-        result.criterion = EquivalenceCriterion::Timeout;
-        recordCacheStats(package, result);
-        result.runtimeSeconds = secondsSince(start);
-        result.peakNodes = acc.peak();
-        return result;
+        return stoppedResult();
       }
       for (std::size_t i = 0; i < count; ++i) {
+        // A single original gate can expand into arbitrarily many compiled
+        // gates (SWAP chains from routing), so the deadline must also be
+        // polled inside the group — throttled, to keep the common small
+        // groups free of per-gate token calls.
+        if (i % kStopPollStride == kStopPollStride - 1 && stop && stop()) {
+          return stoppedResult();
+        }
         if (left.absorbSwaps()) {
           acc.applyLeft(left.takeGateDD(package));
         }
@@ -459,10 +507,16 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
         acc.applyRight(right.takeGateDD(package));
       }
     }
-    while (left.absorbSwaps()) {
+    for (std::size_t i = 0; left.absorbSwaps(); ++i) {
+      if (i % kStopPollStride == kStopPollStride - 1 && stop && stop()) {
+        return stoppedResult();
+      }
       acc.applyLeft(left.takeGateDD(package));
     }
-    while (right.absorbSwaps()) {
+    for (std::size_t i = 0; right.absorbSwaps(); ++i) {
+      if (i % kStopPollStride == kStopPollStride - 1 && stop && stop()) {
+        return stoppedResult();
+      }
       acc.applyRight(right.takeGateDD(package));
     }
 
@@ -495,6 +549,7 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
 Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
                          const Configuration& config, const StopToken& stop) {
   const auto start = Clock::now();
+  const auto deadline = localDeadline(config, start);
   Result result;
   result.method = "dd-simulation(" + toString(config.stimuliKind) + ")";
   const auto [a, b] = alignCircuits(c1, c2);
@@ -513,7 +568,7 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   // index below the final value is fully simulated: the first counterexample
   // is deterministic regardless of thread count and scheduling.
   std::atomic<std::size_t> failIndex{kNoFail};
-  std::atomic<bool> sawTimeout{false};
+  std::atomic<bool> sawStop{false};
   // Workers must not let exceptions escape (raw std::thread would
   // std::terminate). A tripped resource budget is remembered as a flag so the
   // surviving workers' verdicts still count; any other exception is captured
@@ -538,7 +593,7 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
           break;
         }
         if (stop && stop()) {
-          sawTimeout.store(true, std::memory_order_relaxed);
+          sawStop.store(true, std::memory_order_relaxed);
           break;
         }
         // Abort mid-simulation on external stop or once an earlier stimulus
@@ -565,7 +620,7 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
         package.decRef(out2);
         package.garbageCollect();
         if (abortedExternal) {
-          sawTimeout.store(true, std::memory_order_relaxed);
+          sawStop.store(true, std::memory_order_relaxed);
           break;
         }
         if (abortedLocal) {
@@ -629,8 +684,8 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   } else if (sawResourceLimit.load() && performed.load() < runs) {
     result.criterion = EquivalenceCriterion::ResourceExhausted;
     result.errorMessage = resourceLimitMessage;
-  } else if (sawTimeout.load()) {
-    result.criterion = EquivalenceCriterion::Timeout;
+  } else if (sawStop.load()) {
+    result.criterion = stopAttribution(deadline);
   } else {
     result.criterion = EquivalenceCriterion::ProbablyEquivalent;
   }

@@ -1,5 +1,7 @@
 #include "check/manager.hpp"
 
+#include "dd/package.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <functional>
@@ -123,6 +125,8 @@ EquivalenceCheckingManager::EquivalenceCheckingManager(QuantumCircuit c1,
 
 Result EquivalenceCheckingManager::run() {
   engineResults_.clear();
+  auto& phases = activePhases();
+  auto prepareSpan = phases.scope("prepare");
   const auto start = Clock::now();
   const auto deadline =
       config_.timeout.count() > 0
@@ -162,6 +166,7 @@ Result EquivalenceCheckingManager::run() {
     engineNames.emplace_back("dense");
   }
   if (engines.empty()) {
+    prepareSpan.finish();
     Result none;
     none.method = "none";
     return none;
@@ -175,11 +180,16 @@ Result EquivalenceCheckingManager::run() {
     engineResults_[i].criterion = EquivalenceCriterion::NotRun;
     engineResults_[i].method = engineNames[i];
   }
+  prepareSpan.finish();
   if (config_.parallel && engines.size() > 1) {
     std::vector<std::thread> threads;
     threads.reserve(engines.size());
     for (std::size_t i = 0; i < engines.size(); ++i) {
-      threads.emplace_back([this, &engines, &engineNames, &cancel, i] {
+      threads.emplace_back([this, &engines, &engineNames, &cancel, &phases,
+                            i] {
+        // PhaseTimer is internally synchronized, so concurrent engine spans
+        // may be opened from their worker threads directly.
+        auto span = phases.scope("engine:" + engineNames[i]);
         auto result = runGuarded(engines[i], engineNames[i]);
         // A definitive verdict terminates the other engines early.
         if (isDefinitive(result.criterion)) {
@@ -193,7 +203,9 @@ Result EquivalenceCheckingManager::run() {
     }
   } else {
     for (std::size_t i = 0; i < engines.size(); ++i) {
+      auto span = phases.scope("engine:" + engineNames[i]);
       engineResults_[i] = runGuarded(engines[i], engineNames[i]);
+      span.finish();
       if (isDefinitive(engineResults_[i].criterion)) {
         // The question is settled — skip the remaining engines instead of
         // running them against a tripped stop token (their aborted partial
@@ -203,8 +215,14 @@ Result EquivalenceCheckingManager::run() {
       }
     }
   }
-  return combine(engineResults_,
-                 std::chrono::duration<double>(Clock::now() - start).count());
+  auto combineSpan = phases.scope("combine");
+  auto combined =
+      combine(engineResults_,
+              std::chrono::duration<double>(Clock::now() - start).count());
+  // The process-wide resident-set high watermark belongs to the whole run,
+  // not any single engine; record it on the combined result only.
+  combined.peakResidentSetKB = dd::Package::peakResidentSetKB();
+  return combined;
 }
 
 Result checkEquivalence(const QuantumCircuit& c1, const QuantumCircuit& c2,

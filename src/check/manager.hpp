@@ -12,6 +12,7 @@
 #include "check/result.hpp"
 #include "check/zx_checker.hpp"
 #include "ir/circuit.hpp"
+#include "obs/phase_timer.hpp"
 
 #include <vector>
 
@@ -30,11 +31,31 @@ public:
     return engineResults_;
   }
 
+  /// Record run phases (prepare, per-engine, combine) into an external
+  /// timer instead of the internal one — lets a frontend that also times
+  /// its own phases (e.g. check_qasm's parse) collect every span in one
+  /// place. The timer must outlive run(); it is never restarted here.
+  void usePhaseTimer(obs::PhaseTimer* timer) noexcept {
+    externalPhases_ = timer;
+  }
+
+  /// Phase spans of the last run (the external timer's view when one was
+  /// injected via usePhaseTimer).
+  [[nodiscard]] const obs::PhaseTimer& phases() const noexcept {
+    return externalPhases_ != nullptr ? *externalPhases_ : phases_;
+  }
+
 private:
+  [[nodiscard]] obs::PhaseTimer& activePhases() noexcept {
+    return externalPhases_ != nullptr ? *externalPhases_ : phases_;
+  }
+
   QuantumCircuit c1_;
   QuantumCircuit c2_;
   Configuration config_;
   std::vector<Result> engineResults_;
+  obs::PhaseTimer phases_;
+  obs::PhaseTimer* externalPhases_ = nullptr;
 };
 
 /// Convenience wrapper: construct a manager and run it.

@@ -1,0 +1,78 @@
+/// \file report.hpp
+/// \brief The `veriqc-report/v1` structured run record.
+///
+/// One equivalence-checking run — combined verdict, every engine slot,
+/// phase spans, kernel counters and resource high-watermarks — serialized
+/// into a single stable JSON document. The schema is versioned via the
+/// top-level "schema" string; consumers should reject documents whose
+/// schema id they do not know. Within v1, fields are only ever added,
+/// never renamed or removed, and every record carries the same key set
+/// regardless of which engines ran (absent data shows up as empty arrays,
+/// empty strings, or sentinel values, exactly as in check::Result).
+///
+/// Top-level shape:
+///   {
+///     "schema": "veriqc-report/v1",
+///     "generator": "veriqc",
+///     "configuration": { ... },          // the knobs the run used
+///     "verdict": { engine record },      // the combined result
+///     "engines": [ engine record, ... ], // one per manager slot, in order
+///     "phases": [ {"name", "startSeconds", "durationSeconds"}, ... ],
+///     "counters": { "<name>": number, ... },
+///     "resources": { "peakResidentSetKB", "resourceLimitedEngines" }
+///   }
+#pragma once
+
+#include "check/manager.hpp"
+#include "check/result.hpp"
+#include "obs/json.hpp"
+#include "obs/phase_timer.hpp"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace veriqc::check {
+
+/// Schema identifier carried in every report's "schema" field.
+inline constexpr std::string_view kReportSchemaId = "veriqc-report/v1";
+
+/// Stable machine-readable key for a verdict ("equivalent", "timeout",
+/// "cancelled", ...). Unlike toString(), these keys are part of the report
+/// schema and never change within v1.
+[[nodiscard]] std::string criterionKey(EquivalenceCriterion criterion);
+
+/// Inverse of criterionKey; std::nullopt for unknown keys.
+[[nodiscard]] std::optional<EquivalenceCriterion>
+criterionFromKey(std::string_view key);
+
+/// Serialize one Result (an engine slot or the combined verdict) into the
+/// report's engine-record form. Every key is always present.
+[[nodiscard]] obs::Json serializeResult(const Result& result);
+
+/// Build the full veriqc-report/v1 document for one run.
+[[nodiscard]] obs::Json buildRunReport(const Result& combined,
+                                       const std::vector<Result>& engines,
+                                       const Configuration& config,
+                                       const std::vector<obs::PhaseSpan>&
+                                           phases);
+
+/// Convenience overload pulling engine results and phase spans from the
+/// manager that produced `combined`.
+[[nodiscard]] obs::Json buildRunReport(const EquivalenceCheckingManager&
+                                           manager,
+                                       const Result& combined,
+                                       const Configuration& config);
+
+/// Structural validation of a report document against the v1 schema:
+/// required keys, value types, known verdict keys, span/engine record
+/// shapes. Returns a list of human-readable problems; empty means valid.
+[[nodiscard]] std::vector<std::string>
+validateRunReport(const obs::Json& report);
+
+/// Pretty-print `report` to `path` (with a trailing newline).
+/// \throws std::runtime_error when the file cannot be written.
+void writeRunReport(const obs::Json& report, const std::string& path);
+
+} // namespace veriqc::check

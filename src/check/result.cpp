@@ -1,5 +1,6 @@
 #include "check/result.hpp"
 
+#include <iomanip>
 #include <sstream>
 
 namespace veriqc::check {
@@ -42,6 +43,21 @@ std::string toString(const OracleStrategy strategy) {
   return "unknown";
 }
 
+std::string Result::zxRuleDigest() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& rule : zxRuleStats) {
+    if (!first) {
+      os << "; ";
+    }
+    first = false;
+    os << rule.rule << " r" << rule.rewrites << "/m" << rule.matches << "/c"
+       << rule.candidates << " " << std::fixed << std::setprecision(2)
+       << rule.seconds * 1e3 << "ms";
+  }
+  return os.str();
+}
+
 std::string Result::toString() const {
   std::ostringstream os;
   os << veriqc::check::toString(criterion) << " [" << method << ", "
@@ -58,8 +74,8 @@ std::string Result::toString() const {
   if (rewrites > 0) {
     os << ", " << rewrites << " rewrites";
   }
-  if (!zxRuleDigest.empty()) {
-    os << ", zx rules {" << zxRuleDigest << "}";
+  if (!zxRuleStats.empty()) {
+    os << ", zx rules {" << zxRuleDigest() << "}";
   }
   if (computeCacheStats.lookups > 0) {
     os << ", compute-cache hit rate " << computeCacheStats.hitRate();

@@ -4,6 +4,7 @@
 
 #include "dd/compute_table.hpp"
 #include "dd/real_table.hpp"
+#include "obs/counters.hpp"
 #include "sim/stimuli.hpp"
 
 #include <chrono>
@@ -112,6 +113,17 @@ struct Configuration {
   bool recordTrace = false;
 };
 
+/// Scheduler statistics of one ZX rule family, as recorded by the
+/// simplifier's worklist passes. Replaces the former stringly rule digest;
+/// Result::toString still renders the compact text form from these.
+struct ZXRuleStat {
+  std::string rule;           ///< rule family name ("spider", "pivot", ...)
+  std::size_t candidates = 0; ///< worklist entries examined
+  std::size_t matches = 0;    ///< candidates where the pattern matched
+  std::size_t rewrites = 0;   ///< rewrites applied (cascades count each)
+  double seconds = 0.0;       ///< wall time spent inside the rule's passes
+};
+
 /// Outcome record of one checker (or of the whole manager).
 struct Result {
   EquivalenceCriterion criterion = EquivalenceCriterion::NoInformation;
@@ -122,9 +134,10 @@ struct Result {
   std::size_t peakNodes = 0;            ///< DD engines: max live node count
   std::size_t rewrites = 0;             ///< ZX engine: rewrite count
   std::size_t remainingSpiders = 0;     ///< ZX engine: spiders at the end
-  /// ZX engine: per-rule scheduler digest (candidates/matches/rewrites and
-  /// wall time per rule family), empty when the ZX engine did not run.
-  std::string zxRuleDigest;
+  /// ZX engine: per-rule scheduler statistics (one entry per rule family
+  /// that examined at least one candidate), empty when the ZX engine did
+  /// not run.
+  std::vector<ZXRuleStat> zxRuleStats;
   /// Index of the stimulus that proved non-equivalence (-1 = none).
   std::int64_t counterexampleStimulus = -1;
   /// Diagnostic captured when the engine failed (EngineError) or tripped a
@@ -139,7 +152,19 @@ struct Result {
   /// Aggregated gate-DD construction cache counters.
   dd::CacheStats gateCacheStats;
   /// Diagram node count after each gate application (when recordTrace).
+  /// Early-stopped runs keep the truncated prefix — exactly the Fig. 4
+  /// evidence one wants from an aborted check.
   std::vector<std::size_t> sizeTrace;
+  /// Named kernel counters fed by the engine (DD cache traffic, ZX rewrite
+  /// totals, node peaks); serialized into the run report's counters object.
+  obs::CounterRegistry counters;
+  /// Manager verdicts only: process-wide peak resident set size sampled at
+  /// the end of the run (0 when unavailable).
+  std::size_t peakResidentSetKB = 0;
+
+  /// Compact text form of zxRuleStats ("spider r12/m8/c40 0.10ms; ...");
+  /// empty when the ZX engine did not run.
+  [[nodiscard]] std::string zxRuleDigest() const;
 
   [[nodiscard]] std::string toString() const;
 };

@@ -39,6 +39,30 @@ Result zxCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   options.gadgetRules = config.zxGadgetRules;
   options.maxVertices = config.maxZXVertices;
   zx::Simplifier simplifier(diagram, shouldStop, options);
+
+  // Engine observability: structured per-rule scheduler stats plus the named
+  // counters the run report aggregates.
+  const auto recordStats = [&] {
+    result.rewrites = simplifier.stats().total();
+    result.remainingSpiders = diagram.spiderCount();
+    for (const auto& [rule, stats] : simplifier.stats().activeRules()) {
+      result.zxRuleStats.push_back(
+          {rule, stats.candidates, stats.matches, stats.rewrites,
+           stats.seconds});
+      const std::string base = std::string("zx.rule.") + rule;
+      result.counters.add(base + ".candidates",
+                          static_cast<double>(stats.candidates));
+      result.counters.add(base + ".matches",
+                          static_cast<double>(stats.matches));
+      result.counters.add(base + ".rewrites",
+                          static_cast<double>(stats.rewrites));
+    }
+    result.counters.add("zx.rewrites", static_cast<double>(result.rewrites));
+    result.counters.max("zx.spiders.remaining",
+                        static_cast<double>(result.remainingSpiders));
+    result.runtimeSeconds = elapsed();
+  };
+
   bool completed = false;
   try {
     // The simplifier checks the vertex budget itself, including against the
@@ -48,16 +72,10 @@ Result zxCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   } catch (const ResourceLimitError& e) {
     result.criterion = EquivalenceCriterion::ResourceExhausted;
     result.errorMessage = e.what();
-    result.rewrites = simplifier.stats().total();
-    result.zxRuleDigest = simplifier.stats().digest();
-    result.remainingSpiders = diagram.spiderCount();
-    result.runtimeSeconds = elapsed();
+    recordStats();
     return result;
   }
-  result.rewrites = simplifier.stats().total();
-  result.zxRuleDigest = simplifier.stats().digest();
-  result.remainingSpiders = diagram.spiderCount();
-  result.runtimeSeconds = elapsed();
+  recordStats();
   if (!completed) {
     result.criterion = Clock::now() >= deadline
                            ? EquivalenceCriterion::Timeout

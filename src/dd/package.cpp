@@ -695,6 +695,41 @@ std::size_t Package::garbageCollect(const bool force) {
   return collected;
 }
 
+std::size_t Package::release(const mEdge& e) {
+  const std::size_t removed = releaseNode(e.p);
+  if (removed > 0) {
+    releasedNodes_ += removed;
+    // Cached results may reference the reclaimed nodes; the gate-DD cache
+    // holds references to its entries, so those were never reclaimable.
+    multiplyTable_.clear();
+    multiplyVectorTable_.clear();
+    addTable_.clear();
+    addVectorTable_.clear();
+    conjTransTable_.clear();
+    traceTable_.clear();
+    innerProductTable_.clear();
+  }
+  return removed;
+}
+
+std::size_t Package::releaseNode(mNode* node) {
+  if (node == nullptr || node->v == kTerminalLevel || node->ref != 0) {
+    return 0;
+  }
+  // A failed remove means the node is not in the table (anymore): either a
+  // shared subdiagram this walk already reclaimed through another parent, or
+  // one an earlier garbageCollect() swept. Either way its children were (or
+  // will be) handled by whoever removed it.
+  if (!mTables_[static_cast<std::size_t>(node->v)].remove(node)) {
+    return 0;
+  }
+  std::size_t removed = 1;
+  for (const auto& child : node->e) {
+    removed += releaseNode(child.p);
+  }
+  return removed;
+}
+
 void Package::enforceResourceLimits(const std::size_t liveNodes) {
   if (maxNodes_ != 0 && liveNodes > maxNodes_) {
     throw ResourceLimitError("DD nodes", maxNodes_, liveNodes);
@@ -759,6 +794,7 @@ PackageStats Package::stats() const {
     s.allocations += table.allocated();
   }
   s.gcRuns = gcRuns_;
+  s.releasedNodes = releasedNodes_;
   s.realNumbers = reals_.size();
   s.peakMatrixNodes = std::max(peakMatrixNodes_, s.matrixNodes);
   s.gcThreshold = gcThreshold_;
@@ -772,6 +808,36 @@ PackageStats Package::stats() const {
   s.gateCache = gateCacheStats_;
   s.gateCacheEntries = gateCache_.size();
   return s;
+}
+
+void Package::exportCounters(obs::CounterRegistry& registry,
+                             const std::string& prefix) const {
+  const auto s = stats();
+  const auto cache = [&](const char* name, const CacheStats& stats) {
+    const std::string base = prefix + name;
+    registry.add(base + ".lookups", static_cast<double>(stats.lookups));
+    registry.add(base + ".hits", static_cast<double>(stats.hits));
+    registry.add(base + ".collisions", static_cast<double>(stats.collisions));
+    registry.add(base + ".inserts", static_cast<double>(stats.inserts));
+    registry.add(base + ".invalidations",
+                 static_cast<double>(stats.invalidations));
+  };
+  cache("multiply", s.multiply);
+  cache("multiply_vector", s.multiplyVector);
+  cache("add", s.add);
+  cache("add_vector", s.addVector);
+  cache("conjugate_transpose", s.conjugateTranspose);
+  cache("trace", s.trace);
+  cache("inner_product", s.innerProduct);
+  cache("gate_cache", s.gateCache);
+  registry.add(prefix + "nodes.allocations",
+               static_cast<double>(s.allocations));
+  registry.add(prefix + "nodes.released",
+               static_cast<double>(s.releasedNodes));
+  registry.add(prefix + "gc.runs", static_cast<double>(s.gcRuns));
+  registry.max(prefix + "nodes.peak",
+               static_cast<double>(s.peakMatrixNodes));
+  registry.max(prefix + "reals.interned", static_cast<double>(s.realNumbers));
 }
 
 } // namespace veriqc::dd

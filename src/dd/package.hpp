@@ -10,6 +10,7 @@
 #include "ir/gate_matrix.hpp"
 #include "ir/operation.hpp"
 #include "ir/permutation.hpp"
+#include "obs/counters.hpp"
 
 #include <complex>
 #include <cstddef>
@@ -57,6 +58,7 @@ struct PackageStats {
   std::size_t realNumbers = 0;   ///< interned canonical reals
   std::size_t peakMatrixNodes = 0;
   std::size_t gcThreshold = 0;   ///< current adaptive GC trigger
+  std::size_t releasedNodes = 0; ///< nodes reclaimed eagerly via release()
 
   // Per-cache hit/miss/collision counters.
   CacheStats multiply;
@@ -181,6 +183,17 @@ public:
   ///         this never throws.
   std::size_t garbageCollect(bool force = false);
 
+  /// Eagerly reclaim an unreferenced diagram: every node in e's DAG whose
+  /// reference count is zero is unlinked from the unique table and returned
+  /// to the free list, stopping at nodes kept alive by references (shared
+  /// subdiagrams of live edges survive). When anything was reclaimed, the
+  /// compute tables are invalidated (O(1) generation bumps) since cached
+  /// results may point into the released tree. Used by the lookahead oracle
+  /// to drop the losing candidate product immediately instead of letting it
+  /// pin live-node accounting (stats, GC threshold adaptation and the node
+  /// budget) until the next GC sweep. Returns the number of reclaimed nodes.
+  std::size_t release(const mEdge& e);
+
   /// Process-wide peak resident set size in kilobytes (0 if unavailable).
   [[nodiscard]] static std::size_t peakResidentSetKB() noexcept;
 
@@ -194,7 +207,16 @@ public:
 
   [[nodiscard]] PackageStats stats() const;
 
+  /// Feed every package statistic into a counters registry under `prefix`
+  /// (e.g. "dd.multiply.hits"). Monotone counters (cache traffic, GC runs,
+  /// allocations) accumulate by addition, high-water marks (peak nodes)
+  /// by maximum, so registries from several packages — e.g. the per-worker
+  /// packages of the simulation checker — merge correctly.
+  void exportCounters(obs::CounterRegistry& registry,
+                      const std::string& prefix = "dd.") const;
+
 private:
+  std::size_t releaseNode(mNode* node);
   /// Cache key of a constructed gate DD. Matrix entries are quantized by the
   /// interning tolerance, so parameter values that would intern to the same
   /// canonical reals share an entry. Controls/target are DD levels (i.e. the
@@ -278,6 +300,7 @@ private:
   std::size_t gcThreshold_;
   std::size_t gcRuns_ = 0;
   std::size_t peakMatrixNodes_ = 0;
+  std::size_t releasedNodes_ = 0;
   std::size_t maxNodes_ = 0;
   std::size_t maxMemoryKB_ = 0;
   std::size_t memoryCheckCountdown_ = 0;

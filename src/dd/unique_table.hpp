@@ -64,6 +64,25 @@ public:
     free_ = node;
   }
 
+  /// Unlinks one specific node from its bucket and returns it to the free
+  /// list. Returns false when the node is not (or no longer) in the table —
+  /// callers use that to walk shared DAGs without a visited set, and to
+  /// tolerate nodes an earlier garbageCollect() already reclaimed. Compute
+  /// tables referencing the node must be invalidated by the caller.
+  bool remove(Node* node) {
+    const auto h = hashNodeChildren(*node) & (buckets_.size() - 1);
+    for (Node** link = &buckets_[h]; *link != nullptr;
+         link = &(*link)->next) {
+      if (*link == node) {
+        *link = node->next;
+        returnNode(node);
+        --count_;
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Removes all nodes with reference count zero. Returns the number of
   /// collected nodes. Compute tables referencing these nodes must be
   /// invalidated by the caller.

@@ -1,0 +1,136 @@
+/// \file json.hpp
+/// \brief Dependency-free JSON document model with a deterministic writer and
+///        a strict parser.
+///
+/// The observability layer serializes run records to the stable
+/// `veriqc-report/v1` schema; golden-file tests compare the emitted text
+/// byte-for-byte. Two properties make that possible:
+///  - objects preserve insertion order (stored as a vector of pairs, not a
+///    hash map), so a report built in a fixed key order always serializes
+///    identically, and
+///  - doubles are printed in shortest round-trip form via std::to_chars,
+///    which is deterministic across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace veriqc::obs {
+
+/// Raised by Json::parse on malformed input (with a byte offset) and by the
+/// typed accessors on kind mismatches. The obs layer is dependency-free, so
+/// this derives std::runtime_error directly rather than VeriqcError.
+class JsonError : public std::runtime_error {
+public:
+  explicit JsonError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// One JSON value: null, boolean, number (integer or double), string, array
+/// or object. Value semantics throughout; cheap enough for report-sized
+/// documents (the writer and parser are not meant for bulk data).
+class Json {
+public:
+  enum class Kind : std::uint8_t {
+    Null,
+    Boolean,
+    Integer, ///< stored as int64; serialized without a decimal point
+    Double,
+    String,
+    Array,
+    Object,
+  };
+
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>; ///< insertion-ordered
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : kind_(Kind::Boolean), bool_(value) {}
+  Json(double value) : kind_(Kind::Double), double_(value) {}
+  Json(std::int64_t value) : kind_(Kind::Integer), int_(value) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::size_t value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(const char* value) : kind_(Kind::String), string_(value) {}
+  Json(std::string value) : kind_(Kind::String), string_(std::move(value)) {}
+  Json(std::string_view value) : kind_(Kind::String), string_(value) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool isNull() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool isBool() const noexcept { return kind_ == Kind::Boolean; }
+  [[nodiscard]] bool isNumber() const noexcept {
+    return kind_ == Kind::Integer || kind_ == Kind::Double;
+  }
+  [[nodiscard]] bool isInteger() const noexcept {
+    return kind_ == Kind::Integer;
+  }
+  [[nodiscard]] bool isString() const noexcept { return kind_ == Kind::String; }
+  [[nodiscard]] bool isArray() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool isObject() const noexcept { return kind_ == Kind::Object; }
+
+  /// \throws JsonError when the value is not of the requested kind.
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] std::int64_t asInt() const;
+  [[nodiscard]] double asDouble() const; ///< integers widen losslessly
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const Array& asArray() const;
+  [[nodiscard]] const Object& asObject() const;
+
+  /// Array/object element count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Append to an array (converts a Null value into an empty array first).
+  Json& push_back(Json value);
+
+  /// Object member access, inserting a Null member when the key is absent
+  /// (converts a Null value into an empty object first).
+  Json& operator[](std::string_view key);
+
+  /// True when an object has the given key (false for non-objects).
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+  /// Pointer to the member value, nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// \throws JsonError when the key is absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Structural equality; Integer and Double compare equal when the numeric
+  /// values coincide (so parse(dump(x)) == x holds for integral doubles).
+  friend bool operator==(const Json& lhs, const Json& rhs);
+
+  /// Serialize. `indent` < 0 yields compact output; otherwise members and
+  /// elements are broken onto lines indented by `indent` spaces per level.
+  /// Non-finite doubles serialize as null (JSON has no NaN/Inf).
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict JSON parser (no comments, no trailing commas).
+  /// \throws JsonError on malformed input or trailing garbage.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+} // namespace veriqc::obs

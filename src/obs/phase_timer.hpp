@@ -1,0 +1,100 @@
+/// \file phase_timer.hpp
+/// \brief Span-style phase timer for run records.
+///
+/// A run is decomposed into named, possibly overlapping spans
+/// (parse -> prepare -> per-engine -> combine); each span records its start
+/// offset and duration relative to the timer's origin. Engine threads record
+/// concurrently, so the span list is mutex-guarded. The report layer
+/// serializes spans into the `phases` array of `veriqc-report/v1`.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace veriqc::obs {
+
+/// One named phase: offsets are seconds relative to the timer origin.
+struct PhaseSpan {
+  std::string name;
+  double startSeconds = 0.0;
+  double durationSeconds = 0.0;
+};
+
+class PhaseTimer {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  PhaseTimer() : origin_(Clock::now()) {}
+
+  /// RAII guard: records the span from its construction to its destruction
+  /// (or to the explicit finish() call, whichever comes first).
+  class Scope {
+  public:
+    Scope(PhaseTimer& timer, std::string name)
+        : timer_(&timer), name_(std::move(name)), start_(Clock::now()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& other) noexcept
+        : timer_(other.timer_), name_(std::move(other.name_)),
+          start_(other.start_) {
+      other.timer_ = nullptr;
+    }
+    Scope& operator=(Scope&&) = delete;
+    ~Scope() { finish(); }
+
+    /// Record the span now; further calls (and destruction) are no-ops.
+    void finish() {
+      if (timer_ != nullptr) {
+        timer_->recordSince(name_, start_);
+        timer_ = nullptr;
+      }
+    }
+
+  private:
+    PhaseTimer* timer_;
+    std::string name_;
+    Clock::time_point start_;
+  };
+
+  /// Start a span now; it is recorded when the returned Scope ends.
+  [[nodiscard]] Scope scope(std::string name) {
+    return Scope(*this, std::move(name));
+  }
+
+  /// Record a span with explicit offsets (used by tests and golden files).
+  void record(std::string name, const double startSeconds,
+              const double durationSeconds) {
+    std::scoped_lock lock(mutex_);
+    spans_.push_back({std::move(name), startSeconds, durationSeconds});
+  }
+
+  /// Drop all recorded spans and restart the origin at now.
+  void restart() {
+    std::scoped_lock lock(mutex_);
+    spans_.clear();
+    origin_ = Clock::now();
+  }
+
+  [[nodiscard]] std::vector<PhaseSpan> spans() const {
+    std::scoped_lock lock(mutex_);
+    return spans_;
+  }
+
+private:
+  void recordSince(const std::string& name, const Clock::time_point start) {
+    const auto end = Clock::now();
+    std::scoped_lock lock(mutex_);
+    spans_.push_back(
+        {name, std::chrono::duration<double>(start - origin_).count(),
+         std::chrono::duration<double>(end - start).count()});
+  }
+
+  mutable std::mutex mutex_;
+  Clock::time_point origin_;
+  std::vector<PhaseSpan> spans_;
+};
+
+} // namespace veriqc::obs

@@ -20,20 +20,26 @@ double SimplifyStats::totalSeconds() const noexcept {
   return sum;
 }
 
+std::vector<SimplifyStats::NamedRuleStats> SimplifyStats::activeRules() const {
+  std::vector<NamedRuleStats> active;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].candidates > 0) {
+      active.push_back({kSimplifyRuleNames[i], rules[i]});
+    }
+  }
+  return active;
+}
+
 std::string SimplifyStats::digest() const {
   std::ostringstream os;
   bool first = true;
-  for (std::size_t i = 0; i < rules.size(); ++i) {
-    const auto& r = rules[i];
-    if (r.candidates == 0) {
-      continue;
-    }
+  for (const auto& [rule, r] : activeRules()) {
     if (!first) {
       os << "; ";
     }
     first = false;
-    os << kSimplifyRuleNames[i] << " r" << r.rewrites << "/m" << r.matches
-       << "/c" << r.candidates << " " << std::fixed << std::setprecision(2)
+    os << rule << " r" << r.rewrites << "/m" << r.matches << "/c"
+       << r.candidates << " " << std::fixed << std::setprecision(2)
        << r.seconds * 1e3 << "ms";
   }
   return os.str();

@@ -72,6 +72,18 @@ struct SimplifyStats {
   /// Wall time summed over all passes.
   [[nodiscard]] double totalSeconds() const noexcept;
 
+  /// One rule family's counters together with its name, for structured
+  /// export into run records.
+  struct NamedRuleStats {
+    const char* rule;
+    RuleStats stats;
+  };
+
+  /// The rule families that examined at least one candidate, in SimplifyRule
+  /// order; empty if nothing ran. This is the machine-readable form the
+  /// checker layer records — digest() renders the same data as text.
+  [[nodiscard]] std::vector<NamedRuleStats> activeRules() const;
+
   /// Compact per-rule digest ("spider r12/m8/c40 0.1ms; ...") listing only
   /// rules that examined at least one candidate; empty if nothing ran.
   [[nodiscard]] std::string digest() const;

@@ -164,12 +164,15 @@ TEST(AlternatingTest, TraceShowsDiagramStaysNearIdentity) {
   }
 }
 
-TEST(AlternatingTest, TimeoutIsReported) {
+TEST(AlternatingTest, ExternalStopWithoutDeadlineIsCancelled) {
+  // No deadline is configured, so a tripped stop token can only mean a
+  // sibling engine's definitive verdict — the slot must read Cancelled,
+  // not Timeout (the misattribution this checker used to commit).
   Configuration config = quickConfig();
   const auto c = circuits::randomCircuit(6, 200, 1);
   const auto result =
       ddAlternatingCheck(c, c, config, [] { return true; });
-  EXPECT_EQ(result.criterion, EquivalenceCriterion::Timeout);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Cancelled);
 }
 
 TEST(CompilationFlowTest, VerifiesCompiledCircuitsInLockstep) {

@@ -8,6 +8,8 @@
 
 #include <chrono>
 #include <random>
+#include <thread>
+#include <vector>
 
 namespace veriqc::check {
 namespace {
@@ -116,15 +118,33 @@ TEST(ZXStopAttributionTest, DeadlineExpiryIsATimeout) {
       << result.toString();
 }
 
-TEST(ZXStopAttributionTest, CompletedRunReportsRuleDigest) {
+TEST(ZXStopAttributionTest, CompletedRunReportsRuleStats) {
   const auto c = circuits::randomCliffordT(4, 10, 0.25, 3);
   const auto result = zxCheck(c, c);
   EXPECT_EQ(result.criterion, EquivalenceCriterion::EquivalentUpToGlobalPhase);
   EXPECT_GT(result.rewrites, 0U);
-  EXPECT_NE(result.zxRuleDigest.find("spider"), std::string::npos)
-      << result.zxRuleDigest;
-  // The digest also reaches the human-readable summary.
+  // The structured per-rule stats include spider fusion. Their rewrite
+  // counts are a subset of the engine total: toGraphLike() fuses spiders
+  // during normalization, outside any attributed worklist pass.
+  ASSERT_FALSE(result.zxRuleStats.empty());
+  std::size_t total = 0;
+  bool sawSpider = false;
+  for (const auto& stat : result.zxRuleStats) {
+    EXPECT_GT(stat.candidates, 0U) << stat.rule;
+    EXPECT_GE(stat.candidates, stat.matches) << stat.rule;
+    total += stat.rewrites;
+    sawSpider = sawSpider || stat.rule == "spider";
+  }
+  EXPECT_TRUE(sawSpider);
+  EXPECT_GT(total, 0U);
+  EXPECT_LE(total, result.rewrites);
+  // The text digest is rendered from the same data and reaches the
+  // human-readable summary.
+  EXPECT_NE(result.zxRuleDigest().find("spider"), std::string::npos)
+      << result.zxRuleDigest();
   EXPECT_NE(result.toString().find("zx rules"), std::string::npos);
+  // The engine also feeds the named counter registry.
+  EXPECT_TRUE(result.counters.contains("zx.rewrites"));
 }
 
 // --- configuration knobs -----------------------------------------------------
@@ -163,6 +183,112 @@ TEST(ZXConfigTest, PhaseSnapRecoversNoisyCliffordTAngles) {
   strict.zxPhaseSnapTolerance = 0.0;
   const auto unsnapped = zxCheck(clean, noisy, strict);
   EXPECT_NE(unsnapped.criterion, EquivalenceCriterion::NotEquivalent);
+}
+
+// --- DD checker stop attribution ---------------------------------------------
+//
+// The same contract zxCheck already honors: a tripped stop token before the
+// locally tracked deadline can only mean a sibling engine's definitive
+// verdict, so the slot must read Cancelled; only past the deadline is it a
+// Timeout. Both DD gate-application checkers used to stamp Timeout
+// unconditionally.
+
+TEST(DDStopAttributionTest, AlternatingSiblingCancellationIsNotATimeout) {
+  const auto c = circuits::randomCircuit(6, 200, 1);
+  Configuration config = quickConfig(); // no deadline configured
+  const auto result = ddAlternatingCheck(c, c, config, [] { return true; });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Cancelled)
+      << result.toString();
+}
+
+TEST(DDStopAttributionTest, AlternatingDeadlineExpiryIsATimeout) {
+  const auto c = circuits::randomCircuit(6, 200, 1);
+  Configuration config = quickConfig();
+  config.timeout = std::chrono::milliseconds(1);
+  // The token itself outwaits the 1 ms budget before tripping, so by the
+  // time the checker attributes the stop the deadline has provably passed —
+  // deterministic regardless of how fast the gate loop runs.
+  const auto result = ddAlternatingCheck(c, c, config, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return true;
+  });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Timeout)
+      << result.toString();
+}
+
+TEST(DDStopAttributionTest, AbortedAlternatingRunKeepsTruncatedTrace) {
+  const auto c = circuits::randomCircuit(6, 200, 1);
+  Configuration config = quickConfig();
+  config.recordTrace = true;
+  // Let a few gates through before tripping so there is a prefix to keep.
+  std::size_t polls = 0;
+  const auto result =
+      ddAlternatingCheck(c, c, config, [&polls] { return ++polls > 8; });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Cancelled)
+      << result.toString();
+  EXPECT_FALSE(result.sizeTrace.empty())
+      << "early-return path dropped the requested size trace";
+  EXPECT_GT(result.peakNodes, 0U);
+}
+
+TEST(DDStopAttributionTest, CompilationFlowSiblingCancellationIsNotATimeout) {
+  const auto original = circuits::ghz(3);
+  const auto compiled = original;
+  const std::vector<std::size_t> counts(original.size(), 1);
+  const auto result = ddCompilationFlowCheck(original, compiled, counts,
+                                             quickConfig(),
+                                             [] { return true; });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Cancelled)
+      << result.toString();
+}
+
+TEST(DDStopAttributionTest, CompilationFlowPollsInsideLargeGroups) {
+  // One original gate expanding into a huge compiled group: a checker that
+  // polls only once per group would apply the whole group — and with it the
+  // entire (equivalent) circuit — before ever seeing the second token call,
+  // returning Equivalent instead of honoring the stop.
+  QuantumCircuit original(1);
+  original.h(0);
+  QuantumCircuit compiled(1);
+  compiled.h(0);
+  for (int i = 0; i < 300; ++i) {
+    compiled.x(0);
+    compiled.x(0);
+  }
+  const std::vector<std::size_t> counts = {compiled.size()};
+  std::size_t polls = 0;
+  const auto result = ddCompilationFlowCheck(
+      original, compiled, counts, quickConfig(),
+      [&polls] { return ++polls > 1; });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Cancelled)
+      << result.toString();
+}
+
+TEST(ManagerCancellationTest, SiblingVerdictRecordsCancelledSlot) {
+  // Parallel manager with no deadline: the alternating checker proves the
+  // pair equivalent in milliseconds while the simulation engine faces far
+  // more runs than it can finish; its slot must then read Cancelled — with
+  // no timeout configured, Timeout would be a misattribution.
+  Configuration config;
+  config.parallel = true;
+  config.simulationRuns = 100000;
+  config.simulationThreads = 1;
+  config.seed = 7;
+  EquivalenceCheckingManager manager(circuits::qft(10), circuits::qft(10),
+                                     config);
+  const auto combined = manager.run();
+  EXPECT_TRUE(provedEquivalent(combined.criterion)) << combined.toString();
+  const auto& slots = manager.engineResults();
+  ASSERT_EQ(slots.size(), 2U);
+  EXPECT_TRUE(isDefinitive(slots[0].criterion)) << slots[0].toString();
+  EXPECT_NE(slots[1].criterion, EquivalenceCriterion::Timeout)
+      << slots[1].toString();
+  // The slot either got cancelled mid-flight or — on a very fast machine —
+  // never observed the flag between two runs; both are honest, Timeout is
+  // not. On every realistic schedule 100k runs cannot complete, so also
+  // assert the cancellation actually happened.
+  EXPECT_EQ(slots[1].criterion, EquivalenceCriterion::Cancelled)
+      << slots[1].toString();
 }
 
 } // namespace

@@ -369,5 +369,71 @@ TEST(PackageTest, PeakResidentSetIsReported) {
   EXPECT_GT(Package::peakResidentSetKB(), 0U);
 }
 
+// --- eager release (lookahead loser reclamation) -----------------------------
+
+TEST(PackageReleaseTest, ReleaseReclaimsUnreferencedDiagramImmediately) {
+  Package p(4);
+  auto kept = sim::buildUnitaryDD(p, circuits::qft(4));
+  const auto baseline = p.stats().matrixNodes;
+  // An unreferenced product — exactly a lookahead oracle's losing candidate.
+  auto loser = p.multiply(kept, kept);
+  const auto afterMultiply = p.stats().matrixNodes;
+  ASSERT_GT(afterMultiply, baseline);
+  const auto loserNodes = p.nodeCount(loser);
+  const auto removed = p.release(loser);
+  // The loser's exclusive nodes are reclaimed immediately — no GC sweep —
+  // which is what keeps node budgets and the adaptive GC threshold honest
+  // between lookahead steps. (Orphaned multiply intermediates outside the
+  // product DAG stay until the next sweep, so the count need not return all
+  // the way to the baseline.)
+  EXPECT_GT(removed, 0U);
+  EXPECT_LE(removed, loserNodes);
+  EXPECT_EQ(p.stats().matrixNodes, afterMultiply - removed);
+  EXPECT_EQ(p.stats().releasedNodes, removed);
+  p.decRef(kept);
+}
+
+TEST(PackageReleaseTest, ReleaseStopsAtSharedReferencedNodes) {
+  Package p(3);
+  auto winner = sim::buildUnitaryDD(p, circuits::randomCircuit(3, 20, 5));
+  // Loser shares winner's entire DAG as a subcomputation: releasing it must
+  // not reclaim anything the winner still references.
+  auto loser = p.multiply(p.makeOperationDD(Operation(OpType::H, {}, {0})),
+                          winner);
+  const auto winnerNodes = p.nodeCount(winner);
+  (void)p.release(loser);
+  EXPECT_EQ(p.nodeCount(winner), winnerNodes);
+  // The winner's diagram is still canonical and usable after the release.
+  const auto prod1 = p.multiply(winner, winner);
+  const auto prod2 = p.multiply(winner, winner);
+  EXPECT_EQ(prod1.p, prod2.p);
+  EXPECT_EQ(prod1.w, prod2.w);
+  p.decRef(winner);
+}
+
+TEST(PackageReleaseTest, ReleaseOnReferencedRootIsANoOp) {
+  Package p(3);
+  auto e = sim::buildUnitaryDD(p, circuits::qft(3));
+  const auto before = p.stats().matrixNodes;
+  EXPECT_EQ(p.release(e), 0U); // root is incRef'd — nothing may be touched
+  EXPECT_EQ(p.stats().matrixNodes, before);
+  p.decRef(e);
+}
+
+TEST(PackageReleaseTest, SubsequentGarbageCollectionSurvivesEagerRelease) {
+  // The hazard pair: eager removal followed by a threshold sweep must not
+  // double-free or trip over already-reclaimed nodes.
+  Package p(4);
+  auto kept = sim::buildUnitaryDD(p, circuits::qft(4));
+  for (int i = 0; i < 4; ++i) {
+    auto loser = p.multiply(kept, kept);
+    (void)p.release(loser);
+  }
+  EXPECT_NO_THROW((void)p.garbageCollect(true));
+  const auto prod = p.multiply(kept, kept);
+  EXPECT_NE(prod.p, nullptr);
+  p.decRef(kept);
+}
+
 } // namespace
 } // namespace veriqc::dd
