@@ -1,0 +1,200 @@
+/// \file veriqc_lint.cpp
+/// \brief Static checker for OpenQASM 2.0 / RevLib files.
+///
+/// Parses each input file *without executing any checker engine*, runs the
+/// veriqc_audit IR auditors over the parsed circuit (operand aliasing,
+/// qubit ranges, arity, non-finite parameters, layout bijectivity, invert()
+/// round-trip) and emits every finding as a veriqc-lint/v1 JSON report on
+/// stdout — the static-analysis companion of check_qasm's veriqc-report/v1.
+///
+/// Usage: veriqc_lint [--text] [--no-invert] <file.qasm|file.real>...
+///        veriqc_lint --self-test
+///
+/// Files ending in ".real" are read as RevLib, everything else as OpenQASM.
+/// Exit code: 0 = no errors, 1 = at least one error finding, 2 = usage or
+/// I/O error.
+#include "audit/ir_audit.hpp"
+#include "obs/json.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/revlib.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using veriqc::audit::AuditReport;
+using veriqc::audit::AuditSeverity;
+using veriqc::obs::Json;
+
+constexpr const char* kLintSchemaId = "veriqc-lint/v1";
+
+struct Options {
+  bool text = false;     ///< human-readable lines instead of JSON
+  bool runInvert = true; ///< include the invert() round-trip audit
+};
+
+bool endsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+/// Lint one source text. `name` is used for finding locations.
+AuditReport lintSource(const std::string& name, const std::string& source,
+                       const bool isRevLib, const Options& options) {
+  AuditReport report;
+  veriqc::QuantumCircuit circuit(0);
+  try {
+    circuit = isRevLib ? veriqc::qasm::parseReal(source, name)
+                       : veriqc::qasm::parse(source, name);
+  } catch (const veriqc::qasm::ParseError& e) {
+    report.add(AuditSeverity::Error, "parse.error", e.what(),
+               name + ":" + std::to_string(e.line()) + ":" +
+                   std::to_string(e.column()));
+    return report; // no circuit to audit
+  }
+  report.merge(veriqc::audit::auditCircuit(circuit));
+  if (options.runInvert) {
+    report.merge(veriqc::audit::auditInvertRoundTrip(circuit));
+  }
+  return report;
+}
+
+Json findingToJson(const veriqc::audit::AuditFinding& finding) {
+  Json j = Json::object();
+  j["severity"] = veriqc::audit::toString(finding.severity);
+  j["code"] = finding.code;
+  j["message"] = finding.message;
+  j["location"] = finding.location;
+  return j;
+}
+
+int lintFiles(const std::vector<std::string>& paths, const Options& options) {
+  Json output = Json::object();
+  output["schema"] = kLintSchemaId;
+  Json files = Json::array();
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto report =
+        lintSource(path, buffer.str(), endsWith(path, ".real"), options);
+    Json entry = Json::object();
+    entry["file"] = path;
+    Json findings = Json::array();
+    for (const auto& finding : report.findings) {
+      findings.push_back(findingToJson(finding));
+      if (finding.severity == AuditSeverity::Error) {
+        ++errors;
+      } else if (finding.severity == AuditSeverity::Warning) {
+        ++warnings;
+      }
+      if (options.text) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     finding.toString().c_str());
+      }
+    }
+    entry["findings"] = std::move(findings);
+    files.push_back(std::move(entry));
+  }
+  output["files"] = std::move(files);
+  Json summary = Json::object();
+  summary["files"] = paths.size();
+  summary["errors"] = errors;
+  summary["warnings"] = warnings;
+  output["summary"] = std::move(summary);
+  if (!options.text) {
+    std::printf("%s\n", output.dump(2).c_str());
+  }
+  return errors > 0 ? 1 : 0;
+}
+
+bool reportHasCode(const AuditReport& report, const std::string& code) {
+  for (const auto& finding : report.findings) {
+    if (finding.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Built-in smoke test so CI can exercise the tool without fixture files:
+/// a clean program must produce no findings, and each seeded defect must be
+/// caught with the expected finding code.
+int selfTest() {
+  const Options options;
+  const auto clean = lintSource(
+      "<clean>", "qreg q[2]; h q[0]; cx q[0], q[1];", false, options);
+  if (clean.hasErrors()) {
+    std::fprintf(stderr, "self-test: clean program produced errors:\n%s\n",
+                 clean.toString().c_str());
+    return 2;
+  }
+  const auto aliased = lintSource(
+      "<aliased>", "qreg q[2]; cx q[0], q[0];", false, options);
+  if (!reportHasCode(aliased, "parse.error")) {
+    std::fprintf(stderr, "self-test: aliased operands not flagged\n");
+    return 2;
+  }
+  const auto truncated = lintSource("<truncated>", "qreg q[", false, options);
+  if (!reportHasCode(truncated, "parse.error")) {
+    std::fprintf(stderr, "self-test: truncated program not flagged\n");
+    return 2;
+  }
+  const auto revlib = lintSource(
+      "<revlib>", ".numvars 2\n.variables a b\nt2 a a\n", true, options);
+  if (!reportHasCode(revlib, "parse.error")) {
+    std::fprintf(stderr, "self-test: RevLib aliasing not flagged\n");
+    return 2;
+  }
+  const auto cleanReal = lintSource(
+      "<clean.real>", ".numvars 2\n.variables a b\nt2 a b\n", true, options);
+  if (cleanReal.hasErrors()) {
+    std::fprintf(stderr, "self-test: clean RevLib produced errors:\n%s\n",
+                 cleanReal.toString().c_str());
+    return 2;
+  }
+  std::printf("veriqc_lint self-test passed\n");
+  return 0;
+}
+
+} // namespace
+
+int main(const int argc, const char** argv) {
+  Options options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      return selfTest();
+    }
+    if (std::strcmp(argv[i], "--text") == 0) {
+      options.text = true;
+    } else if (std::strcmp(argv[i], "--no-invert") == 0) {
+      options.runInvert = false;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: veriqc_lint [--text] [--no-invert] "
+                 "<file.qasm|file.real>...\n"
+                 "       veriqc_lint --self-test\n");
+    return 2;
+  }
+  return lintFiles(paths, options);
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The one-stop local gate: everything CI runs, in dependency order.
+#   1. formatting        (skips when clang-format is absent)
+#   2. clang-tidy        (skips when clang-tidy is absent)
+#   3. tier-1 build + ctest (Release)
+#   4. tier-1 again at VERIQC_AUDIT=2 (every structural auditor on)
+#   5. ThreadSanitizer stress suite
+#
+# Usage: scripts/check_all.sh [--fast]
+#   --fast: only steps 1-3 (skip the audit re-run and TSan build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== format check =="
+scripts/format_check.sh
+
+echo "== clang-tidy =="
+scripts/check_tidy.sh
+
+echo "== tier-1 (Release) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" >/dev/null
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ $fast -eq 0 ]]; then
+  echo "== tier-1 with VERIQC_AUDIT=2 =="
+  VERIQC_AUDIT=2 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+  echo "== ThreadSanitizer stress =="
+  scripts/check_tsan.sh
+fi
+
+echo "check_all: OK"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the library sources using the compile database the
+# default build exports (CMAKE_EXPORT_COMPILE_COMMANDS is ON). Skips with a
+# notice when clang-tidy is not installed, so the script is safe to call from
+# check_all.sh in minimal containers.
+#
+# Usage: scripts/check_tidy.sh [path-filter-regex]
+#   path-filter-regex: only lint matching sources (default: all of src/)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "check_tidy: clang-tidy not found, skipping" >&2
+  exit 0
+fi
+
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -S . >/dev/null
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.cpp' | grep -E "${1:-.}")
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_tidy: no files match filter '${1:-}'" >&2
+  exit 2
+fi
+
+clang-tidy -p build --quiet "${files[@]}"
+echo "check_tidy: ${#files[@]} files checked"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Run the thread-stress suite under ThreadSanitizer (the tsan CMake preset).
+# tests/test_threading.cpp is the workload: it drives the parallel manager's
+# racing engines, the multi-threaded simulation worker pool (including
+# oversubscription and mid-flight cancellation) and several concurrent
+# managers at once. Any TSan report fails the run.
+#
+# Usage: scripts/check_tsan.sh [ctest-regex]
+#   ctest-regex: optional -R filter (default: the ThreadingStress tests)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j"$(nproc)" --target test_threading >/dev/null
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+ctest --test-dir build-tsan --output-on-failure -R "${1:-ThreadingStressTest}"

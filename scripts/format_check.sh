@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Check (or fix) formatting of all C++ sources with clang-format, using the
+# repo's .clang-format. Skips with a notice when clang-format is not
+# installed, so the script is safe to call from check_all.sh in minimal
+# containers.
+#
+# Usage: scripts/format_check.sh [--fix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check: clang-format not found, skipping" >&2
+  exit 0
+fi
+
+mode=(--dry-run --Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+  'tests/*.cpp' 'examples/*.cpp' 'bench/*.cpp')
+clang-format --style=file "${mode[@]}" "${files[@]}"
+echo "format_check: ${#files[@]} files checked"

@@ -1,0 +1,51 @@
+#include "audit/checkpoint.hpp"
+
+#include <utility>
+
+namespace veriqc::audit {
+
+DDCheckpoint::DDCheckpoint(const int configuredLevel, std::string context)
+    : level_(effectiveAuditLevel(configuredLevel)),
+      context_(std::move(context)) {}
+
+void DDCheckpoint::postGate(const dd::Package& package,
+                            const std::span<const dd::mEdge> matrixRoots,
+                            const std::span<const dd::vEdge> vectorRoots) {
+  if (level_ == kAuditOff) {
+    return;
+  }
+  if (level_ == kAuditThrottled && ++sinceAudit_ < kCheckpointStride) {
+    return;
+  }
+  sinceAudit_ = 0;
+  run(package, matrixRoots, vectorRoots);
+}
+
+void DDCheckpoint::boundary(const dd::Package& package,
+                            const std::span<const dd::mEdge> matrixRoots,
+                            const std::span<const dd::vEdge> vectorRoots) {
+  if (level_ == kAuditOff) {
+    return;
+  }
+  sinceAudit_ = 0;
+  run(package, matrixRoots, vectorRoots);
+}
+
+void DDCheckpoint::run(const dd::Package& package,
+                       const std::span<const dd::mEdge> matrixRoots,
+                       const std::span<const dd::vEdge> vectorRoots) {
+  requireClean(auditPackage(package, matrixRoots, vectorRoots), context_);
+}
+
+void zxCheckpoint(const int configuredLevel, const zx::ZXDiagram& diagram,
+                  const zx::Simplifier& simplifier,
+                  const std::string& context) {
+  if (effectiveAuditLevel(configuredLevel) == kAuditOff) {
+    return;
+  }
+  AuditReport report = auditDiagram(diagram);
+  report.merge(auditWorklist(simplifier));
+  requireClean(report, context);
+}
+
+} // namespace veriqc::audit

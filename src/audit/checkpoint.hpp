@@ -1,0 +1,59 @@
+/// \file checkpoint.hpp
+/// \brief Checkpoint drivers wiring the auditors into the checker engines.
+///
+/// Engines construct a checkpoint with the effective audit level (the
+/// maximum of Configuration::auditLevel and the VERIQC_AUDIT environment
+/// variable). At level 0 every hook reduces to one integer compare — no
+/// structure is walked and nothing allocates. Violations surface as
+/// AuditError, which the manager's exception firewall contains as an
+/// EngineError slot: a corrupted structure must disqualify the engine, not
+/// feed it a wrong verdict.
+#pragma once
+
+#include "audit/dd_audit.hpp"
+#include "audit/zx_audit.hpp"
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace veriqc::audit {
+
+/// Throttled post-gate checkpoint driver for the DD engines.
+class DDCheckpoint {
+public:
+  DDCheckpoint(int configuredLevel, std::string context);
+
+  [[nodiscard]] bool enabled() const noexcept { return level_ > kAuditOff; }
+  [[nodiscard]] int level() const noexcept { return level_; }
+
+  /// Post-gate hook. Level 1 audits every kCheckpointStride-th call, level 2
+  /// every call. `matrixRoots`/`vectorRoots` are the edges the engine
+  /// currently keeps incRef'ed. \throws AuditError on violations.
+  void postGate(const dd::Package& package,
+                std::span<const dd::mEdge> matrixRoots = {},
+                std::span<const dd::vEdge> vectorRoots = {});
+
+  /// Unthrottled checkpoint for engine-finish / pass boundaries; audits at
+  /// any enabled level. \throws AuditError on violations.
+  void boundary(const dd::Package& package,
+                std::span<const dd::mEdge> matrixRoots = {},
+                std::span<const dd::vEdge> vectorRoots = {});
+
+private:
+  void run(const dd::Package& package, std::span<const dd::mEdge> matrixRoots,
+           std::span<const dd::vEdge> vectorRoots);
+
+  int level_;
+  std::string context_;
+  std::size_t sinceAudit_ = 0;
+};
+
+/// Post-pass checkpoint for the ZX engine: audits the diagram and the
+/// simplifier worklist. No-op below level 1. \throws AuditError on
+/// violations.
+void zxCheckpoint(int configuredLevel, const zx::ZXDiagram& diagram,
+                  const zx::Simplifier& simplifier,
+                  const std::string& context);
+
+} // namespace veriqc::audit

@@ -1,0 +1,242 @@
+#include "audit/dd_audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace veriqc::audit {
+
+namespace {
+
+std::string pointerString(const void* p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+/// True when `x` is a value reals_.lookup can return: one of the fast-path
+/// constants or an interned representative (`interned` sorted ascending).
+bool isCanonicalReal(const double x, const std::vector<double>& interned) {
+  return x == 0.0 || x == 1.0 || x == -1.0 ||
+         std::binary_search(interned.begin(), interned.end(), x);
+}
+
+/// Audits one family of unique tables (matrix or vector): canonicity,
+/// per-node normalization and the refcount recount against `roots`.
+template <typename Node>
+void auditTables(const char* kind,
+                 const std::vector<dd::UniqueTable<Node>>& tables,
+                 const std::vector<double>& interned, const double tolerance,
+                 const std::vector<dd::Edge<Node>>& roots,
+                 AuditReport& report) {
+  // Normalization leaves the maximal child weight at 1 up to the rounding of
+  // one complex division; anything beyond a generous multiple of the
+  // interning tolerance is a real violation, not noise.
+  const double magTolerance = 64.0 * tolerance;
+
+  // Refcount recount. A node's stored count must equal the number of root
+  // edges pinning it plus one per edge from each table-resident parent whose
+  // own count is positive (incRef/decRef recurse into children exactly on
+  // the parent's 0<->1 transitions).
+  std::unordered_map<const Node*, std::uint64_t> expected;
+  for (const auto& root : roots) {
+    if (root.p != nullptr && root.p->v != dd::kTerminalLevel) {
+      ++expected[root.p];
+    }
+  }
+
+  for (std::size_t level = 0; level < tables.size(); ++level) {
+    const auto& table = tables[level];
+    const std::string where = std::string(kind) + " level " +
+                              std::to_string(level);
+    // Group by the full (unmasked) child hash so duplicates are found even
+    // when one copy sits in the wrong bucket.
+    std::unordered_map<std::size_t, std::vector<const Node*>> byHash;
+    byHash.reserve(table.size());
+
+    table.forEach([&](const Node* node, const std::size_t bucket) {
+      const auto hash = dd::hashNodeChildren(*node);
+      if ((hash & (table.bucketCount() - 1)) != bucket) {
+        report.add(AuditSeverity::Error, "dd.unique.misplaced",
+                   "node " + pointerString(node) + " found in bucket " +
+                       std::to_string(bucket) + " but hashes to " +
+                       std::to_string(hash & (table.bucketCount() - 1)),
+                   where);
+      }
+      byHash[hash].push_back(node);
+
+      if (node->v != static_cast<dd::Level>(level)) {
+        report.add(AuditSeverity::Error, "dd.unique.level",
+                   "node " + pointerString(node) + " carries level " +
+                       std::to_string(node->v),
+                   where);
+      }
+
+      double maxNorm = 0.0;
+      for (const auto& child : node->e) {
+        if (child.p == nullptr) {
+          report.add(AuditSeverity::Error, "dd.node.child",
+                     "node " + pointerString(node) + " has a null child",
+                     where);
+          continue;
+        }
+        const bool zeroWeight =
+            child.w == std::complex<double>{0.0, 0.0};
+        if (zeroWeight && child.p->v != dd::kTerminalLevel) {
+          report.add(AuditSeverity::Error, "dd.node.zero",
+                     "zero-weight child of " + pointerString(node) +
+                         " does not point at the terminal",
+                     where);
+        }
+        if (!zeroWeight && child.p->v != dd::kTerminalLevel &&
+            child.p->v >= static_cast<dd::Level>(level)) {
+          report.add(AuditSeverity::Error, "dd.node.child",
+                     "child of " + pointerString(node) + " sits at level " +
+                         std::to_string(child.p->v) + " >= its parent",
+                     where);
+        }
+        if (!isCanonicalReal(child.w.real(), interned) ||
+            !isCanonicalReal(child.w.imag(), interned)) {
+          report.add(AuditSeverity::Error, "dd.node.weight",
+                     "child weight of " + pointerString(node) +
+                         " is not an interned representative",
+                     where);
+        }
+        maxNorm = std::max(maxNorm, std::abs(child.w));
+      }
+      if (std::abs(maxNorm - 1.0) > magTolerance) {
+        report.add(AuditSeverity::Error, "dd.node.normalization",
+                   "maximal child-weight magnitude of " +
+                       pointerString(node) + " is " +
+                       std::to_string(maxNorm) + ", expected 1",
+                   where);
+      }
+
+      if (node->ref > 0) {
+        for (const auto& child : node->e) {
+          if (child.p != nullptr && child.p->v != dd::kTerminalLevel) {
+            ++expected[child.p];
+          }
+        }
+      }
+    });
+
+    for (const auto& [hash, nodes] : byHash) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+          if (dd::sameChildren(*nodes[i], *nodes[j])) {
+            report.add(AuditSeverity::Error, "dd.unique.duplicate",
+                       "nodes " + pointerString(nodes[i]) + " and " +
+                           pointerString(nodes[j]) +
+                           " have identical children",
+                       where);
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t level = 0; level < tables.size(); ++level) {
+    const std::string where = std::string(kind) + " level " +
+                              std::to_string(level);
+    tables[level].forEach([&](const Node* node, std::size_t /*bucket*/) {
+      const auto it = expected.find(node);
+      const std::uint64_t want = it == expected.end() ? 0 : it->second;
+      if (want != node->ref) {
+        report.add(AuditSeverity::Error, "dd.ref.mismatch",
+                   "node " + pointerString(node) + " stores refcount " +
+                       std::to_string(node->ref) + ", recount gives " +
+                       std::to_string(want),
+                   where);
+      }
+    });
+  }
+}
+
+} // namespace
+
+AuditReport auditRealTable(const dd::RealTable& reals) {
+  AuditReport report;
+  std::vector<std::pair<double, std::int64_t>> entries;
+  reals.forEachEntry([&](const std::int64_t key, const double value) {
+    entries.emplace_back(value, key);
+  });
+  for (const auto& [value, key] : entries) {
+    if (key != reals.binKey(value)) {
+      report.add(AuditSeverity::Error, "dd.reals.binning",
+                 "representative " + std::to_string(value) +
+                     " filed under bin " + std::to_string(key) +
+                     ", its value bins to " +
+                     std::to_string(reals.binKey(value)),
+                 "real table");
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const double prev = entries[i - 1].first;
+    const double cur = entries[i].first;
+    if (cur - prev < reals.tolerance()) {
+      report.add(AuditSeverity::Error, "dd.reals.collision",
+                 "representatives " + std::to_string(prev) + " and " +
+                     std::to_string(cur) + " are within tolerance",
+                 "real table");
+    }
+  }
+  return report;
+}
+
+AuditReport auditPackage(const dd::Package& package,
+                         const std::span<const dd::mEdge> matrixRoots,
+                         const std::span<const dd::vEdge> vectorRoots) {
+  AuditReport report = auditRealTable(package.realTable());
+
+  std::vector<double> interned;
+  interned.reserve(package.realTable().size());
+  package.realTable().forEachEntry(
+      [&](std::int64_t /*key*/, const double value) {
+        interned.push_back(value);
+      });
+  std::sort(interned.begin(), interned.end());
+
+  auto mRoots = package.internalMatrixRoots();
+  mRoots.insert(mRoots.end(), matrixRoots.begin(), matrixRoots.end());
+  auditTables("matrix", package.matrixTables(), interned,
+              package.tolerance(), mRoots, report);
+
+  const std::vector<dd::vEdge> vRoots(vectorRoots.begin(), vectorRoots.end());
+  auditTables("vector", package.vectorTables(), interned,
+              package.tolerance(), vRoots, report);
+
+  // Cache hygiene: every node referenced by a live compute-table entry must
+  // still be table-resident (or the terminal). Each stale pointer is
+  // reported once.
+  std::unordered_set<const void*> staleSeen;
+  package.visitLiveCacheNodes(
+      [&](const dd::mNode* node) {
+        if (!package.containsMatrixNode(node) &&
+            staleSeen.insert(node).second) {
+          report.add(AuditSeverity::Error, "dd.cache.stale",
+                     "live compute-table entry references dead matrix node " +
+                         pointerString(node),
+                     "compute tables");
+        }
+      },
+      [&](const dd::vNode* node) {
+        if (!package.containsVectorNode(node) &&
+            staleSeen.insert(node).second) {
+          report.add(AuditSeverity::Error, "dd.cache.stale",
+                     "live compute-table entry references dead vector node " +
+                         pointerString(node),
+                     "compute tables");
+        }
+      });
+
+  return report;
+}
+
+} // namespace veriqc::audit

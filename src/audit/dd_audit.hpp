@@ -1,0 +1,51 @@
+/// \file dd_audit.hpp
+/// \brief Deep structural auditors for the decision-diagram package.
+///
+/// The DD kernel's correctness rests on four invariants: canonicity (one
+/// table-resident node per distinct child tuple, hashed into its home
+/// bucket), normalization (largest child weight has unit magnitude, zero
+/// weights point at the terminal, weights are interned), reference-count
+/// accounting (stored counts equal a recount from the externally held
+/// roots), and cache hygiene (live compute-table entries reference only
+/// live nodes). A violation of any of them can silently flip an
+/// equivalence verdict, so these auditors re-derive each invariant from
+/// scratch instead of trusting the package's own bookkeeping.
+///
+/// Finding codes:
+///   dd.unique.misplaced   node hashes to a different bucket than it is in
+///   dd.unique.duplicate   two table-resident nodes with identical children
+///   dd.unique.level       node's level differs from its table's level
+///   dd.node.normalization max child-weight magnitude differs from 1
+///   dd.node.zero          zero-weight child does not point at the terminal
+///   dd.node.weight        child weight is not the interned representative
+///   dd.node.child         child pointer is null or not a live node
+///   dd.ref.mismatch       stored refcount differs from the recount
+///   dd.reals.collision    two interned reals within tolerance
+///   dd.reals.binning      slot key inconsistent with its value's bin
+///   dd.cache.stale        live compute-table entry references a dead node
+///
+/// All auditors are read-only and must run at quiescent points (no DD
+/// operation in flight). The refcount recount needs *all* externally held
+/// roots: the package contributes its internal ones (identity chain,
+/// gate-DD cache); the caller passes every edge it has incRef'ed itself.
+#pragma once
+
+#include "audit/finding.hpp"
+#include "dd/package.hpp"
+
+#include <span>
+
+namespace veriqc::audit {
+
+/// Audits the unique tables, normalization, interning table, refcounts and
+/// compute-table liveness of a package in one pass.
+[[nodiscard]] AuditReport
+auditPackage(const dd::Package& package,
+             std::span<const dd::mEdge> matrixRoots = {},
+             std::span<const dd::vEdge> vectorRoots = {});
+
+/// Audits only the real-number interning table (pairwise tolerance
+/// separation and bin-key consistency).
+[[nodiscard]] AuditReport auditRealTable(const dd::RealTable& reals);
+
+} // namespace veriqc::audit

@@ -1,0 +1,114 @@
+#include "audit/finding.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace veriqc::audit {
+
+const char* toString(const AuditSeverity severity) noexcept {
+  switch (severity) {
+  case AuditSeverity::Info:
+    return "info";
+  case AuditSeverity::Warning:
+    return "warning";
+  case AuditSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string AuditFinding::toString() const {
+  std::ostringstream os;
+  os << audit::toString(severity) << " [" << code << "] " << message;
+  if (!location.empty()) {
+    os << " (" << location << ")";
+  }
+  return os.str();
+}
+
+void AuditReport::add(const AuditSeverity severity, std::string code,
+                      std::string message, std::string location) {
+  findings.push_back(
+      {severity, std::move(code), std::move(message), std::move(location)});
+}
+
+void AuditReport::merge(AuditReport other) {
+  findings.insert(findings.end(),
+                  std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+}
+
+std::size_t AuditReport::errorCount() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const auto& f) {
+        return f.severity == AuditSeverity::Error;
+      }));
+}
+
+std::string AuditReport::toString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& finding : findings) {
+    if (!first) {
+      os << '\n';
+    }
+    first = false;
+    os << finding.toString();
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string describe(const std::string& context, const AuditReport& report) {
+  std::ostringstream os;
+  os << context << ": " << report.errorCount() << " invariant violation(s)";
+  // Quote the first few findings so the error message alone is actionable.
+  std::size_t shown = 0;
+  for (const auto& finding : report.findings) {
+    if (finding.severity != AuditSeverity::Error) {
+      continue;
+    }
+    os << "; " << finding.toString();
+    if (++shown == 3) {
+      break;
+    }
+  }
+  return os.str();
+}
+
+} // namespace
+
+AuditError::AuditError(const std::string& context, AuditReport report)
+    : VeriqcError(describe(context, report)), report_(std::move(report)) {}
+
+int auditLevelFromEnv() noexcept {
+  static const int cached = [] {
+    const char* raw = std::getenv("VERIQC_AUDIT");
+    if (raw == nullptr || *raw == '\0') {
+      return kAuditOff;
+    }
+    char* end = nullptr;
+    const long value = std::strtol(raw, &end, 10);
+    if (end == raw || value < 0) {
+      return kAuditOff;
+    }
+    return value > kAuditEveryCheckpoint ? kAuditEveryCheckpoint
+                                         : static_cast<int>(value);
+  }();
+  return cached;
+}
+
+int effectiveAuditLevel(const int configured) noexcept {
+  const int env = auditLevelFromEnv();
+  return configured > env ? configured : env;
+}
+
+void requireClean(const AuditReport& report, const std::string& context) {
+  if (report.hasErrors()) {
+    throw AuditError(context, report);
+  }
+}
+
+} // namespace veriqc::audit

@@ -1,0 +1,92 @@
+/// \file finding.hpp
+/// \brief Common result model of the invariant-audit layer.
+///
+/// Every auditor in veriqc_audit reports through the same `AuditFinding`
+/// record so that callers — checkpoint hooks, mutation tests, the
+/// `veriqc_lint` tool — can rank, print and serialize findings uniformly.
+#pragma once
+
+#include "ir/types.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace veriqc::audit {
+
+enum class AuditSeverity : std::uint8_t {
+  Info,    ///< observation, not a violation
+  Warning, ///< suspicious but not provably corrupt
+  Error,   ///< a structural invariant is violated
+};
+
+[[nodiscard]] const char* toString(AuditSeverity severity) noexcept;
+
+/// One invariant violation (or observation).
+struct AuditFinding {
+  AuditSeverity severity = AuditSeverity::Error;
+  /// Stable machine-readable key, e.g. "dd.unique.duplicate".
+  std::string code;
+  /// Human-readable description of the violation.
+  std::string message;
+  /// Where in the audited structure (or source file) it was found,
+  /// e.g. "matrix level 3" or "foo.qasm:4:12".
+  std::string location;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Findings accumulated by one audit run.
+struct AuditReport {
+  std::vector<AuditFinding> findings;
+
+  void add(AuditSeverity severity, std::string code, std::string message,
+           std::string location = {});
+  void merge(AuditReport other);
+
+  [[nodiscard]] bool empty() const noexcept { return findings.empty(); }
+  [[nodiscard]] std::size_t errorCount() const noexcept;
+  [[nodiscard]] bool hasErrors() const noexcept { return errorCount() > 0; }
+
+  /// All findings, one per line.
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Thrown by audit checkpoints when a report contains errors: a structural
+/// invariant was violated, so any verdict derived from the structure can no
+/// longer be trusted. The checker manager's exception firewall contains this
+/// as an EngineError slot rather than letting it produce a wrong verdict.
+class AuditError : public VeriqcError {
+public:
+  AuditError(const std::string& context, AuditReport report);
+
+  [[nodiscard]] const AuditReport& report() const noexcept { return report_; }
+
+private:
+  AuditReport report_;
+};
+
+/// Audit levels. Level 0 disables auditing: checkpoints reduce to a single
+/// integer compare (no structure is walked, nothing allocates). Level 1
+/// audits at throttled checkpoints (every kCheckpointStride-th post-gate
+/// checkpoint plus pass/engine boundaries). Level 2 audits every checkpoint.
+inline constexpr int kAuditOff = 0;
+inline constexpr int kAuditThrottled = 1;
+inline constexpr int kAuditEveryCheckpoint = 2;
+
+/// Post-gate checkpoints at level 1 audit every this-many gates.
+inline constexpr std::size_t kCheckpointStride = 64;
+
+/// The VERIQC_AUDIT environment override, read once and cached: "0"/"1"/"2"
+/// (values above 2 clamp to 2; unset or unparsable reads as 0).
+[[nodiscard]] int auditLevelFromEnv() noexcept;
+
+/// The audit level in effect: max(configured, VERIQC_AUDIT).
+[[nodiscard]] int effectiveAuditLevel(int configured) noexcept;
+
+/// Throws AuditError when the report contains errors; no-op otherwise.
+/// `context` names the checkpoint, e.g. "dd alternating checkpoint".
+void requireClean(const AuditReport& report, const std::string& context);
+
+} // namespace veriqc::audit

@@ -1,0 +1,203 @@
+#include "audit/ir_audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace veriqc::audit {
+
+namespace {
+
+std::string opLocation(const std::size_t index, const Operation& op) {
+  return "op " + std::to_string(index) + " (" + op.toString() + ")";
+}
+
+/// True for operation types the circuit inverter can handle.
+bool isInvertible(const OpType type) noexcept {
+  return type != OpType::None && type != OpType::Measure;
+}
+
+} // namespace
+
+AuditReport auditOperation(const Operation& op, const std::size_t nqubits,
+                           const std::string& location) {
+  AuditReport report;
+  if (op.type == OpType::None) {
+    report.add(AuditSeverity::Error, "ir.op.type", "operation has type None",
+               location);
+    return report;
+  }
+  for (const auto p : op.params) {
+    if (!std::isfinite(p)) {
+      report.add(AuditSeverity::Error, "ir.op.param",
+                 "non-finite parameter " + std::to_string(p), location);
+    }
+  }
+  if (op.type == OpType::Barrier || op.type == OpType::Measure) {
+    return report; // meta operations may list any qubits
+  }
+  std::set<Qubit> seen;
+  for (const auto q : op.usedQubits()) {
+    if (q >= nqubits) {
+      report.add(AuditSeverity::Error, "ir.op.range",
+                 "qubit " + std::to_string(q) + " out of range (n=" +
+                     std::to_string(nqubits) + ")",
+                 location);
+    }
+    if (!seen.insert(q).second) {
+      report.add(AuditSeverity::Error, "ir.op.alias",
+                 "qubit " + std::to_string(q) +
+                     " aliased (listed more than once)",
+                 location);
+    }
+  }
+  if (isSingleTargetType(op.type) && op.targets.size() != 1) {
+    report.add(AuditSeverity::Error, "ir.op.arity",
+               "single-target type has " + std::to_string(op.targets.size()) +
+                   " targets",
+               location);
+  }
+  if (op.type == OpType::SWAP && op.targets.size() != 2) {
+    report.add(AuditSeverity::Error, "ir.op.arity",
+               "SWAP has " + std::to_string(op.targets.size()) + " targets",
+               location);
+  }
+  if (op.params.size() != numParameters(op.type)) {
+    report.add(AuditSeverity::Error, "ir.op.arity",
+               "expected " + std::to_string(numParameters(op.type)) +
+                   " parameters, got " + std::to_string(op.params.size()),
+               location);
+  }
+  return report;
+}
+
+AuditReport auditPermutation(const Permutation& perm,
+                             const std::size_t nqubits,
+                             const std::string& location) {
+  AuditReport report;
+  if (nqubits != 0 && perm.size() != nqubits) {
+    report.add(AuditSeverity::Error, "ir.perm.size",
+               "permutation size " + std::to_string(perm.size()) +
+                   " differs from circuit width " + std::to_string(nqubits),
+               location);
+  }
+  // Re-derive bijectivity instead of trusting isValid(): report *which*
+  // images collide or overflow so mutation tests and lint output are precise.
+  const auto& map = perm.raw();
+  std::vector<bool> hit(map.size(), false);
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    const auto image = map[i];
+    if (image >= map.size()) {
+      report.add(AuditSeverity::Error, "ir.perm.bijection",
+                 "image " + std::to_string(image) + " of " + std::to_string(i) +
+                     " out of range",
+                 location);
+      continue;
+    }
+    if (hit[image]) {
+      report.add(AuditSeverity::Error, "ir.perm.bijection",
+                 "image " + std::to_string(image) + " hit more than once",
+                 location);
+    }
+    hit[image] = true;
+  }
+  return report;
+}
+
+AuditReport auditCircuit(const QuantumCircuit& circuit) {
+  AuditReport report;
+  const auto& ops = circuit.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    report.merge(
+        auditOperation(ops[i], circuit.numQubits(), opLocation(i, ops[i])));
+  }
+  report.merge(auditPermutation(circuit.initialLayout(), circuit.numQubits(),
+                                "initialLayout"));
+  report.merge(auditPermutation(circuit.outputPermutation(),
+                                circuit.numQubits(), "outputPermutation"));
+  if (!std::isfinite(circuit.globalPhase())) {
+    report.add(AuditSeverity::Error, "ir.phase.nonfinite",
+               "non-finite global phase", "globalPhase");
+  }
+  return report;
+}
+
+AuditReport auditInvertRoundTrip(const QuantumCircuit& circuit,
+                                 const double tolerance) {
+  AuditReport report;
+  const auto& ops = circuit.ops();
+  if (const auto it = std::find_if(
+          ops.begin(), ops.end(),
+          [](const Operation& op) { return !isInvertible(op.type); });
+      it != ops.end()) {
+    report.add(AuditSeverity::Info, "ir.invert.roundtrip",
+               "skipped: circuit contains non-invertible operation " +
+                   it->toString());
+    return report;
+  }
+
+  const auto inv = circuit.inverted();
+  if (inv.size() != circuit.size()) {
+    report.add(AuditSeverity::Error, "ir.invert.roundtrip",
+               "inverted() changed the gate count from " +
+                   std::to_string(circuit.size()) + " to " +
+                   std::to_string(inv.size()));
+    return report;
+  }
+  const std::size_t n = circuit.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // inverted() reverses the gate list; slot n-1-i must invert gate i.
+    if (!inv.ops()[n - 1 - i].isInverseOf(ops[i], tolerance)) {
+      report.add(AuditSeverity::Error, "ir.invert.roundtrip",
+                 "inverted gate is not the inverse of its source: " +
+                     inv.ops()[n - 1 - i].toString() + " vs " +
+                     ops[i].toString(),
+                 opLocation(i, ops[i]));
+    }
+  }
+  if (inv.initialLayout().raw() != circuit.outputPermutation().raw() ||
+      inv.outputPermutation().raw() != circuit.initialLayout().raw()) {
+    report.add(AuditSeverity::Error, "ir.invert.roundtrip",
+               "inverted() did not exchange the layout permutations");
+  }
+  if (std::abs(inv.globalPhase() + circuit.globalPhase()) > tolerance) {
+    report.add(AuditSeverity::Error, "ir.invert.roundtrip",
+               "inverted() did not negate the global phase");
+  }
+
+  // A double inversion must reproduce the original gate list; parameters may
+  // only differ within tolerance (double negation is exact for the gate set,
+  // but U2 legitimately round-trips through U3).
+  const auto twice = inv.inverted();
+  if (twice.size() != n) {
+    report.add(AuditSeverity::Error, "ir.invert.roundtrip",
+               "double inversion changed the gate count");
+    return report;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = ops[i];
+    const auto& b = twice.ops()[i];
+    // U2 inverts into U3, whose inverse stays U3 — compare those modulo the
+    // defining identity u2(phi, lambda) = u3(pi/2, phi, lambda).
+    Operation expected = a;
+    if (a.type == OpType::U2) {
+      expected.type = OpType::U3;
+      expected.params = {PI_2, a.params[0], a.params[1]};
+    }
+    bool same = b.type == expected.type && b.controls == expected.controls &&
+                b.targets == expected.targets &&
+                b.params.size() == expected.params.size();
+    for (std::size_t k = 0; same && k < b.params.size(); ++k) {
+      same = std::abs(b.params[k] - expected.params[k]) <= tolerance;
+    }
+    if (!same) {
+      report.add(AuditSeverity::Error, "ir.invert.roundtrip",
+                 "double inversion changed gate " + a.toString() + " into " +
+                     b.toString(),
+                 opLocation(i, a));
+    }
+  }
+  return report;
+}
+
+} // namespace veriqc::audit

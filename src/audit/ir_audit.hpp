@@ -1,0 +1,54 @@
+/// \file ir_audit.hpp
+/// \brief Structural auditors for the circuit IR.
+///
+/// These validate operations, permutations and whole circuits *without*
+/// throwing on the first problem (unlike Operation::validate): every
+/// violation becomes an AuditFinding, so `veriqc_lint` can report all
+/// problems of a file in one pass.
+///
+/// Finding codes:
+///   ir.op.alias          control/target qubit listed twice in one operation
+///   ir.op.range          qubit index out of range for the circuit width
+///   ir.op.arity          wrong target or parameter count for the gate type
+///   ir.op.param          non-finite gate parameter
+///   ir.op.type           operation of type None
+///   ir.perm.size         permutation size differs from the circuit width
+///   ir.perm.bijection    permutation map is not a bijection on {0..n-1}
+///   ir.phase.nonfinite   non-finite circuit global phase
+///   ir.invert.roundtrip  invert() round-trip mismatch
+#pragma once
+
+#include "audit/finding.hpp"
+#include "ir/circuit.hpp"
+#include "ir/operation.hpp"
+#include "ir/permutation.hpp"
+
+#include <cstddef>
+#include <string>
+
+namespace veriqc::audit {
+
+/// Audits one operation against a circuit width of `nqubits`.
+[[nodiscard]] AuditReport auditOperation(const Operation& op,
+                                         std::size_t nqubits,
+                                         const std::string& location = {});
+
+/// Audits a permutation: bijectivity on {0..n-1} and, when `nqubits` is
+/// nonzero, that its size matches the circuit width.
+[[nodiscard]] AuditReport auditPermutation(const Permutation& perm,
+                                           std::size_t nqubits = 0,
+                                           const std::string& location = {});
+
+/// Audits a whole circuit: every operation, both layout permutations and the
+/// global phase.
+[[nodiscard]] AuditReport auditCircuit(const QuantumCircuit& circuit);
+
+/// Audits invert() round-trip consistency: inverted() must reverse the gate
+/// list with each gate the inverse of its source (checked via isInverseOf),
+/// exchange the layout permutations, negate the global phase, and
+/// inverted().inverted() must reproduce the original gate list. Skipped with
+/// an Info finding when the circuit contains non-invertible operations.
+[[nodiscard]] AuditReport auditInvertRoundTrip(const QuantumCircuit& circuit,
+                                               double tolerance = 1e-12);
+
+} // namespace veriqc::audit

@@ -1,10 +1,12 @@
 #include "check/dd_checkers.hpp"
 
+#include "audit/checkpoint.hpp"
 #include "dd/package.hpp"
 #include "opt/optimizer.hpp"
 #include "sim/dd_simulator.hpp"
 #include "sim/dense.hpp"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -263,9 +265,14 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   const auto [a, b] = prepare(c1, c2, config);
   dd::Package package(a.numQubits(), config.numericalTolerance,
                       packageConfigFor(config));
+  audit::DDCheckpoint checkpoint(config.auditLevel,
+                                 "dd-construction checkpoint");
 
-  const auto build = [&](const QuantumCircuit& circuit,
-                         bool& aborted) -> dd::mEdge {
+  // `pinned` carries edges the engine keeps referenced outside the
+  // accumulator (the finished first diagram while the second one builds), so
+  // the audit's refcount recount sees every external root.
+  const auto build = [&](const QuantumCircuit& circuit, bool& aborted,
+                         const dd::mEdge* pinned) -> dd::mEdge {
     const auto explicitCircuit = circuit.withExplicitPermutations();
     Accumulator acc(package);
     for (const auto& op : explicitCircuit.ops()) {
@@ -277,6 +284,13 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
         break;
       }
       acc.applyLeft(package.makeOperationDD(op));
+      if (checkpoint.enabled()) {
+        std::vector<dd::mEdge> roots{acc.edge()};
+        if (pinned != nullptr) {
+          roots.push_back(*pinned);
+        }
+        checkpoint.postGate(package, roots);
+      }
     }
     result.peakNodes = std::max(result.peakNodes, acc.peak());
     if (explicitCircuit.globalPhase() != 0.0 && !aborted) {
@@ -289,8 +303,12 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
 
   try {
     bool aborted = false;
-    const auto e1 = build(a, aborted);
-    const auto e2 = aborted ? package.makeIdent() : build(b, aborted);
+    const auto e1 = build(a, aborted, nullptr);
+    const auto e2 = aborted ? package.makeIdent() : build(b, aborted, &e1);
+    if (!aborted && checkpoint.enabled()) {
+      const std::array roots{e1, e2};
+      checkpoint.boundary(package, roots);
+    }
     if (aborted) {
       result.criterion = stopAttribution(deadline);
       recordCacheStats(package, result);
@@ -338,6 +356,16 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   TaskSide right(a, /*invert=*/true); // G^dagger, multiplied from the right
   TaskSide left(b, /*invert=*/false); // G', multiplied from the left
   Accumulator acc(package, config.recordTrace);
+  audit::DDCheckpoint checkpoint(config.auditLevel,
+                                 "dd-alternating checkpoint");
+  // The accumulator edge is the engine's only external root at quiescent
+  // points, so every checkpoint hands exactly it to the refcount recount.
+  const auto auditGate = [&]() {
+    if (checkpoint.enabled()) {
+      const std::array roots{acc.edge()};
+      checkpoint.postGate(package, roots);
+    }
+  };
 
   const auto stopped = [&]() { return stop && stop(); };
 
@@ -361,10 +389,12 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
       }
       if (!leftPending) {
         acc.applyRight(right.takeGateDD(package));
+        auditGate();
         continue;
       }
       if (!rightPending) {
         acc.applyLeft(left.takeGateDD(package));
+        auditGate();
         continue;
       }
       switch (config.oracle) {
@@ -406,6 +436,7 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
         break;
       }
       }
+      auditGate();
     }
 
     // Global phases: E accumulates G'.G^dagger, so the relative phase is
@@ -425,6 +456,11 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
                          .compose(left.trackedPermutation().inverse());
     for (const auto& [x, y] : tau.transpositions()) {
       acc.applyRight(package.makeSwapDD(x, y));
+      auditGate();
+    }
+    if (checkpoint.enabled()) {
+      const std::array roots{acc.edge()};
+      checkpoint.boundary(package, roots);
     }
 
     result.criterion = classify(package, acc.edge(), config, result);
@@ -473,6 +509,14 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
   TaskSide right(a, /*invert=*/true);
   TaskSide left(b, /*invert=*/false);
   Accumulator acc(package, flowConfig.recordTrace);
+  audit::DDCheckpoint checkpoint(config.auditLevel,
+                                 "dd-compilation-flow checkpoint");
+  const auto auditGate = [&]() {
+    if (checkpoint.enabled()) {
+      const std::array roots{acc.edge()};
+      checkpoint.postGate(package, roots);
+    }
+  };
 
   // Fill the result record for an early abort, attributing the stop to the
   // local deadline (Timeout) or a sibling's verdict (Cancelled) and keeping
@@ -501,10 +545,12 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
         }
         if (left.absorbSwaps()) {
           acc.applyLeft(left.takeGateDD(package));
+          auditGate();
         }
       }
       if (right.absorbSwaps()) {
         acc.applyRight(right.takeGateDD(package));
+        auditGate();
       }
     }
     for (std::size_t i = 0; left.absorbSwaps(); ++i) {
@@ -512,12 +558,14 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
         return stoppedResult();
       }
       acc.applyLeft(left.takeGateDD(package));
+      auditGate();
     }
     for (std::size_t i = 0; right.absorbSwaps(); ++i) {
       if (i % kStopPollStride == kStopPollStride - 1 && stop && stop()) {
         return stoppedResult();
       }
       acc.applyRight(right.takeGateDD(package));
+      auditGate();
     }
 
     const auto tau = right.trackedPermutation()
@@ -526,12 +574,17 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
                          .compose(left.trackedPermutation().inverse());
     for (const auto& [x, y] : tau.transpositions()) {
       acc.applyRight(package.makeSwapDD(x, y));
+      auditGate();
     }
     const double relativePhase = b.globalPhase() - a.globalPhase();
     if (relativePhase != 0.0) {
       const auto& e = acc.edge();
       acc.replace(
           {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
+    }
+    if (checkpoint.enabled()) {
+      const std::array roots{acc.edge()};
+      checkpoint.boundary(package, roots);
     }
     result.criterion = classify(package, acc.edge(), flowConfig, result);
   } catch (const ResourceLimitError& e) {
@@ -585,6 +638,10 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
       // The DD package is documented single-threaded: one per worker.
       dd::Package package(a.numQubits(), config.numericalTolerance,
                           packageConfigFor(config));
+      // Per-worker checkpoint: packages are thread-local, so the audit walks
+      // only structures owned by this thread.
+      audit::DDCheckpoint checkpoint(config.auditLevel,
+                                     "dd-simulation checkpoint");
       while (true) {
         const std::size_t run =
             nextRun.fetch_add(1, std::memory_order_relaxed);
@@ -612,6 +669,13 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
         const bool abortedExternal = stop && stop();
         const bool abortedLocal =
             failIndex.load(std::memory_order_relaxed) < run;
+        if (!abortedExternal && !abortedLocal && checkpoint.enabled()) {
+          // The three state vectors are the only externally referenced
+          // edges at this point (matrix gate DDs live in the gate cache,
+          // which the audit treats as an internal root).
+          const std::array vectorRoots{input, out1, out2};
+          checkpoint.postGate(package, {}, vectorRoots);
+        }
         const double fidelity = (abortedExternal || abortedLocal)
                                     ? 1.0
                                     : package.fidelity(out1, out2);
@@ -641,6 +705,9 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
           }
         }
       }
+      // Quiescent point: every state vector has been decRef'ed, so the
+      // recount expects no external roots at all.
+      checkpoint.boundary(package);
       std::scoped_lock lock(resultMutex);
       recordCacheStats(package, result);
     } catch (const ResourceLimitError& e) {

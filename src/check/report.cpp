@@ -69,6 +69,7 @@ obs::Json serializeConfiguration(const Configuration& config) {
   j["maxZXVertices"] = config.maxZXVertices;
   j["maxMemoryMB"] = config.maxMemoryMB;
   j["recordTrace"] = config.recordTrace;
+  j["auditLevel"] = static_cast<std::int64_t>(config.auditLevel);
   return j;
 }
 

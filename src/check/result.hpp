@@ -111,6 +111,14 @@ struct Configuration {
   /// Record the diagram size after every gate application (alternating
   /// checker) — the instrumentation behind the paper's Fig. 4 intuition.
   bool recordTrace = false;
+  /// Invariant-audit level of the veriqc_audit layer: 0 = off (checkpoints
+  /// reduce to one integer compare), 1 = audit DD/ZX structures at throttled
+  /// post-gate checkpoints and at pass boundaries, 2 = audit every
+  /// checkpoint. The VERIQC_AUDIT environment variable raises the effective
+  /// level (max of both). Violations abort the engine with EngineError via
+  /// the exception firewall — a corrupted structure must never produce a
+  /// verdict.
+  int auditLevel = 0;
 };
 
 /// Scheduler statistics of one ZX rule family, as recorded by the

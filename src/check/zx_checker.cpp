@@ -1,5 +1,6 @@
 #include "check/zx_checker.hpp"
 
+#include "audit/checkpoint.hpp"
 #include "compile/decompose.hpp"
 #include "zx/circuit_to_zx.hpp"
 #include "zx/simplify.hpp"
@@ -75,6 +76,11 @@ Result zxCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
     recordStats();
     return result;
   }
+  // Post-pass checkpoint: audit the reduced diagram and the drained worklist
+  // before trusting them for a verdict. An AuditError propagates to the
+  // manager's exception firewall (EngineError).
+  audit::zxCheckpoint(config.auditLevel, diagram, simplifier,
+                      "zx-calculus post-reduce checkpoint");
   recordStats();
   if (!completed) {
     result.criterion = Clock::now() >= deadline

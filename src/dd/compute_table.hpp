@@ -96,6 +96,16 @@ public:
   [[nodiscard]] std::size_t lookups() const noexcept { return stats_.lookups; }
   [[nodiscard]] std::size_t hits() const noexcept { return stats_.hits; }
 
+  /// Visits every entry of the current generation as `f(lhs, rhs, result)`.
+  /// Read-only introspection for the audit layer.
+  template <typename F> void forEachLive(F&& f) const {
+    for (const auto& entry : entries_) {
+      if (entry.gen == generation_) {
+        f(entry.lhs, entry.rhs, entry.result);
+      }
+    }
+  }
+
 private:
   struct Entry {
     LeftEdge lhs{};
@@ -167,6 +177,16 @@ public:
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t lookups() const noexcept { return stats_.lookups; }
   [[nodiscard]] std::size_t hits() const noexcept { return stats_.hits; }
+
+  /// Visits every entry of the current generation as `f(arg, result)`.
+  /// Read-only introspection for the audit layer.
+  template <typename F> void forEachLive(F&& f) const {
+    for (const auto& entry : entries_) {
+      if (entry.gen == generation_) {
+        f(entry.arg, entry.result);
+      }
+    }
+  }
 
 private:
   struct Entry {

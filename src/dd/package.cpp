@@ -840,4 +840,97 @@ void Package::exportCounters(obs::CounterRegistry& registry,
   registry.max(prefix + "reals.interned", static_cast<double>(s.realNumbers));
 }
 
+std::vector<mEdge> Package::internalMatrixRoots() const {
+  std::vector<mEdge> roots;
+  roots.reserve(idTable_.size() + gateCache_.size());
+  roots.insert(roots.end(), idTable_.begin(), idTable_.end());
+  for (const auto& [key, edge] : gateCache_) {
+    roots.push_back(edge);
+  }
+  return roots;
+}
+
+void Package::visitLiveCacheNodes(
+    const std::function<void(const mNode*)>& visitMatrix,
+    const std::function<void(const vNode*)>& visitVector) const {
+  const auto vm = [&](const mEdge& e) {
+    if (e.p != nullptr) {
+      visitMatrix(e.p);
+    }
+  };
+  const auto vv = [&](const vEdge& e) {
+    if (e.p != nullptr) {
+      visitVector(e.p);
+    }
+  };
+  multiplyTable_.forEachLive(
+      [&](const mEdge& l, const mEdge& r, const mEdge& res) {
+        vm(l);
+        vm(r);
+        vm(res);
+      });
+  multiplyVectorTable_.forEachLive(
+      [&](const mEdge& l, const vEdge& r, const vEdge& res) {
+        vm(l);
+        vv(r);
+        vv(res);
+      });
+  addTable_.forEachLive([&](const mEdge& l, const mEdge& r, const mEdge& res) {
+    vm(l);
+    vm(r);
+    vm(res);
+  });
+  addVectorTable_.forEachLive(
+      [&](const vEdge& l, const vEdge& r, const vEdge& res) {
+        vv(l);
+        vv(r);
+        vv(res);
+      });
+  conjTransTable_.forEachLive([&](const mNode* arg, const mEdge& res) {
+    if (arg != nullptr) {
+      visitMatrix(arg);
+    }
+    vm(res);
+  });
+  traceTable_.forEachLive(
+      [&](const mNode* arg, const std::complex<double>& /*res*/) {
+        if (arg != nullptr) {
+          visitMatrix(arg);
+        }
+      });
+  innerProductTable_.forEachLive(
+      [&](const vEdge& l, const vEdge& r, const std::complex<double>& /*res*/) {
+        vv(l);
+        vv(r);
+      });
+}
+
+bool Package::containsMatrixNode(const mNode* node) const noexcept {
+  if (node == nullptr) {
+    return false;
+  }
+  if (node == &mTerminal_) {
+    return true;
+  }
+  if (node->v < 0 ||
+      static_cast<std::size_t>(node->v) >= mTables_.size()) {
+    return false;
+  }
+  return mTables_[static_cast<std::size_t>(node->v)].contains(node);
+}
+
+bool Package::containsVectorNode(const vNode* node) const noexcept {
+  if (node == nullptr) {
+    return false;
+  }
+  if (node == &vTerminal_) {
+    return true;
+  }
+  if (node->v < 0 ||
+      static_cast<std::size_t>(node->v) >= vTables_.size()) {
+    return false;
+  }
+  return vTables_[static_cast<std::size_t>(node->v)].contains(node);
+}
+
 } // namespace veriqc::dd

@@ -15,6 +15,7 @@
 #include <complex>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <span>
 #include <unordered_map>
@@ -214,6 +215,40 @@ public:
   /// packages of the simulation checker — merge correctly.
   void exportCounters(obs::CounterRegistry& registry,
                       const std::string& prefix = "dd.") const;
+
+  // --- introspection (audit layer and tests) ---------------------------------
+  // Read-only views into the package's internal structures. Only meaningful
+  // at quiescent points (no DD operation in flight); the audit layer calls
+  // them at post-gate checkpoints and after garbage collection.
+
+  /// Per-level unique tables (index = DD level).
+  [[nodiscard]] const std::vector<UniqueTable<mNode>>&
+  matrixTables() const noexcept {
+    return mTables_;
+  }
+  [[nodiscard]] const std::vector<UniqueTable<vNode>>&
+  vectorTables() const noexcept {
+    return vTables_;
+  }
+
+  /// The real-number interning table.
+  [[nodiscard]] const RealTable& realTable() const noexcept { return reals_; }
+
+  /// Root edges the package itself keeps referenced: the identity chain and
+  /// the gate-DD cache (each entry holds exactly one reference). A full
+  /// refcount recount counts these alongside caller-held roots.
+  [[nodiscard]] std::vector<mEdge> internalMatrixRoots() const;
+
+  /// Invokes the visitors for every node pointer referenced by a compute-table
+  /// entry of the current generation (operand keys and cached results).
+  void
+  visitLiveCacheNodes(const std::function<void(const mNode*)>& visitMatrix,
+                      const std::function<void(const vNode*)>& visitVector)
+      const;
+
+  /// True if `node` is the terminal or currently resident in a unique table.
+  [[nodiscard]] bool containsMatrixNode(const mNode* node) const noexcept;
+  [[nodiscard]] bool containsVectorNode(const vNode* node) const noexcept;
 
 private:
   std::size_t releaseNode(mNode* node);

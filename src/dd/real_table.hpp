@@ -65,6 +65,22 @@ public:
     count_ = 0;
   }
 
+  /// Visits every interned representative as `f(binKey, value)`. Read-only
+  /// introspection for the audit layer.
+  template <typename F> void forEachEntry(F&& f) const {
+    for (const auto& slot : slots_) {
+      if (slot.occupied) {
+        f(slot.key, slot.value);
+      }
+    }
+  }
+
+  /// Bin key of `value` under the current tolerance (exposed so the audit
+  /// layer can re-derive slot keys).
+  [[nodiscard]] std::int64_t binKey(double value) const noexcept {
+    return keyOf(value);
+  }
+
 private:
   struct Slot {
     std::int64_t key = 0;

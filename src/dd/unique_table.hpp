@@ -107,6 +107,43 @@ public:
 
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
+  [[nodiscard]] std::size_t bucketCount() const noexcept {
+    return buckets_.size();
+  }
+
+  /// Visits every table-resident node as `f(node, bucketIndex)`. Read-only
+  /// introspection for the audit layer; the visitor must not mutate the table.
+  template <typename F> void forEach(F&& f) const {
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      for (const Node* cur = buckets_[b]; cur != nullptr; cur = cur->next) {
+        f(cur, b);
+      }
+    }
+  }
+
+  /// True if `node` is currently resident in this table. Checks the node's
+  /// home bucket first and falls back to a full scan so that nodes whose
+  /// children were corrupted after insertion are still found (the audit layer
+  /// relies on this to separate "stale pointer" from "misplaced node").
+  [[nodiscard]] bool contains(const Node* node) const noexcept {
+    const auto h = hashNodeChildren(*node) & (buckets_.size() - 1);
+    for (const Node* cur = buckets_[h]; cur != nullptr; cur = cur->next) {
+      if (cur == node) {
+        return true;
+      }
+    }
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      if (b == h) {
+        continue;
+      }
+      for (const Node* cur = buckets_[b]; cur != nullptr; cur = cur->next) {
+        if (cur == node) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
 
 private:
   void grow() {

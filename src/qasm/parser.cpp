@@ -444,6 +444,10 @@ private:
         const auto resolved = resolve(ref);
         qubits.push_back(ref.index < 0 ? resolved[rep] : resolved[0]);
       }
+      // Reject aliased operands (`cx q[0], q[0];`) here, at parse time,
+      // rather than during the deferred emission pass: the error carries the
+      // gate's own position instead of surfacing later from IR validation.
+      rejectAliasedOperands(qubits, call.name, call.line, call.column);
       const auto line = call.line;
       const auto column = call.column;
       const auto name = call.name;
@@ -472,6 +476,25 @@ private:
                        ref.line, ref.column);
     }
     return {static_cast<Qubit>(offset + static_cast<std::size_t>(ref.index))};
+  }
+
+  /// Gates act on pairwise-distinct qubits; an operand list that mentions
+  /// the same wire twice (`cx q[0], q[0];`) is malformed input, rejected
+  /// with the position of the offending application.
+  static void rejectAliasedOperands(const std::vector<Qubit>& qubits,
+                                    const std::string& name,
+                                    const std::size_t line,
+                                    const std::size_t column) {
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+      for (std::size_t j = i + 1; j < qubits.size(); ++j) {
+        if (qubits[i] == qubits[j]) {
+          throw ParseError("aliased operands: qubit " +
+                               std::to_string(qubits[i]) +
+                               " appears more than once in '" + name + "'",
+                           line, column);
+        }
+      }
+    }
   }
 
   /// Evaluate a parameter expression, converting evaluation failures
@@ -550,6 +573,9 @@ private:
         }
         subQubits.push_back(it->second);
       }
+      // A gate body can alias wires on its own (`gate g a { cx a, a; }`),
+      // which only becomes visible once the formals are bound.
+      rejectAliasedOperands(subQubits, call.name, call.line, call.column);
       applyGate(circuit, call.name, subParams, subQubits, call.line,
                 call.column, depth + 1);
     }

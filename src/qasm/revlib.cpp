@@ -150,6 +150,19 @@ QuantumCircuit parseReal(const std::string& source, const std::string& name) {
     if (qubits.empty()) {
       throw ParseError("gate without operands", line.number, 1);
     }
+    // Controls and targets must name pairwise-distinct variables; reject
+    // aliased operand lists (`t2 a a`) at parse time with the gate's line.
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+      for (std::size_t j = i + 1; j < qubits.size(); ++j) {
+        if (qubits[i] == qubits[j]) {
+          throw ParseError("aliased operands: variable '" +
+                               line.tokens[j + 1] +
+                               "' appears more than once in '" + mnemonic +
+                               "'",
+                           line.number, 1);
+        }
+      }
+    }
     try {
       // Negative controls via X conjugation.
       for (const auto q : negated) {

@@ -138,6 +138,8 @@ public:
   [[nodiscard]] std::string toString() const;
 
 private:
+  friend struct ZXDiagramTestAccess; ///< mutation tests corrupt state here
+
   std::vector<VertexType> types_;
   std::vector<PiRational> phases_;
   std::vector<bool> present_;

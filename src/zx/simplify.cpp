@@ -97,6 +97,59 @@ Vertex Simplifier::Worklist::pop() {
   return v;
 }
 
+std::vector<std::string> Simplifier::Worklist::checkInvariant() const {
+  std::vector<std::string> issues;
+  if (!std::is_heap(sweep_.begin(), sweep_.end(), std::greater<>{})) {
+    issues.emplace_back("current sweep is not a min-heap");
+  }
+  if (!std::is_heap(nextSweep_.begin(), nextSweep_.end(), std::greater<>{})) {
+    issues.emplace_back("next sweep is not a min-heap");
+  }
+  std::vector<Vertex> queued;
+  queued.reserve(sweep_.size() + nextSweep_.size());
+  const auto checkEntries = [&](const std::vector<Vertex>& heap,
+                                const std::uint64_t expectedStamp,
+                                const char* name) {
+    for (const Vertex v : heap) {
+      queued.push_back(v);
+      if (v >= stamp_.size()) {
+        issues.push_back(std::string(name) + " entry " + std::to_string(v) +
+                         " has no stamp slot");
+        continue;
+      }
+      if (stamp_[v] != expectedStamp) {
+        issues.push_back(std::string(name) + " entry " + std::to_string(v) +
+                         " stamped " + std::to_string(stamp_[v]) +
+                         ", expected " + std::to_string(expectedStamp));
+      }
+    }
+  };
+  checkEntries(sweep_, generation_, "current sweep");
+  checkEntries(nextSweep_, generation_ + 1, "next sweep");
+  std::sort(queued.begin(), queued.end());
+  for (std::size_t i = 1; i < queued.size(); ++i) {
+    if (queued[i] == queued[i - 1]) {
+      issues.push_back("vertex " + std::to_string(queued[i]) +
+                       " queued more than once");
+    }
+  }
+  for (std::size_t i = 0; i < stamp_.size(); ++i) {
+    if (stamp_[i] < generation_) {
+      continue; // not pending
+    }
+    if (stamp_[i] > generation_ + 1) {
+      issues.push_back("vertex " + std::to_string(i) +
+                       " has out-of-range stamp " + std::to_string(stamp_[i]));
+    }
+    if (!std::binary_search(queued.begin(), queued.end(),
+                            static_cast<Vertex>(i))) {
+      issues.push_back("vertex " + std::to_string(i) +
+                       " stamped pending but missing from both sweeps");
+    }
+  }
+  return issues;
+}
+
 // --- simplifier --------------------------------------------------------------
 
 Simplifier::Simplifier(ZXDiagram& diagram, std::function<bool()> shouldStop,

@@ -143,7 +143,6 @@ public:
 
   [[nodiscard]] const SimplifyStats& stats() const noexcept { return stats_; }
 
-private:
   /// Candidate queue with O(1) stamped membership that replays the rewrite
   /// order of a full ascending-id rescan loop exactly: candidates drain in
   /// ascending id within a sweep, a re-enqueued candidate above the current
@@ -151,7 +150,8 @@ private:
   /// and one at or below the position waits for the next sweep (a rescan
   /// would only see it on the next iteration). Stale entries (vertices
   /// removed after being queued) are filtered by the rule matchers via
-  /// isPresent.
+  /// isPresent. Public so the audit layer can validate the membership-stamp
+  /// invariant; only Simplifier mutates it during simplification.
   class Worklist {
   public:
     /// Invalidate all queued entries and start a fresh pass seeded with
@@ -163,7 +163,16 @@ private:
     }
     Vertex pop();
 
+    /// Validates the membership-stamp invariant: both heaps are min-heaps,
+    /// every current-sweep entry is stamped `generation_`, every next-sweep
+    /// entry `generation_ + 1`, no vertex is queued twice, and every
+    /// pending stamp (>= generation_) has a matching queue entry. Returns
+    /// human-readable descriptions of all violations (empty when clean).
+    [[nodiscard]] std::vector<std::string> checkInvariant() const;
+
   private:
+    friend struct WorklistTestAccess; ///< mutation tests corrupt state here
+
     /// Min-heaps: candidates for the current and the following sweep. A
     /// sorted seed vector is already a valid min-heap, so reset() adopts it
     /// without re-heapifying element by element.
@@ -176,6 +185,10 @@ private:
     std::uint64_t generation_ = 0;
   };
 
+  /// The simplifier's worklist (read-only; for the audit layer).
+  [[nodiscard]] const Worklist& worklist() const noexcept { return worklist_; }
+
+private:
   [[nodiscard]] bool stopping() const { return shouldStop_ && shouldStop_(); }
   /// \throws ResourceLimitError when the configured vertex budget is
   /// exceeded (no-op for the default unlimited budget).

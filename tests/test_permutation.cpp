@@ -81,5 +81,79 @@ TEST(PermutationTest, ToStringMentionsMappings) {
   EXPECT_NE(p.toString().find("0->1"), std::string::npos);
 }
 
+TEST(PermutationTest, EmptyPermutationIsValidIdentity) {
+  const Permutation p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_TRUE(p.isValid());
+  EXPECT_TRUE(p.isIdentity());
+  EXPECT_TRUE(p.compose(Permutation()).isIdentity());
+  EXPECT_TRUE(p.inverse().empty());
+}
+
+TEST(PermutationTest, SingleElementPermutation) {
+  const auto p = Permutation::identity(1);
+  EXPECT_TRUE(p.isIdentity());
+  EXPECT_EQ(p.inverse(), p);
+  EXPECT_TRUE(p.transpositions().empty());
+}
+
+TEST(PermutationTest, SetCanBreakAndRestoreBijectivity) {
+  // set() is the documented non-validating mutator: isValid() must track the
+  // stored map, not the construction-time invariant.
+  auto p = Permutation::identity(3);
+  p.set(0, 2);
+  EXPECT_FALSE(p.isValid()); // {2, 1, 2} — image 2 duplicated, 0 missing
+  p.set(2, 0);
+  EXPECT_TRUE(p.isValid()); // {2, 1, 0} — a bijection again
+}
+
+TEST(PermutationTest, SetOutOfRangeImageIsInvalid) {
+  auto p = Permutation::identity(2);
+  p.set(1, 5);
+  EXPECT_FALSE(p.isValid());
+}
+
+TEST(PermutationTest, ComposeIsAssociativeButNotCommutative) {
+  const Permutation a({1, 2, 0});
+  const Permutation b({0, 2, 1});
+  const Permutation c({2, 1, 0});
+  EXPECT_EQ(a.compose(b).compose(c), a.compose(b.compose(c)));
+  EXPECT_NE(a.compose(b), b.compose(a));
+}
+
+TEST(PermutationTest, InverseOfComposeReversesOrder) {
+  const Permutation a({3, 1, 0, 2});
+  const Permutation b({1, 3, 2, 0});
+  EXPECT_EQ(a.compose(b).inverse(), b.inverse().compose(a.inverse()));
+}
+
+TEST(PermutationTest, RandomComposeInverseRoundTrips) {
+  std::mt19937_64 rng(2026);
+  for (std::size_t n = 2; n <= 10; ++n) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<Qubit> mapA(n);
+      std::vector<Qubit> mapB(n);
+      std::iota(mapA.begin(), mapA.end(), 0U);
+      std::iota(mapB.begin(), mapB.end(), 0U);
+      std::shuffle(mapA.begin(), mapA.end(), rng);
+      std::shuffle(mapB.begin(), mapB.end(), rng);
+      const Permutation a{mapA};
+      const Permutation b{mapB};
+      EXPECT_TRUE(a.compose(a.inverse()).isIdentity());
+      EXPECT_EQ(a.inverse().inverse(), a);
+      EXPECT_EQ(a.compose(b).inverse().compose(a.compose(b)),
+                Permutation::identity(n));
+    }
+  }
+}
+
+TEST(PermutationTest, ExtendToSameOrSmallerSizeIsNoOp) {
+  Permutation p({1, 0});
+  p.extend(2);
+  EXPECT_EQ(p, Permutation({1, 0}));
+  p.extend(1);
+  EXPECT_EQ(p.size(), 2U);
+}
+
 } // namespace
 } // namespace veriqc

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace veriqc {
 namespace {
 
@@ -142,6 +144,34 @@ TEST(QasmParserTest, RejectsOutOfRangeIndex) {
 TEST(QasmParserTest, RejectsArityMismatch) {
   EXPECT_THROW((void)qasm::parse("qreg q[2]; cx q[0];"), qasm::ParseError);
   EXPECT_THROW((void)qasm::parse("qreg q[1]; rz q[0];"), qasm::ParseError);
+}
+
+TEST(QasmParserTest, RejectsAliasedOperandsAtParseTime) {
+  // Aliased operand lists must fail during parsing with the position of the
+  // offending application, not later from IR validation during emission.
+  try {
+    (void)qasm::parse("qreg q[2];\ncx q[0], q[0];\n");
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    EXPECT_EQ(e.line(), 2U);
+    EXPECT_NE(std::string(e.what()).find("aliased"), std::string::npos);
+  }
+  // Broadcasting a register against itself aliases every wire pair.
+  EXPECT_THROW((void)qasm::parse("qreg q[2]; cx q, q;"), qasm::ParseError);
+  // Three-operand gates alias through any pair, not just adjacent ones.
+  EXPECT_THROW((void)qasm::parse("qreg q[3]; ccx q[0], q[1], q[0];"),
+               qasm::ParseError);
+}
+
+TEST(QasmParserTest, RejectsAliasingInsideUserGateBodies) {
+  // The alias only appears once formals are bound to actual wires.
+  EXPECT_THROW(
+      (void)qasm::parse("qreg q[2]; gate g a, b { cx a, b; } g q[1], q[1];"),
+      qasm::ParseError);
+  // A body that aliases its own formals is rejected for every application.
+  EXPECT_THROW(
+      (void)qasm::parse("qreg q[1]; gate g a { cx a, a; } g q[0];"),
+      qasm::ParseError);
 }
 
 // --- fuzz-style malformed inputs ---------------------------------------------

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <string>
 
 namespace veriqc {
 namespace {
@@ -136,9 +137,30 @@ TEST(RevLibFuzzTest, MalformedHeadersAreParseErrors) {
                qasm::ParseError);
 }
 
+TEST(RevLibTest, RejectsAliasedOperandsAtParseTime) {
+  // Aliased operand lists fail during parsing with a message naming the
+  // repeated variable, before any operation is emitted.
+  try {
+    (void)qasm::parseReal(".numvars 2\n.variables a b\nt2 a a\n");
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    EXPECT_EQ(e.line(), 3U);
+    EXPECT_NE(std::string(e.what()).find("aliased"), std::string::npos);
+  }
+  // Non-adjacent duplicates (control repeated as target) are also caught.
+  EXPECT_THROW(
+      (void)qasm::parseReal(".numvars 3\n.variables a b c\nt3 a b a\n"),
+      qasm::ParseError);
+  // A negated control aliasing the target is rejected, not X-conjugated.
+  EXPECT_THROW(
+      (void)qasm::parseReal(".numvars 2\n.variables a b\nt2 -a a\n"),
+      qasm::ParseError);
+}
+
 TEST(RevLibFuzzTest, InvalidGateLinesAreParseErrors) {
   // Duplicate operands make the emitted operation invalid; the reader must
-  // wrap the CircuitError with the line number instead of leaking it.
+  // reject them at parse time with the line number instead of leaking a
+  // CircuitError.
   try {
     (void)qasm::parseReal(".numvars 2\n.variables a b\nt2 a a\n");
     FAIL() << "expected ParseError";
