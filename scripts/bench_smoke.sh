@@ -2,7 +2,11 @@
 # Build Release, run the DD-kernel and ZX-engine microbenchmarks and write
 # their JSON (timings + counters) to BENCH_dd_kernel.json / BENCH_zx.json at
 # the repo root, so successive PRs accumulate a perf trajectory to compare
-# against. When GNU time is available each JSON also records the
+# against. Every JSON is stamped with a top-level "library_build_type" key
+# (queried from the dd_micro binary, which compiles in NDEBUG and
+# CMAKE_BUILD_TYPE); the run aborts when the library is not an optimized
+# Release build, so debug-mode numbers can never be recorded as a baseline.
+# When GNU time is available each JSON also records the
 # benchmark process's peak resident set size (peak_rss_kb), giving the
 # resource-governor work a memory baseline to compare budgets against.
 #
@@ -23,6 +27,16 @@ OUT_REPORT="BENCH_check_report.json"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target dd_micro zx_micro check_qasm >/dev/null
+
+# Refuse to record numbers from a non-optimized library. The binary reports
+# the build type it was actually compiled as (NDEBUG + CMAKE_BUILD_TYPE), so
+# a stale or misconfigured build tree is caught here, not in the baseline.
+BUILD_TYPE="$("./$BUILD_DIR/bench/dd_micro" --veriqc_build_type)"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "error: dd_micro library build type is '$BUILD_TYPE', expected" \
+    "'Release' — refusing to record benchmark numbers" >&2
+  exit 1
+fi
 
 # Run one benchmark binary, writing its JSON to $2, and inject the process's
 # peak RSS (in kB) as a top-level "peak_rss_kb" key. Exact via GNU time when
@@ -57,12 +71,16 @@ run_bench() {
   if [[ -n "$rss" ]]; then
     sed -i "0,/{/s//{\n  \"peak_rss_kb\": $rss,/" "$out"
   fi
+  sed -i "0,/{/s//{\n  \"library_build_type\": \"$BUILD_TYPE\",/" "$out"
 }
 
+# Three repetitions so the regression gate compares medians, not a single
+# possibly-noisy sample.
 run_bench "./$BUILD_DIR/bench/dd_micro" "$OUT" \
   --benchmark_format=json \
   --benchmark_min_time=0.1 \
-  --benchmark_filter='BM_MakeGateDD|BM_MakeControlledGateDD|BM_BuildUnitary|BM_SimulationCheckThreads'
+  --benchmark_repetitions=3 \
+  --benchmark_filter='BM_MakeGateDD|BM_MakeControlledGateDD|BM_BuildUnitary|BM_AlternatingGroverCheck|BM_SimulationCheckThreads'
 
 run_bench "./$BUILD_DIR/bench/zx_micro" "$OUT_ZX" \
   --benchmark_format=json \
@@ -97,13 +115,14 @@ cx q[1],q[2];
 EOF
 "./$BUILD_DIR/examples/check_qasm" "$QASM_DIR/a.qasm" "$QASM_DIR/b.qasm" \
   --trace --json "$OUT_REPORT" >/dev/null
+sed -i "0,/{/s//{\n  \"library_build_type\": \"$BUILD_TYPE\",/" "$OUT_REPORT"
 "./$BUILD_DIR/examples/check_qasm" --validate-report "$OUT_REPORT"
 
 echo "Wrote $OUT, $OUT_ZX and $OUT_REPORT"
 echo
 echo "=== cache-stats digest ==="
 # Per-benchmark wall time plus the cache counters embedded in the JSON.
-grep -E '"(name|real_time|gate_cache_hit_rate|compute_hit_rate|performed|peak_rss_kb)"' \
+grep -E '"(name|real_time|gate_cache_hit_rate|compute_hit_rate|performed|peak_rss_kb|library_build_type|store_occupancy|store_probe_length)"' \
   "$OUT" | sed -e 's/^[[:space:]]*//' -e 's/,$//'
 echo
 echo "=== zx digest ==="

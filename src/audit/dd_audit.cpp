@@ -4,7 +4,6 @@
 #include <cmath>
 #include <complex>
 #include <cstdint>
-#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -13,10 +12,10 @@ namespace veriqc::audit {
 
 namespace {
 
-std::string pointerString(const void* p) {
-  std::ostringstream os;
-  os << p;
-  return os.str();
+std::string handleString(const dd::NodeIndex n) {
+  return "node #" + std::to_string(n) + " (level " +
+         std::to_string(dd::levelOfIndex(n)) + ", slot " +
+         std::to_string(dd::slotOfIndex(n)) + ")";
 }
 
 /// True when `x` is a value reals_.lookup can return: one of the fast-path
@@ -26,131 +25,146 @@ bool isCanonicalReal(const double x, const std::vector<double>& interned) {
          std::binary_search(interned.begin(), interned.end(), x);
 }
 
-/// Audits one family of unique tables (matrix or vector): canonicity,
+/// Audits one family of slab stores (matrix or vector): canonicity,
 /// per-node normalization and the refcount recount against `roots`.
-template <typename Node>
-void auditTables(const char* kind,
-                 const std::vector<dd::UniqueTable<Node>>& tables,
-                 const std::vector<double>& interned, const double tolerance,
-                 const std::vector<dd::Edge<Node>>& roots,
-                 AuditReport& report) {
+template <typename EdgeT>
+void auditSlabs(const char* kind,
+                const std::vector<dd::NodeSlab<EdgeT>>& slabs,
+                const std::vector<double>& interned, const double tolerance,
+                const std::vector<EdgeT>& roots, AuditReport& report) {
   // Normalization leaves the maximal child weight at 1 up to the rounding of
   // one complex division; anything beyond a generous multiple of the
   // interning tolerance is a real violation, not noise.
   const double magTolerance = 64.0 * tolerance;
 
   // Refcount recount. A node's stored count must equal the number of root
-  // edges pinning it plus one per edge from each table-resident parent whose
+  // edges pinning it plus one per edge from each slab-resident parent whose
   // own count is positive (incRef/decRef recurse into children exactly on
   // the parent's 0<->1 transitions).
-  std::unordered_map<const Node*, std::uint64_t> expected;
+  std::unordered_map<dd::NodeIndex, std::uint64_t> expected;
   for (const auto& root : roots) {
-    if (root.p != nullptr && root.p->v != dd::kTerminalLevel) {
-      ++expected[root.p];
+    if (!root.isTerminal()) {
+      ++expected[root.n];
     }
   }
 
-  for (std::size_t level = 0; level < tables.size(); ++level) {
-    const auto& table = tables[level];
+  const auto childIsLive = [&slabs](const dd::NodeIndex child) {
+    if (child == dd::kTerminalIndex) {
+      return true;
+    }
+    const auto v = dd::levelOfIndex(child);
+    return v >= 0 && static_cast<std::size_t>(v) < slabs.size() &&
+           slabs[static_cast<std::size_t>(v)].contains(child);
+  };
+
+  for (std::size_t level = 0; level < slabs.size(); ++level) {
+    const auto& slab = slabs[level];
     const std::string where = std::string(kind) + " level " +
                               std::to_string(level);
-    // Group by the full (unmasked) child hash so duplicates are found even
-    // when one copy sits in the wrong bucket.
-    std::unordered_map<std::size_t, std::vector<const Node*>> byHash;
-    byHash.reserve(table.size());
+    // Group by the full (unfolded) child hash so duplicates are found even
+    // when one copy carries a corrupted cached hash.
+    std::unordered_map<std::size_t, std::vector<std::uint32_t>> byHash;
+    byHash.reserve(slab.size());
 
-    table.forEach([&](const Node* node, const std::size_t bucket) {
-      const auto hash = dd::hashNodeChildren(*node);
-      if ((hash & (table.bucketCount() - 1)) != bucket) {
+    slab.forEach([&](const dd::NodeIndex node, const std::uint32_t slot) {
+      const auto& children = slab.children(slot);
+      const auto& weights = slab.weights(slot);
+      const bool referenced = slab.ref(slot) > 0;
+      const auto hash = dd::hashNodeChildren(children, weights);
+      if (dd::NodeSlab<EdgeT>::foldHash(hash) != slab.storedHash(slot)) {
         report.add(AuditSeverity::Error, "dd.unique.misplaced",
-                   "node " + pointerString(node) + " found in bucket " +
-                       std::to_string(bucket) + " but hashes to " +
-                       std::to_string(hash & (table.bucketCount() - 1)),
+                   handleString(node) +
+                       " caches a child-tuple hash that no longer matches "
+                       "its children — it would probe the wrong bucket",
                    where);
       }
-      byHash[hash].push_back(node);
-
-      if (node->v != static_cast<dd::Level>(level)) {
-        report.add(AuditSeverity::Error, "dd.unique.level",
-                   "node " + pointerString(node) + " carries level " +
-                       std::to_string(node->v),
-                   where);
-      }
+      byHash[hash].push_back(slot);
 
       double maxNorm = 0.0;
-      for (const auto& child : node->e) {
-        if (child.p == nullptr) {
-          report.add(AuditSeverity::Error, "dd.node.child",
-                     "node " + pointerString(node) + " has a null child",
-                     where);
-          continue;
-        }
-        const bool zeroWeight =
-            child.w == std::complex<double>{0.0, 0.0};
-        if (zeroWeight && child.p->v != dd::kTerminalLevel) {
+      for (std::size_t i = 0; i < dd::NodeSlab<EdgeT>::Arity; ++i) {
+        const auto child = children[i];
+        const auto& weight = weights[i];
+        const bool zeroWeight = weight == std::complex<double>{0.0, 0.0};
+        if (zeroWeight && child != dd::kTerminalIndex) {
           report.add(AuditSeverity::Error, "dd.node.zero",
-                     "zero-weight child of " + pointerString(node) +
+                     "zero-weight child of " + handleString(node) +
                          " does not point at the terminal",
                      where);
         }
-        if (!zeroWeight && child.p->v != dd::kTerminalLevel &&
-            child.p->v >= static_cast<dd::Level>(level)) {
+        if (!zeroWeight && child != dd::kTerminalIndex &&
+            dd::levelOfIndex(child) >= static_cast<dd::Level>(level)) {
           report.add(AuditSeverity::Error, "dd.node.child",
-                     "child of " + pointerString(node) + " sits at level " +
-                         std::to_string(child.p->v) + " >= its parent",
+                     "child of " + handleString(node) + " sits at level " +
+                         std::to_string(dd::levelOfIndex(child)) +
+                         " >= its parent",
                      where);
         }
-        if (!isCanonicalReal(child.w.real(), interned) ||
-            !isCanonicalReal(child.w.imag(), interned)) {
+        // Dangling handles are only corruption on *referenced* nodes: their
+        // children carry a positive refcount and can never be reclaimed.
+        // Unreferenced orphans may legitimately point at slots an eager
+        // release() freed — the next GC sweep collects them.
+        if (referenced && !childIsLive(child)) {
+          report.add(AuditSeverity::Error, "dd.node.child",
+                     "child handle of " + handleString(node) +
+                         " is dangling (slot not live)",
+                     where);
+        }
+        if (!isCanonicalReal(weight.real(), interned) ||
+            !isCanonicalReal(weight.imag(), interned)) {
           report.add(AuditSeverity::Error, "dd.node.weight",
-                     "child weight of " + pointerString(node) +
+                     "child weight of " + handleString(node) +
                          " is not an interned representative",
                      where);
         }
-        maxNorm = std::max(maxNorm, std::abs(child.w));
+        maxNorm = std::max(maxNorm, std::abs(weight));
       }
       if (std::abs(maxNorm - 1.0) > magTolerance) {
         report.add(AuditSeverity::Error, "dd.node.normalization",
-                   "maximal child-weight magnitude of " +
-                       pointerString(node) + " is " +
-                       std::to_string(maxNorm) + ", expected 1",
+                   "maximal child-weight magnitude of " + handleString(node) +
+                       " is " + std::to_string(maxNorm) + ", expected 1",
                    where);
       }
 
-      if (node->ref > 0) {
-        for (const auto& child : node->e) {
-          if (child.p != nullptr && child.p->v != dd::kTerminalLevel) {
-            ++expected[child.p];
+      if (slab.ref(slot) > 0) {
+        for (const auto child : children) {
+          if (child != dd::kTerminalIndex) {
+            ++expected[child];
           }
         }
       }
     });
 
-    for (const auto& [hash, nodes] : byHash) {
-      for (std::size_t i = 0; i < nodes.size(); ++i) {
-        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-          if (dd::sameChildren(*nodes[i], *nodes[j])) {
-            report.add(AuditSeverity::Error, "dd.unique.duplicate",
-                       "nodes " + pointerString(nodes[i]) + " and " +
-                           pointerString(nodes[j]) +
-                           " have identical children",
-                       where);
+    for (const auto& [hash, slots] : byHash) {
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        for (std::size_t j = i + 1; j < slots.size(); ++j) {
+          if (slab.children(slots[i]) == slab.children(slots[j]) &&
+              slab.weights(slots[i]) == slab.weights(slots[j])) {
+            report.add(
+                AuditSeverity::Error, "dd.unique.duplicate",
+                handleString(dd::makeNodeIndex(
+                    static_cast<dd::Level>(level), slots[i])) +
+                    " and " +
+                    handleString(dd::makeNodeIndex(
+                        static_cast<dd::Level>(level), slots[j])) +
+                    " have identical children",
+                where);
           }
         }
       }
     }
   }
 
-  for (std::size_t level = 0; level < tables.size(); ++level) {
+  for (std::size_t level = 0; level < slabs.size(); ++level) {
+    const auto& slab = slabs[level];
     const std::string where = std::string(kind) + " level " +
                               std::to_string(level);
-    tables[level].forEach([&](const Node* node, std::size_t /*bucket*/) {
+    slab.forEach([&](const dd::NodeIndex node, const std::uint32_t slot) {
       const auto it = expected.find(node);
       const std::uint64_t want = it == expected.end() ? 0 : it->second;
-      if (want != node->ref) {
+      if (want != slab.ref(slot)) {
         report.add(AuditSeverity::Error, "dd.ref.mismatch",
-                   "node " + pointerString(node) + " stores refcount " +
-                       std::to_string(node->ref) + ", recount gives " +
+                   handleString(node) + " stores refcount " +
+                       std::to_string(slab.ref(slot)) + ", recount gives " +
                        std::to_string(want),
                    where);
       }
@@ -205,33 +219,35 @@ AuditReport auditPackage(const dd::Package& package,
 
   auto mRoots = package.internalMatrixRoots();
   mRoots.insert(mRoots.end(), matrixRoots.begin(), matrixRoots.end());
-  auditTables("matrix", package.matrixTables(), interned,
-              package.tolerance(), mRoots, report);
+  auditSlabs("matrix", package.matrixSlabs(), interned,
+             package.tolerance(), mRoots, report);
 
   const std::vector<dd::vEdge> vRoots(vectorRoots.begin(), vectorRoots.end());
-  auditTables("vector", package.vectorTables(), interned,
-              package.tolerance(), vRoots, report);
+  auditSlabs("vector", package.vectorSlabs(), interned,
+             package.tolerance(), vRoots, report);
 
-  // Cache hygiene: every node referenced by a live compute-table entry must
-  // still be table-resident (or the terminal). Each stale pointer is
-  // reported once.
-  std::unordered_set<const void*> staleSeen;
+  // Cache hygiene: every node handle referenced by a live compute-table entry
+  // must still be slab-resident (or the terminal). Each stale handle is
+  // reported once per diagram kind.
+  std::unordered_set<std::uint64_t> staleSeen;
   package.visitLiveCacheNodes(
-      [&](const dd::mNode* node) {
+      [&](const dd::NodeIndex node) {
         if (!package.containsMatrixNode(node) &&
             staleSeen.insert(node).second) {
           report.add(AuditSeverity::Error, "dd.cache.stale",
-                     "live compute-table entry references dead matrix node " +
-                         pointerString(node),
+                     "live compute-table entry references dead matrix " +
+                         handleString(node),
                      "compute tables");
         }
       },
-      [&](const dd::vNode* node) {
+      [&](const dd::NodeIndex node) {
         if (!package.containsVectorNode(node) &&
-            staleSeen.insert(node).second) {
+            staleSeen.insert(
+                      (std::uint64_t{1} << 32U) | node)
+                .second) {
           report.add(AuditSeverity::Error, "dd.cache.stale",
-                     "live compute-table entry references dead vector node " +
-                         pointerString(node),
+                     "live compute-table entry references dead vector " +
+                         handleString(node),
                      "compute tables");
         }
       });

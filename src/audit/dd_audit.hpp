@@ -2,23 +2,31 @@
 /// \brief Deep structural auditors for the decision-diagram package.
 ///
 /// The DD kernel's correctness rests on four invariants: canonicity (one
-/// table-resident node per distinct child tuple, hashed into its home
-/// bucket), normalization (largest child weight has unit magnitude, zero
-/// weights point at the terminal, weights are interned), reference-count
-/// accounting (stored counts equal a recount from the externally held
-/// roots), and cache hygiene (live compute-table entries reference only
-/// live nodes). A violation of any of them can silently flip an
-/// equivalence verdict, so these auditors re-derive each invariant from
-/// scratch instead of trusting the package's own bookkeeping.
+/// slab-resident node per distinct child tuple, its cached hash matching a
+/// recomputation from the stored children), normalization (largest child
+/// weight has unit magnitude, zero weights point at the terminal, weights
+/// are interned), reference-count accounting (stored counts equal a recount
+/// from the externally held roots), and cache hygiene (live compute-table
+/// entries reference only live node handles). A violation of any of them can
+/// silently flip an equivalence verdict, so these auditors re-derive each
+/// invariant from scratch instead of trusting the package's own bookkeeping.
+///
+/// With index handles, a node's level is carried by the handle itself, so
+/// the old `dd.unique.level` class of corruption (a node stored in the
+/// wrong level's table) is structurally impossible and no longer audited.
 ///
 /// Finding codes:
-///   dd.unique.misplaced   node hashes to a different bucket than it is in
-///   dd.unique.duplicate   two table-resident nodes with identical children
-///   dd.unique.level       node's level differs from its table's level
+///   dd.unique.misplaced   cached child-tuple hash differs from recomputation
+///                         (the node was mutated in place after insertion and
+///                         would probe the wrong bucket)
+///   dd.unique.duplicate   two slab-resident nodes with identical children
 ///   dd.node.normalization max child-weight magnitude differs from 1
 ///   dd.node.zero          zero-weight child does not point at the terminal
 ///   dd.node.weight        child weight is not the interned representative
-///   dd.node.child         child pointer is null or not a live node
+///   dd.node.child         child handle is level-inverted, or dangling on a
+///                         referenced node (unreferenced orphans may point
+///                         at slots an eager release() freed; the next GC
+///                         sweep collects them)
 ///   dd.ref.mismatch       stored refcount differs from the recount
 ///   dd.reals.collision    two interned reals within tolerance
 ///   dd.reals.binning      slot key inconsistent with its value's bin
@@ -37,7 +45,7 @@
 
 namespace veriqc::audit {
 
-/// Audits the unique tables, normalization, interning table, refcounts and
+/// Audits the slab stores, normalization, interning table, refcounts and
 /// compute-table liveness of a package in one pass.
 [[nodiscard]] AuditReport
 auditPackage(const dd::Package& package,

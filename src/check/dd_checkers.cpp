@@ -93,7 +93,7 @@ prepare(const QuantumCircuit& c1, const QuantumCircuit& c2,
 EquivalenceCriterion classify(dd::Package& package, const dd::mEdge& e,
                               const Configuration& config, Result& result) {
   const auto ident = package.makeIdent();
-  if (e.p == ident.p) {
+  if (e.n == ident.n) {
     result.hilbertSchmidtFidelity = 1.0;
     if (std::abs(e.w - std::complex<double>{1.0, 0.0}) <
         config.checkTolerance) {
@@ -295,7 +295,7 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
     result.peakNodes = std::max(result.peakNodes, acc.peak());
     if (explicitCircuit.globalPhase() != 0.0 && !aborted) {
       const auto& e = acc.edge();
-      acc.replace({e.p, e.w * std::exp(std::complex<double>{
+      acc.replace({e.n, e.w * std::exp(std::complex<double>{
                              0.0, explicitCircuit.globalPhase()})});
     }
     return acc.edge();
@@ -316,7 +316,7 @@ Result ddConstructionCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
       return result;
     }
     // Canonicity: equal functionality implies equal root nodes.
-    if (e1.p == e2.p) {
+    if (e1.n == e2.n) {
       result.hilbertSchmidtFidelity = 1.0;
       if (std::abs(e1.w - e2.w) < config.checkTolerance) {
         result.criterion = EquivalenceCriterion::Equivalent;
@@ -445,7 +445,7 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
     if (relativePhase != 0.0) {
       const auto& e = acc.edge();
       acc.replace(
-          {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
+          {e.n, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
     }
 
     // Equalize the tracked permutations against the output permutations:
@@ -580,7 +580,7 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
     if (relativePhase != 0.0) {
       const auto& e = acc.edge();
       acc.replace(
-          {e.p, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
+          {e.n, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
     }
     if (checkpoint.enabled()) {
       const std::array roots{acc.edge()};

@@ -1,13 +1,22 @@
 /// \file compute_table.hpp
 /// \brief Operation caches (memoization) for decision-diagram operations.
 ///
-/// Both tables are direct-mapped (collisions overwrite) and
+/// All tables are direct-mapped (collisions overwrite) and
 /// *generation-stamped*: every entry carries the generation in which it was
 /// written, and invalidating the whole table is a single generation bump
 /// instead of an O(table size) sweep. Garbage collection — which must drop
-/// all cached results because they may reference collected nodes — therefore
-/// costs O(1) per table. Entries are also allocated lazily on first insert,
-/// so packages that never exercise an operation pay nothing for its cache.
+/// all cached results because they may reference collected (and now
+/// reusable) node slots — therefore costs O(1) per table. Entries are also
+/// allocated lazily on first insert, so packages that never exercise an
+/// operation pay nothing for its cache.
+///
+/// With index handles the hot binary caches no longer key on full edges:
+/// `NodePairComputeTable` packs two 32-bit `NodeIndex` handles into one
+/// 64-bit key (operations such as multiply normalise their operands to unit
+/// weight first), so a probe is a single integer compare on a 24-byte entry.
+/// `ComputeTable` keeps full-edge keys for operations where the weights are
+/// part of the key (addition). Slot reuse cannot resurrect stale entries:
+/// every reclaim path (GC and eager release) bumps the generations.
 #pragma once
 
 #include "dd/node.hpp"
@@ -43,7 +52,18 @@ struct CacheStats {
   }
 };
 
-/// Direct-mapped, generation-stamped cache for binary DD operations.
+namespace detail {
+[[nodiscard]] inline std::size_t mixIndex(const NodeIndex n) noexcept {
+  return static_cast<std::size_t>(n) * 0x9E3779B97F4A7C15ULL;
+}
+[[nodiscard]] inline std::uint64_t packPair(const NodeIndex a,
+                                            const NodeIndex b) noexcept {
+  return (static_cast<std::uint64_t>(a) << 32U) | b;
+}
+} // namespace detail
+
+/// Direct-mapped, generation-stamped cache for binary DD operations whose key
+/// includes the operand weights (e.g. addition).
 template <typename LeftEdge, typename RightEdge, typename ResultEdge>
 class ComputeTable {
 public:
@@ -116,9 +136,9 @@ private:
 
   [[nodiscard]] std::size_t hash(const LeftEdge& lhs,
                                  const RightEdge& rhs) const noexcept {
-    std::size_t h = std::hash<const void*>{}(lhs.p);
+    std::size_t h = detail::mixIndex(lhs.n);
     h = combineHash(h, hashWeight(lhs.w));
-    h = combineHash(h, std::hash<const void*>{}(rhs.p));
+    h = combineHash(h, detail::mixIndex(rhs.n));
     h = combineHash(h, hashWeight(rhs.w));
     return h & mask_;
   }
@@ -129,9 +149,93 @@ private:
   CacheStats stats_;
 };
 
+/// Direct-mapped, generation-stamped cache keyed on a packed pair of node
+/// handles. Used by operations that normalise operand weights out of the key
+/// (multiplication, inner products): the probe compares one 64-bit integer.
+template <typename ResultEdge> class NodePairComputeTable {
+public:
+  static constexpr std::size_t kDefaultEntries = 1U << 16U;
+
+  explicit NodePairComputeTable(const std::size_t numEntries = kDefaultEntries)
+      : mask_(std::bit_ceil(numEntries < 2 ? std::size_t{2} : numEntries) -
+              1) {}
+
+  void insert(const NodeIndex lhs, const NodeIndex rhs,
+              const ResultEdge& result) {
+    if (entries_.empty()) {
+      entries_.resize(mask_ + 1);
+    }
+    auto& entry = entries_[hash(lhs, rhs)];
+    entry.key = detail::packPair(lhs, rhs);
+    entry.result = result;
+    entry.gen = generation_;
+    ++stats_.inserts;
+  }
+
+  /// Returns nullptr on miss.
+  [[nodiscard]] const ResultEdge* lookup(const NodeIndex lhs,
+                                         const NodeIndex rhs) {
+    ++stats_.lookups;
+    if (entries_.empty()) {
+      return nullptr;
+    }
+    const auto& entry = entries_[hash(lhs, rhs)];
+    if (entry.gen != generation_) {
+      return nullptr;
+    }
+    if (entry.key != detail::packPair(lhs, rhs)) {
+      ++stats_.collisions;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return &entry.result;
+  }
+
+  /// O(1): bumps the generation, logically emptying the table.
+  void clear() noexcept {
+    ++generation_;
+    ++stats_.invalidations;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t lookups() const noexcept { return stats_.lookups; }
+  [[nodiscard]] std::size_t hits() const noexcept { return stats_.hits; }
+
+  /// Visits every entry of the current generation as
+  /// `f(lhsIndex, rhsIndex, result)`. Read-only introspection for audits.
+  template <typename F> void forEachLive(F&& f) const {
+    for (const auto& entry : entries_) {
+      if (entry.gen == generation_) {
+        f(static_cast<NodeIndex>(entry.key >> 32U),
+          static_cast<NodeIndex>(entry.key & 0xFFFFFFFFULL), entry.result);
+      }
+    }
+  }
+
+private:
+  struct Entry {
+    std::uint64_t key = 0;
+    ResultEdge result{};
+    std::uint64_t gen = 0;
+  };
+
+  [[nodiscard]] std::size_t hash(const NodeIndex lhs,
+                                 const NodeIndex rhs) const noexcept {
+    auto h = detail::packPair(lhs, rhs) * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29U;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  std::size_t mask_;
+  std::uint64_t generation_ = 1;
+  std::vector<Entry> entries_;
+  CacheStats stats_;
+};
+
 /// Direct-mapped, generation-stamped cache for unary DD operations keyed on
-/// the node only.
-template <typename Node, typename Result> class UnaryComputeTable {
+/// the node handle only.
+template <typename Result> class UnaryComputeTable {
 public:
   static constexpr std::size_t kDefaultEntries = 1U << 14U;
 
@@ -139,7 +243,7 @@ public:
       : mask_(std::bit_ceil(numEntries < 2 ? std::size_t{2} : numEntries) -
               1) {}
 
-  void insert(const Node* arg, const Result& result) {
+  void insert(const NodeIndex arg, const Result& result) {
     if (entries_.empty()) {
       entries_.resize(mask_ + 1);
     }
@@ -150,7 +254,7 @@ public:
     ++stats_.inserts;
   }
 
-  [[nodiscard]] const Result* lookup(const Node* arg) {
+  [[nodiscard]] const Result* lookup(const NodeIndex arg) {
     ++stats_.lookups;
     if (entries_.empty()) {
       return nullptr;
@@ -190,13 +294,13 @@ public:
 
 private:
   struct Entry {
-    const Node* arg = nullptr;
+    NodeIndex arg = kTerminalIndex;
     Result result{};
     std::uint64_t gen = 0;
   };
 
-  [[nodiscard]] std::size_t hash(const Node* arg) const noexcept {
-    return std::hash<const void*>{}(arg) & mask_;
+  [[nodiscard]] std::size_t hash(const NodeIndex arg) const noexcept {
+    return detail::mixIndex(arg) & mask_;
   }
 
   std::size_t mask_;

@@ -23,36 +23,55 @@ double magnitudeWidth(const std::complex<double>& w) {
   return 0.5 + 2.5 * std::min(1.0, std::abs(w));
 }
 
-template <typename Node>
-void collect(const Node* node, std::map<const Node*, std::size_t>& ids) {
-  if (node == nullptr || node->v == kTerminalLevel || ids.contains(node)) {
+/// Child edge i of `n`, resolved through the owning package.
+template <typename EdgeT>
+EdgeT childOf(const Package& package, NodeIndex n, std::size_t i);
+
+template <>
+mEdge childOf<mEdge>(const Package& package, const NodeIndex n,
+                     const std::size_t i) {
+  return package.matrixChild(n, i);
+}
+
+template <>
+vEdge childOf<vEdge>(const Package& package, const NodeIndex n,
+                     const std::size_t i) {
+  return package.vectorChild(n, i);
+}
+
+template <typename EdgeT>
+void collect(const Package& package, const NodeIndex node,
+             std::map<NodeIndex, std::size_t>& ids) {
+  if (node == kTerminalIndex || ids.contains(node)) {
     return;
   }
   ids.emplace(node, ids.size());
-  for (const auto& child : node->e) {
+  for (std::size_t i = 0; i < EdgeT::arity; ++i) {
+    const auto child = childOf<EdgeT>(package, node, i);
     if (!child.isZero()) {
-      collect(child.p, ids);
+      collect<EdgeT>(package, child.n, ids);
     }
   }
 }
 
-template <typename Node>
-std::string render(const Edge<Node>& root, const char* rootLabel) {
+template <typename EdgeT>
+std::string render(const Package& package, const EdgeT& root,
+                   const char* rootLabel) {
   std::ostringstream os;
   os << "digraph dd {\n  rankdir=TB;\n  node [shape=circle];\n";
-  std::map<const Node*, std::size_t> ids;
-  collect(root.p, ids);
+  std::map<NodeIndex, std::size_t> ids;
+  collect<EdgeT>(package, root.n, ids);
   os << "  root [shape=point];\n";
   os << "  terminal [shape=box, label=\"1\"];\n";
   for (const auto& [node, id] : ids) {
-    os << "  n" << id << " [label=\"q" << node->v << "\"];\n";
+    os << "  n" << id << " [label=\"q" << levelOfIndex(node) << "\"];\n";
   }
-  const auto target = [&ids](const Edge<Node>& edge) -> std::string {
-    if (edge.p->v == kTerminalLevel) {
+  const auto target = [&ids](const EdgeT& edge) -> std::string {
+    if (edge.isTerminal()) {
       return "terminal";
     }
     std::string name = "n";
-    name += std::to_string(ids.at(edge.p));
+    name += std::to_string(ids.at(edge.n));
     return name;
   };
   if (!root.isZero()) {
@@ -61,8 +80,8 @@ std::string render(const Edge<Node>& root, const char* rootLabel) {
        << "\", label=\"" << rootLabel << "\"];\n";
   }
   for (const auto& [node, id] : ids) {
-    for (std::size_t i = 0; i < node->e.size(); ++i) {
-      const auto& child = node->e[i];
+    for (std::size_t i = 0; i < EdgeT::arity; ++i) {
+      const auto child = childOf<EdgeT>(package, node, i);
       if (child.isZero()) {
         continue;
       }
@@ -78,13 +97,11 @@ std::string render(const Edge<Node>& root, const char* rootLabel) {
 } // namespace
 
 std::string toDot(const Package& package, const mEdge& edge) {
-  (void)package;
-  return render(edge, "M");
+  return render(package, edge, "M");
 }
 
 std::string toDot(const Package& package, const vEdge& edge) {
-  (void)package;
-  return render(edge, "v");
+  return render(package, edge, "v");
 }
 
 void writeDot(const Package& package, const mEdge& edge,

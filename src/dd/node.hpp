@@ -1,5 +1,21 @@
 /// \file node.hpp
-/// \brief Node and edge structures of the decision-diagram package.
+/// \brief Index-based node handles and edges of the decision-diagram package.
+///
+/// Nodes no longer exist as heap objects linked by 64-bit pointers: each node
+/// is a 32-bit `NodeIndex` handle into a per-level slab (see
+/// unique_table.hpp), packing `(level + 1)` into the top 8 bits and the slot
+/// within that level's slab into the low 24 bits. The shared terminal is the
+/// sentinel index 0 (level bits 0 = level -1, slot 0) and owns no storage.
+///
+/// Handle invariants:
+///  - `kTerminalIndex` (0) is the only index with level bits 0; edges with
+///    weight 0 always carry it.
+///  - A nonzero child of a level-`v` node sits at level `v - 1` (terminal
+///    iff `v == 0`): diagrams are strictly level-aligned, never skipping.
+///  - Slots stay valid across slab growth (indices, not addresses, name
+///    nodes), and a slot is only reused after the node it held was swept by
+///    garbage collection or eagerly released — both of which invalidate
+///    every compute-table entry that could still mention it.
 #pragma once
 
 #include <array>
@@ -15,49 +31,79 @@ namespace veriqc::dd {
 using Level = std::int32_t;
 inline constexpr Level kTerminalLevel = -1;
 
-/// A weighted edge into a (shared) decision-diagram node.
-template <typename Node> struct Edge {
-  Node* p = nullptr;
+/// 32-bit node handle: bits 24..31 hold (level + 1), bits 0..23 the slot in
+/// that level's slab.
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kTerminalIndex = 0;
+inline constexpr std::uint32_t kLevelShift = 24U;
+inline constexpr std::uint32_t kSlotMask = (1U << kLevelShift) - 1U;
+/// Handles address at most 255 levels (qubits) ...
+inline constexpr std::size_t kMaxLevels = 255;
+/// ... of at most 2^24 node slots each.
+inline constexpr std::size_t kMaxSlotsPerLevel = std::size_t{1}
+                                                 << kLevelShift;
+
+/// Level of a handle — a shift instead of a pointer dereference.
+[[nodiscard]] constexpr Level levelOfIndex(const NodeIndex n) noexcept {
+  return static_cast<Level>(n >> kLevelShift) - 1;
+}
+
+/// Slot of a handle within its level's slab.
+[[nodiscard]] constexpr std::uint32_t slotOfIndex(const NodeIndex n) noexcept {
+  return n & kSlotMask;
+}
+
+[[nodiscard]] constexpr NodeIndex makeNodeIndex(const Level v,
+                                                const std::uint32_t slot) noexcept {
+  return (static_cast<NodeIndex>(v + 1) << kLevelShift) | slot;
+}
+
+struct MatrixTag;
+struct VectorTag;
+
+/// A weighted edge into a (shared) decision-diagram node, identified by its
+/// 32-bit slab handle.
+template <typename Tag, std::size_t Arity> struct Edge {
+  static constexpr std::size_t arity = Arity;
+
+  NodeIndex n = kTerminalIndex;
   std::complex<double> w{0.0, 0.0};
 
   [[nodiscard]] bool isTerminal() const noexcept {
-    return p->v == kTerminalLevel;
+    return n == kTerminalIndex;
   }
   [[nodiscard]] bool isZero() const noexcept {
     return w == std::complex<double>{0.0, 0.0};
   }
+  /// Level of the target node (free: decoded from the handle).
+  [[nodiscard]] Level level() const noexcept { return levelOfIndex(n); }
 
   friend bool operator==(const Edge& lhs, const Edge& rhs) noexcept {
-    return lhs.p == rhs.p && lhs.w == rhs.w;
+    return lhs.n == rhs.n && lhs.w == rhs.w;
   }
 };
 
-/// A matrix-DD node: four children for the quadrants
-/// [[e0, e1], [e2, e3]] of the (sub-)matrix, i.e. e[2*i + j] = U_ij.
-struct mNode {
-  std::array<Edge<mNode>, 4> e{};
-  mNode* next = nullptr; ///< unique-table chaining
-  std::uint32_t ref = 0; ///< reference count
-  Level v = kTerminalLevel;
-};
+/// A matrix-DD edge: the target node's four children are the quadrants
+/// [[e0, e1], [e2, e3]] of the (sub-)matrix, i.e. child 2*i + j = U_ij.
+using mEdge = Edge<MatrixTag, 4>;
+/// A vector-DD edge: two children for the halves [e0; e1] of the (sub-)vector.
+using vEdge = Edge<VectorTag, 2>;
 
-/// A vector-DD node: two children for the halves [e0; e1] of the (sub-)vector.
-struct vNode {
-  std::array<Edge<vNode>, 2> e{};
-  vNode* next = nullptr;
-  std::uint32_t ref = 0;
-  Level v = kTerminalLevel;
-};
-
-using mEdge = Edge<mNode>;
-using vEdge = Edge<vNode>;
-
-/// Bitwise-stable hash of a canonical complex weight.
+/// Bitwise-stable hash of a canonical complex weight. Signed zeros compare
+/// equal under Edge::operator== but differ in their bit patterns, so they are
+/// normalized to +0.0 before hashing — otherwise two equal candidate nodes
+/// could probe different unique-table buckets and break canonicity.
 inline std::size_t hashWeight(const std::complex<double>& w) noexcept {
+  double rv = w.real();
+  double iv = w.imag();
+  if (rv == 0.0) {
+    rv = 0.0; // -0.0 == 0.0, but the assignment stores +0.0
+  }
+  if (iv == 0.0) {
+    iv = 0.0;
+  }
   std::uint64_t re = 0;
   std::uint64_t im = 0;
-  const double rv = w.real();
-  const double iv = w.imag();
   std::memcpy(&re, &rv, sizeof(re));
   std::memcpy(&im, &iv, sizeof(im));
   return std::hash<std::uint64_t>{}(re * 0x9E3779B97F4A7C15ULL ^ im);
@@ -67,19 +113,18 @@ inline std::size_t combineHash(std::size_t seed, std::size_t value) noexcept {
   return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
 }
 
-template <typename Node>
-std::size_t hashNodeChildren(const Node& node) noexcept {
+/// Hash of a node's child tuple: packed child handles plus the (signed-zero
+/// normalized) weight hashes.
+template <std::size_t Arity>
+std::size_t
+hashNodeChildren(const std::array<NodeIndex, Arity>& children,
+                 const std::array<std::complex<double>, Arity>& weights) noexcept {
   std::size_t h = 0;
-  for (const auto& edge : node.e) {
-    h = combineHash(h, std::hash<const void*>{}(edge.p));
-    h = combineHash(h, hashWeight(edge.w));
+  for (std::size_t i = 0; i < Arity; ++i) {
+    h = combineHash(h, children[i]);
+    h = combineHash(h, hashWeight(weights[i]));
   }
   return h;
-}
-
-template <typename Node>
-bool sameChildren(const Node& a, const Node& b) noexcept {
-  return a.e == b.e;
 }
 
 } // namespace veriqc::dd

@@ -16,8 +16,8 @@ namespace veriqc::dd {
 
 Package::Package(const std::size_t nqubits, const double tolerance,
                  const PackageConfig& config)
-    : nqubits_(nqubits), reals_(tolerance), mTables_(nqubits),
-      vTables_(nqubits), multiplyTable_(config.computeTableEntries),
+    : nqubits_(nqubits), reals_(tolerance),
+      multiplyTable_(config.computeTableEntries),
       multiplyVectorTable_(config.computeTableEntries),
       addTable_(config.computeTableEntries),
       addVectorTable_(config.computeTableEntries),
@@ -28,8 +28,16 @@ Package::Package(const std::size_t nqubits, const double tolerance,
       gcInitialThreshold_(config.gcInitialThreshold),
       gcThreshold_(config.gcInitialThreshold), maxNodes_(config.maxNodes),
       maxMemoryKB_(config.maxMemoryMB * 1024) {
-  mTerminal_.v = kTerminalLevel;
-  vTerminal_.v = kTerminalLevel;
+  if (nqubits > kMaxLevels) {
+    throw std::invalid_argument(
+        "dd::Package: at most 255 qubits addressable by 32-bit node handles");
+  }
+  mSlabs_.reserve(nqubits);
+  vSlabs_.reserve(nqubits);
+  for (std::size_t q = 0; q < nqubits; ++q) {
+    mSlabs_.emplace_back(static_cast<Level>(q));
+    vSlabs_.emplace_back(static_cast<Level>(q));
+  }
   idTable_.reserve(nqubits);
 }
 
@@ -74,17 +82,21 @@ mEdge Package::makeMatrixNode(const Level v,
     return zeroMatrix();
   }
   const auto topWeight = e[maxIdx].w;
-  for (auto& child : e) {
-    if (!child.isZero()) {
-      child.w = reals_.lookup(child.w / topWeight);
-    }
+  // One reciprocal instead of a full complex division per child; the rounding
+  // difference is absorbed by interning.
+  const auto invTop = std::conj(topWeight) / std::norm(topWeight);
+  NodeSlab<mEdge>::Children childIdx;
+  NodeSlab<mEdge>::Weights childW;
+  for (std::size_t i = 0; i < 4; ++i) {
+    childIdx[i] = e[i].n;
+    // The normalizing child's weight is exactly 1 by definition; dividing it
+    // by itself would only reproduce that modulo rounding and interning.
+    childW[i] = i == maxIdx ? std::complex<double>{1.0, 0.0}
+                : e[i].isZero() ? e[i].w
+                                : reals_.lookup(e[i].w * invTop);
   }
-  auto& table = mTables_[static_cast<std::size_t>(v)];
-  mNode* candidate = table.getFreeNode();
-  candidate->e = e;
-  candidate->v = v;
-  mNode* node = table.lookup(candidate);
-  return {node, topWeight};
+  const auto n = mSlabs_[static_cast<std::size_t>(v)].lookup(childIdx, childW);
+  return {n, topWeight};
 }
 
 vEdge Package::makeVectorNode(const Level v,
@@ -106,17 +118,17 @@ vEdge Package::makeVectorNode(const Level v,
     return zeroVectorEdge();
   }
   const auto topWeight = e[maxIdx].w;
-  for (auto& child : e) {
-    if (!child.isZero()) {
-      child.w = reals_.lookup(child.w / topWeight);
-    }
+  const auto invTop = std::conj(topWeight) / std::norm(topWeight);
+  NodeSlab<vEdge>::Children childIdx;
+  NodeSlab<vEdge>::Weights childW;
+  for (std::size_t i = 0; i < 2; ++i) {
+    childIdx[i] = e[i].n;
+    childW[i] = i == maxIdx ? std::complex<double>{1.0, 0.0}
+                : e[i].isZero() ? e[i].w
+                                : reals_.lookup(e[i].w * invTop);
   }
-  auto& table = vTables_[static_cast<std::size_t>(v)];
-  vNode* candidate = table.getFreeNode();
-  candidate->e = e;
-  candidate->v = v;
-  vNode* node = table.lookup(candidate);
-  return {node, topWeight};
+  const auto n = vSlabs_[static_cast<std::size_t>(v)].lookup(childIdx, childW);
+  return {n, topWeight};
 }
 
 std::int64_t Package::quantize(const double value) const noexcept {
@@ -200,7 +212,7 @@ mEdge Package::buildGateDD(const GateMatrix& matrix,
   // Blocks T_ij of the target level, built bottom-up (em[2i+j] = T_ij).
   std::array<mEdge, 4> em;
   for (std::size_t i = 0; i < 4; ++i) {
-    em[i] = {&mTerminal_, matrix[i]};
+    em[i] = {kTerminalIndex, matrix[i]};
   }
   for (Level z = 0; z < static_cast<Level>(target); ++z) {
     for (std::size_t i = 0; i < 4; ++i) {
@@ -283,7 +295,7 @@ vEdge Package::makeBasisState(const std::vector<bool>& bits) {
   if (bits.size() != nqubits_) {
     throw std::invalid_argument("makeBasisState: wrong number of bits");
   }
-  vEdge e{&vTerminal_, {1.0, 0.0}};
+  vEdge e{kTerminalIndex, {1.0, 0.0}};
   for (std::size_t q = 0; q < nqubits_; ++q) {
     if (bits[q]) {
       e = makeVectorNode(static_cast<Level>(q), {zeroVectorEdge(), e});
@@ -299,7 +311,7 @@ mEdge Package::multiply(const mEdge& x, const mEdge& y) {
     return zeroMatrix();
   }
   const auto w = x.w * y.w;
-  auto e = multiplyNodes(x.p, y.p, static_cast<Level>(nqubits_) - 1);
+  auto e = multiplyMatrixNodes(x.n, y.n, static_cast<Level>(nqubits_) - 1);
   if (e.isZero()) {
     return zeroMatrix();
   }
@@ -310,38 +322,57 @@ mEdge Package::multiply(const mEdge& x, const mEdge& y) {
   return e;
 }
 
-mEdge Package::multiplyNodes(mNode* x, mNode* y, const Level var) {
+mEdge Package::multiplyMatrixNodes(const NodeIndex x, const NodeIndex y,
+                                   const Level var) {
   if (var == kTerminalLevel) {
     return oneMatrixScalar();
   }
-  assert(x->v == var && y->v == var);
-  const mEdge xKey{x, {1.0, 0.0}};
-  const mEdge yKey{y, {1.0, 0.0}};
-  if (const auto* cached = multiplyTable_.lookup(xKey, yKey)) {
+  assert(levelOfIndex(x) == var && levelOfIndex(y) == var);
+  // Identity absorption: gate DDs embed the canonical identity chain for
+  // untouched qubits, so identity factors are recognised by handle compare
+  // and the whole subtree multiplication collapses.
+  if (static_cast<std::size_t>(var) < idTable_.size()) {
+    const auto idn = idTable_[static_cast<std::size_t>(var)].n;
+    if (x == idn) {
+      return {y, {1.0, 0.0}};
+    }
+    if (y == idn) {
+      return {x, {1.0, 0.0}};
+    }
+  }
+  if (const auto* cached = multiplyTable_.lookup(x, y)) {
     return *cached;
   }
+  // Stack copies of both child tuples: the recursion below allocates slab
+  // slots, which may reallocate the backing vectors.
+  const auto& slab = mSlabs_[static_cast<std::size_t>(var)];
+  const auto xc = slab.children(slotOfIndex(x));
+  const auto xw = slab.weights(slotOfIndex(x));
+  const auto yc = slab.children(slotOfIndex(y));
+  const auto yw = slab.weights(slotOfIndex(y));
   std::array<mEdge, 4> r;
   for (std::size_t i = 0; i < 2; ++i) {
     for (std::size_t j = 0; j < 2; ++j) {
       mEdge sum = zeroMatrix();
       for (std::size_t k = 0; k < 2; ++k) {
-        const mEdge& xc = x->e[2 * i + k];
-        const mEdge& yc = y->e[2 * k + j];
-        if (xc.isZero() || yc.isZero()) {
+        const auto xi = 2 * i + k;
+        const auto yi = 2 * k + j;
+        if (xw[xi] == std::complex<double>{0.0, 0.0} ||
+            yw[yi] == std::complex<double>{0.0, 0.0}) {
           continue;
         }
-        auto term = multiplyNodes(xc.p, yc.p, var - 1);
+        auto term = multiplyMatrixNodes(xc[xi], yc[yi], var - 1);
         if (term.isZero()) {
           continue;
         }
-        term.w = reals_.lookup(term.w * xc.w * yc.w);
+        term.w = reals_.lookup(term.w * xw[xi] * yw[yi]);
         sum = sum.isZero() ? term : add(sum, term);
       }
       r[2 * i + j] = sum;
     }
   }
   const auto result = makeMatrixNode(var, r);
-  multiplyTable_.insert(xKey, yKey, result);
+  multiplyTable_.insert(x, y, result);
   return result;
 }
 
@@ -350,7 +381,7 @@ vEdge Package::multiply(const mEdge& m, const vEdge& v) {
     return zeroVectorEdge();
   }
   const auto w = m.w * v.w;
-  auto e = multiplyNodes(m.p, v.p, static_cast<Level>(nqubits_) - 1);
+  auto e = multiplyVectorNodes(m.n, v.n, static_cast<Level>(nqubits_) - 1);
   if (e.isZero()) {
     return zeroVectorEdge();
   }
@@ -361,36 +392,44 @@ vEdge Package::multiply(const mEdge& m, const vEdge& v) {
   return e;
 }
 
-vEdge Package::multiplyNodes(mNode* m, vNode* v, const Level var) {
+vEdge Package::multiplyVectorNodes(const NodeIndex m, const NodeIndex v,
+                                   const Level var) {
   if (var == kTerminalLevel) {
-    return {&vTerminal_, {1.0, 0.0}};
+    return {kTerminalIndex, {1.0, 0.0}};
   }
-  assert(m->v == var && v->v == var);
-  const mEdge mKey{m, {1.0, 0.0}};
-  const vEdge vKey{v, {1.0, 0.0}};
-  if (const auto* cached = multiplyVectorTable_.lookup(mKey, vKey)) {
+  assert(levelOfIndex(m) == var && levelOfIndex(v) == var);
+  // Identity absorption (see multiplyMatrixNodes).
+  if (static_cast<std::size_t>(var) < idTable_.size() &&
+      m == idTable_[static_cast<std::size_t>(var)].n) {
+    return {v, {1.0, 0.0}};
+  }
+  if (const auto* cached = multiplyVectorTable_.lookup(m, v)) {
     return *cached;
   }
+  const auto mc = mSlabs_[static_cast<std::size_t>(var)].children(slotOfIndex(m));
+  const auto mw = mSlabs_[static_cast<std::size_t>(var)].weights(slotOfIndex(m));
+  const auto vc = vSlabs_[static_cast<std::size_t>(var)].children(slotOfIndex(v));
+  const auto vw = vSlabs_[static_cast<std::size_t>(var)].weights(slotOfIndex(v));
   std::array<vEdge, 2> r;
   for (std::size_t i = 0; i < 2; ++i) {
     vEdge sum = zeroVectorEdge();
     for (std::size_t k = 0; k < 2; ++k) {
-      const mEdge& mc = m->e[2 * i + k];
-      const vEdge& vc = v->e[k];
-      if (mc.isZero() || vc.isZero()) {
+      const auto mi = 2 * i + k;
+      if (mw[mi] == std::complex<double>{0.0, 0.0} ||
+          vw[k] == std::complex<double>{0.0, 0.0}) {
         continue;
       }
-      auto term = multiplyNodes(mc.p, vc.p, var - 1);
+      auto term = multiplyVectorNodes(mc[mi], vc[k], var - 1);
       if (term.isZero()) {
         continue;
       }
-      term.w = reals_.lookup(term.w * mc.w * vc.w);
+      term.w = reals_.lookup(term.w * mw[mi] * vw[k]);
       sum = sum.isZero() ? term : add(sum, term);
     }
     r[i] = sum;
   }
   const auto result = makeVectorNode(var, r);
-  multiplyVectorTable_.insert(mKey, vKey, result);
+  multiplyVectorTable_.insert(m, v, result);
   return result;
 }
 
@@ -401,25 +440,31 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
   if (y.isZero()) {
     return x;
   }
-  if (x.p->v == kTerminalLevel && y.p->v == kTerminalLevel) {
+  if (x.isTerminal() && y.isTerminal()) {
     const auto w = reals_.lookup(x.w + y.w);
     if (w == std::complex<double>{0.0, 0.0}) {
       return zeroMatrix();
     }
-    return {&mTerminal_, w};
+    return {kTerminalIndex, w};
   }
   if (const auto* cached = addTable_.lookup(x, y)) {
     return *cached;
   }
-  assert(x.p->v == y.p->v);
+  assert(levelOfIndex(x.n) == levelOfIndex(y.n));
+  const auto var = levelOfIndex(x.n);
+  const auto& slab = mSlabs_[static_cast<std::size_t>(var)];
+  const auto xc = slab.children(slotOfIndex(x.n));
+  const auto xw = slab.weights(slotOfIndex(x.n));
+  const auto yc = slab.children(slotOfIndex(y.n));
+  const auto yw = slab.weights(slotOfIndex(y.n));
   std::array<mEdge, 4> r;
   for (std::size_t i = 0; i < 4; ++i) {
-    const mEdge xc{x.p->e[i].p, x.w * x.p->e[i].w};
-    const mEdge yc{y.p->e[i].p, y.w * y.p->e[i].w};
-    r[i] = add(xc.isZero() ? zeroMatrix() : xc,
-               yc.isZero() ? zeroMatrix() : yc);
+    const mEdge xe{xc[i], x.w * xw[i]};
+    const mEdge ye{yc[i], y.w * yw[i]};
+    r[i] = add(xe.isZero() ? zeroMatrix() : xe,
+               ye.isZero() ? zeroMatrix() : ye);
   }
-  const auto result = makeMatrixNode(x.p->v, r);
+  const auto result = makeMatrixNode(var, r);
   addTable_.insert(x, y, result);
   return result;
 }
@@ -431,47 +476,57 @@ vEdge Package::add(const vEdge& x, const vEdge& y) {
   if (y.isZero()) {
     return x;
   }
-  if (x.p->v == kTerminalLevel && y.p->v == kTerminalLevel) {
+  if (x.isTerminal() && y.isTerminal()) {
     const auto w = reals_.lookup(x.w + y.w);
     if (w == std::complex<double>{0.0, 0.0}) {
       return zeroVectorEdge();
     }
-    return {&vTerminal_, w};
+    return {kTerminalIndex, w};
   }
   if (const auto* cached = addVectorTable_.lookup(x, y)) {
     return *cached;
   }
-  assert(x.p->v == y.p->v);
+  assert(levelOfIndex(x.n) == levelOfIndex(y.n));
+  const auto var = levelOfIndex(x.n);
+  const auto& slab = vSlabs_[static_cast<std::size_t>(var)];
+  const auto xc = slab.children(slotOfIndex(x.n));
+  const auto xw = slab.weights(slotOfIndex(x.n));
+  const auto yc = slab.children(slotOfIndex(y.n));
+  const auto yw = slab.weights(slotOfIndex(y.n));
   std::array<vEdge, 2> r;
   for (std::size_t i = 0; i < 2; ++i) {
-    const vEdge xc{x.p->e[i].p, x.w * x.p->e[i].w};
-    const vEdge yc{y.p->e[i].p, y.w * y.p->e[i].w};
-    r[i] = add(xc.isZero() ? zeroVectorEdge() : xc,
-               yc.isZero() ? zeroVectorEdge() : yc);
+    const vEdge xe{xc[i], x.w * xw[i]};
+    const vEdge ye{yc[i], y.w * yw[i]};
+    r[i] = add(xe.isZero() ? zeroVectorEdge() : xe,
+               ye.isZero() ? zeroVectorEdge() : ye);
   }
-  const auto result = makeVectorNode(x.p->v, r);
+  const auto result = makeVectorNode(var, r);
   addVectorTable_.insert(x, y, result);
   return result;
 }
 
 mEdge Package::conjugateTranspose(const mEdge& x) {
-  if (x.p->v == kTerminalLevel) {
-    return {x.p, reals_.lookup(std::conj(x.w))};
+  if (x.isTerminal()) {
+    return {x.n, reals_.lookup(std::conj(x.w))};
   }
   mEdge base;
-  if (const auto* cached = conjTransTable_.lookup(x.p)) {
+  if (const auto* cached = conjTransTable_.lookup(x.n)) {
     base = *cached;
   } else {
+    const auto var = levelOfIndex(x.n);
+    const auto& slab = mSlabs_[static_cast<std::size_t>(var)];
+    const auto c = slab.children(slotOfIndex(x.n));
+    const auto w = slab.weights(slotOfIndex(x.n));
     std::array<mEdge, 4> r;
     for (std::size_t i = 0; i < 2; ++i) {
       for (std::size_t j = 0; j < 2; ++j) {
-        r[2 * i + j] = conjugateTranspose(x.p->e[2 * j + i]);
+        r[2 * i + j] = conjugateTranspose({c[2 * j + i], w[2 * j + i]});
       }
     }
-    base = makeMatrixNode(x.p->v, r);
-    conjTransTable_.insert(x.p, base);
+    base = makeMatrixNode(var, r);
+    conjTransTable_.insert(x.n, base);
   }
-  mEdge result{base.p, reals_.lookup(std::conj(x.w) * base.w)};
+  mEdge result{base.n, reals_.lookup(std::conj(x.w) * base.w)};
   if (result.w == std::complex<double>{0.0, 0.0}) {
     return zeroMatrix();
   }
@@ -482,21 +537,24 @@ std::complex<double> Package::trace(const mEdge& x) {
   if (x.isZero()) {
     return {0.0, 0.0};
   }
-  return x.w * traceNode(x.p);
+  return x.w * traceNode(x.n);
 }
 
-std::complex<double> Package::traceNode(mNode* node) {
-  if (node->v == kTerminalLevel) {
+std::complex<double> Package::traceNode(const NodeIndex node) {
+  if (node == kTerminalIndex) {
     return {1.0, 0.0};
   }
   if (const auto* cached = traceTable_.lookup(node)) {
     return *cached;
   }
+  // The trace recursion never allocates, so slab references stay valid.
+  const auto& slab = mSlabs_[static_cast<std::size_t>(levelOfIndex(node))];
+  const auto& c = slab.children(slotOfIndex(node));
+  const auto& w = slab.weights(slotOfIndex(node));
   std::complex<double> t{0.0, 0.0};
   for (const std::size_t i : {std::size_t{0}, std::size_t{3}}) {
-    const auto& child = node->e[i];
-    if (!child.isZero()) {
-      t += child.w * traceNode(child.p);
+    if (w[i] != std::complex<double>{0.0, 0.0}) {
+      t += w[i] * traceNode(c[i]);
     }
   }
   traceTable_.insert(node, t);
@@ -507,28 +565,32 @@ std::complex<double> Package::innerProduct(const vEdge& x, const vEdge& y) {
   if (x.isZero() || y.isZero()) {
     return {0.0, 0.0};
   }
-  return std::conj(x.w) * y.w * innerProductNodes(x.p, y.p);
+  return std::conj(x.w) * y.w * innerProductNodes(x.n, y.n);
 }
 
-std::complex<double> Package::innerProductNodes(vNode* x, vNode* y) {
-  if (x->v == kTerminalLevel) {
+std::complex<double> Package::innerProductNodes(const NodeIndex x,
+                                                const NodeIndex y) {
+  if (x == kTerminalIndex) {
     return {1.0, 0.0};
   }
-  const vEdge xKey{x, {1.0, 0.0}};
-  const vEdge yKey{y, {1.0, 0.0}};
-  if (const auto* cached = innerProductTable_.lookup(xKey, yKey)) {
+  if (const auto* cached = innerProductTable_.lookup(x, y)) {
     return *cached;
   }
+  // The inner-product recursion never allocates, so references stay valid.
+  const auto& slab = vSlabs_[static_cast<std::size_t>(levelOfIndex(x))];
+  const auto& xc = slab.children(slotOfIndex(x));
+  const auto& xw = slab.weights(slotOfIndex(x));
+  const auto& yc = slab.children(slotOfIndex(y));
+  const auto& yw = slab.weights(slotOfIndex(y));
   std::complex<double> sum{0.0, 0.0};
   for (std::size_t i = 0; i < 2; ++i) {
-    const auto& xc = x->e[i];
-    const auto& yc = y->e[i];
-    if (xc.isZero() || yc.isZero()) {
+    if (xw[i] == std::complex<double>{0.0, 0.0} ||
+        yw[i] == std::complex<double>{0.0, 0.0}) {
       continue;
     }
-    sum += std::conj(xc.w) * yc.w * innerProductNodes(xc.p, yc.p);
+    sum += std::conj(xw[i]) * yw[i] * innerProductNodes(xc[i], yc[i]);
   }
-  innerProductTable_.insert(xKey, yKey, sum);
+  innerProductTable_.insert(x, y, sum);
   return sum;
 }
 
@@ -542,16 +604,19 @@ std::complex<double> Package::getEntry(const mEdge& x, const std::size_t row,
     return {0.0, 0.0};
   }
   std::complex<double> w = x.w;
-  const mNode* node = x.p;
-  while (node->v != kTerminalLevel) {
-    const auto bitR = (row >> static_cast<std::size_t>(node->v)) & 1U;
-    const auto bitC = (col >> static_cast<std::size_t>(node->v)) & 1U;
-    const auto& child = node->e[2 * bitR + bitC];
-    if (child.isZero()) {
+  NodeIndex node = x.n;
+  while (node != kTerminalIndex) {
+    const auto v = static_cast<std::size_t>(levelOfIndex(node));
+    const auto slot = slotOfIndex(node);
+    const auto bitR = (row >> v) & 1U;
+    const auto bitC = (col >> v) & 1U;
+    const auto i = 2 * bitR + bitC;
+    const auto& cw = mSlabs_[v].weights(slot)[i];
+    if (cw == std::complex<double>{0.0, 0.0}) {
       return {0.0, 0.0};
     }
-    w *= child.w;
-    node = child.p;
+    w *= cw;
+    node = mSlabs_[v].children(slot)[i];
   }
   return w;
 }
@@ -562,15 +627,17 @@ std::complex<double> Package::getAmplitude(const vEdge& x,
     return {0.0, 0.0};
   }
   std::complex<double> w = x.w;
-  const vNode* node = x.p;
-  while (node->v != kTerminalLevel) {
-    const auto bit = (index >> static_cast<std::size_t>(node->v)) & 1U;
-    const auto& child = node->e[bit];
-    if (child.isZero()) {
+  NodeIndex node = x.n;
+  while (node != kTerminalIndex) {
+    const auto v = static_cast<std::size_t>(levelOfIndex(node));
+    const auto slot = slotOfIndex(node);
+    const auto bit = (index >> v) & 1U;
+    const auto& cw = vSlabs_[v].weights(slot)[bit];
+    if (cw == std::complex<double>{0.0, 0.0}) {
       return {0.0, 0.0};
     }
-    w *= child.w;
-    node = child.p;
+    w *= cw;
+    node = vSlabs_[v].children(slot)[bit];
   }
   return w;
 }
@@ -586,7 +653,7 @@ bool Package::isIdentity(const mEdge& e, const bool upToGlobalPhase,
     return false;
   }
   const auto ident = makeIdent();
-  if (e.p == ident.p) {
+  if (e.n == ident.n) {
     if (upToGlobalPhase) {
       return std::abs(std::abs(e.w) - 1.0) < checkTol;
     }
@@ -601,59 +668,83 @@ bool Package::isIdentity(const mEdge& e, const bool upToGlobalPhase,
   return std::abs(t - dim) < checkTol * dim;
 }
 
-void Package::incRef(const mEdge& e) noexcept {
-  if (e.p == nullptr || e.p->v == kTerminalLevel) {
+void Package::incRefNode(const NodeIndex n) noexcept {
+  if (n == kTerminalIndex) {
     return;
   }
-  if (e.p->ref++ == 0) {
-    for (const auto& child : e.p->e) {
-      incRef(child);
+  auto& slab = mSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  const auto slot = slotOfIndex(n);
+  if (slab.ref(slot)++ == 0) {
+    // Ref walks never allocate; child references are stable here.
+    for (const auto child : slab.children(slot)) {
+      incRefNode(child);
     }
   }
 }
 
-void Package::decRef(const mEdge& e) noexcept {
-  if (e.p == nullptr || e.p->v == kTerminalLevel) {
+void Package::decRefNode(const NodeIndex n) noexcept {
+  if (n == kTerminalIndex) {
     return;
   }
-  assert(e.p->ref > 0);
-  if (--e.p->ref == 0) {
-    for (const auto& child : e.p->e) {
-      decRef(child);
+  auto& slab = mSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  const auto slot = slotOfIndex(n);
+  assert(slab.ref(slot) > 0);
+  if (--slab.ref(slot) == 0) {
+    for (const auto child : slab.children(slot)) {
+      decRefNode(child);
     }
   }
 }
 
-void Package::incRef(const vEdge& e) noexcept {
-  if (e.p == nullptr || e.p->v == kTerminalLevel) {
+void Package::incRefVNode(const NodeIndex n) noexcept {
+  if (n == kTerminalIndex) {
     return;
   }
-  if (e.p->ref++ == 0) {
-    for (const auto& child : e.p->e) {
-      incRef(child);
+  auto& slab = vSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  const auto slot = slotOfIndex(n);
+  if (slab.ref(slot)++ == 0) {
+    for (const auto child : slab.children(slot)) {
+      incRefVNode(child);
     }
   }
 }
 
-void Package::decRef(const vEdge& e) noexcept {
-  if (e.p == nullptr || e.p->v == kTerminalLevel) {
+void Package::decRefVNode(const NodeIndex n) noexcept {
+  if (n == kTerminalIndex) {
     return;
   }
-  assert(e.p->ref > 0);
-  if (--e.p->ref == 0) {
-    for (const auto& child : e.p->e) {
-      decRef(child);
+  auto& slab = vSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  const auto slot = slotOfIndex(n);
+  assert(slab.ref(slot) > 0);
+  if (--slab.ref(slot) == 0) {
+    for (const auto child : slab.children(slot)) {
+      decRefVNode(child);
     }
   }
+}
+
+void Package::incRef(const mEdge& e) noexcept { incRefNode(e.n); }
+void Package::decRef(const mEdge& e) noexcept { decRefNode(e.n); }
+void Package::incRef(const vEdge& e) noexcept { incRefVNode(e.n); }
+void Package::decRef(const vEdge& e) noexcept { decRefVNode(e.n); }
+
+void Package::clearComputeTables() noexcept {
+  multiplyTable_.clear();
+  multiplyVectorTable_.clear();
+  addTable_.clear();
+  addVectorTable_.clear();
+  conjTransTable_.clear();
+  traceTable_.clear();
+  innerProductTable_.clear();
 }
 
 std::size_t Package::garbageCollect(const bool force) {
   std::size_t live = 0;
-  for (const auto& table : mTables_) {
-    live += table.size();
+  for (const auto& slab : mSlabs_) {
+    live += slab.size();
   }
-  for (const auto& table : vTables_) {
-    live += table.size();
+  for (const auto& slab : vSlabs_) {
+    live += slab.size();
   }
   peakMatrixNodes_ = std::max(peakMatrixNodes_, live);
   // Over the node budget: always attempt a collection first — only what
@@ -673,20 +764,14 @@ std::size_t Package::garbageCollect(const bool force) {
     return 0;
   }
   std::size_t collected = 0;
-  for (auto& table : mTables_) {
-    collected += table.garbageCollect();
+  for (auto& slab : mSlabs_) {
+    collected += slab.garbageCollect();
   }
-  for (auto& table : vTables_) {
-    collected += table.garbageCollect();
+  for (auto& slab : vSlabs_) {
+    collected += slab.garbageCollect();
   }
-  // O(1) generation bumps — cached results may reference collected nodes.
-  multiplyTable_.clear();
-  multiplyVectorTable_.clear();
-  addTable_.clear();
-  addVectorTable_.clear();
-  conjTransTable_.clear();
-  traceTable_.clear();
-  innerProductTable_.clear();
+  // O(1) generation bumps — cached results may name reclaimed slots.
+  clearComputeTables();
   // The gate-DD cache holds references to its diagrams, so its entries are
   // never collected and stay valid here.
   gcThreshold_ = std::max(gcInitialThreshold_, 2 * (live - collected));
@@ -696,36 +781,34 @@ std::size_t Package::garbageCollect(const bool force) {
 }
 
 std::size_t Package::release(const mEdge& e) {
-  const std::size_t removed = releaseNode(e.p);
+  const std::size_t removed = releaseNode(e.n);
   if (removed > 0) {
     releasedNodes_ += removed;
-    // Cached results may reference the reclaimed nodes; the gate-DD cache
-    // holds references to its entries, so those were never reclaimable.
-    multiplyTable_.clear();
-    multiplyVectorTable_.clear();
-    addTable_.clear();
-    addVectorTable_.clear();
-    conjTransTable_.clear();
-    traceTable_.clear();
-    innerProductTable_.clear();
+    // Cached results may name the reclaimed slots; the gate-DD cache holds
+    // references to its entries, so those were never reclaimable.
+    clearComputeTables();
   }
   return removed;
 }
 
-std::size_t Package::releaseNode(mNode* node) {
-  if (node == nullptr || node->v == kTerminalLevel || node->ref != 0) {
+std::size_t Package::releaseNode(const NodeIndex n) {
+  if (n == kTerminalIndex) {
     return 0;
   }
-  // A failed remove means the node is not in the table (anymore): either a
-  // shared subdiagram this walk already reclaimed through another parent, or
-  // one an earlier garbageCollect() swept. Either way its children were (or
-  // will be) handled by whoever removed it.
-  if (!mTables_[static_cast<std::size_t>(node->v)].remove(node)) {
+  auto& slab = mSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  // A dead contains() means the slot is no longer live: either a shared
+  // subdiagram this walk already reclaimed through another parent, or one an
+  // earlier garbageCollect() swept. Either way its children were (or will
+  // be) handled by whoever freed it.
+  if (!slab.contains(n) || slab.ref(slotOfIndex(n)) != 0) {
     return 0;
   }
+  // Copy the children before remove() recycles the slot.
+  const auto children = slab.children(slotOfIndex(n));
+  slab.remove(n);
   std::size_t removed = 1;
-  for (const auto& child : node->e) {
-    removed += releaseNode(child.p);
+  for (const auto child : children) {
+    removed += releaseNode(child);
   }
   return removed;
 }
@@ -758,45 +841,80 @@ std::size_t Package::peakResidentSetKB() noexcept {
 #endif
 }
 
-template <typename Node>
-void Package::countNodes(const Node* node, std::set<const Node*>& seen) {
-  if (node == nullptr || node->v == kTerminalLevel ||
-      !seen.insert(node).second) {
+void Package::countMatrixNodes(const NodeIndex n,
+                               std::set<NodeIndex>& seen) const {
+  if (n == kTerminalIndex || !seen.insert(n).second) {
     return;
   }
-  for (const auto& child : node->e) {
-    if (!child.isZero()) {
-      countNodes(child.p, seen);
+  const auto& slab = mSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  const auto slot = slotOfIndex(n);
+  const auto& c = slab.children(slot);
+  const auto& w = slab.weights(slot);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (w[i] != std::complex<double>{0.0, 0.0}) {
+      countMatrixNodes(c[i], seen);
+    }
+  }
+}
+
+void Package::countVectorNodes(const NodeIndex n,
+                               std::set<NodeIndex>& seen) const {
+  if (n == kTerminalIndex || !seen.insert(n).second) {
+    return;
+  }
+  const auto& slab = vSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  const auto slot = slotOfIndex(n);
+  const auto& c = slab.children(slot);
+  const auto& w = slab.weights(slot);
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (w[i] != std::complex<double>{0.0, 0.0}) {
+      countVectorNodes(c[i], seen);
     }
   }
 }
 
 std::size_t Package::nodeCount(const mEdge& e) const {
-  std::set<const mNode*> seen;
-  countNodes(e.p, seen);
+  std::set<NodeIndex> seen;
+  countMatrixNodes(e.n, seen);
   return seen.size();
 }
 
 std::size_t Package::nodeCount(const vEdge& e) const {
-  std::set<const vNode*> seen;
-  countNodes(e.p, seen);
+  std::set<NodeIndex> seen;
+  countVectorNodes(e.n, seen);
   return seen.size();
+}
+
+mEdge Package::matrixChild(const NodeIndex n, const std::size_t i) const {
+  assert(n != kTerminalIndex && i < 4);
+  const auto& slab = mSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  const auto slot = slotOfIndex(n);
+  return {slab.children(slot)[i], slab.weights(slot)[i]};
+}
+
+vEdge Package::vectorChild(const NodeIndex n, const std::size_t i) const {
+  assert(n != kTerminalIndex && i < 2);
+  const auto& slab = vSlabs_[static_cast<std::size_t>(levelOfIndex(n))];
+  const auto slot = slotOfIndex(n);
+  return {slab.children(slot)[i], slab.weights(slot)[i]};
 }
 
 PackageStats Package::stats() const {
   PackageStats s;
-  for (const auto& table : mTables_) {
-    s.matrixNodes += table.size();
-    s.allocations += table.allocated();
+  for (const auto& slab : mSlabs_) {
+    s.matrixStore += slab.stats();
   }
-  for (const auto& table : vTables_) {
-    s.vectorNodes += table.size();
-    s.allocations += table.allocated();
+  for (const auto& slab : vSlabs_) {
+    s.vectorStore += slab.stats();
   }
+  s.matrixNodes = s.matrixStore.liveNodes;
+  s.vectorNodes = s.vectorStore.liveNodes;
+  s.allocations = s.matrixStore.allocatedSlots + s.vectorStore.allocatedSlots;
   s.gcRuns = gcRuns_;
   s.releasedNodes = releasedNodes_;
   s.realNumbers = reals_.size();
-  s.peakMatrixNodes = std::max(peakMatrixNodes_, s.matrixNodes);
+  s.peakMatrixNodes =
+      std::max(peakMatrixNodes_, s.matrixNodes + s.vectorNodes);
   s.gcThreshold = gcThreshold_;
   s.multiply = multiplyTable_.stats();
   s.multiplyVector = multiplyVectorTable_.stats();
@@ -838,6 +956,17 @@ void Package::exportCounters(obs::CounterRegistry& registry,
   registry.max(prefix + "nodes.peak",
                static_cast<double>(s.peakMatrixNodes));
   registry.max(prefix + "reals.interned", static_cast<double>(s.realNumbers));
+  const auto store = s.storeTotal();
+  registry.add(prefix + "unique.lookups", static_cast<double>(store.lookups));
+  registry.add(prefix + "unique.probe_steps",
+               static_cast<double>(store.probeSteps));
+  registry.add(prefix + "unique.hits", static_cast<double>(store.hits));
+  registry.add(prefix + "unique.collisions",
+               static_cast<double>(store.collisions));
+  registry.add(prefix + "nodes.slab_growths",
+               static_cast<double>(store.slabGrowths));
+  registry.max(prefix + "nodes.allocated_slots",
+               static_cast<double>(store.allocatedSlots));
 }
 
 std::vector<mEdge> Package::internalMatrixRoots() const {
@@ -851,86 +980,66 @@ std::vector<mEdge> Package::internalMatrixRoots() const {
 }
 
 void Package::visitLiveCacheNodes(
-    const std::function<void(const mNode*)>& visitMatrix,
-    const std::function<void(const vNode*)>& visitVector) const {
-  const auto vm = [&](const mEdge& e) {
-    if (e.p != nullptr) {
-      visitMatrix(e.p);
-    }
-  };
-  const auto vv = [&](const vEdge& e) {
-    if (e.p != nullptr) {
-      visitVector(e.p);
-    }
-  };
+    const std::function<void(NodeIndex)>& visitMatrix,
+    const std::function<void(NodeIndex)>& visitVector) const {
   multiplyTable_.forEachLive(
-      [&](const mEdge& l, const mEdge& r, const mEdge& res) {
-        vm(l);
-        vm(r);
-        vm(res);
+      [&](const NodeIndex l, const NodeIndex r, const mEdge& res) {
+        visitMatrix(l);
+        visitMatrix(r);
+        visitMatrix(res.n);
       });
   multiplyVectorTable_.forEachLive(
-      [&](const mEdge& l, const vEdge& r, const vEdge& res) {
-        vm(l);
-        vv(r);
-        vv(res);
+      [&](const NodeIndex l, const NodeIndex r, const vEdge& res) {
+        visitMatrix(l);
+        visitVector(r);
+        visitVector(res.n);
       });
   addTable_.forEachLive([&](const mEdge& l, const mEdge& r, const mEdge& res) {
-    vm(l);
-    vm(r);
-    vm(res);
+    visitMatrix(l.n);
+    visitMatrix(r.n);
+    visitMatrix(res.n);
   });
   addVectorTable_.forEachLive(
       [&](const vEdge& l, const vEdge& r, const vEdge& res) {
-        vv(l);
-        vv(r);
-        vv(res);
+        visitVector(l.n);
+        visitVector(r.n);
+        visitVector(res.n);
       });
-  conjTransTable_.forEachLive([&](const mNode* arg, const mEdge& res) {
-    if (arg != nullptr) {
-      visitMatrix(arg);
-    }
-    vm(res);
+  conjTransTable_.forEachLive([&](const NodeIndex arg, const mEdge& res) {
+    visitMatrix(arg);
+    visitMatrix(res.n);
   });
   traceTable_.forEachLive(
-      [&](const mNode* arg, const std::complex<double>& /*res*/) {
-        if (arg != nullptr) {
-          visitMatrix(arg);
-        }
+      [&](const NodeIndex arg, const std::complex<double>& /*res*/) {
+        visitMatrix(arg);
       });
-  innerProductTable_.forEachLive(
-      [&](const vEdge& l, const vEdge& r, const std::complex<double>& /*res*/) {
-        vv(l);
-        vv(r);
-      });
+  innerProductTable_.forEachLive([&](const NodeIndex l, const NodeIndex r,
+                                     const std::complex<double>& /*res*/) {
+    visitVector(l);
+    visitVector(r);
+  });
 }
 
-bool Package::containsMatrixNode(const mNode* node) const noexcept {
-  if (node == nullptr) {
-    return false;
-  }
-  if (node == &mTerminal_) {
+bool Package::containsMatrixNode(const NodeIndex n) const noexcept {
+  if (n == kTerminalIndex) {
     return true;
   }
-  if (node->v < 0 ||
-      static_cast<std::size_t>(node->v) >= mTables_.size()) {
+  const auto v = levelOfIndex(n);
+  if (v < 0 || static_cast<std::size_t>(v) >= mSlabs_.size()) {
     return false;
   }
-  return mTables_[static_cast<std::size_t>(node->v)].contains(node);
+  return mSlabs_[static_cast<std::size_t>(v)].contains(n);
 }
 
-bool Package::containsVectorNode(const vNode* node) const noexcept {
-  if (node == nullptr) {
-    return false;
-  }
-  if (node == &vTerminal_) {
+bool Package::containsVectorNode(const NodeIndex n) const noexcept {
+  if (n == kTerminalIndex) {
     return true;
   }
-  if (node->v < 0 ||
-      static_cast<std::size_t>(node->v) >= vTables_.size()) {
+  const auto v = levelOfIndex(n);
+  if (v < 0 || static_cast<std::size_t>(v) >= vSlabs_.size()) {
     return false;
   }
-  return vTables_[static_cast<std::size_t>(node->v)].contains(node);
+  return vSlabs_[static_cast<std::size_t>(v)].contains(n);
 }
 
 } // namespace veriqc::dd

@@ -1,6 +1,11 @@
 /// \file package.hpp
 /// \brief The decision-diagram package: canonical QMDD construction and
 ///        manipulation for quantum functionality (Sec. 4 of the paper).
+///
+/// Nodes live in per-level slab stores (`NodeSlab`) and are referenced by
+/// 32-bit `NodeIndex` handles; see node.hpp for the handle invariants. Edges
+/// returned by package operations stay valid until the nodes they reference
+/// are reclaimed (GC of unreferenced nodes, or eager `release`).
 #pragma once
 
 #include "dd/compute_table.hpp"
@@ -54,12 +59,17 @@ struct PackageConfig {
 struct PackageStats {
   std::size_t matrixNodes = 0;   ///< live unique matrix nodes
   std::size_t vectorNodes = 0;   ///< live unique vector nodes
-  std::size_t allocations = 0;   ///< total nodes ever allocated
+  std::size_t allocations = 0;   ///< total node slots ever materialised
   std::size_t gcRuns = 0;        ///< garbage collections performed
   std::size_t realNumbers = 0;   ///< interned canonical reals
   std::size_t peakMatrixNodes = 0;
   std::size_t gcThreshold = 0;   ///< current adaptive GC trigger
   std::size_t releasedNodes = 0; ///< nodes reclaimed eagerly via release()
+
+  /// Slab-store metrics summed over all levels (probe lengths, occupancy,
+  /// growth events); split by diagram kind.
+  NodeStoreStats matrixStore;
+  NodeStoreStats vectorStore;
 
   // Per-cache hit/miss/collision counters.
   CacheStats multiply;
@@ -84,9 +94,17 @@ struct PackageStats {
     total += innerProduct;
     return total;
   }
+
+  /// Slab-store metrics summed over both diagram kinds.
+  [[nodiscard]] NodeStoreStats storeTotal() const noexcept {
+    NodeStoreStats total;
+    total += matrixStore;
+    total += vectorStore;
+    return total;
+  }
 };
 
-/// One package instance owns all nodes, unique tables and caches for a fixed
+/// One package instance owns all nodes, slab stores and caches for a fixed
 /// number of qubits. It is deliberately single-threaded; concurrent checkers
 /// each use their own instance.
 class Package {
@@ -104,13 +122,13 @@ public:
 
   // --- canonical building blocks -------------------------------------------
   [[nodiscard]] mEdge zeroMatrix() const noexcept {
-    return {&mTerminal_, {0.0, 0.0}};
+    return {kTerminalIndex, {0.0, 0.0}};
   }
   [[nodiscard]] vEdge zeroVectorEdge() const noexcept {
-    return {&vTerminal_, {0.0, 0.0}};
+    return {kTerminalIndex, {0.0, 0.0}};
   }
   [[nodiscard]] mEdge oneMatrixScalar() const noexcept {
-    return {&mTerminal_, {1.0, 0.0}};
+    return {kTerminalIndex, {1.0, 0.0}};
   }
 
   /// The identity on all `numQubits()` qubits (a linear-size chain, Fig. 3b).
@@ -175,9 +193,11 @@ public:
   void decRef(const vEdge& e) noexcept;
 
   /// Collect dead nodes if the live-node count exceeds the adaptive
-  /// threshold (always when `force`). All compute tables are invalidated
-  /// (an O(1) generation bump each); cached gate DDs stay referenced and
-  /// therefore remain valid across collections.
+  /// threshold (always when `force`). Each slab sweeps its dense arrays and
+  /// rebuilds its bucket table; all compute tables are invalidated (an O(1)
+  /// generation bump each) so no cached entry can name a reclaimed — and now
+  /// reusable — slot. Cached gate DDs stay referenced and therefore remain
+  /// valid across collections.
   /// \throws ResourceLimitError when a configured node or memory budget
   ///         (PackageConfig::maxNodes / maxMemoryMB) remains exceeded even
   ///         after a forced collection. With the default unlimited budgets
@@ -185,11 +205,11 @@ public:
   std::size_t garbageCollect(bool force = false);
 
   /// Eagerly reclaim an unreferenced diagram: every node in e's DAG whose
-  /// reference count is zero is unlinked from the unique table and returned
-  /// to the free list, stopping at nodes kept alive by references (shared
+  /// reference count is zero is removed from its slab's bucket table and its
+  /// slot recycled, stopping at nodes kept alive by references (shared
   /// subdiagrams of live edges survive). When anything was reclaimed, the
   /// compute tables are invalidated (O(1) generation bumps) since cached
-  /// results may point into the released tree. Used by the lookahead oracle
+  /// results may name the released slots. Used by the lookahead oracle
   /// to drop the losing candidate product immediately instead of letting it
   /// pin live-node accounting (stats, GC threshold adaptation and the node
   /// budget) until the next GC sweep. Returns the number of reclaimed nodes.
@@ -221,15 +241,19 @@ public:
   // at quiescent points (no DD operation in flight); the audit layer calls
   // them at post-gate checkpoints and after garbage collection.
 
-  /// Per-level unique tables (index = DD level).
-  [[nodiscard]] const std::vector<UniqueTable<mNode>>&
-  matrixTables() const noexcept {
-    return mTables_;
+  /// Per-level slab stores (index = DD level).
+  [[nodiscard]] const std::vector<NodeSlab<mEdge>>&
+  matrixSlabs() const noexcept {
+    return mSlabs_;
   }
-  [[nodiscard]] const std::vector<UniqueTable<vNode>>&
-  vectorTables() const noexcept {
-    return vTables_;
+  [[nodiscard]] const std::vector<NodeSlab<vEdge>>&
+  vectorSlabs() const noexcept {
+    return vSlabs_;
   }
+
+  /// Child edge i of a (non-terminal) matrix/vector node.
+  [[nodiscard]] mEdge matrixChild(NodeIndex n, std::size_t i) const;
+  [[nodiscard]] vEdge vectorChild(NodeIndex n, std::size_t i) const;
 
   /// The real-number interning table.
   [[nodiscard]] const RealTable& realTable() const noexcept { return reals_; }
@@ -239,19 +263,26 @@ public:
   /// refcount recount counts these alongside caller-held roots.
   [[nodiscard]] std::vector<mEdge> internalMatrixRoots() const;
 
-  /// Invokes the visitors for every node pointer referenced by a compute-table
+  /// Invokes the visitors for every node handle referenced by a compute-table
   /// entry of the current generation (operand keys and cached results).
   void
-  visitLiveCacheNodes(const std::function<void(const mNode*)>& visitMatrix,
-                      const std::function<void(const vNode*)>& visitVector)
+  visitLiveCacheNodes(const std::function<void(NodeIndex)>& visitMatrix,
+                      const std::function<void(NodeIndex)>& visitVector)
       const;
 
-  /// True if `node` is the terminal or currently resident in a unique table.
-  [[nodiscard]] bool containsMatrixNode(const mNode* node) const noexcept;
-  [[nodiscard]] bool containsVectorNode(const vNode* node) const noexcept;
+  /// True if `n` is the terminal or currently live in a slab store.
+  [[nodiscard]] bool containsMatrixNode(NodeIndex n) const noexcept;
+  [[nodiscard]] bool containsVectorNode(NodeIndex n) const noexcept;
 
 private:
-  std::size_t releaseNode(mNode* node);
+  friend class PackageTestAccess;
+
+  std::size_t releaseNode(NodeIndex n);
+  void incRefNode(NodeIndex n) noexcept;
+  void decRefNode(NodeIndex n) noexcept;
+  void incRefVNode(NodeIndex n) noexcept;
+  void decRefVNode(NodeIndex n) noexcept;
+
   /// Cache key of a constructed gate DD. Matrix entries are quantized by the
   /// interning tolerance, so parameter values that would intern to the same
   /// canonical reals share an entry. Controls/target are DD levels (i.e. the
@@ -296,36 +327,38 @@ private:
                     const std::vector<Qubit>& sortedControls, Qubit target);
   mEdge buildSwapDD(Qubit a, Qubit b, const std::vector<Qubit>& controls);
 
-  template <typename Node>
-  static void countNodes(const Node* node, std::set<const Node*>& seen);
+  void countMatrixNodes(NodeIndex n, std::set<NodeIndex>& seen) const;
+  void countVectorNodes(NodeIndex n, std::set<NodeIndex>& seen) const;
 
-  mEdge multiplyNodes(mNode* x, mNode* y, Level var);
-  vEdge multiplyNodes(mNode* m, vNode* v, Level var);
-  std::complex<double> traceNode(mNode* node);
-  std::complex<double> innerProductNodes(vNode* x, vNode* y);
+  mEdge multiplyMatrixNodes(NodeIndex x, NodeIndex y, Level var);
+  vEdge multiplyVectorNodes(NodeIndex m, NodeIndex v, Level var);
+  std::complex<double> traceNode(NodeIndex node);
+  std::complex<double> innerProductNodes(NodeIndex x, NodeIndex y);
 
   std::size_t nqubits_;
   RealTable reals_;
 
-  mutable mNode mTerminal_{};
-  mutable vNode vTerminal_{};
+  std::vector<NodeSlab<mEdge>> mSlabs_; ///< one per level
+  std::vector<NodeSlab<vEdge>> vSlabs_;
 
-  std::vector<UniqueTable<mNode>> mTables_; ///< one per level
-  std::vector<UniqueTable<vNode>> vTables_;
-
-  ComputeTable<mEdge, mEdge, mEdge> multiplyTable_;
-  ComputeTable<mEdge, vEdge, vEdge> multiplyVectorTable_;
+  NodePairComputeTable<mEdge> multiplyTable_;
+  NodePairComputeTable<vEdge> multiplyVectorTable_;
   ComputeTable<mEdge, mEdge, mEdge> addTable_;
   ComputeTable<vEdge, vEdge, vEdge> addVectorTable_;
-  UnaryComputeTable<mNode, mEdge> conjTransTable_;
-  UnaryComputeTable<mNode, std::complex<double>> traceTable_;
-  ComputeTable<vEdge, vEdge, std::complex<double>> innerProductTable_;
+  UnaryComputeTable<mEdge> conjTransTable_;
+  UnaryComputeTable<std::complex<double>> traceTable_;
+  NodePairComputeTable<std::complex<double>> innerProductTable_;
 
   std::unordered_map<GateKey, mEdge, GateKeyHash> gateCache_;
   std::size_t gateCacheMaxEntries_;
   CacheStats gateCacheStats_;
 
   std::vector<mEdge> idTable_; ///< idTable_[k] = identity on levels 0..k
+
+  /// Invalidate every operation cache (O(1) generation bumps). Required
+  /// whenever node slots become reusable, since a recycled slot would
+  /// otherwise let a stale entry alias a brand-new node (ABA on handles).
+  void clearComputeTables() noexcept;
 
   /// Enforce the node/memory budgets against the post-collection live node
   /// count. \throws ResourceLimitError when a budget is exceeded.
@@ -339,6 +372,25 @@ private:
   std::size_t maxNodes_ = 0;
   std::size_t maxMemoryKB_ = 0;
   std::size_t memoryCheckCountdown_ = 0;
+};
+
+/// White-box access to a package's slab stores for audit mutation tests and
+/// node-store unit tests. Production code must never use this: it can break
+/// every canonicity invariant — which is exactly what the audit-layer tests
+/// need it for.
+class PackageTestAccess {
+public:
+  static NodeSlab<mEdge>& matrixSlab(Package& p, const Level v) {
+    return p.mSlabs_[static_cast<std::size_t>(v)];
+  }
+  static NodeSlab<vEdge>& vectorSlab(Package& p, const Level v) {
+    return p.vSlabs_[static_cast<std::size_t>(v)];
+  }
+  /// Detach a node from its slab *without* invalidating the compute tables —
+  /// the stale-cache corruption the audit layer must detect.
+  static void detachMatrixNode(Package& p, const NodeIndex n) {
+    p.mSlabs_[static_cast<std::size_t>(levelOfIndex(n))].remove(n);
+  }
 };
 
 } // namespace veriqc::dd

@@ -2,18 +2,25 @@
 
 namespace veriqc::dd {
 
-double RealTable::lookup(const double value) {
-  // Fast path for the ubiquitous exact values.
-  if (value == 0.0 || value == 1.0 || value == -1.0) {
-    return value;
-  }
+double RealTable::lookupSlow(const double value) {
+  // The fast-path constants are implicit representatives: values within
+  // tolerance of them must snap to the exact constant, or near-1 weights
+  // would intern to a non-1 representative and e.g. U^dagger*U would miss
+  // the canonical identity node.
   if (std::abs(value) < tolerance_) {
     return 0.0;
   }
+  if (std::abs(value - 1.0) < tolerance_) {
+    return 1.0;
+  }
+  if (std::abs(value + 1.0) < tolerance_) {
+    return -1.0;
+  }
   const auto key = keyOf(value);
   // A representative within tolerance can sit in the value's own bin or in
-  // one of its neighbours (bin width == tolerance).
-  for (const auto k : {key - 1, key, key + 1}) {
+  // one of its neighbours (bin width == tolerance). The own bin is probed
+  // first: it hits for every already-interned value.
+  for (const auto k : {key, key - 1, key + 1}) {
     const Slot* slot = find(k);
     if (slot != nullptr && std::abs(slot->value - value) < tolerance_) {
       return slot->value;

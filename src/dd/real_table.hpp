@@ -16,6 +16,8 @@
 /// the hot path.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <complex>
 #include <cstddef>
@@ -36,10 +38,30 @@ public:
       : tolerance_(tolerance), slots_(kInitialSlots) {}
 
   [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
-  void setTolerance(double tol) noexcept { tolerance_ = tol; }
+  void setTolerance(double tol) noexcept {
+    tolerance_ = tol;
+    memo_.fill(MemoEntry{});
+  }
 
   /// Canonical representative of `value`.
-  [[nodiscard]] double lookup(double value);
+  ///
+  /// Fronted by a direct-mapped memo keyed on the raw bit pattern: interning
+  /// is stable (representatives are only ever added, never replaced), so a
+  /// raw double maps to the same canonical value for the lifetime of the
+  /// table contents and repeated weights skip the bin probes entirely.
+  [[nodiscard]] double lookup(const double value) {
+    if (value == 0.0 || value == 1.0 || value == -1.0) {
+      return value;
+    }
+    const auto bits = std::bit_cast<std::uint64_t>(value);
+    auto& entry = memo_[memoIndex(bits)];
+    if (entry.bits == bits) {
+      return entry.canonical;
+    }
+    const double canonical = lookupSlow(value);
+    entry = {bits, canonical};
+    return canonical;
+  }
 
   /// Canonical representative of a complex value (both parts interned).
   [[nodiscard]] std::complex<double> lookup(std::complex<double> value) {
@@ -63,6 +85,7 @@ public:
   void clear() {
     slots_.assign(kInitialSlots, Slot{});
     count_ = 0;
+    memo_.fill(MemoEntry{});
   }
 
   /// Visits every interned representative as `f(binKey, value)`. Read-only
@@ -88,6 +111,24 @@ private:
     bool occupied = false;
   };
 
+  /// The all-zero entry is correct by construction: raw bits 0 are +0.0,
+  /// whose canonical value is 0.0 (and which the fast path catches anyway).
+  struct MemoEntry {
+    std::uint64_t bits = 0;
+    double canonical = 0.0;
+  };
+
+  static constexpr std::size_t kMemoSizeLog2 = 13; // 8192 entries, 128 KiB
+
+  [[nodiscard]] static std::size_t memoIndex(const std::uint64_t bits) noexcept {
+    return static_cast<std::size_t>((bits * 0x9E3779B97F4A7C15ULL) >>
+                                    (64U - kMemoSizeLog2));
+  }
+
+  /// Bin-probing path behind the memo: find a representative within
+  /// tolerance or intern `value` as a new one.
+  [[nodiscard]] double lookupSlow(double value);
+
   [[nodiscard]] std::int64_t keyOf(double value) const noexcept {
     return static_cast<std::int64_t>(std::floor(value / tolerance_));
   }
@@ -109,6 +150,7 @@ private:
   double tolerance_;
   std::vector<Slot> slots_; ///< size is always a power of two
   std::size_t count_ = 0;
+  std::array<MemoEntry, std::size_t{1} << kMemoSizeLog2> memo_{};
 };
 
 } // namespace veriqc::dd

@@ -1,172 +1,335 @@
 /// \file unique_table.hpp
-/// \brief Per-level unique tables guaranteeing canonical node sharing.
+/// \brief Per-level slab node store with an open-addressed unique table.
+///
+/// One `NodeSlab` owns every node of a single level as structure-of-arrays
+/// storage: flat vectors of child handles, edge weights, reference counts and
+/// cached child-tuple hashes, addressed by the 24-bit slot of a `NodeIndex`.
+/// Canonicity probes walk a dense open-addressed bucket array of
+/// `{hash, slot}` pairs (8 bytes per bucket) with linear probing, so a lookup
+/// touches packed integers instead of chasing heap pointers.
+///
+/// Lifecycle:
+///  - `lookup` is find-or-insert: it either returns the canonical handle of
+///    an existing node with the same child tuple or materialises the tuple in
+///    a fresh slot (free-list first, then appended — growth never changes a
+///    slot's identity, only the backing vectors' addresses).
+///  - `remove` tombstones the node's bucket and returns its slot to the free
+///    list (eager release path).
+///  - `garbageCollect` sweeps the dense arrays, frees every live slot with a
+///    zero reference count and rebuilds the bucket table tombstone-free.
+///
+/// Because the backing storage is flat vectors, any reference obtained from
+/// `children()`/`weights()` is invalidated by the next allocating call
+/// (`lookup`); callers that recurse while holding children must copy them to
+/// the stack first. Non-allocating walks (ref counting, sweeps, audits) may
+/// hold references safely.
 #pragma once
 
 #include "dd/node.hpp"
 
+#include <cassert>
 #include <cstddef>
-#include <memory>
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace veriqc::dd {
 
-/// Hash table of nodes for one level, with chunk allocation, a free list and
-/// mark-free garbage collection of nodes whose reference count is zero.
-template <typename Node> class UniqueTable {
+/// Aggregated slab metrics, summed across levels by the package and surfaced
+/// in benchmark JSON (`BENCH_dd_kernel.json`) and run reports.
+struct NodeStoreStats {
+  std::size_t liveNodes = 0;      ///< currently live slots
+  std::size_t allocatedSlots = 0; ///< slots ever materialised (monotone)
+  std::size_t freeSlots = 0;      ///< slots parked on free lists
+  std::size_t slabGrowths = 0;    ///< backing-vector reallocation events
+  std::size_t buckets = 0;        ///< open-addressing bucket capacity
+  std::uint64_t lookups = 0;      ///< find-or-insert probes
+  std::uint64_t probeSteps = 0;   ///< buckets inspected across all lookups
+  std::uint64_t hits = 0;         ///< lookups answered by an existing node
+  std::uint64_t collisions = 0;   ///< equal folded hash, different node
+
+  [[nodiscard]] double occupancy() const {
+    return allocatedSlots == 0
+               ? 0.0
+               : static_cast<double>(liveNodes) /
+                     static_cast<double>(allocatedSlots);
+  }
+  [[nodiscard]] double meanProbeLength() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(probeSteps) /
+                              static_cast<double>(lookups);
+  }
+  [[nodiscard]] double hitRate() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  NodeStoreStats& operator+=(const NodeStoreStats& other) {
+    liveNodes += other.liveNodes;
+    allocatedSlots += other.allocatedSlots;
+    freeSlots += other.freeSlots;
+    slabGrowths += other.slabGrowths;
+    buckets += other.buckets;
+    lookups += other.lookups;
+    probeSteps += other.probeSteps;
+    hits += other.hits;
+    collisions += other.collisions;
+    return *this;
+  }
+};
+
+template <typename EdgeT> class NodeSlab {
 public:
-  static constexpr std::size_t kInitialBuckets = 256;
-  static constexpr std::size_t kChunkSize = 2048;
+  static constexpr std::size_t Arity = EdgeT::arity;
+  using Children = std::array<NodeIndex, Arity>;
+  using Weights = std::array<std::complex<double>, Arity>;
 
-  UniqueTable() : buckets_(kInitialBuckets, nullptr) {}
-
-  UniqueTable(const UniqueTable&) = delete;
-  UniqueTable& operator=(const UniqueTable&) = delete;
-
-  /// Returns a fresh node to be filled by the caller (not yet in the table).
-  Node* getFreeNode() {
-    if (free_ != nullptr) {
-      Node* node = free_;
-      free_ = node->next;
-      *node = Node{};
-      return node;
-    }
-    if (chunks_.empty() || chunkUsed_ == kChunkSize) {
-      chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
-      chunkUsed_ = 0;
-      allocated_ += kChunkSize;
-    }
-    return &chunks_.back()[chunkUsed_++];
+  explicit NodeSlab(const Level level) : level_(level) {
+    assert(level >= 0);
+    buckets_.resize(kInitialBuckets);
+    mask_ = kInitialBuckets - 1;
   }
 
-  /// Returns the canonical node equal to `candidate` (inserting it if new).
-  /// If an equal node already existed, `candidate` is returned to the free
-  /// list.
-  Node* lookup(Node* candidate) {
-    const auto h = hashNodeChildren(*candidate) & (buckets_.size() - 1);
-    for (Node* cur = buckets_[h]; cur != nullptr; cur = cur->next) {
-      if (sameChildren(*cur, *candidate)) {
-        returnNode(candidate);
-        return cur;
+  NodeSlab(const NodeSlab&) = delete;
+  NodeSlab& operator=(const NodeSlab&) = delete;
+  NodeSlab(NodeSlab&&) noexcept = default;
+  NodeSlab& operator=(NodeSlab&&) noexcept = default;
+
+  [[nodiscard]] Level level() const noexcept { return level_; }
+
+  /// Find-or-insert the canonical node for a child tuple; returns its handle.
+  NodeIndex lookup(const Children& children, const Weights& weights) {
+    ++lookups_;
+    const auto hash = foldHash(hashNodeChildren<Arity>(children, weights));
+    if ((occupied_ + 1) * 2 > buckets_.size()) {
+      rebuildBuckets(buckets_.size() * 2);
+    }
+    auto idx = hash & mask_;
+    auto firstTomb = kNoBucket;
+    while (true) {
+      ++probeSteps_;
+      const auto& bucket = buckets_[idx];
+      if (bucket.slot == kEmptySlot) {
+        break;
       }
-    }
-    candidate->next = buckets_[h];
-    buckets_[h] = candidate;
-    ++count_;
-    if (count_ > 4 * buckets_.size()) {
-      grow();
-    }
-    return candidate;
-  }
-
-  /// Puts a node that never entered the table back onto the free list.
-  void returnNode(Node* node) {
-    node->next = free_;
-    free_ = node;
-  }
-
-  /// Unlinks one specific node from its bucket and returns it to the free
-  /// list. Returns false when the node is not (or no longer) in the table —
-  /// callers use that to walk shared DAGs without a visited set, and to
-  /// tolerate nodes an earlier garbageCollect() already reclaimed. Compute
-  /// tables referencing the node must be invalidated by the caller.
-  bool remove(Node* node) {
-    const auto h = hashNodeChildren(*node) & (buckets_.size() - 1);
-    for (Node** link = &buckets_[h]; *link != nullptr;
-         link = &(*link)->next) {
-      if (*link == node) {
-        *link = node->next;
-        returnNode(node);
-        --count_;
-        return true;
+      if (bucket.slot == kTombSlot) {
+        if (firstTomb == kNoBucket) {
+          firstTomb = idx;
+        }
+      } else if (bucket.hash == hash) {
+        if (children_[bucket.slot] == children &&
+            weights_[bucket.slot] == weights) {
+          ++hits_;
+          return makeNodeIndex(level_, bucket.slot);
+        }
+        ++collisions_;
       }
+      idx = (idx + 1) & mask_;
     }
-    return false;
+    const auto slot = allocateSlot(children, weights, hash);
+    auto target = idx;
+    if (firstTomb != kNoBucket) {
+      target = firstTomb;
+    } else {
+      ++occupied_; // filling a genuinely empty bucket
+    }
+    buckets_[target] = Bucket{hash, slot};
+    return makeNodeIndex(level_, slot);
   }
 
-  /// Removes all nodes with reference count zero. Returns the number of
-  /// collected nodes. Compute tables referencing these nodes must be
-  /// invalidated by the caller.
+  /// Eagerly drop a node: tombstone its bucket, recycle its slot.
+  void remove(const NodeIndex n) {
+    const auto slot = slotOfIndex(n);
+    assert(levelOfIndex(n) == level_);
+    assert(slot < live_.size() && live_[slot] != 0);
+    auto idx = static_cast<std::size_t>(hashes_[slot]) & mask_;
+    while (true) {
+      auto& bucket = buckets_[idx];
+      assert(bucket.slot != kEmptySlot && "node missing from bucket table");
+      if (bucket.slot == slot) {
+        bucket.slot = kTombSlot;
+        break;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    freeSlot(slot);
+  }
+
+  /// Is this handle's slot currently live? O(1); used by audits to detect
+  /// compute-table entries pointing at reclaimed nodes.
+  [[nodiscard]] bool contains(const NodeIndex n) const noexcept {
+    const auto slot = slotOfIndex(n);
+    return levelOfIndex(n) == level_ && slot < live_.size() &&
+           live_[slot] != 0;
+  }
+
+  /// Sweep the dense arrays: free every live slot with refcount zero, then
+  /// rebuild the bucket table tombstone-free. Returns #collected.
   std::size_t garbageCollect() {
     std::size_t collected = 0;
-    for (auto& bucket : buckets_) {
-      Node** link = &bucket;
-      while (*link != nullptr) {
-        Node* cur = *link;
-        if (cur->ref == 0) {
-          *link = cur->next;
-          returnNode(cur);
-          --count_;
-          ++collected;
-        } else {
-          link = &cur->next;
-        }
+    const auto slots = static_cast<std::uint32_t>(live_.size());
+    for (std::uint32_t slot = 0; slot < slots; ++slot) {
+      if (live_[slot] != 0 && refs_[slot] == 0) {
+        freeSlot(slot);
+        ++collected;
       }
+    }
+    if (collected != 0) {
+      rebuildBuckets(buckets_.size());
     }
     return collected;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return count_; }
-  [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
-  [[nodiscard]] std::size_t bucketCount() const noexcept {
-    return buckets_.size();
-  }
-
-  /// Visits every table-resident node as `f(node, bucketIndex)`. Read-only
-  /// introspection for the audit layer; the visitor must not mutate the table.
-  template <typename F> void forEach(F&& f) const {
-    for (std::size_t b = 0; b < buckets_.size(); ++b) {
-      for (const Node* cur = buckets_[b]; cur != nullptr; cur = cur->next) {
-        f(cur, b);
+  /// Visit every live node as (handle, slot).
+  template <typename Fn> void forEach(Fn&& fn) const {
+    const auto slots = static_cast<std::uint32_t>(live_.size());
+    for (std::uint32_t slot = 0; slot < slots; ++slot) {
+      if (live_[slot] != 0) {
+        fn(makeNodeIndex(level_, slot), slot);
       }
     }
   }
 
-  /// True if `node` is currently resident in this table. Checks the node's
-  /// home bucket first and falls back to a full scan so that nodes whose
-  /// children were corrupted after insertion are still found (the audit layer
-  /// relies on this to separate "stale pointer" from "misplaced node").
-  [[nodiscard]] bool contains(const Node* node) const noexcept {
-    const auto h = hashNodeChildren(*node) & (buckets_.size() - 1);
-    for (const Node* cur = buckets_[h]; cur != nullptr; cur = cur->next) {
-      if (cur == node) {
-        return true;
-      }
-    }
-    for (std::size_t b = 0; b < buckets_.size(); ++b) {
-      if (b == h) {
-        continue;
-      }
-      for (const Node* cur = buckets_[b]; cur != nullptr; cur = cur->next) {
-        if (cur == node) {
-          return true;
-        }
-      }
-    }
-    return false;
+  // Slot accessors. The mutable overloads exist for the package's refcount
+  // maintenance and for white-box audit/mutation tests; ordinary DD
+  // operations treat stored nodes as immutable.
+  [[nodiscard]] const Children& children(const std::uint32_t slot) const {
+    assert(slot < children_.size());
+    return children_[slot];
+  }
+  [[nodiscard]] Children& children(const std::uint32_t slot) {
+    assert(slot < children_.size());
+    return children_[slot];
+  }
+  [[nodiscard]] const Weights& weights(const std::uint32_t slot) const {
+    assert(slot < weights_.size());
+    return weights_[slot];
+  }
+  [[nodiscard]] Weights& weights(const std::uint32_t slot) {
+    assert(slot < weights_.size());
+    return weights_[slot];
+  }
+  [[nodiscard]] std::uint32_t ref(const std::uint32_t slot) const {
+    assert(slot < refs_.size());
+    return refs_[slot];
+  }
+  [[nodiscard]] std::uint32_t& ref(const std::uint32_t slot) {
+    assert(slot < refs_.size());
+    return refs_[slot];
+  }
+  /// Folded child-tuple hash cached at insert time; audits recompute and
+  /// compare to expose in-place child mutations ("misplaced" nodes).
+  [[nodiscard]] std::uint32_t storedHash(const std::uint32_t slot) const {
+    assert(slot < hashes_.size());
+    return hashes_[slot];
+  }
+
+  [[nodiscard]] static std::uint32_t foldHash(const std::size_t hash) noexcept {
+    return static_cast<std::uint32_t>(hash ^ (hash >> 32U));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return liveCount_; }
+
+  [[nodiscard]] NodeStoreStats stats() const {
+    NodeStoreStats s;
+    s.liveNodes = liveCount_;
+    s.allocatedSlots = children_.size();
+    s.freeSlots = freeList_.size();
+    s.slabGrowths = growths_;
+    s.buckets = buckets_.size();
+    s.lookups = lookups_;
+    s.probeSteps = probeSteps_;
+    s.hits = hits_;
+    s.collisions = collisions_;
+    return s;
   }
 
 private:
-  void grow() {
-    std::vector<Node*> newBuckets(buckets_.size() * 2, nullptr);
-    for (Node* bucket : buckets_) {
-      Node* cur = bucket;
-      while (cur != nullptr) {
-        Node* next = cur->next;
-        const auto h = hashNodeChildren(*cur) & (newBuckets.size() - 1);
-        cur->next = newBuckets[h];
-        newBuckets[h] = cur;
-        cur = next;
+  struct Bucket {
+    std::uint32_t hash = 0;
+    std::uint32_t slot = kEmptySlot;
+  };
+
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFU;
+  static constexpr std::uint32_t kTombSlot = 0xFFFFFFFEU;
+  static constexpr std::size_t kNoBucket = ~std::size_t{0};
+  static constexpr std::size_t kInitialBuckets = 64;
+
+  std::uint32_t allocateSlot(const Children& children, const Weights& weights,
+                             const std::uint32_t hash) {
+    std::uint32_t slot = 0;
+    if (!freeList_.empty()) {
+      slot = freeList_.back();
+      freeList_.pop_back();
+    } else {
+      if (children_.size() >= kMaxSlotsPerLevel) {
+        throw std::length_error(
+            "dd: node slab exceeded 2^24 slots on one level");
       }
+      if (children_.size() == children_.capacity()) {
+        ++growths_;
+      }
+      slot = static_cast<std::uint32_t>(children_.size());
+      children_.emplace_back();
+      weights_.emplace_back();
+      refs_.push_back(0);
+      hashes_.push_back(0);
+      live_.push_back(0);
     }
-    buckets_ = std::move(newBuckets);
+    children_[slot] = children;
+    weights_[slot] = weights;
+    refs_[slot] = 0;
+    hashes_[slot] = hash;
+    live_[slot] = 1;
+    ++liveCount_;
+    return slot;
   }
 
-  std::vector<Node*> buckets_;
-  std::vector<std::unique_ptr<Node[]>> chunks_;
-  std::size_t chunkUsed_ = 0;
-  std::size_t allocated_ = 0;
-  std::size_t count_ = 0;
-  Node* free_ = nullptr;
+  void freeSlot(const std::uint32_t slot) {
+    live_[slot] = 0;
+    refs_[slot] = 0;
+    freeList_.push_back(slot);
+    --liveCount_;
+  }
+
+  void rebuildBuckets(std::size_t targetBuckets) {
+    while (targetBuckets < (liveCount_ + 1) * 2) {
+      targetBuckets *= 2;
+    }
+    buckets_.assign(targetBuckets, Bucket{});
+    mask_ = targetBuckets - 1;
+    occupied_ = 0;
+    const auto slots = static_cast<std::uint32_t>(live_.size());
+    for (std::uint32_t slot = 0; slot < slots; ++slot) {
+      if (live_[slot] == 0) {
+        continue;
+      }
+      auto idx = static_cast<std::size_t>(hashes_[slot]) & mask_;
+      while (buckets_[idx].slot != kEmptySlot) {
+        idx = (idx + 1) & mask_;
+      }
+      buckets_[idx] = Bucket{hashes_[slot], slot};
+      ++occupied_;
+    }
+  }
+
+  Level level_;
+  std::vector<Children> children_;
+  std::vector<Weights> weights_;
+  std::vector<std::uint32_t> refs_;
+  std::vector<std::uint32_t> hashes_;
+  std::vector<std::uint8_t> live_;
+  std::vector<std::uint32_t> freeList_;
+  std::vector<Bucket> buckets_;
+  std::size_t mask_ = 0;
+  std::size_t occupied_ = 0; ///< non-empty buckets (live + tombstones)
+  std::size_t liveCount_ = 0;
+  std::size_t growths_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t probeSteps_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t collisions_ = 0;
 };
 
 } // namespace veriqc::dd

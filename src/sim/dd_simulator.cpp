@@ -29,7 +29,7 @@ dd::mEdge buildUnitaryDD(dd::Package& package, const QuantumCircuit& circuit,
   }
   if (explicitCircuit.globalPhase() != 0.0) {
     const auto phased = dd::mEdge{
-        e.p, e.w * std::exp(std::complex<double>{
+        e.n, e.w * std::exp(std::complex<double>{
                   0.0, explicitCircuit.globalPhase()})};
     package.incRef(phased);
     package.decRef(e);
@@ -62,7 +62,7 @@ dd::vEdge simulate(dd::Package& package, const QuantumCircuit& circuit,
   }
   if (explicitCircuit.globalPhase() != 0.0) {
     const auto phased = dd::vEdge{
-        state.p, state.w * std::exp(std::complex<double>{
+        state.n, state.w * std::exp(std::complex<double>{
                      0.0, explicitCircuit.globalPhase()})};
     package.incRef(phased);
     package.decRef(state);

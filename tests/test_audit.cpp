@@ -169,6 +169,13 @@ TEST(IrAuditTest, InvertRoundTripSkipsNonInvertibleCircuits) {
 
 // --- DD auditors -------------------------------------------------------------
 
+// White-box helpers: plant corruption directly in a node's slab slot.
+dd::NodeSlab<dd::mEdge>& slabOf(dd::Package& package, const dd::mEdge& e) {
+  return dd::PackageTestAccess::matrixSlab(package, dd::levelOfIndex(e.n));
+}
+
+std::uint32_t slotOf(const dd::mEdge& e) { return dd::slotOfIndex(e.n); }
+
 TEST(DdAuditTest, CleanPackageHasNoFindings) {
   dd::Package package(2);
   QuantumCircuit c(2);
@@ -193,10 +200,12 @@ TEST(DdAuditTest, FlagsDuplicateUniqueTableNodes) {
   dd::Package package(1);
   const auto h = package.makeOperationDD(Operation(OpType::H, {}, {0}));
   const auto x = package.makeOperationDD(Operation(OpType::X, {}, {0}));
-  ASSERT_NE(h.p, x.p);
-  // Overwrite X's children with H's: two table-resident nodes now carry an
+  ASSERT_NE(h.n, x.n);
+  // Overwrite X's children with H's: two slab-resident nodes now carry an
   // identical child tuple — canonicity is broken.
-  x.p->e = h.p->e;
+  auto& slab = slabOf(package, x);
+  slab.children(slotOf(x)) = slab.children(slotOf(h));
+  slab.weights(slotOf(x)) = slab.weights(slotOf(h));
   const auto report = audit::auditPackage(package);
   EXPECT_TRUE(report.hasErrors());
   EXPECT_TRUE(hasCode(report, "dd.unique.duplicate"));
@@ -206,7 +215,7 @@ TEST(DdAuditTest, FlagsSkewedRefcount) {
   dd::Package package(2);
   const auto e =
       package.makeOperationDD(Operation(OpType::X, {0}, {1})); // CX
-  e.p->ref += 1; // one phantom reference
+  slabOf(package, e).ref(slotOf(e)) += 1; // one phantom reference
   const auto report = audit::auditPackage(package);
   EXPECT_TRUE(report.hasErrors());
   EXPECT_TRUE(hasCode(report, "dd.ref.mismatch"));
@@ -215,11 +224,9 @@ TEST(DdAuditTest, FlagsSkewedRefcount) {
 TEST(DdAuditTest, FlagsMisplacedNode) {
   dd::Package package(1);
   const auto h = package.makeOperationDD(Operation(OpType::H, {}, {0}));
-  // A child weight whose bit pattern differs from the original in the low
-  // mantissa bits reshuffles the node's home bucket (sign- or exponent-only
-  // changes would not: the multiplicative hash spread never reaches the low
-  // bucket bits).
-  h.p->e[0].w = {1.0 / 3.0, 0.0};
+  // Mutating a child weight in place invalidates the hash the slab cached at
+  // insert time: the node would now probe the wrong bucket.
+  slabOf(package, h).weights(slotOf(h))[0] = {1.0 / 3.0, 0.0};
   const auto report = audit::auditPackage(package);
   EXPECT_TRUE(report.hasErrors());
   EXPECT_TRUE(hasCode(report, "dd.unique.misplaced"));
@@ -228,8 +235,8 @@ TEST(DdAuditTest, FlagsMisplacedNode) {
 TEST(DdAuditTest, FlagsDenormalizedWeights) {
   dd::Package package(1);
   const auto h = package.makeOperationDD(Operation(OpType::H, {}, {0}));
-  for (auto& child : h.p->e) {
-    child.w *= 0.5; // max child magnitude now 0.5, not 1
+  for (auto& w : slabOf(package, h).weights(slotOf(h))) {
+    w *= 0.5; // max child magnitude now 0.5, not 1
   }
   const auto report = audit::auditPackage(package);
   EXPECT_TRUE(report.hasErrors());
@@ -239,7 +246,8 @@ TEST(DdAuditTest, FlagsDenormalizedWeights) {
 TEST(DdAuditTest, FlagsNonInternedWeight) {
   dd::Package package(1);
   const auto h = package.makeOperationDD(Operation(OpType::H, {}, {0}));
-  h.p->e[0].w = {0.123456789, 0.0}; // never interned by this package
+  // Never interned by this package.
+  slabOf(package, h).weights(slotOf(h))[0] = {0.123456789, 0.0};
   EXPECT_TRUE(hasCode(audit::auditPackage(package), "dd.node.weight"));
 }
 
@@ -262,9 +270,9 @@ TEST(DdAuditTest, FlagsStaleComputeCacheEntry) {
   const auto x = package.makeOperationDD(Operation(OpType::X, {}, {0}));
   const auto product = package.multiply(h, x); // seeds the multiply cache
   ASSERT_FALSE(product.isTerminal());
-  // Push the result node's level out of range: the live cache entry now
-  // references a node the unique tables cannot account for.
-  product.p->v = 7;
+  // Detach the result node from its slab without bumping the compute-table
+  // generations: the live cache entry now references a dead handle.
+  dd::PackageTestAccess::detachMatrixNode(package, product.n);
   EXPECT_TRUE(hasCode(audit::auditPackage(package), "dd.cache.stale"));
 }
 
@@ -279,7 +287,8 @@ TEST(DdAuditTest, FlagsSkewedVectorRefcount) {
   state = next;
   const std::array roots{state};
   EXPECT_TRUE(audit::auditPackage(package, {}, roots).empty());
-  state.p->ref += 2;
+  dd::PackageTestAccess::vectorSlab(package, dd::levelOfIndex(state.n))
+      .ref(dd::slotOfIndex(state.n)) += 2;
   EXPECT_TRUE(hasCode(audit::auditPackage(package, {}, roots),
                       "dd.ref.mismatch"));
 }
@@ -292,7 +301,7 @@ TEST(CheckpointTest, LevelZeroNeverAudits) {
   }
   dd::Package package(1);
   const auto h = package.makeOperationDD(Operation(OpType::H, {}, {0}));
-  h.p->ref += 5; // would be flagged if any audit ran
+  slabOf(package, h).ref(slotOf(h)) += 5; // flagged if any audit ran
   audit::DDCheckpoint checkpoint(audit::kAuditOff, "test");
   EXPECT_FALSE(checkpoint.enabled());
   EXPECT_NO_THROW(checkpoint.postGate(package));
@@ -305,7 +314,7 @@ TEST(CheckpointTest, LevelOneThrottlesPostGateButNotBoundary) {
   }
   dd::Package package(1);
   const auto h = package.makeOperationDD(Operation(OpType::H, {}, {0}));
-  h.p->ref += 5;
+  slabOf(package, h).ref(slotOf(h)) += 5;
   audit::DDCheckpoint checkpoint(audit::kAuditThrottled, "test");
   for (std::size_t i = 0; i + 1 < audit::kCheckpointStride; ++i) {
     EXPECT_NO_THROW(checkpoint.postGate(package));
@@ -317,7 +326,7 @@ TEST(CheckpointTest, LevelOneThrottlesPostGateButNotBoundary) {
 TEST(CheckpointTest, LevelTwoAuditsEveryPostGate) {
   dd::Package package(1);
   const auto h = package.makeOperationDD(Operation(OpType::H, {}, {0}));
-  h.p->ref += 5;
+  slabOf(package, h).ref(slotOf(h)) += 5;
   audit::DDCheckpoint checkpoint(audit::kAuditEveryCheckpoint, "test");
   EXPECT_THROW(checkpoint.postGate(package), audit::AuditError);
 }
@@ -325,7 +334,7 @@ TEST(CheckpointTest, LevelTwoAuditsEveryPostGate) {
 TEST(CheckpointTest, AuditErrorCarriesContextAndReport) {
   dd::Package package(1);
   const auto h = package.makeOperationDD(Operation(OpType::H, {}, {0}));
-  h.p->ref += 5;
+  slabOf(package, h).ref(slotOf(h)) += 5;
   audit::DDCheckpoint checkpoint(audit::kAuditEveryCheckpoint,
                                  "unit-test checkpoint");
   try {

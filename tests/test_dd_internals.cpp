@@ -9,75 +9,88 @@
 namespace veriqc::dd {
 namespace {
 
-TEST(UniqueTableTest, DeduplicatesEqualNodes) {
-  UniqueTable<mNode> table;
-  mNode terminal;
-  terminal.v = kTerminalLevel;
-  auto* a = table.getFreeNode();
-  a->v = 0;
-  a->e = {mEdge{&terminal, {1.0, 0.0}}, mEdge{&terminal, {0.0, 0.0}},
-          mEdge{&terminal, {0.0, 0.0}}, mEdge{&terminal, {1.0, 0.0}}};
-  auto* canonical = table.lookup(a);
-  EXPECT_EQ(canonical, a);
-  auto* b = table.getFreeNode();
-  b->v = 0;
-  b->e = a->e;
-  auto* duplicate = table.lookup(b);
-  EXPECT_EQ(duplicate, a);
-  EXPECT_EQ(table.size(), 1U);
+NodeSlab<mEdge>::Children terminalChildren() {
+  return {kTerminalIndex, kTerminalIndex, kTerminalIndex, kTerminalIndex};
 }
 
-TEST(UniqueTableTest, FreeListReusesReturnedNodes) {
-  UniqueTable<mNode> table;
-  auto* a = table.getFreeNode();
-  table.returnNode(a);
-  auto* b = table.getFreeNode();
+TEST(NodeSlabTest, DeduplicatesEqualNodes) {
+  NodeSlab<mEdge> slab(0);
+  const auto children = terminalChildren();
+  const NodeSlab<mEdge>::Weights weights{{{1.0, 0.0},
+                                          {0.0, 0.0},
+                                          {0.0, 0.0},
+                                          {1.0, 0.0}}};
+  const auto a = slab.lookup(children, weights);
+  EXPECT_EQ(levelOfIndex(a), 0);
+  const auto b = slab.lookup(children, weights);
   EXPECT_EQ(a, b);
+  EXPECT_EQ(slab.size(), 1U);
+  EXPECT_EQ(slab.stats().hits, 1U);
 }
 
-TEST(UniqueTableTest, GrowsBeyondInitialBuckets) {
-  UniqueTable<mNode> table;
-  mNode terminal;
-  terminal.v = kTerminalLevel;
+TEST(NodeSlabTest, RemoveRecyclesTheSlot) {
+  NodeSlab<mEdge> slab(0);
+  const NodeSlab<mEdge>::Weights w1{{{1.0, 0.0},
+                                     {0.0, 0.0},
+                                     {0.0, 0.0},
+                                     {1.0, 0.0}}};
+  const NodeSlab<mEdge>::Weights w2{{{1.0, 0.0},
+                                     {0.5, 0.0},
+                                     {0.0, 0.0},
+                                     {1.0, 0.0}}};
+  const auto a = slab.lookup(terminalChildren(), w1);
+  slab.remove(a);
+  EXPECT_FALSE(slab.contains(a));
+  EXPECT_EQ(slab.size(), 0U);
+  // The freed slot is reused for the next insertion (free-list first).
+  const auto b = slab.lookup(terminalChildren(), w2);
+  EXPECT_EQ(slotOfIndex(b), slotOfIndex(a));
+  EXPECT_EQ(slab.stats().allocatedSlots, 1U);
+}
+
+TEST(NodeSlabTest, GrowsBeyondInitialBuckets) {
+  NodeSlab<mEdge> slab(0);
   // Insert far more distinct nodes than the initial bucket count.
   for (int i = 1; i <= 3000; ++i) {
-    auto* node = table.getFreeNode();
-    node->v = 0;
-    node->e = {mEdge{&terminal, {static_cast<double>(i), 0.0}},
-               mEdge{&terminal, {0.0, 0.0}}, mEdge{&terminal, {0.0, 0.0}},
-               mEdge{&terminal, {1.0, 0.0}}};
-    ASSERT_EQ(table.lookup(node), node) << i;
+    const NodeSlab<mEdge>::Weights weights{{{static_cast<double>(i), 0.0},
+                                            {0.0, 0.0},
+                                            {0.0, 0.0},
+                                            {1.0, 0.0}}};
+    const auto n = slab.lookup(terminalChildren(), weights);
+    ASSERT_TRUE(slab.contains(n)) << i;
   }
-  EXPECT_EQ(table.size(), 3000U);
+  EXPECT_EQ(slab.size(), 3000U);
+  const auto stats = slab.stats();
+  EXPECT_GT(stats.buckets, 64U);
+  EXPECT_GT(stats.slabGrowths, 0U);
+  EXPECT_GE(stats.meanProbeLength(), 1.0);
 }
 
-TEST(UniqueTableTest, GarbageCollectRemovesOnlyDeadNodes) {
-  UniqueTable<mNode> table;
-  mNode terminal;
-  terminal.v = kTerminalLevel;
-  auto* alive = table.getFreeNode();
-  alive->v = 0;
-  alive->ref = 1;
-  alive->e = {mEdge{&terminal, {1.0, 0.0}}, mEdge{&terminal, {0.0, 0.0}},
-              mEdge{&terminal, {0.0, 0.0}}, mEdge{&terminal, {1.0, 0.0}}};
-  table.lookup(alive);
-  auto* dead = table.getFreeNode();
-  dead->v = 0;
-  dead->ref = 0;
-  dead->e = {mEdge{&terminal, {2.0, 0.0}}, mEdge{&terminal, {0.0, 0.0}},
-             mEdge{&terminal, {0.0, 0.0}}, mEdge{&terminal, {1.0, 0.0}}};
-  table.lookup(dead);
-  EXPECT_EQ(table.garbageCollect(), 1U);
-  EXPECT_EQ(table.size(), 1U);
+TEST(NodeSlabTest, GarbageCollectRemovesOnlyDeadNodes) {
+  NodeSlab<mEdge> slab(0);
+  const NodeSlab<mEdge>::Weights w1{{{1.0, 0.0},
+                                     {0.0, 0.0},
+                                     {0.0, 0.0},
+                                     {1.0, 0.0}}};
+  const NodeSlab<mEdge>::Weights w2{{{1.0, 0.0},
+                                     {0.0, 0.0},
+                                     {0.0, 0.0},
+                                     {0.5, 0.0}}};
+  const auto alive = slab.lookup(terminalChildren(), w1);
+  slab.ref(slotOfIndex(alive)) = 1;
+  const auto dead = slab.lookup(terminalChildren(), w2);
+  EXPECT_EQ(slab.garbageCollect(), 1U);
+  EXPECT_EQ(slab.size(), 1U);
+  EXPECT_TRUE(slab.contains(alive));
+  EXPECT_FALSE(slab.contains(dead));
 }
 
 TEST(ComputeTableTest, InsertLookupAndClear) {
   ComputeTable<mEdge, mEdge, mEdge> table;
-  mNode node;
-  node.v = 0;
-  const mEdge key1{&node, {1.0, 0.0}};
-  const mEdge key2{&node, {0.5, 0.0}};
-  const mEdge value{&node, {0.25, 0.0}};
+  const auto n = makeNodeIndex(0, 1);
+  const mEdge key1{n, {1.0, 0.0}};
+  const mEdge key2{n, {0.5, 0.0}};
+  const mEdge value{n, {0.25, 0.0}};
   EXPECT_EQ(table.lookup(key1, key2), nullptr);
   table.insert(key1, key2, value);
   const auto* hit = table.lookup(key1, key2);
@@ -93,10 +106,9 @@ TEST(ComputeTableTest, InsertLookupAndClear) {
 
 TEST(ComputeTableTest, GenerationBumpInvalidatesInConstantTime) {
   ComputeTable<mEdge, mEdge, mEdge> table(8);
-  mNode node;
-  node.v = 0;
-  const mEdge key{&node, {1.0, 0.0}};
-  const mEdge value{&node, {0.5, 0.0}};
+  const auto n = makeNodeIndex(0, 1);
+  const mEdge key{n, {1.0, 0.0}};
+  const mEdge value{n, {0.5, 0.0}};
   table.insert(key, key, value);
   ASSERT_NE(table.lookup(key, key), nullptr);
   table.clear();
@@ -114,17 +126,16 @@ TEST(ComputeTableTest, CollisionStressNeverReturnsWrongValue) {
   // Two slots: nearly every insert evicts and mismatched lookups collide.
   ComputeTable<mEdge, mEdge, mEdge> table(2);
   EXPECT_EQ(table.capacity(), 2U);
-  mNode node;
-  node.v = 0;
+  const auto n = makeNodeIndex(0, 1);
   constexpr int kKeys = 256;
   for (int i = 0; i < kKeys; ++i) {
-    const mEdge lhs{&node, {static_cast<double>(i), 0.0}};
-    const mEdge rhs{&node, {0.0, static_cast<double>(i)}};
-    table.insert(lhs, rhs, mEdge{&node, {static_cast<double>(i), -1.0}});
+    const mEdge lhs{n, {static_cast<double>(i), 0.0}};
+    const mEdge rhs{n, {0.0, static_cast<double>(i)}};
+    table.insert(lhs, rhs, mEdge{n, {static_cast<double>(i), -1.0}});
   }
   for (int i = 0; i < kKeys; ++i) {
-    const mEdge lhs{&node, {static_cast<double>(i), 0.0}};
-    const mEdge rhs{&node, {0.0, static_cast<double>(i)}};
+    const mEdge lhs{n, {static_cast<double>(i), 0.0}};
+    const mEdge rhs{n, {0.0, static_cast<double>(i)}};
     const auto* hit = table.lookup(lhs, rhs);
     if (hit != nullptr) {
       // A hit must carry exactly the value inserted under this key.
@@ -136,20 +147,39 @@ TEST(ComputeTableTest, CollisionStressNeverReturnsWrongValue) {
   EXPECT_LT(table.stats().hits, static_cast<std::size_t>(kKeys));
 }
 
+TEST(NodePairComputeTableTest, PackedKeysDistinguishOperandOrder) {
+  NodePairComputeTable<mEdge> table(8);
+  const auto a = makeNodeIndex(1, 3);
+  const auto b = makeNodeIndex(1, 7);
+  const mEdge resAB{a, {0.5, 0.0}};
+  table.insert(a, b, resAB);
+  const auto* hit = table.lookup(a, b);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, resAB);
+  // The reversed pair is a different key (xy != yx in general).
+  const auto* reversed = table.lookup(b, a);
+  if (reversed != nullptr) {
+    // If the hash buckets collide, the key compare must still reject it.
+    EXPECT_EQ(*reversed, resAB) << "stale value surfaced for a reversed key";
+    FAIL() << "reversed operand pair must not hit";
+  }
+  table.clear();
+  EXPECT_EQ(table.lookup(a, b), nullptr);
+  EXPECT_EQ(table.stats().invalidations, 1U);
+}
+
 TEST(UnaryComputeTableTest, CountsLookupsHitsAndInvalidations) {
-  UnaryComputeTable<mNode, mEdge> table(4);
-  mNode a;
-  a.v = 0;
-  mNode b;
-  b.v = 1;
-  EXPECT_EQ(table.lookup(&a), nullptr); // miss on an empty table is counted
-  table.insert(&a, mEdge{&a, {1.0, 0.0}});
-  ASSERT_NE(table.lookup(&a), nullptr);
-  EXPECT_EQ(table.lookup(&b), nullptr);
+  UnaryComputeTable<mEdge> table(4);
+  const auto a = makeNodeIndex(0, 0);
+  const auto b = makeNodeIndex(1, 0);
+  EXPECT_EQ(table.lookup(a), nullptr); // miss on an empty table is counted
+  table.insert(a, mEdge{a, {1.0, 0.0}});
+  ASSERT_NE(table.lookup(a), nullptr);
+  EXPECT_EQ(table.lookup(b), nullptr);
   EXPECT_EQ(table.stats().lookups, 3U);
   EXPECT_EQ(table.stats().hits, 1U);
   table.clear();
-  EXPECT_EQ(table.lookup(&a), nullptr);
+  EXPECT_EQ(table.lookup(a), nullptr);
   EXPECT_EQ(table.stats().invalidations, 1U);
 }
 
@@ -181,7 +211,7 @@ TEST(PackageTest, ZeroMatrixAbsorbsMultiplication) {
   EXPECT_TRUE(p.multiply(zero, h).isZero());
   // Adding zero is the identity of addition.
   const auto sum = p.add(h, zero);
-  EXPECT_EQ(sum.p, h.p);
+  EXPECT_EQ(sum.n, h.n);
   EXPECT_EQ(sum.w, h.w);
 }
 
@@ -190,7 +220,7 @@ TEST(PackageTest, ConjugateTransposeIsInvolution) {
     Package p(3);
     auto e = sim::buildUnitaryDD(p, circuits::randomCircuit(3, 15, seed));
     const auto twice = p.conjugateTranspose(p.conjugateTranspose(e));
-    EXPECT_EQ(twice.p, e.p) << "seed " << seed;
+    EXPECT_EQ(twice.n, e.n) << "seed " << seed;
     EXPECT_NEAR(std::abs(twice.w - e.w), 0.0, 1e-12) << "seed " << seed;
     p.decRef(e);
   }
@@ -203,7 +233,7 @@ TEST(PackageTest, MultiplicationIsAssociative) {
   const auto c = p.makeOperationDD(Operation(OpType::S, {}, {1}));
   const auto left = p.multiply(p.multiply(a, b), c);
   const auto right = p.multiply(a, p.multiply(b, c));
-  EXPECT_EQ(left.p, right.p);
+  EXPECT_EQ(left.n, right.n);
   EXPECT_NEAR(std::abs(left.w - right.w), 0.0, 1e-12);
 }
 
@@ -225,6 +255,12 @@ TEST(PackageTest, StatsReflectLiveNodes) {
   EXPECT_GT(stats.matrixNodes, 4U);
   EXPECT_GT(stats.allocations, 0U);
   EXPECT_GT(stats.realNumbers, 0U);
+  // Slab metrics are populated and consistent with the node counts.
+  EXPECT_EQ(stats.matrixStore.liveNodes, stats.matrixNodes);
+  EXPECT_GE(stats.matrixStore.allocatedSlots, stats.matrixNodes);
+  EXPECT_GT(stats.matrixStore.lookups, 0U);
+  EXPECT_GE(stats.matrixStore.meanProbeLength(), 1.0);
+  EXPECT_GT(stats.storeTotal().occupancy(), 0.0);
   p.decRef(e);
 }
 
@@ -232,7 +268,7 @@ TEST(PackageTest, IsIdentityStrictVsGlobalPhase) {
   Package p(2);
   const auto ident = p.makeIdent();
   EXPECT_TRUE(p.isIdentity(ident, false));
-  const mEdge phased{ident.p, std::complex<double>{0.0, 1.0}};
+  const mEdge phased{ident.n, std::complex<double>{0.0, 1.0}};
   EXPECT_TRUE(p.isIdentity(phased, true));
   EXPECT_FALSE(p.isIdentity(phased, false));
   EXPECT_FALSE(p.isIdentity(p.zeroMatrix(), true));
@@ -253,7 +289,7 @@ TEST(PackageTest, SwapDDEqualsThreeCnotProduct) {
   c.cx(2, 0);
   c.cx(0, 2);
   auto viaCx = sim::buildUnitaryDD(p, c);
-  EXPECT_EQ(swap.p, viaCx.p);
+  EXPECT_EQ(swap.n, viaCx.n);
   p.decRef(viaCx);
 }
 
@@ -269,7 +305,7 @@ TEST(PackageTest, GarbageCollectionInvalidatesComputeCaches) {
   // Recomputation after the generation bump still yields canonical results.
   const auto prod1 = p.multiply(e, e);
   const auto prod2 = p.multiply(e, e);
-  EXPECT_EQ(prod1.p, prod2.p);
+  EXPECT_EQ(prod1.n, prod2.n);
   EXPECT_EQ(prod1.w, prod2.w);
   p.decRef(e);
 }
@@ -286,7 +322,7 @@ TEST(PackageTest, GateCacheHitsAcrossGarbageCollection) {
   }
   EXPECT_GT(p.garbageCollect(true), 0U);
   const auto second = p.makeGateDD(matrix, {}, 1);
-  EXPECT_EQ(second.p, first.p);
+  EXPECT_EQ(second.n, first.n);
   EXPECT_EQ(second.w, first.w);
   EXPECT_GE(p.stats().gateCache.hits, 1U);
 }
@@ -306,7 +342,7 @@ TEST(PackageTest, GateCacheFlushPreservesCorrectness) {
   EXPECT_LE(stats.gateCacheEntries, 2U);
   // Rebuilding an evicted gate still yields the canonical node.
   const auto again = p.makeOperationDD(Operation(OpType::P, {}, {0}, {0.1}));
-  EXPECT_EQ(again.p, reference.p);
+  EXPECT_EQ(again.n, reference.n);
   EXPECT_EQ(again.w, reference.w);
 }
 
@@ -406,7 +442,7 @@ TEST(PackageReleaseTest, ReleaseStopsAtSharedReferencedNodes) {
   // The winner's diagram is still canonical and usable after the release.
   const auto prod1 = p.multiply(winner, winner);
   const auto prod2 = p.multiply(winner, winner);
-  EXPECT_EQ(prod1.p, prod2.p);
+  EXPECT_EQ(prod1.n, prod2.n);
   EXPECT_EQ(prod1.w, prod2.w);
   p.decRef(winner);
 }
@@ -422,7 +458,7 @@ TEST(PackageReleaseTest, ReleaseOnReferencedRootIsANoOp) {
 
 TEST(PackageReleaseTest, SubsequentGarbageCollectionSurvivesEagerRelease) {
   // The hazard pair: eager removal followed by a threshold sweep must not
-  // double-free or trip over already-reclaimed nodes.
+  // double-free or trip over already-reclaimed slots.
   Package p(4);
   auto kept = sim::buildUnitaryDD(p, circuits::qft(4));
   for (int i = 0; i < 4; ++i) {
@@ -431,7 +467,7 @@ TEST(PackageReleaseTest, SubsequentGarbageCollectionSurvivesEagerRelease) {
   }
   EXPECT_NO_THROW((void)p.garbageCollect(true));
   const auto prod = p.multiply(kept, kept);
-  EXPECT_NE(prod.p, nullptr);
+  EXPECT_FALSE(prod.isZero());
   p.decRef(kept);
 }
 

@@ -143,7 +143,7 @@ TEST(DDTest, UDaggerUIsIdentity) {
     const auto ct = p.conjugateTranspose(e);
     const auto prod = p.multiply(ct, e);
     EXPECT_TRUE(p.isIdentity(prod, false)) << "seed " << seed;
-    EXPECT_EQ(prod.p, p.makeIdent().p) << "seed " << seed;
+    EXPECT_EQ(prod.n, p.makeIdent().n) << "seed " << seed;
     p.decRef(e);
   }
 }
@@ -179,7 +179,7 @@ TEST(DDTest, CanonicityEqualCircuitsShareRoot) {
   b.x(0);
   auto ea = sim::buildUnitaryDD(p, a);
   auto eb = sim::buildUnitaryDD(p, b);
-  EXPECT_EQ(ea.p, eb.p);
+  EXPECT_EQ(ea.n, eb.n);
   p.decRef(ea);
   p.decRef(eb);
 }
