@@ -2,6 +2,8 @@
 /// \brief Google-benchmark microbenchmarks of the decision-diagram package.
 #include "check/dd_checkers.hpp"
 #include "circuits/benchmarks.hpp"
+#include "compile/architecture.hpp"
+#include "compile/mapper.hpp"
 #include "dd/package.hpp"
 #include "sim/dd_simulator.hpp"
 
@@ -9,6 +11,7 @@
 
 #include <cstdio>
 #include <string_view>
+#include <thread>
 
 namespace {
 
@@ -169,6 +172,65 @@ void BM_AlternatingGroverCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AlternatingGroverCheck)->Unit(benchmark::kMillisecond);
+
+/// Thread scaling of the sharded alternating checker on grover(6, 10):
+/// checkThreads > 1 splits both gate sequences into per-slot chunks whose
+/// partial products are built in private DD packages and then
+/// interleave-combined. The 8-vs-1 real-time ratio is the headline number
+/// BENCH_parallel.json records (flat on single-core substrates — the JSON is
+/// stamped with the host's hardware concurrency so ratios are interpreted
+/// against what the machine can actually deliver). Verdicts are identical
+/// at every slot count by construction.
+void BM_ShardedAlternatingGroverCheck(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto circuit = circuits::grover(6, 10);
+  check::Configuration config;
+  config.oracle = check::OracleStrategy::Proportional;
+  config.checkThreads = threads;
+  for (auto _ : state) {
+    const auto result = check::ddAlternatingCheck(circuit, circuit, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["hardware_concurrency"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ShardedAlternatingGroverCheck)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Thread scaling of the sharded compilation-flow check on a 64-qubit GHZ
+/// preparation compiled to the heavy-hex architecture — the wide-circuit
+/// counterpart of the Grover workload above (few gates per qubit, large
+/// permutation state per shard snapshot).
+void BM_ShardedCompiledFlowCheck(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto original = circuits::ghz(64);
+  compile::ExpansionCounts counts;
+  const auto compiled = compile::compileForArchitecture(
+      original, compile::Architecture::ibmManhattanLike(), {}, &counts);
+  check::Configuration config;
+  config.checkThreads = threads;
+  for (auto _ : state) {
+    const auto result =
+        check::ddCompilationFlowCheck(original, compiled, counts, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["hardware_concurrency"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ShardedCompiledFlowCheck)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_SimulationCheckThreads(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));

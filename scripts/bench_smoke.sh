@@ -22,6 +22,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="BENCH_dd_kernel.json"
 OUT_ZX="BENCH_zx.json"
+OUT_PARALLEL="BENCH_parallel.json"
 OUT_REPORT="BENCH_check_report.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -80,12 +81,23 @@ run_bench "./$BUILD_DIR/bench/dd_micro" "$OUT" \
   --benchmark_format=json \
   --benchmark_min_time=0.1 \
   --benchmark_repetitions=3 \
-  --benchmark_filter='BM_MakeGateDD|BM_MakeControlledGateDD|BM_BuildUnitary|BM_AlternatingGroverCheck|BM_SimulationCheckThreads'
+  --benchmark_filter='BM_MakeGateDD|BM_MakeControlledGateDD|BM_BuildUnitary|BM_AlternatingGroverCheck'
 
 run_bench "./$BUILD_DIR/bench/zx_micro" "$OUT_ZX" \
   --benchmark_format=json \
   --benchmark_min_time=0.1 \
   --benchmark_filter='BM_GroverReduction|BM_CliffordReductionLarge|BM_EquivalenceReduction|BM_QftReduction'
+
+# Thread-scaling record: the sharded alternating / compilation-flow checkers
+# and the simulation worker pool at 1..8 slots. The per-entry
+# hardware_concurrency counter says how many cores the host actually had, so
+# a flat scaling curve on a single-core runner is read as expected, not as a
+# regression of the sharding itself.
+run_bench "./$BUILD_DIR/bench/dd_micro" "$OUT_PARALLEL" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.1 \
+  --benchmark_repetitions=3 \
+  --benchmark_filter='BM_ShardedAlternatingGroverCheck|BM_ShardedCompiledFlowCheck|BM_SimulationCheckThreads'
 
 # --- end-to-end run report ---------------------------------------------------
 # Check a GHZ preparation against an equivalent variant padded with
@@ -118,7 +130,7 @@ EOF
 sed -i "0,/{/s//{\n  \"library_build_type\": \"$BUILD_TYPE\",/" "$OUT_REPORT"
 "./$BUILD_DIR/examples/check_qasm" --validate-report "$OUT_REPORT"
 
-echo "Wrote $OUT, $OUT_ZX and $OUT_REPORT"
+echo "Wrote $OUT, $OUT_ZX, $OUT_PARALLEL and $OUT_REPORT"
 echo
 echo "=== cache-stats digest ==="
 # Per-benchmark wall time plus the cache counters embedded in the JSON.
@@ -128,3 +140,7 @@ echo
 echo "=== zx digest ==="
 grep -E '"(name|real_time|rewrites|spider_candidates|peak_rss_kb)"' \
   "$OUT_ZX" | sed -e 's/^[[:space:]]*//' -e 's/,$//'
+echo
+echo "=== thread-scaling digest ==="
+grep -E '"(name|real_time|hardware_concurrency|performed)"' \
+  "$OUT_PARALLEL" | sed -e 's/^[[:space:]]*//' -e 's/,$//'

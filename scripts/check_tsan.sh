@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
-# Run the thread-stress suite under ThreadSanitizer (the tsan CMake preset).
-# tests/test_threading.cpp is the workload: it drives the parallel manager's
+# Run the thread-stress suites under ThreadSanitizer (the tsan CMake preset).
+# tests/test_threading.cpp is the main workload: the parallel manager's
 # racing engines, the multi-threaded simulation worker pool (including
-# oversubscription and mid-flight cancellation) and several concurrent
-# managers at once. Any TSan report fails the run.
+# oversubscription and mid-flight cancellation), the sharded alternating
+# checker, the region-parallel ZX pre-pass and several concurrent managers
+# at once. tests/test_task_pool.cpp drives the work-stealing pool's
+# queue/steal/sleep handshakes, cancellation and exception containment
+# directly. The region-parallel simplifier parity tests of
+# tests/test_zx_simplify.cpp run threaded region workers on one shared
+# diagram — the ownership-guard discipline TSan is best placed to audit.
+# Any TSan report fails the run.
 #
 # Usage: scripts/check_tsan.sh [ctest-regex]
-#   ctest-regex: optional -R filter (default: the ThreadingStress tests)
+#   ctest-regex: optional -R filter (default: all thread-stress suites)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan -j"$(nproc)" --target test_threading >/dev/null
+cmake --build --preset tsan -j"$(nproc)" \
+  --target test_threading test_task_pool test_zx_simplify >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
-ctest --test-dir build-tsan --output-on-failure -R "${1:-ThreadingStressTest}"
+ctest --test-dir build-tsan --output-on-failure \
+  -R "${1:-ThreadingStressTest|TaskPoolTest|ZXRegionParallelTest}"

@@ -1,6 +1,7 @@
 #include "check/dd_checkers.hpp"
 
 #include "audit/checkpoint.hpp"
+#include "check/task_pool.hpp"
 #include "dd/package.hpp"
 #include "opt/optimizer.hpp"
 #include "sim/dd_simulator.hpp"
@@ -11,8 +12,8 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <mutex>
-#include <thread>
 
 namespace veriqc::check {
 
@@ -229,6 +230,250 @@ Result resourceExhausted(Result result, const dd::Package& package,
   return result;
 }
 
+// --- sharded alternating scheme ---------------------------------------------
+
+/// One precomputed gate of a sharded side: a circuit operation under the
+/// permutation snapshot it will see, or (op == nullptr) a bare transposition
+/// from the final permutation-equalization step.
+struct ShardGate {
+  const Operation* op = nullptr;
+  Permutation perm;
+  bool invert = false;
+  Qubit x = 0;
+  Qubit y = 0;
+
+  [[nodiscard]] dd::mEdge buildDD(dd::Package& package) const {
+    if (op == nullptr) {
+      return package.makeSwapDD(x, y);
+    }
+    if (invert) {
+      return package.makeOperationDD(op->inverse(), perm);
+    }
+    return package.makeOperationDD(*op, perm);
+  }
+};
+
+struct FlattenedSide {
+  std::vector<ShardGate> gates;
+  Permutation finalPerm;
+};
+
+/// Flatten one side of the alternating scheme for sharding. The tracked
+/// permutation evolves only by SWAP absorption — a DD-independent walk — so
+/// every gate's permutation snapshot (and the side's final permutation) can
+/// be computed up front, before any DD work is distributed.
+FlattenedSide flattenSide(const QuantumCircuit& circuit, const bool invert) {
+  FlattenedSide side{.gates = {}, .finalPerm = circuit.initialLayout()};
+  for (const auto& op : circuit.ops()) {
+    if (op.isNonUnitary()) {
+      continue;
+    }
+    if (op.isBareSwap()) {
+      side.finalPerm.swapImages(op.targets[0], op.targets[1]);
+      continue;
+    }
+    ShardGate gate;
+    gate.op = &op;
+    gate.perm = side.finalPerm;
+    gate.invert = invert;
+    side.gates.push_back(std::move(gate));
+  }
+  return side;
+}
+
+/// A chunk partial product built in a worker-private package. The package is
+/// kept alive until the combining thread has imported the edge.
+struct ChunkProduct {
+  std::unique_ptr<dd::Package> package;
+  dd::mEdge edge{};
+  bool built = false;
+};
+
+/// The sharded alternating check (checkThreads > 1). Left and right gate
+/// sequences are split into `slots` contiguous chunks; each chunk's partial
+/// product is built in a worker-private DD package (one package per task —
+/// packages are single-threaded by contract), then the main thread imports
+/// the products and interleave-combines them:
+///
+///   E  =  Lc_C ... Lc_1 · I · Rc_1 ... Rc_C,   combined as E <- Lc_i E Rc_i
+///
+/// Left and right multiplications commute as operators, so this equals the
+/// sequential scheme's product exactly, while the chunk-interleaved combine
+/// order preserves the near-identity cancellation the scheme relies on at
+/// chunk granularity. The permutation-equalizing transpositions are
+/// DD-independent and precomputed, so they shard along with the right side.
+Result shardedAlternatingCheck(const QuantumCircuit& a,
+                               const QuantumCircuit& b,
+                               const Configuration& config,
+                               const StopToken& stop, Result result,
+                               const Clock::time_point start,
+                               const Clock::time_point deadline,
+                               const std::size_t slots) {
+  auto right = flattenSide(a, /*invert=*/true);
+  auto left = flattenSide(b, /*invert=*/false);
+  // tau = L o O^-1 o O' o L'^-1, as in the sequential scheme; its
+  // transpositions belong at the very end of the right-hand sequence.
+  const auto tau = right.finalPerm.compose(a.outputPermutation().inverse())
+                       .compose(b.outputPermutation())
+                       .compose(left.finalPerm.inverse());
+  for (const auto& [x, y] : tau.transpositions()) {
+    ShardGate swap;
+    swap.x = x;
+    swap.y = y;
+    right.gates.push_back(std::move(swap));
+  }
+
+  dd::Package package(a.numQubits(), config.numericalTolerance,
+                      packageConfigFor(config));
+  Accumulator acc(package, config.recordTrace);
+  audit::DDCheckpoint checkpoint(config.auditLevel,
+                                 "dd-alternating combine checkpoint");
+  const auto auditGate = [&]() {
+    if (checkpoint.enabled()) {
+      const std::array roots{acc.edge()};
+      checkpoint.postGate(package, roots);
+    }
+  };
+  const auto stoppedResult = [&]() -> Result {
+    result.criterion = stopAttribution(deadline);
+    recordCacheStats(package, result);
+    result.runtimeSeconds = secondsSince(start);
+    result.peakNodes = std::max(result.peakNodes, acc.peak());
+    result.sizeTrace = acc.takeTrace();
+    return result;
+  };
+
+  const std::size_t chunkCount = slots;
+  std::vector<ChunkProduct> leftChunks(chunkCount);
+  std::vector<ChunkProduct> rightChunks(chunkCount);
+  std::atomic<bool> sawStop{false};
+  std::mutex resultMutex; // guards `result`'s stats fields during merge
+
+  TaskPool pool(slots);
+  {
+    TaskGroup group(pool, stop);
+    const auto submitChunk = [&](const std::vector<ShardGate>& gates,
+                                 std::vector<ChunkProduct>& chunks,
+                                 const std::size_t index,
+                                 const bool leftSide) {
+      const std::size_t total = gates.size();
+      const std::size_t beginIdx = index * total / chunkCount;
+      const std::size_t endIdx = (index + 1) * total / chunkCount;
+      if (beginIdx == endIdx) {
+        return; // empty chunk: its partial product is the identity
+      }
+      group.submit(
+          (leftSide ? "shard:left:" : "shard:right:") + std::to_string(index),
+          [&, beginIdx, endIdx, index, leftSide](std::size_t /*slot*/) {
+            // One private package per task: dd::Package is single-threaded
+            // by contract, and a private instance also gives the audit
+            // checkpoint a purely thread-local structure to walk.
+            auto pkg = std::make_unique<dd::Package>(
+                a.numQubits(), config.numericalTolerance,
+                packageConfigFor(config));
+            audit::DDCheckpoint shardCheckpoint(
+                config.auditLevel, "dd-alternating shard checkpoint");
+            auto e = pkg->makeIdent();
+            pkg->incRef(e);
+            bool aborted = false;
+            for (std::size_t g = beginIdx; g < endIdx; ++g) {
+              if ((g - beginIdx) % kStopPollStride == 0 && stop && stop()) {
+                aborted = true;
+                break;
+              }
+              const auto& gates_ = leftSide ? left.gates : right.gates;
+              const auto gateDD = gates_[g].buildDD(*pkg);
+              const auto next = leftSide ? pkg->multiply(gateDD, e)
+                                         : pkg->multiply(e, gateDD);
+              pkg->incRef(next);
+              pkg->decRef(e);
+              e = next;
+              pkg->garbageCollect();
+              if (shardCheckpoint.enabled()) {
+                const std::array roots{e};
+                shardCheckpoint.postGate(*pkg, roots);
+              }
+            }
+            if (!aborted && shardCheckpoint.enabled()) {
+              const std::array roots{e};
+              shardCheckpoint.boundary(*pkg, roots);
+            }
+            {
+              std::scoped_lock lock(resultMutex);
+              recordCacheStats(*pkg, result);
+              result.peakNodes = std::max(result.peakNodes,
+                                          pkg->stats().peakMatrixNodes);
+            }
+            if (aborted) {
+              sawStop.store(true, std::memory_order_relaxed);
+              return;
+            }
+            auto& chunk = chunks[index];
+            chunk.edge = e;
+            chunk.package = std::move(pkg);
+            chunk.built = true;
+          });
+    };
+    for (std::size_t i = 0; i < chunkCount; ++i) {
+      submitChunk(left.gates, leftChunks, i, /*leftSide=*/true);
+      submitChunk(right.gates, rightChunks, i, /*leftSide=*/false);
+    }
+    try {
+      group.wait();
+    } catch (const ResourceLimitError& e) {
+      // A worker package outgrew its budget; the group is already cancelled
+      // and drained. Degrade exactly like the sequential scheme.
+      return resourceExhausted(std::move(result), package, e, start);
+    }
+    // Other worker exceptions propagate to the manager's firewall, as the
+    // sequential scheme's would.
+  }
+
+  try {
+    if (sawStop.load(std::memory_order_relaxed) || (stop && stop())) {
+      return stoppedResult();
+    }
+    // All chunks completed: import and interleave-combine on this thread.
+    for (std::size_t i = 0; i < chunkCount; ++i) {
+      if (stop && stop()) {
+        return stoppedResult();
+      }
+      if (leftChunks[i].built) {
+        acc.applyLeft(
+            package.importMatrix(*leftChunks[i].package, leftChunks[i].edge));
+        leftChunks[i].package.reset(); // bound worker-package memory
+        auditGate();
+      }
+      if (rightChunks[i].built) {
+        acc.applyRight(package.importMatrix(*rightChunks[i].package,
+                                            rightChunks[i].edge));
+        rightChunks[i].package.reset();
+        auditGate();
+      }
+    }
+    const double relativePhase = b.globalPhase() - a.globalPhase();
+    if (relativePhase != 0.0) {
+      const auto& e = acc.edge();
+      acc.replace(
+          {e.n, e.w * std::exp(std::complex<double>{0.0, relativePhase})});
+    }
+    if (checkpoint.enabled()) {
+      const std::array roots{acc.edge()};
+      checkpoint.boundary(package, roots);
+    }
+    result.criterion = classify(package, acc.edge(), config, result);
+  } catch (const ResourceLimitError& e) {
+    result.peakNodes = std::max(result.peakNodes, acc.peak());
+    result.sizeTrace = acc.takeTrace();
+    return resourceExhausted(std::move(result), package, e, start);
+  }
+  recordCacheStats(package, result);
+  result.peakNodes = std::max(result.peakNodes, acc.peak());
+  result.sizeTrace = acc.takeTrace();
+  result.runtimeSeconds = secondsSince(start);
+  return result;
+}
+
 } // namespace
 
 Result denseCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
@@ -350,6 +595,14 @@ Result ddAlternatingCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   Result result;
   result.method = "dd-alternating(" + toString(config.oracle) + ")";
   const auto [a, b] = prepare(c1, c2, config);
+  if (const auto slots = TaskPool::resolveSlots(config.checkThreads);
+      slots > 1) {
+    // The sharded scheme computes the same product (left and right
+    // multiplications commute), so the oracle choice only matters for the
+    // sequential path's interleaving.
+    return shardedAlternatingCheck(a, b, config, stop, std::move(result),
+                                   start, deadline, slots);
+  }
   dd::Package package(a.numQubits(), config.numericalTolerance,
                       packageConfigFor(config));
 
@@ -504,6 +757,14 @@ Result ddCompilationFlowCheck(const QuantumCircuit& original,
   Configuration flowConfig = config;
   flowConfig.reconstructSwaps = false; // counts refer to the raw gate lists
   const auto [a, b] = alignCircuits(original, compiled);
+  if (const auto slots = TaskPool::resolveSlots(flowConfig.checkThreads);
+      slots > 1) {
+    // Expansion counts only drive the sequential path's interleaving (and
+    // were validated above); the final product is interleaving-independent,
+    // so the sharded scheme applies unchanged.
+    return shardedAlternatingCheck(a, b, flowConfig, stop, std::move(result),
+                                   start, deadline, slots);
+  }
   dd::Package package(a.numQubits(), flowConfig.numericalTolerance,
                       packageConfigFor(flowConfig));
   TaskSide right(a, /*invert=*/true);
@@ -608,10 +869,7 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   const auto [a, b] = alignCircuits(c1, c2);
 
   const std::size_t runs = config.simulationRuns;
-  std::size_t workers =
-      config.simulationThreads == 0
-          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-          : config.simulationThreads;
+  std::size_t workers = TaskPool::resolveSlots(config.simulationThreads);
   workers = std::min(workers, std::max<std::size_t>(1, runs));
 
   constexpr std::size_t kNoFail = std::numeric_limits<std::size_t>::max();
@@ -627,6 +885,10 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   // surviving workers' verdicts still count; any other exception is captured
   // once and rethrown on the caller's thread after the join.
   std::atomic<bool> sawResourceLimit{false};
+  // Indices actually claimed from the shared counter. Tracked separately
+  // from `performed` so the exact-accounting invariant — a cancelled worker
+  // must not burn an index it never simulates — is observable from outside.
+  std::atomic<std::size_t> claimed{0};
   std::atomic<std::size_t> performed{0};
   std::mutex resultMutex; // guards the non-atomic result fields below
   std::size_t peakNodes = 0;
@@ -643,16 +905,20 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
       audit::DDCheckpoint checkpoint(config.auditLevel,
                                      "dd-simulation checkpoint");
       while (true) {
+        // Poll the stop token *before* claiming an index: a cancelled worker
+        // that claims first burns the index — it is counted out of `runs`
+        // but never simulated, so the performed-run accounting drifts.
+        if (stop && stop()) {
+          sawStop.store(true, std::memory_order_relaxed);
+          break;
+        }
         const std::size_t run =
             nextRun.fetch_add(1, std::memory_order_relaxed);
         if (run >= runs ||
             run > failIndex.load(std::memory_order_relaxed)) {
           break;
         }
-        if (stop && stop()) {
-          sawStop.store(true, std::memory_order_relaxed);
-          break;
-        }
+        claimed.fetch_add(1, std::memory_order_relaxed);
         // Abort mid-simulation on external stop or once an earlier stimulus
         // already proved non-equivalence.
         const auto localStop = [&stop, &failIndex, run]() {
@@ -727,20 +993,27 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   if (workers <= 1) {
     workerFn();
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
+    // N pool slots give N-way parallelism from N-1 spawned threads: the
+    // calling thread runs one worker task itself inside wait(). Worker
+    // exceptions are contained by workerFn (flag + exception_ptr), so the
+    // group's own rethrow path stays unused here.
+    TaskPool pool(workers);
+    TaskGroup group(pool);
     for (std::size_t i = 0; i < workers; ++i) {
-      threads.emplace_back(workerFn);
+      group.submit("simulate:worker" + std::to_string(i),
+                   [&workerFn](std::size_t /*slot*/) { workerFn(); });
     }
-    for (auto& thread : threads) {
-      thread.join();
-    }
+    group.wait();
   }
   if (workerError) {
     std::rethrow_exception(workerError);
   }
 
   result.performedSimulations = performed.load();
+  result.counters.add("sim.stimuli.claimed",
+                      static_cast<double>(claimed.load()));
+  result.counters.add("sim.stimuli.performed",
+                      static_cast<double>(performed.load()));
   result.peakNodes = peakNodes;
   const auto firstFail = failIndex.load();
   if (firstFail != kNoFail) {

@@ -1,12 +1,12 @@
 #include "check/manager.hpp"
 
+#include "check/task_pool.hpp"
 #include "dd/package.hpp"
 
 #include <atomic>
 #include <chrono>
 #include <functional>
 #include <new>
-#include <thread>
 
 namespace veriqc::check {
 
@@ -133,8 +133,11 @@ Result EquivalenceCheckingManager::run() {
           ? start + config_.timeout
           : Clock::time_point::max();
   std::atomic<bool> cancel{false};
+  // Acquire pairs with the release store a winning engine performs, so a
+  // sibling that observes the flag also observes everything the winner wrote
+  // before raising it (its result slot in particular).
   const auto stop = [&cancel, deadline] {
-    return cancel.load(std::memory_order_relaxed) || Clock::now() >= deadline;
+    return cancel.load(std::memory_order_acquire) || Clock::now() >= deadline;
   };
 
   using Engine = std::function<Result()>;
@@ -182,25 +185,36 @@ Result EquivalenceCheckingManager::run() {
   }
   prepareSpan.finish();
   if (config_.parallel && engines.size() > 1) {
-    std::vector<std::thread> threads;
-    threads.reserve(engines.size());
+    // One slot per engine: the calling thread runs one engine itself inside
+    // wait() while the spawned workers run the rest.
+    TaskPool pool(engines.size());
+    // No group-level stop token here: every engine must *start* even when a
+    // sibling finishes first, so its slot records Cancelled (an honest "was
+    // started, then yielded") instead of being skipped outright.
+    TaskGroup group(pool);
     for (std::size_t i = 0; i < engines.size(); ++i) {
-      threads.emplace_back([this, &engines, &engineNames, &cancel, &phases,
-                            i] {
-        // PhaseTimer is internally synchronized, so concurrent engine spans
-        // may be opened from their worker threads directly.
-        auto span = phases.scope("engine:" + engineNames[i]);
-        auto result = runGuarded(engines[i], engineNames[i]);
-        // A definitive verdict terminates the other engines early.
-        if (isDefinitive(result.criterion)) {
-          cancel.store(true, std::memory_order_relaxed);
-        }
-        engineResults_[i] = std::move(result);
-      });
+      group.submit("engine:" + engineNames[i],
+                   [this, &engines, &engineNames, &cancel, &phases,
+                    i](std::size_t /*slot*/) {
+                     // PhaseTimer is internally synchronized, so concurrent
+                     // engine spans may be opened from worker threads
+                     // directly.
+                     auto span = phases.scope("engine:" + engineNames[i]);
+                     auto result = runGuarded(engines[i], engineNames[i]);
+                     // Close the span before publishing the result so its
+                     // duration never includes sibling bookkeeping — the
+                     // sequential path finishes its span at the same point.
+                     span.finish();
+                     engineResults_[i] = std::move(result);
+                     // A definitive verdict terminates the other engines
+                     // early; release-publish so siblings that observe the
+                     // flag also observe the stored result.
+                     if (isDefinitive(engineResults_[i].criterion)) {
+                       cancel.store(true, std::memory_order_release);
+                     }
+                   });
     }
-    for (auto& thread : threads) {
-      thread.join();
-    }
+    group.wait();
   } else {
     for (std::size_t i = 0; i < engines.size(); ++i) {
       auto span = phases.scope("engine:" + engineNames[i]);
@@ -210,7 +224,7 @@ Result EquivalenceCheckingManager::run() {
         // The question is settled — skip the remaining engines instead of
         // running them against a tripped stop token (their aborted partial
         // results would be meaningless and cost time).
-        cancel.store(true, std::memory_order_relaxed);
+        cancel.store(true, std::memory_order_release);
         break;
       }
     }

@@ -54,6 +54,8 @@ obs::Json serializeConfiguration(const Configuration& config) {
   j["simulationRuns"] = config.simulationRuns;
   j["stimuliKind"] = sim::toString(config.stimuliKind);
   j["simulationThreads"] = config.simulationThreads;
+  j["checkThreads"] = config.checkThreads;
+  j["zxParallelRegions"] = config.zxParallelRegions;
   j["seed"] = static_cast<std::int64_t>(config.seed);
   j["timeoutMilliseconds"] =
       static_cast<std::int64_t>(config.timeout.count());
@@ -266,14 +268,22 @@ obs::Json buildRunReport(const Result& combined,
   report["configuration"] = serializeConfiguration(config);
   report["verdict"] = serializeResult(combined);
   auto engineArray = obs::Json::array();
-  // Aggregate each engine's counters so the top-level counters object
-  // reflects the whole run (Sum counters add up, Max counters take the
-  // run-wide maximum).
+  // Aggregate each engine's counters into the top-level counters object
+  // twice: flat (run-wide totals: Sum counters add up, Max counters take
+  // the run-wide maximum) and under an "engine:<name>/" prefix. The prefix
+  // is what keeps concurrent engines attributable — with several DD engines
+  // racing, a flat "dd.*" sum cannot say which engine did the work.
   obs::CounterRegistry aggregated;
   aggregated.merge(combined.counters);
-  for (const auto& result : engines) {
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const auto& result = engines[i];
     engineArray.push_back(serializeResult(result));
     aggregated.merge(result.counters);
+    if (!result.counters.empty()) {
+      const std::string slot =
+          result.method.empty() ? "slot" + std::to_string(i) : result.method;
+      aggregated.merge(result.counters, "engine:" + slot + "/");
+    }
   }
   report["engines"] = std::move(engineArray);
   auto phaseArray = obs::Json::array();

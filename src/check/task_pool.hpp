@@ -1,0 +1,147 @@
+/// \file task_pool.hpp
+/// \brief Shared work-stealing task pool for intra-check parallelism.
+///
+/// One pool serves every parallel path of the checker layer: the manager's
+/// concurrent engines, the random-stimuli worker pool, the sharded
+/// alternating scheme and the region-parallel ZX reduction. Each execution
+/// slot (the calling thread plus `slots - 1` spawned workers) owns a deque;
+/// submission round-robins across the deques, an idle slot steals from the
+/// back of a victim's deque, and the submitting thread itself executes tasks
+/// while it waits — so a pool of N slots yields exactly N-way parallelism
+/// with N-1 threads.
+///
+/// Contracts the checker layer relies on:
+///  - Stop-token propagation: a TaskGroup carries an optional StopToken;
+///    once it trips (or the group is cancelled) queued-but-unstarted tasks
+///    of that group are skipped, not run. Running tasks are expected to
+///    poll the token themselves, as every engine already does.
+///  - Exception containment: the first exception a task throws is captured
+///    and rethrown from TaskGroup::wait() on the submitting thread; later
+///    exceptions of the same group are dropped (the group is cancelled by
+///    the first). A task exception never unwinds a pool thread.
+///  - Observability: when a group is given an obs::PhaseTimer, every task
+///    records a span named by its label for the run report's phase list.
+#pragma once
+
+#include "obs/phase_timer.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace veriqc::check {
+
+class TaskPool;
+
+/// A batch of related tasks submitted to a TaskPool. The owner submits
+/// tasks, then blocks in wait(), which lends the calling thread to the pool
+/// until every task of the group has either run or been skipped.
+class TaskGroup {
+public:
+  /// \param stop optional cooperative token: once it returns true, tasks of
+  ///        this group that have not started yet are skipped.
+  /// \param phases optional span sink: each executed task records a span
+  ///        named by its submit() label.
+  explicit TaskGroup(TaskPool& pool, std::function<bool()> stop = {},
+                     obs::PhaseTimer* phases = nullptr);
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  /// Destruction waits for stragglers (without rethrowing), so a group can
+  /// never outlive the state its tasks capture by reference.
+  ~TaskGroup();
+
+  /// Queue one task. `fn` receives the executing slot index
+  /// (0 .. TaskPool::slotCount()-1), stable per task execution — the anchor
+  /// for slot-local state such as per-worker DD packages.
+  void submit(std::string label, std::function<void(std::size_t)> fn);
+
+  /// Mark the group cancelled: unstarted tasks are skipped. Running tasks
+  /// keep running (they poll their own stop tokens).
+  void cancel() noexcept;
+  [[nodiscard]] bool cancelled() const noexcept;
+
+  /// Run tasks on the calling thread until the group is drained, then
+  /// rethrow the first captured task exception, if any.
+  void wait();
+
+  /// Tasks that were skipped (group cancelled or stop token tripped before
+  /// they started). Meaningful after wait().
+  [[nodiscard]] std::size_t skippedTasks() const noexcept;
+
+private:
+  friend class TaskPool;
+
+  TaskPool& pool_;
+  std::function<bool()> stop_;
+  obs::PhaseTimer* phases_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0; ///< submitted but not yet finished/skipped
+  std::size_t skipped_ = 0;
+  bool cancelled_ = false;
+  std::exception_ptr firstError_;
+};
+
+/// The work-stealing pool. Deliberately scoped, not a process singleton:
+/// every parallel section constructs a pool sized to its configured
+/// parallelism and tears it down when done, which keeps thread ownership as
+/// explicit as package ownership.
+class TaskPool {
+public:
+  /// \param slots total execution slots, including the calling thread;
+  ///        clamped to at least 1. `slots == 1` spawns no threads at all:
+  ///        every task runs inline in wait(), in submission order.
+  explicit TaskPool(std::size_t slots);
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+  ~TaskPool();
+
+  [[nodiscard]] std::size_t slotCount() const noexcept {
+    return queues_.size();
+  }
+
+  /// Execution slots for a configured thread-count knob: 0 means hardware
+  /// concurrency, anything else is taken literally (>= 1).
+  [[nodiscard]] static std::size_t resolveSlots(std::size_t configured);
+
+private:
+  friend class TaskGroup;
+
+  struct Task {
+    TaskGroup* group;
+    std::function<void(std::size_t)> fn;
+    std::string label;
+  };
+
+  struct Queue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void enqueue(Task task);
+  /// Pop from the front of `preferred`, else steal from the back of another
+  /// queue. Returns false when every queue is empty.
+  bool tryTake(std::size_t preferred, Task& out);
+  void runTask(Task& task, std::size_t slot);
+  void workerLoop(std::size_t slot);
+  /// Help drain queues until `group` has no pending tasks.
+  void helpUntilDone(TaskGroup& group);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sleepMutex_;
+  std::condition_variable work_;
+  std::size_t nextQueue_ = 0;
+  bool shutdown_ = false;
+};
+
+} // namespace veriqc::check

@@ -780,6 +780,33 @@ std::size_t Package::garbageCollect(const bool force) {
   return collected;
 }
 
+mEdge Package::importMatrix(const Package& src, const mEdge& e) {
+  // Memo: source handle -> canonical edge in *this* equivalent to the source
+  // node with an implicit unit top weight. Normalization may fold a factor
+  // into the returned weight, so the memo stores full edges, not handles.
+  std::unordered_map<NodeIndex, mEdge> memo;
+  const std::function<mEdge(NodeIndex)> copyNode =
+      [&](const NodeIndex n) -> mEdge {
+    if (n == kTerminalIndex) {
+      return oneMatrixScalar();
+    }
+    if (const auto it = memo.find(n); it != memo.end()) {
+      return it->second;
+    }
+    std::array<mEdge, 4> children{};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto child = src.matrixChild(n, i);
+      const auto imported = copyNode(child.n);
+      children[i] = {imported.n, child.w * imported.w};
+    }
+    const auto made = makeMatrixNode(levelOfIndex(n), children);
+    memo.emplace(n, made);
+    return made;
+  };
+  const auto imported = copyNode(e.n);
+  return {imported.n, e.w * imported.w};
+}
+
 std::size_t Package::release(const mEdge& e) {
   const std::size_t removed = releaseNode(e.n);
   if (removed > 0) {

@@ -215,6 +215,15 @@ public:
   /// budget) until the next GC sweep. Returns the number of reclaimed nodes.
   std::size_t release(const mEdge& e);
 
+  /// Deep-copy a matrix diagram owned by another package into this one,
+  /// re-canonicalizing every node through this package's unique tables
+  /// (shared subdiagrams stay shared via a source-handle memo). This is the
+  /// hand-over point of the sharded checkers: worker threads build partial
+  /// products in private packages, then the combining thread imports them.
+  /// `src` is only read; the caller must guarantee no operation runs on it
+  /// concurrently.
+  mEdge importMatrix(const Package& src, const mEdge& e);
+
   /// Process-wide peak resident set size in kilobytes (0 if unavailable).
   [[nodiscard]] static std::size_t peakResidentSetKB() noexcept;
 

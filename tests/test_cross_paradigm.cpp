@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <random>
 #include <thread>
@@ -289,6 +290,147 @@ TEST(ManagerCancellationTest, SiblingVerdictRecordsCancelledSlot) {
   // assert the cancellation actually happened.
   EXPECT_EQ(slots[1].criterion, EquivalenceCriterion::Cancelled)
       << slots[1].toString();
+}
+
+// --- sharded alternating checker ---------------------------------------------
+//
+// checkThreads > 1 splits both gate sequences into per-slot chunks whose
+// partial products are built in private DD packages and then
+// interleave-combined. The verdict contract: identical to the sequential
+// scheme for every slot count, with the same stop-attribution semantics.
+
+TEST(ShardedAlternatingTest, VerdictIsIndependentOfSlotCount) {
+  const auto equivalent = circuits::randomCliffordT(5, 40, 0.2, 3);
+  std::mt19937_64 rng(23);
+  const auto base = circuits::randomCliffordT(5, 40, 0.2, 4);
+  const auto mutant = circuits::flipRandomCnot(base, rng);
+  ASSERT_TRUE(mutant.has_value());
+  Configuration config = quickConfig();
+  const auto baselineEq = ddAlternatingCheck(equivalent, equivalent, config);
+  const auto baselineNe = ddAlternatingCheck(base, *mutant, config);
+  for (const std::size_t threads : {2U, 4U, 8U}) {
+    config.checkThreads = threads;
+    const auto eq = ddAlternatingCheck(equivalent, equivalent, config);
+    EXPECT_EQ(eq.criterion, baselineEq.criterion) << "threads " << threads;
+    EXPECT_NEAR(eq.hilbertSchmidtFidelity, baselineEq.hilbertSchmidtFidelity,
+                1e-12)
+        << "threads " << threads;
+    const auto ne = ddAlternatingCheck(base, *mutant, config);
+    EXPECT_EQ(ne.criterion, baselineNe.criterion) << "threads " << threads;
+  }
+}
+
+TEST(ShardedAlternatingTest, ShardedSwapHeavyCircuitsStayEquivalent) {
+  // SWAP reconstruction routes through the permutation tracker; each shard
+  // snapshots the permutation state at its chunk boundary, which this pair
+  // exercises hard.
+  auto left = circuits::qft(6);
+  auto right = circuits::qft(6);
+  Configuration config = quickConfig();
+  config.checkThreads = 4;
+  const auto result = ddAlternatingCheck(left, right, config);
+  EXPECT_TRUE(provedEquivalent(result.criterion)) << result.toString();
+}
+
+TEST(ShardedAlternatingTest, SiblingCancellationIsNotATimeout) {
+  const auto c = circuits::randomCircuit(6, 200, 1);
+  Configuration config = quickConfig(); // no deadline configured
+  config.checkThreads = 4;
+  const auto result = ddAlternatingCheck(c, c, config, [] { return true; });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Cancelled)
+      << result.toString();
+}
+
+TEST(ShardedAlternatingTest, DeadlineExpiryIsATimeout) {
+  const auto c = circuits::randomCircuit(6, 200, 1);
+  Configuration config = quickConfig();
+  config.checkThreads = 4;
+  config.timeout = std::chrono::milliseconds(1);
+  const auto result = ddAlternatingCheck(c, c, config, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return true;
+  });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Timeout)
+      << result.toString();
+}
+
+TEST(ShardedAlternatingTest, CompilationFlowVerdictMatchesSequential) {
+  const auto original = circuits::qft(5);
+  const auto compiled = original;
+  const std::vector<std::size_t> counts(original.size(), 1);
+  Configuration config = quickConfig();
+  const auto baseline =
+      ddCompilationFlowCheck(original, compiled, counts, config);
+  for (const std::size_t threads : {2U, 4U}) {
+    config.checkThreads = threads;
+    const auto sharded =
+        ddCompilationFlowCheck(original, compiled, counts, config);
+    EXPECT_EQ(sharded.criterion, baseline.criterion) << "threads " << threads;
+  }
+}
+
+TEST(ShardedAlternatingTest, ResourceBudgetStillTripsWhenSharded) {
+  const auto c = circuits::randomCircuit(8, 120, 2);
+  Configuration config = quickConfig();
+  config.checkThreads = 4;
+  config.maxDDNodes = 8; // far below what any shard needs
+  const auto result = ddAlternatingCheck(c, c, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::ResourceExhausted)
+      << result.toString();
+  EXPECT_FALSE(result.errorMessage.empty());
+}
+
+// --- simulation checker stimulus accounting ----------------------------------
+
+TEST(SimulationAccountingTest, PreTrippedStopClaimsNoStimuli) {
+  // Regression: the worker loop used to claim a stimulus index *before*
+  // polling the stop token, so a cancelled run still bumped the claim
+  // counter for every worker — phantom stimuli that were never simulated.
+  // With the poll moved before the claim, a pre-tripped token must leave
+  // both counters at exactly zero.
+  const auto c = circuits::randomCliffordT(4, 12, 0.2, 5);
+  Configuration config = quickConfig();
+  config.simulationRuns = 64;
+  config.simulationThreads = 4;
+  const auto result = ddSimulationCheck(c, c, config, [] { return true; });
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::Cancelled)
+      << result.toString();
+  EXPECT_EQ(result.performedSimulations, 0U);
+  ASSERT_TRUE(result.counters.contains("sim.stimuli.claimed"));
+  ASSERT_TRUE(result.counters.contains("sim.stimuli.performed"));
+  EXPECT_EQ(result.counters.value("sim.stimuli.claimed"), 0.0);
+  EXPECT_EQ(result.counters.value("sim.stimuli.performed"), 0.0);
+}
+
+TEST(SimulationAccountingTest, CompletedRunClaimsExactlyTheConfiguredRuns) {
+  const auto c = circuits::randomCliffordT(4, 12, 0.2, 6);
+  Configuration config = quickConfig();
+  config.simulationRuns = 8;
+  config.simulationThreads = 4;
+  const auto result = ddSimulationCheck(c, c, config);
+  EXPECT_EQ(result.criterion, EquivalenceCriterion::ProbablyEquivalent)
+      << result.toString();
+  EXPECT_EQ(result.counters.value("sim.stimuli.claimed"), 8.0);
+  EXPECT_EQ(result.counters.value("sim.stimuli.performed"), 8.0);
+  EXPECT_EQ(result.performedSimulations, 8U);
+}
+
+TEST(SimulationAccountingTest, MidRunCancellationNeverOverclaims) {
+  // Trip the token after a few polls: claimed counts only indices whose
+  // simulation actually started, performed only those that finished, and
+  // neither may exceed the configured run count.
+  const auto c = circuits::randomCliffordT(4, 16, 0.2, 7);
+  Configuration config = quickConfig();
+  config.simulationRuns = 32;
+  config.simulationThreads = 4;
+  std::atomic<std::size_t> polls{0};
+  const auto result = ddSimulationCheck(
+      c, c, config, [&polls] { return polls.fetch_add(1) >= 6; });
+  const auto claimed = result.counters.value("sim.stimuli.claimed");
+  const auto performed = result.counters.value("sim.stimuli.performed");
+  EXPECT_LE(performed, claimed);
+  EXPECT_LE(claimed, 32.0);
+  EXPECT_EQ(static_cast<double>(result.performedSimulations), performed);
 }
 
 } // namespace

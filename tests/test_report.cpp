@@ -160,6 +160,27 @@ TEST(GoldenReportTest, GoldenFileIsValidAndRoundTrips) {
   }
 }
 
+TEST(GoldenReportTest, EngineCountersAreNamespacedBySlot) {
+  // Regression: with several engines racing, the top-level counters object
+  // used to merge every engine's "dd.*" counters into one flat sum, so the
+  // per-engine share was unrecoverable. Each engine's counters must now
+  // also appear under an "engine:<method>/" prefix, alongside the flat
+  // run-wide totals.
+  const auto report = goldenReport();
+  const auto& counters = report.at("counters");
+  ASSERT_NE(counters.find("engine:engine-0/dd.multiply.lookups"), nullptr);
+  ASSERT_NE(counters.find("engine:engine-0/dd.nodes.peak"), nullptr);
+  ASSERT_NE(counters.find("engine:engine-1/zx.rewrites"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      counters.at("engine:engine-0/dd.multiply.lookups").asDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(counters.at("engine:engine-1/zx.rewrites").asDouble(),
+                   23.0);
+  // Flat totals are preserved: the combined result contributes the same
+  // dd counters once more, so the run-wide sum is engine + combined.
+  EXPECT_DOUBLE_EQ(counters.at("dd.multiply.lookups").asDouble(), 200.0);
+  EXPECT_DOUBLE_EQ(counters.at("zx.rewrites").asDouble(), 23.0);
+}
+
 // --- validator ---------------------------------------------------------------
 
 TEST(ValidateReportTest, AcceptsFreshReports) {
