@@ -5,6 +5,8 @@
 /// Usage: check_qasm <a.qasm> <b.qasm> [--method dd|zx|both]
 ///                   [--timeout <seconds>] [--sims <n>]
 ///                   [--json <path>] [--trace]
+///                   [--retries <n>] [--watchdog-ms <n>]
+///                   [--fault-plan <plan>] [--zx-regions <n>] [--threads <n>]
 ///        check_qasm --validate-report <path>
 ///
 /// Exit code: 0 = equivalent, 1 = not equivalent, 2 = undecided, 3 = error.
@@ -26,7 +28,8 @@ void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <a.qasm> <b.qasm> [--method dd|zx|both] "
                "[--timeout <seconds>] [--sims <n>] [--json <path>] "
-               "[--trace]\n"
+               "[--trace] [--retries <n>] [--watchdog-ms <n>] "
+               "[--fault-plan <plan>] [--zx-regions <n>] [--threads <n>]\n"
                "       %s --validate-report <path>\n",
                prog, prog);
 }
@@ -87,6 +90,16 @@ int main(int argc, char** argv) {
       jsonPath = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       config.recordTrace = true;
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      config.engineRetryLimit = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 && i + 1 < argc) {
+      config.watchdogMillis = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      config.faultPlan = argv[++i];
+    } else if (std::strcmp(argv[i], "--zx-regions") == 0 && i + 1 < argc) {
+      config.zxParallelRegions = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      config.checkThreads = static_cast<std::size_t>(std::atol(argv[++i]));
     } else {
       usage(argv[0]);
       return 3;

@@ -5,9 +5,10 @@
 #   3. tier-1 build + ctest (Release)
 #   4. tier-1 again at VERIQC_AUDIT=2 (every structural auditor on)
 #   5. ThreadSanitizer stress suite
+#   6. fault-injection sweep (ASan/UBSan, leak detection on)
 #
 # Usage: scripts/check_all.sh [--fast]
-#   --fast: only steps 1-3 (skip the audit re-run and TSan build)
+#   --fast: only steps 1-3 (skip the audit re-run, TSan and fault sweep)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +33,9 @@ if [[ $fast -eq 0 ]]; then
 
   echo "== ThreadSanitizer stress =="
   scripts/check_tsan.sh
+
+  echo "== fault-injection sweep (ASan, leaks on) =="
+  scripts/fault_sweep.sh --quick
 fi
 
 echo "check_all: OK"

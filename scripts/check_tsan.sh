@@ -9,7 +9,10 @@
 # directly. The region-parallel simplifier parity tests of
 # tests/test_zx_simplify.cpp run threaded region workers on one shared
 # diagram — the ownership-guard discipline TSan is best placed to audit.
-# Any TSan report fails the run.
+# tests/test_fault_injection.cpp adds the degradation-ladder retry rounds,
+# the soft watchdog's heartbeat/trip handshake and fault-poisoned task
+# groups, all of which cross thread boundaries. Any TSan report fails the
+# run.
 #
 # Usage: scripts/check_tsan.sh [ctest-regex]
 #   ctest-regex: optional -R filter (default: all thread-stress suites)
@@ -19,9 +22,10 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j"$(nproc)" \
-  --target test_threading test_task_pool test_zx_simplify >/dev/null
+  --target test_threading test_task_pool test_zx_simplify \
+  test_fault_injection >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 ctest --test-dir build-tsan --output-on-failure \
-  -R "${1:-ThreadingStressTest|TaskPoolTest|ZXRegionParallelTest}"
+  -R "${1:-ThreadingStressTest|TaskPoolTest|ZXRegionParallelTest|FaultSweepTest|DegradationLadderTest|TaskPoolFaultTest|WatchdogTest|ImportFaultTest}"

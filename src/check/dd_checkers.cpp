@@ -63,6 +63,11 @@ dd::PackageConfig packageConfigFor(const Configuration& config) {
   dd::PackageConfig packageConfig;
   packageConfig.maxNodes = config.maxDDNodes;
   packageConfig.maxMemoryMB = config.maxMemoryMB;
+  if (config.aggressiveGC) {
+    // Degraded mode (ladder rung "gc-tight"): collect from a small initial
+    // threshold so the live-node band stays tight at the cost of throughput.
+    packageConfig.gcInitialThreshold = 1024;
+  }
   return packageConfig;
 }
 
@@ -418,13 +423,24 @@ Result shardedAlternatingCheck(const QuantumCircuit& a,
       submitChunk(left.gates, leftChunks, i, /*leftSide=*/true);
       submitChunk(right.gates, rightChunks, i, /*leftSide=*/false);
     }
+    // Exceptions beyond the first lose the wait() rethrow race; surface the
+    // loss as a counter instead of dropping it silently.
+    const auto recordSuppressed = [&group, &result] {
+      if (const auto suppressed = group.suppressedExceptions();
+          suppressed > 0) {
+        result.counters.add("task_pool/suppressed_exceptions",
+                            static_cast<double>(suppressed));
+      }
+    };
     try {
       group.wait();
     } catch (const ResourceLimitError& e) {
       // A worker package outgrew its budget; the group is already cancelled
       // and drained. Degrade exactly like the sequential scheme.
+      recordSuppressed();
       return resourceExhausted(std::move(result), package, e, start);
     }
+    recordSuppressed();
     // Other worker exceptions propagate to the manager's firewall, as the
     // sequential scheme's would.
   }

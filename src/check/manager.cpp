@@ -1,12 +1,20 @@
 #include "check/manager.hpp"
 
+#include "check/report.hpp"
 #include "check/task_pool.hpp"
+#include "check/watchdog.hpp"
 #include "dd/package.hpp"
+#include "fault/fault.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <functional>
 #include <new>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <utility>
 
 namespace veriqc::check {
 
@@ -47,10 +55,64 @@ Result runGuarded(const std::function<Result()>& engine,
 }
 
 /// True for slots whose outcome is an abnormal termination rather than an
-/// analysis result.
+/// analysis result — exactly the outcomes the degradation ladder retries.
 bool isFailureSlot(const EquivalenceCriterion criterion) {
   return criterion == EquivalenceCriterion::ResourceExhausted ||
          criterion == EquivalenceCriterion::EngineError;
+}
+
+/// The engines the manager can schedule into a slot. A slot's kind can
+/// change across retries (sim-fallback turns an Alternating slot into a
+/// Simulation one).
+enum class EngineKind : std::uint8_t { Alternating, Simulation, ZX, Dense };
+
+std::string engineName(const EngineKind kind, const Configuration& config) {
+  switch (kind) {
+  case EngineKind::Alternating:
+    return "dd-alternating(" + toString(config.oracle) + ")";
+  case EngineKind::Simulation:
+    return "dd-simulation(" + toString(config.stimuliKind) + ")";
+  case EngineKind::ZX:
+    return "zx-calculus";
+  case EngineKind::Dense:
+    return "dense";
+  }
+  return "unknown";
+}
+
+/// Walk one rung down the degradation ladder for a failed slot, mutating its
+/// configuration (and possibly its kind) in place. Rungs, first-applicable:
+///  - "single-thread": drop every intra-check parallelism knob to 1 — the
+///    retry avoids worker-pool and region machinery entirely.
+///  - "gc-tight" (DD engines): collect eagerly from a small threshold and
+///    halve a finite node budget — trades throughput for a tight memory
+///    band, the right response to bad_alloc/budget failures.
+///  - "sim-fallback": replace the alternating scheme by random-stimuli
+///    simulation, whose diagrams are vectors instead of matrices.
+///  - "retry": nothing left to degrade; try again as-is (the failure may
+///    have been transient, e.g. a bounded injected fault).
+std::string degradeStep(EngineKind& kind, Configuration& config) {
+  if (config.checkThreads != 1 || config.simulationThreads != 1 ||
+      config.zxParallelRegions != 1) {
+    config.checkThreads = 1;
+    config.simulationThreads = 1;
+    config.zxParallelRegions = 1;
+    return "single-thread";
+  }
+  const bool ddEngine =
+      kind == EngineKind::Alternating || kind == EngineKind::Simulation;
+  if (ddEngine && !config.aggressiveGC) {
+    config.aggressiveGC = true;
+    if (config.maxDDNodes > 0) {
+      config.maxDDNodes = std::max<std::size_t>(1024, config.maxDDNodes / 2);
+    }
+    return "gc-tight";
+  }
+  if (kind == EngineKind::Alternating) {
+    kind = EngineKind::Simulation;
+    return "sim-fallback";
+  }
+  return "retry";
 }
 
 /// Combine per-engine outcomes into one verdict: a definitive answer wins
@@ -125,114 +187,267 @@ EquivalenceCheckingManager::EquivalenceCheckingManager(QuantumCircuit c1,
 
 Result EquivalenceCheckingManager::run() {
   engineResults_.clear();
+  // Arm the configured fault plan for exactly this run. An empty plan leaves
+  // whatever VERIQC_FAULT armed untouched (ScopedPlan would replace it).
+  std::optional<fault::ScopedPlan> faultPlan;
+  if (!config_.faultPlan.empty()) {
+    faultPlan.emplace(config_.faultPlan);
+  }
   auto& phases = activePhases();
   auto prepareSpan = phases.scope("prepare");
   const auto start = Clock::now();
-  const auto deadline =
-      config_.timeout.count() > 0
-          ? start + config_.timeout
-          : Clock::time_point::max();
+  const auto deadline = config_.timeout.count() > 0
+                            ? start + config_.timeout
+                            : Clock::time_point::max();
   std::atomic<bool> cancel{false};
-  // Acquire pairs with the release store a winning engine performs, so a
-  // sibling that observes the flag also observes everything the winner wrote
-  // before raising it (its result slot in particular).
-  const auto stop = [&cancel, deadline] {
-    return cancel.load(std::memory_order_acquire) || Clock::now() >= deadline;
-  };
 
-  using Engine = std::function<Result()>;
-  std::vector<Engine> engines;
-  std::vector<std::string> engineNames;
+  std::vector<EngineKind> kinds;
   if (config_.runAlternating) {
-    engines.emplace_back(
-        [this, &stop] { return ddAlternatingCheck(c1_, c2_, config_, stop); });
-    engineNames.emplace_back("dd-alternating(" + toString(config_.oracle) +
-                             ")");
+    kinds.push_back(EngineKind::Alternating);
   }
   if (config_.runSimulation && config_.simulationRuns > 0) {
-    engines.emplace_back(
-        [this, &stop] { return ddSimulationCheck(c1_, c2_, config_, stop); });
-    engineNames.emplace_back("dd-simulation(" +
-                             toString(config_.stimuliKind) + ")");
+    kinds.push_back(EngineKind::Simulation);
   }
   if (config_.runZX) {
-    engines.emplace_back(
-        [this, &stop] { return zxCheck(c1_, c2_, config_, stop); });
-    engineNames.emplace_back("zx-calculus");
+    kinds.push_back(EngineKind::ZX);
   }
   if (config_.runDense) {
-    // Brute-force cross-check; throws CircuitError past denseMaxQubits, which
-    // the firewall turns into an EngineError slot rather than a crash.
-    engines.emplace_back([this] {
-      return denseCheck(c1_, c2_, config_, config_.denseMaxQubits);
-    });
-    engineNames.emplace_back("dense");
+    kinds.push_back(EngineKind::Dense);
   }
-  if (engines.empty()) {
+  if (kinds.empty()) {
     prepareSpan.finish();
     Result none;
     none.method = "none";
     return none;
   }
+  const std::size_t n = kinds.size();
 
-  // Pre-fill every slot as "never started" so that a sequential run which
-  // stops early leaves an honest record for the skipped engines.
-  engineResults_.resize(engines.size());
-  for (std::size_t i = 0; i < engines.size(); ++i) {
+  // Per-slot ladder state: the configuration (and kind) a slot currently
+  // runs under, the rung applied before its current attempt, and the full
+  // attempt lineage. Each slot's state is touched only by the task running
+  // that slot (parallel rounds) or the manager thread (between rounds).
+  std::vector<Configuration> slotConfig(n, config_);
+  std::vector<EngineKind> slotKind = kinds;
+  std::vector<std::string> slotRung(n);
+  std::vector<std::vector<AttemptRecord>> lineage(n);
+
+  // Pre-fill every slot as "never started" so that a run which stops early
+  // leaves an honest record for the skipped engines.
+  engineResults_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
     engineResults_[i] = Result{};
     engineResults_[i].criterion = EquivalenceCriterion::NotRun;
-    engineResults_[i].method = engineNames[i];
+    engineResults_[i].method = engineName(slotKind[i], slotConfig[i]);
   }
-  prepareSpan.finish();
-  if (config_.parallel && engines.size() > 1) {
-    // One slot per engine: the calling thread runs one engine itself inside
-    // wait() while the spawned workers run the rest.
-    TaskPool pool(engines.size());
-    // No group-level stop token here: every engine must *start* even when a
-    // sibling finishes first, so its slot records Cancelled (an honest "was
-    // started, then yielded") instead of being skipped outright.
-    TaskGroup group(pool);
-    for (std::size_t i = 0; i < engines.size(); ++i) {
-      group.submit("engine:" + engineNames[i],
-                   [this, &engines, &engineNames, &cancel, &phases,
-                    i](std::size_t /*slot*/) {
-                     // PhaseTimer is internally synchronized, so concurrent
-                     // engine spans may be opened from worker threads
-                     // directly.
-                     auto span = phases.scope("engine:" + engineNames[i]);
-                     auto result = runGuarded(engines[i], engineNames[i]);
-                     // Close the span before publishing the result so its
-                     // duration never includes sibling bookkeeping — the
-                     // sequential path finishes its span at the same point.
-                     span.finish();
-                     engineResults_[i] = std::move(result);
-                     // A definitive verdict terminates the other engines
-                     // early; release-publish so siblings that observe the
-                     // flag also observe the stored result.
-                     if (isDefinitive(engineResults_[i].criterion)) {
-                       cancel.store(true, std::memory_order_release);
-                     }
-                   });
+
+  // Soft watchdog: heartbeats flow through the per-slot stop tokens; a slot
+  // silent past the budget trips the shared cancel flag, so the run ends in
+  // bounded time (siblings wind down as Cancelled — the trip precedes the
+  // deadline, so stop attribution never mislabels it Timeout).
+  std::unique_ptr<SoftWatchdog> watchdog;
+  if (config_.watchdogMillis > 0) {
+    watchdog = std::make_unique<SoftWatchdog>(
+        n, std::chrono::milliseconds(config_.watchdogMillis),
+        [&cancel](std::size_t /*slot*/) {
+          cancel.store(true, std::memory_order_release);
+        });
+  }
+  // Acquire pairs with the release store of a winning engine (or the
+  // watchdog), so an engine that observes the flag also observes everything
+  // written before it was raised (the winner's result slot in particular).
+  const auto stopFor = [&cancel, deadline,
+                        wd = watchdog.get()](const std::size_t slot) {
+    return StopToken([&cancel, deadline, wd, slot] {
+      if (wd != nullptr) {
+        wd->beat(slot);
+      }
+      return cancel.load(std::memory_order_acquire) ||
+             Clock::now() >= deadline;
+    });
+  };
+
+  // One attempt of one slot; runs on the manager thread (sequential path)
+  // or a pool task (parallel path) — but never concurrently for one slot.
+  const auto runAttempt = [&](const std::size_t i) {
+    const std::string name = engineName(slotKind[i], slotConfig[i]);
+    const std::size_t attempt = lineage[i].size();
+    std::string spanName = "engine:" + name;
+    if (attempt > 0) {
+      spanName += "#retry" + std::to_string(attempt);
     }
-    group.wait();
-  } else {
-    for (std::size_t i = 0; i < engines.size(); ++i) {
-      auto span = phases.scope("engine:" + engineNames[i]);
-      engineResults_[i] = runGuarded(engines[i], engineNames[i]);
-      span.finish();
-      if (isDefinitive(engineResults_[i].criterion)) {
-        // The question is settled — skip the remaining engines instead of
-        // running them against a tripped stop token (their aborted partial
-        // results would be meaningless and cost time).
-        cancel.store(true, std::memory_order_release);
-        break;
+    // PhaseTimer is internally synchronized, so concurrent engine spans may
+    // be opened from worker threads directly.
+    auto span = phases.scope(spanName);
+    const auto stop = stopFor(i);
+    // The dense baseline takes no stop token and thus emits no heartbeats;
+    // leaving its slot inactive keeps the watchdog from tripping on it.
+    const bool monitored = watchdog != nullptr && slotKind[i] != EngineKind::Dense;
+    if (monitored) {
+      watchdog->beginSlot(i);
+    }
+    auto result = runGuarded(
+        [this, &stop, i, &slotKind, &slotConfig]() -> Result {
+          const auto& cfg = slotConfig[i];
+          switch (slotKind[i]) {
+          case EngineKind::Alternating:
+            return ddAlternatingCheck(c1_, c2_, cfg, stop);
+          case EngineKind::Simulation:
+            return ddSimulationCheck(c1_, c2_, cfg, stop);
+          case EngineKind::ZX:
+            return zxCheck(c1_, c2_, cfg, stop);
+          case EngineKind::Dense:
+            // Brute-force cross-check; throws CircuitError past
+            // denseMaxQubits, which the firewall turns into an EngineError
+            // slot rather than a crash.
+            return denseCheck(c1_, c2_, cfg, cfg.denseMaxQubits);
+          }
+          throw std::logic_error("unknown engine kind");
+        },
+        name);
+    if (monitored) {
+      watchdog->endSlot(i);
+    }
+    // Close the span before publishing the result so its duration never
+    // includes sibling bookkeeping — the sequential path finishes its span
+    // at the same point.
+    span.finish();
+    AttemptRecord record;
+    record.engine = name;
+    record.attempt = attempt;
+    record.degradation = slotRung[i];
+    record.criterion = criterionKey(result.criterion);
+    record.runtimeSeconds = result.runtimeSeconds;
+    record.errorMessage = result.errorMessage;
+    lineage[i].push_back(std::move(record));
+    engineResults_[i] = std::move(result);
+    // A definitive verdict terminates the other engines early;
+    // release-publish so siblings that observe the flag also observe the
+    // stored result.
+    if (isDefinitive(engineResults_[i].criterion)) {
+      cancel.store(true, std::memory_order_release);
+    }
+  };
+
+  prepareSpan.finish();
+
+  // Attempt rounds: round 0 runs every configured engine; each later round
+  // retries the slots that failed, one ladder rung further degraded. Rounds
+  // end when no slot failed, the retry budget is spent, or the question is
+  // already settled (cancel/deadline).
+  std::vector<std::size_t> pending(n);
+  std::iota(pending.begin(), pending.end(), 0);
+  std::size_t suppressedExceptions = 0;
+  while (!pending.empty()) {
+    // Lineage length at round start, per pending slot. Any pending slot
+    // whose lineage did not grow this round never reached the engine
+    // firewall (its pool task died at start or was skipped by a poisoned
+    // group); it must still be charged an attempt or a persistent start-up
+    // fault would drain ladder rungs without ever consuming retry budget.
+    std::vector<std::size_t> attemptsBefore(n, 0);
+    for (const auto i : pending) {
+      attemptsBefore[i] = lineage[i].size();
+    }
+    if (config_.parallel && pending.size() > 1) {
+      // One slot per pending engine: the calling thread runs one engine
+      // itself inside wait() while the spawned workers run the rest.
+      TaskPool pool(pending.size());
+      // No group-level stop token here: every engine must *start* even when
+      // a sibling finishes first, so its slot records Cancelled (an honest
+      // "was started, then yielded") instead of being skipped outright.
+      TaskGroup group(pool);
+      for (const auto i : pending) {
+        group.submit("engine:" + engineName(slotKind[i], slotConfig[i]),
+                     [&runAttempt, i](std::size_t /*slot*/) { runAttempt(i); });
+      }
+      try {
+        group.wait();
+      } catch (const std::exception& e) {
+        // A task failed before the engine firewall could engage (e.g. an
+        // injected pool.task_start fault). The group is poisoned: siblings
+        // that never started were skipped; their slots read NotRun (round
+        // 0) or still hold the previous round's failure. Record the aborted
+        // attempt on every such slot so it stays retryable by the ladder —
+        // and so the round provably consumed retry budget.
+        for (const auto i : pending) {
+          if (lineage[i].size() != attemptsBefore[i]) {
+            continue;  // runAttempt completed for this slot.
+          }
+          const std::string name = engineName(slotKind[i], slotConfig[i]);
+          Result failure;
+          failure.method = name;
+          failure.criterion = EquivalenceCriterion::EngineError;
+          failure.errorMessage =
+              std::string("engine task failed to start: ") + e.what();
+          AttemptRecord record;
+          record.engine = name;
+          record.attempt = lineage[i].size();
+          record.degradation = slotRung[i];
+          record.criterion = criterionKey(failure.criterion);
+          record.errorMessage = failure.errorMessage;
+          lineage[i].push_back(std::move(record));
+          engineResults_[i] = std::move(failure);
+        }
+      }
+      suppressedExceptions += group.suppressedExceptions();
+    } else {
+      for (const auto i : pending) {
+        runAttempt(i);
+        if (cancel.load(std::memory_order_acquire)) {
+          // The question is settled — skip the remaining engines instead of
+          // running them against a tripped stop token (their aborted
+          // partial results would be meaningless and cost time).
+          break;
+        }
       }
     }
+    std::vector<std::size_t> retry;
+    const bool settled = cancel.load(std::memory_order_acquire) ||
+                         Clock::now() >= deadline;
+    if (!settled) {
+      for (const auto i : pending) {
+        if (isFailureSlot(engineResults_[i].criterion) &&
+            lineage[i].size() <= config_.engineRetryLimit) {
+          slotRung[i] = degradeStep(slotKind[i], slotConfig[i]);
+          retry.push_back(i);
+        }
+      }
+    }
+    pending = std::move(retry);
   }
+
   auto combineSpan = phases.scope("combine");
+  // Attach lineage to the slots that were retried; slots settled on the
+  // first attempt stay lineage-free, keeping their records (and the golden
+  // reports built from them) byte-identical to pre-ladder runs.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lineage[i].size() > 1) {
+      engineResults_[i].degradation = slotRung[i];
+      engineResults_[i].attempts = lineage[i];
+    }
+  }
   auto combined =
       combine(engineResults_,
               std::chrono::duration<double>(Clock::now() - start).count());
+  // The combined record carries the lineage of every retried slot, so the
+  // whole ladder walk is visible even when an undegraded sibling won.
+  combined.attempts.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lineage[i].size() > 1) {
+      combined.attempts.insert(combined.attempts.end(), lineage[i].begin(),
+                               lineage[i].end());
+    }
+  }
+  if (suppressedExceptions > 0) {
+    combined.counters.add("task_pool/suppressed_exceptions",
+                          static_cast<double>(suppressedExceptions));
+  }
+  if (watchdog != nullptr) {
+    combined.counters.add("watchdog/trips",
+                          static_cast<double>(watchdog->trips()));
+  }
+  // Nonzero fired/suppressed totals of armed injection points; silent (and
+  // golden-stable) when no plan was armed.
+  fault::Registry::instance().exportCounters(combined.counters);
   // The process-wide resident-set high watermark belongs to the whole run,
   // not any single engine; record it on the combined result only.
   combined.peakResidentSetKB = dd::Package::peakResidentSetKB();

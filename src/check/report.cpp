@@ -1,5 +1,7 @@
 #include "check/report.hpp"
 
+#include "fault/fault.hpp"
+
 #include <array>
 #include <fstream>
 #include <utility>
@@ -72,6 +74,21 @@ obs::Json serializeConfiguration(const Configuration& config) {
   j["maxMemoryMB"] = config.maxMemoryMB;
   j["recordTrace"] = config.recordTrace;
   j["auditLevel"] = static_cast<std::int64_t>(config.auditLevel);
+  j["faultPlan"] = config.faultPlan;
+  j["engineRetryLimit"] = config.engineRetryLimit;
+  j["watchdogMillis"] = config.watchdogMillis;
+  j["aggressiveGC"] = config.aggressiveGC;
+  return j;
+}
+
+obs::Json serializeAttempt(const AttemptRecord& attempt) {
+  auto j = obs::Json::object();
+  j["engine"] = attempt.engine;
+  j["attempt"] = attempt.attempt;
+  j["degradation"] = attempt.degradation;
+  j["criterion"] = attempt.criterion;
+  j["runtimeSeconds"] = attempt.runtimeSeconds;
+  j["errorMessage"] = attempt.errorMessage;
   return j;
 }
 
@@ -198,6 +215,33 @@ void validateEngineRecord(const obs::Json& record, const std::string& path,
       requireKind(value, K::Double, path + ".counters." + name, errors);
     }
   }
+  // Degradation-ladder fields are optional (reports predating the ladder
+  // lack them) but type-checked when present.
+  if (const auto* degradation = record.find("degradation");
+      degradation != nullptr) {
+    requireKind(*degradation, K::String, path + ".degradation", errors);
+  }
+  if (const auto* attempts = record.find("attempts"); attempts != nullptr) {
+    requireKind(*attempts, K::Array, path + ".attempts", errors);
+    if (attempts->isArray()) {
+      for (std::size_t i = 0; i < attempts->size(); ++i) {
+        const auto attemptPath = path + ".attempts[" + std::to_string(i) + "]";
+        const auto& attempt = attempts->asArray()[i];
+        requireKind(attempt, K::Object, attemptPath, errors);
+        if (attempt.isObject()) {
+          requireMember(attempt, attemptPath, "engine", K::String, errors);
+          requireMember(attempt, attemptPath, "attempt", K::Integer, errors);
+          requireMember(attempt, attemptPath, "degradation", K::String,
+                        errors);
+          requireMember(attempt, attemptPath, "criterion", K::String, errors);
+          requireMember(attempt, attemptPath, "runtimeSeconds", K::Double,
+                        errors);
+          requireMember(attempt, attemptPath, "errorMessage", K::String,
+                        errors);
+        }
+      }
+    }
+  }
 }
 
 } // namespace
@@ -255,6 +299,18 @@ obs::Json serializeResult(const Result& result) {
   }
   j["sizeTrace"] = std::move(trace);
   j["counters"] = serializeCounters(result.counters);
+  // Ladder fields are additive and only-when-present: records of runs that
+  // settled on the first attempt stay identical to pre-ladder reports.
+  if (!result.degradation.empty()) {
+    j["degradation"] = result.degradation;
+  }
+  if (!result.attempts.empty()) {
+    auto attempts = obs::Json::array();
+    for (const auto& attempt : result.attempts) {
+      attempts.push_back(serializeAttempt(attempt));
+    }
+    j["attempts"] = std::move(attempts);
+  }
   return j;
 }
 
@@ -262,6 +318,9 @@ obs::Json buildRunReport(const Result& combined,
                          const std::vector<Result>& engines,
                          const Configuration& config,
                          const std::vector<obs::PhaseSpan>& phases) {
+  // Reporting is the last failure domain of a run: a throw here must lose
+  // only the report, never the verdict the caller already holds.
+  VERIQC_FAULT_POINT(fault::points::kCheckReport, fault::FaultKind::Runtime);
   auto report = obs::Json::object();
   report["schema"] = kReportSchemaId;
   report["generator"] = "veriqc";

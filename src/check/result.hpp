@@ -132,6 +132,24 @@ struct Configuration {
   /// the exception firewall — a corrupted structure must never produce a
   /// verdict.
   int auditLevel = 0;
+  /// Fault-injection plan armed for the duration of run() (same syntax as
+  /// the VERIQC_FAULT environment variable, e.g. "dd.slab_grow:after=3");
+  /// empty leaves whatever plan the environment armed untouched.
+  std::string faultPlan;
+  /// Retries the manager grants each engine slot beyond its first attempt
+  /// (0 = fail fast). Every retry runs under a configuration degraded one
+  /// rung further down the ladder (single-thread, gc-tight, sim-fallback,
+  /// plain retry) and is recorded in the result's attempt lineage.
+  std::size_t engineRetryLimit = 0;
+  /// Soft-watchdog poll budget in milliseconds (0 = disabled): when an
+  /// engine stops polling its stop token for this long, the manager trips
+  /// the shared cancel flag so the remaining engines wind down (attributed
+  /// Cancelled, not Timeout) instead of the run hanging until the deadline.
+  std::size_t watchdogMillis = 0;
+  /// Degraded-mode knob (set by the ladder's "gc-tight" rung, settable
+  /// directly too): start DD garbage collection at a small initial
+  /// threshold so packages trade throughput for a tighter live-node band.
+  bool aggressiveGC = false;
 };
 
 /// Scheduler statistics of one ZX rule family, as recorded by the
@@ -143,6 +161,20 @@ struct ZXRuleStat {
   std::size_t matches = 0;    ///< candidates where the pattern matched
   std::size_t rewrites = 0;   ///< rewrites applied (cascades count each)
   double seconds = 0.0;       ///< wall time spent inside the rule's passes
+};
+
+/// One execution of an engine slot under the manager's degradation ladder:
+/// the first run or a degraded retry. Chained per slot into the attempt
+/// lineage the run report serializes.
+struct AttemptRecord {
+  std::string engine;       ///< engine name as attempted (may change: sim-fallback)
+  std::size_t attempt = 0;  ///< 0 = first run, 1.. = retries
+  /// Ladder rung applied before this attempt ("" for the first run):
+  /// "single-thread", "gc-tight", "sim-fallback" or "retry".
+  std::string degradation;
+  std::string criterion;    ///< outcome of this attempt (toString form)
+  double runtimeSeconds = 0.0;
+  std::string errorMessage; ///< failure diagnostic, empty otherwise
 };
 
 /// Outcome record of one checker (or of the whole manager).
@@ -182,6 +214,14 @@ struct Result {
   /// Manager verdicts only: process-wide peak resident set size sampled at
   /// the end of the run (0 when unavailable).
   std::size_t peakResidentSetKB = 0;
+  /// Attempt lineage across the degradation ladder. Per-engine records list
+  /// every attempt of that slot; the combined record concatenates all slots'
+  /// lineages. Empty when every engine settled on its first attempt — the
+  /// common case, which keeps reports byte-identical to pre-ladder ones.
+  std::vector<AttemptRecord> attempts;
+  /// Ladder rung that produced this record's outcome ("" when the first,
+  /// undegraded attempt did).
+  std::string degradation;
 
   /// Compact text form of zxRuleStats ("spider r12/m8/c40 0.10ms; ...");
   /// empty when the ZX engine did not run.

@@ -1,5 +1,7 @@
 #include "check/task_pool.hpp"
 
+#include "fault/fault.hpp"
+
 #include <chrono>
 #include <utility>
 
@@ -23,7 +25,17 @@ void TaskGroup::submit(std::string label, std::function<void(std::size_t)> fn) {
     std::scoped_lock lock(mutex_);
     ++pending_;
   }
-  pool_.enqueue({this, std::move(fn), std::move(label)});
+  try {
+    pool_.enqueue({this, std::move(fn), std::move(label)});
+  } catch (...) {
+    // Roll the count back, or wait()/~TaskGroup would block forever on a
+    // task that never reached a queue.
+    std::scoped_lock lock(mutex_);
+    if (--pending_ == 0) {
+      done_.notify_all();
+    }
+    throw;
+  }
 }
 
 void TaskGroup::cancel() noexcept {
@@ -48,6 +60,11 @@ void TaskGroup::wait() {
 std::size_t TaskGroup::skippedTasks() const noexcept {
   std::scoped_lock lock(mutex_);
   return skipped_;
+}
+
+std::size_t TaskGroup::suppressedExceptions() const noexcept {
+  std::scoped_lock lock(mutex_);
+  return suppressedExceptions_;
 }
 
 // --- TaskPool ----------------------------------------------------------------
@@ -137,6 +154,8 @@ void TaskPool::runTask(Task& task, const std::size_t slot) {
   }
   if (!skip) {
     try {
+      VERIQC_FAULT_POINT(fault::points::kPoolTaskStart,
+                         fault::FaultKind::Runtime);
       if (group.phases_ != nullptr) {
         auto span = group.phases_->scope(task.label);
         task.fn(slot);
@@ -147,6 +166,10 @@ void TaskPool::runTask(Task& task, const std::size_t slot) {
       std::scoped_lock lock(group.mutex_);
       if (!group.firstError_) {
         group.firstError_ = std::current_exception();
+      } else {
+        // Later exceptions lose the rethrow race; count them so callers can
+        // surface the loss instead of silently dropping it.
+        ++group.suppressedExceptions_;
       }
       // A failed task poisons the whole group: there is no point running
       // its siblings against state the exception may have abandoned.

@@ -75,6 +75,12 @@ public:
   /// they started). Meaningful after wait().
   [[nodiscard]] std::size_t skippedTasks() const noexcept;
 
+  /// Task exceptions beyond the first: they lose the wait() rethrow race and
+  /// would otherwise vanish without a trace. Callers surface this count into
+  /// the run report (`task_pool/suppressed_exceptions`). Meaningful after
+  /// wait().
+  [[nodiscard]] std::size_t suppressedExceptions() const noexcept;
+
 private:
   friend class TaskPool;
 
@@ -86,6 +92,7 @@ private:
   std::condition_variable done_;
   std::size_t pending_ = 0; ///< submitted but not yet finished/skipped
   std::size_t skipped_ = 0;
+  std::size_t suppressedExceptions_ = 0;
   bool cancelled_ = false;
   std::exception_ptr firstError_;
 };

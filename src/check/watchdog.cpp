@@ -1,0 +1,78 @@
+#include "check/watchdog.hpp"
+
+#include <algorithm>
+
+namespace veriqc::check {
+
+SoftWatchdog::SoftWatchdog(const std::size_t slots,
+                           const std::chrono::milliseconds budget,
+                           std::function<void(std::size_t)> onTrip)
+    : budget_(budget), onTrip_(std::move(onTrip)) {
+  slots_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  monitor_ = std::thread([this] { monitorLoop(); });
+}
+
+SoftWatchdog::~SoftWatchdog() {
+  {
+    std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  monitor_.join();
+}
+
+void SoftWatchdog::beginSlot(const std::size_t slot) noexcept {
+  auto& s = *slots_[slot];
+  // Seed the heartbeat before flipping active: the monitor must never see
+  // an active slot with a stale (previous attempt's) timestamp.
+  s.lastBeatNs.store(nowNs(), std::memory_order_relaxed);
+  s.active.store(true, std::memory_order_release);
+}
+
+void SoftWatchdog::endSlot(const std::size_t slot) noexcept {
+  slots_[slot]->active.store(false, std::memory_order_release);
+}
+
+void SoftWatchdog::beat(const std::size_t slot) noexcept {
+  slots_[slot]->lastBeatNs.store(nowNs(), std::memory_order_relaxed);
+}
+
+bool SoftWatchdog::tripped(const std::size_t slot) const noexcept {
+  return slots_[slot]->tripped.load(std::memory_order_acquire);
+}
+
+void SoftWatchdog::monitorLoop() {
+  // Poll at a quarter of the budget: a stall is detected within 1.25x the
+  // configured silence, tight enough for a soft guarantee.
+  const auto period = std::max<std::chrono::milliseconds>(
+      std::chrono::milliseconds(1), budget_ / 4);
+  const auto budgetNs =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(budget_).count();
+  std::unique_lock lock(mutex_);
+  while (!shutdown_) {
+    wake_.wait_for(lock, period);
+    if (shutdown_) {
+      return;
+    }
+    const auto now = nowNs();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      auto& s = *slots_[i];
+      if (!s.active.load(std::memory_order_acquire) ||
+          s.tripped.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (now - s.lastBeatNs.load(std::memory_order_relaxed) > budgetNs) {
+        s.tripped.store(true, std::memory_order_release);
+        trips_.fetch_add(1, std::memory_order_acq_rel);
+        if (onTrip_) {
+          onTrip_(i);
+        }
+      }
+    }
+  }
+}
+
+} // namespace veriqc::check

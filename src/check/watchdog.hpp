@@ -1,0 +1,86 @@
+/// \file watchdog.hpp
+/// \brief Soft liveness monitor for the manager's engine slots.
+///
+/// Every engine is expected to poll its stop token at a bounded cadence
+/// (worklist throttles, per-gate checks). The manager threads a heartbeat
+/// into each slot's token wrapper; this monitor watches the heartbeats and,
+/// when an active slot goes silent for the configured budget, "trips" —
+/// once per slot — by invoking the caller's callback (which raises the
+/// shared cancel flag). A trip is soft: nothing is killed, the remaining
+/// engines simply observe the flag at their next poll and wind down as
+/// Cancelled (the trip happens before the deadline, so the stop-attribution
+/// discipline never mislabels it Timeout). A run with a wedged engine thus
+/// ends in bounded time instead of hanging until the wall-clock deadline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace veriqc::check {
+
+class SoftWatchdog {
+public:
+  /// \param slots number of engine slots to monitor.
+  /// \param budget maximum heartbeat silence tolerated for an active slot.
+  /// \param onTrip invoked (from the monitor thread, at most once per slot)
+  ///        with the silent slot's index. Must be safe to call concurrently
+  ///        with engine execution — typically an atomic-flag store.
+  SoftWatchdog(std::size_t slots, std::chrono::milliseconds budget,
+               std::function<void(std::size_t)> onTrip);
+  SoftWatchdog(const SoftWatchdog&) = delete;
+  SoftWatchdog& operator=(const SoftWatchdog&) = delete;
+  /// Stops the monitor thread; no trips fire after destruction begins.
+  ~SoftWatchdog();
+
+  /// Mark a slot as actively running and seed its heartbeat. Call
+  /// immediately before handing control to the engine.
+  void beginSlot(std::size_t slot) noexcept;
+  /// Mark a slot as finished; its heartbeat is no longer monitored. A slot
+  /// may begin again later (degraded retry attempts reuse their slot).
+  void endSlot(std::size_t slot) noexcept;
+  /// Record a heartbeat. Wired into the slot's stop-token wrapper, so every
+  /// poll the engine performs refreshes it. Lock-free.
+  void beat(std::size_t slot) noexcept;
+
+  /// Total trips across all slots so far.
+  [[nodiscard]] std::size_t trips() const noexcept {
+    return trips_.load(std::memory_order_acquire);
+  }
+  /// Whether this slot has tripped (sticky across begin/end cycles).
+  [[nodiscard]] bool tripped(std::size_t slot) const noexcept;
+
+private:
+  void monitorLoop();
+  [[nodiscard]] static std::int64_t nowNs() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  struct Slot {
+    std::atomic<std::int64_t> lastBeatNs{0};
+    std::atomic<bool> active{false};
+    std::atomic<bool> tripped{false};
+  };
+
+  // unique_ptr keeps the atomics address-stable (Slot is not movable).
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::chrono::milliseconds budget_;
+  std::function<void(std::size_t)> onTrip_;
+  std::atomic<std::size_t> trips_{0};
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool shutdown_ = false;
+  std::thread monitor_;
+};
+
+} // namespace veriqc::check

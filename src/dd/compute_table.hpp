@@ -20,6 +20,7 @@
 #pragma once
 
 #include "dd/node.hpp"
+#include "fault/fault.hpp"
 
 #include <bit>
 #include <cstddef>
@@ -76,6 +77,11 @@ public:
   void insert(const LeftEdge& lhs, const RightEdge& rhs,
               const ResultEdge& result) {
     if (entries_.empty()) {
+      // Lazy first-touch allocation: the injection point fires before the
+      // resize so a simulated failure leaves the table untouched (and the
+      // interrupted operation's caller unwinds with no cache to poison).
+      VERIQC_FAULT_POINT(fault::points::kDDComputeAlloc,
+                         fault::FaultKind::BadAlloc);
       entries_.resize(mask_ + 1);
     }
     auto& entry = entries_[hash(lhs, rhs)];
@@ -163,6 +169,11 @@ public:
   void insert(const NodeIndex lhs, const NodeIndex rhs,
               const ResultEdge& result) {
     if (entries_.empty()) {
+      // Lazy first-touch allocation: the injection point fires before the
+      // resize so a simulated failure leaves the table untouched (and the
+      // interrupted operation's caller unwinds with no cache to poison).
+      VERIQC_FAULT_POINT(fault::points::kDDComputeAlloc,
+                         fault::FaultKind::BadAlloc);
       entries_.resize(mask_ + 1);
     }
     auto& entry = entries_[hash(lhs, rhs)];
@@ -245,6 +256,11 @@ public:
 
   void insert(const NodeIndex arg, const Result& result) {
     if (entries_.empty()) {
+      // Lazy first-touch allocation: the injection point fires before the
+      // resize so a simulated failure leaves the table untouched (and the
+      // interrupted operation's caller unwinds with no cache to poison).
+      VERIQC_FAULT_POINT(fault::points::kDDComputeAlloc,
+                         fault::FaultKind::BadAlloc);
       entries_.resize(mask_ + 1);
     }
     auto& entry = entries_[hash(arg)];

@@ -1,5 +1,7 @@
 #include "dd/package.hpp"
 
+#include "fault/fault.hpp"
+
 #include <algorithm>
 #include <tuple>
 #include <cassert>
@@ -142,10 +144,10 @@ std::int64_t Package::quantize(const double value) const noexcept {
   return bits;
 }
 
-Package::GateKey Package::makeGateKey(const GateMatrix& matrix,
-                                      const std::span<const Qubit> controls,
-                                      const Qubit target) const {
-  GateKey key;
+Package::GateKey& Package::makeGateKey(const GateMatrix& matrix,
+                                       const std::span<const Qubit> controls,
+                                       const Qubit target) {
+  GateKey& key = gateKeyScratch_;
   key.kind = 0;
   for (std::size_t i = 0; i < 4; ++i) {
     key.matrix[2 * i] = quantize(matrix[i].real());
@@ -154,24 +156,29 @@ Package::GateKey Package::makeGateKey(const GateMatrix& matrix,
   key.controls.assign(controls.begin(), controls.end());
   std::sort(key.controls.begin(), key.controls.end());
   key.target = target;
+  key.target2 = 0;
   return key;
 }
 
 template <typename Builder>
-mEdge Package::cachedGateDD(GateKey&& key, Builder&& build) {
+mEdge Package::cachedGateDD(GateKey& key, Builder&& build) {
   ++gateCacheStats_.lookups;
   if (const auto it = gateCache_.find(key); it != gateCache_.end()) {
     ++gateCacheStats_.hits;
     return it->second;
   }
-  const mEdge result = build(key);
+  // `key` aliases the scratch, which nested gate construction inside the
+  // builder (e.g. buildSwapDD -> makeGateDD) overwrites — stabilize it
+  // first. Misses are the only place that pays this copy.
+  GateKey stable = key;
+  const mEdge result = build(stable);
   if (gateCache_.size() >= gateCacheMaxEntries_) {
     clearGateCache();
   }
   // Referenced so the cached diagram survives garbage collection; released
   // again when the cache is flushed.
   incRef(result);
-  gateCache_.emplace(std::move(key), result);
+  gateCache_.emplace(std::move(stable), result);
   ++gateCacheStats_.inserts;
   return result;
 }
@@ -240,13 +247,14 @@ mEdge Package::buildGateDD(const GateMatrix& matrix,
 
 mEdge Package::makeSwapDD(const Qubit a, const Qubit b,
                           const std::span<const Qubit> controls) {
-  GateKey key;
+  GateKey& key = gateKeyScratch_;
   key.kind = 1;
+  key.matrix.fill(0); // the scratch may hold a previous matrix gate's entries
   key.controls.assign(controls.begin(), controls.end());
   std::sort(key.controls.begin(), key.controls.end());
   key.target = a;
   key.target2 = b;
-  return cachedGateDD(std::move(key), [this, a, b](const GateKey& k) {
+  return cachedGateDD(key, [this, a, b](const GateKey& k) {
     return buildSwapDD(a, b, k.controls);
   });
 }
@@ -739,6 +747,10 @@ void Package::clearComputeTables() noexcept {
 }
 
 std::size_t Package::garbageCollect(const bool force) {
+  // The GC boundary is where every engine already expects a
+  // ResourceLimitError (the governors throw here), which makes it the
+  // canonical point to inject one.
+  VERIQC_FAULT_POINT(fault::points::kDDGc, fault::FaultKind::ResourceLimit);
   std::size_t live = 0;
   for (const auto& slab : mSlabs_) {
     live += slab.size();
@@ -793,6 +805,11 @@ mEdge Package::importMatrix(const Package& src, const mEdge& e) {
     if (const auto it = memo.find(n); it != memo.end()) {
       return it->second;
     }
+    // Per-copied-node injection point: an `after=N` plan aborts the handover
+    // mid-walk. The partially imported nodes carry zero references and are
+    // reclaimed by this package's next garbage collection; `src` is read
+    // only, so the source package's invariants cannot be disturbed.
+    VERIQC_FAULT_POINT(fault::points::kDDImport, fault::FaultKind::BadAlloc);
     std::array<mEdge, 4> children{};
     for (std::size_t i = 0; i < 4; ++i) {
       const auto child = src.matrixChild(n, i);

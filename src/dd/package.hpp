@@ -322,14 +322,15 @@ private:
   };
 
   [[nodiscard]] std::int64_t quantize(double value) const noexcept;
-  [[nodiscard]] GateKey makeGateKey(const GateMatrix& matrix,
-                                    std::span<const Qubit> controls,
-                                    Qubit target) const;
+  GateKey& makeGateKey(const GateMatrix& matrix, std::span<const Qubit> controls,
+                       Qubit target);
 
   /// Cache lookup/insert around a gate-DD builder. The builder is only
-  /// invoked on a miss; its result is referenced so it survives GC.
+  /// invoked on a miss; its result is referenced so it survives GC. `key`
+  /// aliases gateKeyScratch_, which the builder may clobber through nested
+  /// gate construction — cachedGateDD copies it before building.
   template <typename Builder>
-  mEdge cachedGateDD(GateKey&& key, Builder&& build);
+  mEdge cachedGateDD(GateKey& key, Builder&& build);
 
   /// Uncached construction bodies behind the gate-DD cache.
   mEdge buildGateDD(const GateMatrix& matrix,
@@ -361,6 +362,9 @@ private:
   std::unordered_map<GateKey, mEdge, GateKeyHash> gateCache_;
   std::size_t gateCacheMaxEntries_;
   CacheStats gateCacheStats_;
+  /// Reused lookup key: cache hits (the per-applied-gate fast path) perform
+  /// no heap allocation because controls.assign reuses prior capacity.
+  GateKey gateKeyScratch_;
 
   std::vector<mEdge> idTable_; ///< idTable_[k] = identity on levels 0..k
 

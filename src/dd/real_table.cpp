@@ -1,5 +1,7 @@
 #include "dd/real_table.hpp"
 
+#include "fault/fault.hpp"
+
 namespace veriqc::dd {
 
 double RealTable::lookupSlow(const double value) {
@@ -55,20 +57,25 @@ void RealTable::insert(const std::int64_t key, const double value) {
   ++count_;
 }
 
+/// Strong exception safety: rehash into a side table and commit with a
+/// noexcept move, so a failed growth allocation (real or injected) leaves
+/// the interning table consistent — crucial for a table every weight
+/// computation funnels through.
 void RealTable::grow() {
-  std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
-  const std::size_t mask = slots_.size() - 1;
-  for (const auto& slot : old) {
+  VERIQC_FAULT_POINT(fault::points::kDDRealGrow, fault::FaultKind::BadAlloc);
+  std::vector<Slot> fresh(slots_.size() * 2);
+  const std::size_t mask = fresh.size() - 1;
+  for (const auto& slot : slots_) {
     if (!slot.occupied) {
       continue;
     }
     std::size_t idx = hashKey(slot.key) & mask;
-    while (slots_[idx].occupied) {
+    while (fresh[idx].occupied) {
       idx = (idx + 1) & mask;
     }
-    slots_[idx] = slot;
+    fresh[idx] = slot;
   }
+  slots_ = std::move(fresh);
 }
 
 } // namespace veriqc::dd

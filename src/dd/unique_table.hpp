@@ -26,11 +26,13 @@
 #pragma once
 
 #include "dd/node.hpp"
+#include "fault/fault.hpp"
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace veriqc::dd {
@@ -269,6 +271,11 @@ private:
       }
       if (children_.size() == children_.capacity()) {
         ++growths_;
+        // Injection point for the growth reallocation about to happen: fires
+        // before any vector mutates, so a simulated allocation failure leaves
+        // the slab exactly as it was.
+        VERIQC_FAULT_POINT(fault::points::kDDSlabGrow,
+                           fault::FaultKind::BadAlloc);
       }
       slot = static_cast<std::uint32_t>(children_.size());
       children_.emplace_back();
@@ -293,25 +300,36 @@ private:
     --liveCount_;
   }
 
+  /// Strong exception safety: the new bucket array is fully built on the
+  /// side and committed with noexcept moves, so a growth rebuild that fails
+  /// to allocate (for real or via the injection point) leaves the old,
+  /// still-consistent table in place. (After garbageCollect's frees a failed
+  /// rebuild still poisons the slab — its buckets reference freed slots —
+  /// but that path only unwinds into an engine abort, never a reuse.)
   void rebuildBuckets(std::size_t targetBuckets) {
+    VERIQC_FAULT_POINT(fault::points::kDDUniqueRebuild,
+                       fault::FaultKind::BadAlloc);
     while (targetBuckets < (liveCount_ + 1) * 2) {
       targetBuckets *= 2;
     }
-    buckets_.assign(targetBuckets, Bucket{});
-    mask_ = targetBuckets - 1;
-    occupied_ = 0;
+    std::vector<Bucket> fresh(targetBuckets);
+    const std::size_t mask = targetBuckets - 1;
+    std::size_t occupied = 0;
     const auto slots = static_cast<std::uint32_t>(live_.size());
     for (std::uint32_t slot = 0; slot < slots; ++slot) {
       if (live_[slot] == 0) {
         continue;
       }
-      auto idx = static_cast<std::size_t>(hashes_[slot]) & mask_;
-      while (buckets_[idx].slot != kEmptySlot) {
-        idx = (idx + 1) & mask_;
+      auto idx = static_cast<std::size_t>(hashes_[slot]) & mask;
+      while (fresh[idx].slot != kEmptySlot) {
+        idx = (idx + 1) & mask;
       }
-      buckets_[idx] = Bucket{hashes_[slot], slot};
-      ++occupied_;
+      fresh[idx] = Bucket{hashes_[slot], slot};
+      ++occupied;
     }
+    buckets_ = std::move(fresh);
+    mask_ = mask;
+    occupied_ = occupied;
   }
 
   Level level_;

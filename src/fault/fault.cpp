@@ -1,0 +1,293 @@
+#include "fault/fault.hpp"
+
+#include "ir/types.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace veriqc::fault {
+
+namespace {
+
+/// splitmix64 of (seed, n): the per-hit probability draw is a pure function
+/// of the plan seed and the armed-hit index, so probabilistic plans replay
+/// identically across runs and thread schedules that preserve hit order.
+std::uint64_t mix(const std::uint64_t seed, const std::uint64_t n) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (n + 1);
+  z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31U);
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::uint64_t parseUint(const std::string_view value,
+                        const std::string_view clause) {
+  std::uint64_t out = 0;
+  if (value.empty()) {
+    throw std::invalid_argument("fault plan: empty number in clause \"" +
+                                std::string(clause) + "\"");
+  }
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("fault plan: bad number \"" +
+                                  std::string(value) + "\" in clause \"" +
+                                  std::string(clause) + "\"");
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+} // namespace
+
+void Point::onHit() {
+  const auto n = armedHits_.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  if (const auto ppm = probabilityPpm_.load(std::memory_order_relaxed);
+      ppm >= 0) {
+    fire = mix(seed_.load(std::memory_order_relaxed), n) % 1000000ULL <
+           static_cast<std::uint64_t>(ppm);
+  } else {
+    fire = n >= after_.load(std::memory_order_relaxed);
+  }
+  if (!fire) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Claim one of the bounded firing slots: concurrent hits race for the
+  // budget through a CAS so `times=1` fires exactly once even when several
+  // worker threads hit the point simultaneously.
+  if (const auto budget = times_.load(std::memory_order_relaxed);
+      budget != 0) {
+    auto current = fired_.load(std::memory_order_relaxed);
+    while (true) {
+      if (current >= budget) {
+        suppressed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (fired_.compare_exchange_weak(current, current + 1,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  } else {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  throwFault();
+}
+
+void Point::throwFault() {
+  switch (static_cast<FaultKind>(kind_.load(std::memory_order_relaxed))) {
+  case FaultKind::BadAlloc:
+    throw std::bad_alloc{};
+  case FaultKind::ResourceLimit:
+    throw ResourceLimitError("fault:" + name_, 0,
+                             armedHits_.load(std::memory_order_relaxed));
+  case FaultKind::Runtime:
+    break;
+  }
+  throw FaultInjectedError("injected fault at " + name_);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once, before any threads.
+  if (const char* env = std::getenv("VERIQC_FAULT");
+      env != nullptr && *env != '\0') {
+    armPlan(env);
+  }
+}
+
+Point& Registry::point(const std::string_view name, const FaultKind kind) {
+  std::scoped_lock lock(mutex_);
+  if (const auto it = points_.find(name); it != points_.end()) {
+    return *it->second;
+  }
+  auto owned =
+      std::unique_ptr<Point>(new Point(std::string(name), kind));
+  Point& created = *owned;
+  points_.emplace(created.name(), std::move(owned));
+  // Late registration: a plan armed before this site was ever reached still
+  // applies to it.
+  for (const auto& clause : pending_) {
+    if (clause.point == created.name()) {
+      armLocked(created, clause);
+    }
+  }
+  return created;
+}
+
+std::vector<Registry::Clause> Registry::parsePlan(const std::string& plan) {
+  std::vector<Clause> clauses;
+  std::size_t begin = 0;
+  while (begin <= plan.size()) {
+    const auto end = plan.find_first_of(";,", begin);
+    const auto clauseText =
+        trim(std::string_view(plan).substr(begin, end == std::string::npos
+                                                      ? std::string::npos
+                                                      : end - begin));
+    begin = end == std::string::npos ? plan.size() + 1 : end + 1;
+    if (clauseText.empty()) {
+      continue;
+    }
+    Clause clause;
+    std::size_t tokenBegin = 0;
+    bool first = true;
+    while (tokenBegin <= clauseText.size()) {
+      const auto tokenEnd = clauseText.find(':', tokenBegin);
+      const auto token =
+          trim(clauseText.substr(tokenBegin, tokenEnd == std::string_view::npos
+                                                 ? std::string_view::npos
+                                                 : tokenEnd - tokenBegin));
+      tokenBegin = tokenEnd == std::string_view::npos ? clauseText.size() + 1
+                                                      : tokenEnd + 1;
+      if (first) {
+        if (token.empty() || token.find('=') != std::string_view::npos) {
+          throw std::invalid_argument(
+              "fault plan: clause must start with a point name: \"" +
+              std::string(clauseText) + "\"");
+        }
+        clause.point = std::string(token);
+        first = false;
+        continue;
+      }
+      const auto eq = token.find('=');
+      if (eq == std::string_view::npos) {
+        throw std::invalid_argument("fault plan: expected key=value, got \"" +
+                                    std::string(token) + "\" in clause \"" +
+                                    std::string(clauseText) + "\"");
+      }
+      const auto key = token.substr(0, eq);
+      const auto value = token.substr(eq + 1);
+      if (key == "after") {
+        clause.after = parseUint(value, clauseText);
+      } else if (key == "times") {
+        clause.times = parseUint(value, clauseText);
+      } else if (key == "seed") {
+        clause.seed = parseUint(value, clauseText);
+      } else if (key == "p") {
+        // Accept decimals in [0, 1]; stored in parts-per-million so the
+        // armed state stays plain atomics.
+        double probability = 0.0;
+        try {
+          std::size_t consumed = 0;
+          probability = std::stod(std::string(value), &consumed);
+          if (consumed != value.size()) {
+            throw std::invalid_argument("trailing characters");
+          }
+        } catch (const std::exception&) {
+          throw std::invalid_argument("fault plan: bad probability \"" +
+                                      std::string(value) + "\" in clause \"" +
+                                      std::string(clauseText) + "\"");
+        }
+        if (probability < 0.0 || probability > 1.0) {
+          throw std::invalid_argument(
+              "fault plan: probability out of [0,1] in clause \"" +
+              std::string(clauseText) + "\"");
+        }
+        clause.probabilityPpm = static_cast<std::int64_t>(probability * 1e6);
+      } else if (key == "throw") {
+        clause.kindOverride = true;
+        if (value == "bad_alloc") {
+          clause.kind = FaultKind::BadAlloc;
+        } else if (value == "resource_limit" || value == "resource") {
+          clause.kind = FaultKind::ResourceLimit;
+        } else if (value == "runtime") {
+          clause.kind = FaultKind::Runtime;
+        } else {
+          throw std::invalid_argument("fault plan: unknown throw kind \"" +
+                                      std::string(value) + "\" in clause \"" +
+                                      std::string(clauseText) + "\"");
+        }
+      } else {
+        throw std::invalid_argument("fault plan: unknown key \"" +
+                                    std::string(key) + "\" in clause \"" +
+                                    std::string(clauseText) + "\"");
+      }
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+void Registry::armLocked(Point& point, const Clause& clause) {
+  // Close the firing window first so no hit decides on a half-updated
+  // configuration, then publish the new knobs with the release store.
+  point.armed_.store(false, std::memory_order_release);
+  if (clause.kindOverride) {
+    point.kind_.store(static_cast<std::uint8_t>(clause.kind),
+                      std::memory_order_relaxed);
+  }
+  point.after_.store(clause.after, std::memory_order_relaxed);
+  point.times_.store(clause.times, std::memory_order_relaxed);
+  point.probabilityPpm_.store(clause.probabilityPpm,
+                              std::memory_order_relaxed);
+  point.seed_.store(clause.seed, std::memory_order_relaxed);
+  point.armedHits_.store(0, std::memory_order_relaxed);
+  point.fired_.store(0, std::memory_order_relaxed);
+  point.suppressed_.store(0, std::memory_order_relaxed);
+  point.armed_.store(true, std::memory_order_release);
+}
+
+void Registry::armPlan(const std::string& plan) {
+  auto clauses = parsePlan(plan); // throws before any state changes
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, point] : points_) {
+    point->armed_.store(false, std::memory_order_release);
+  }
+  for (const auto& clause : clauses) {
+    if (const auto it = points_.find(clause.point); it != points_.end()) {
+      armLocked(*it->second, clause);
+    }
+  }
+  pending_ = std::move(clauses);
+}
+
+void Registry::disarmAll() {
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, point] : points_) {
+    point->armed_.store(false, std::memory_order_release);
+  }
+  pending_.clear();
+}
+
+void Registry::exportCounters(obs::CounterRegistry& counters) const {
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, point] : points_) {
+    const auto fired = point->fired();
+    const auto suppressed = point->suppressed();
+    if (fired == 0 && suppressed == 0) {
+      continue;
+    }
+    counters.add("fault/" + name + ".fired", static_cast<double>(fired));
+    counters.add("fault/" + name + ".suppressed",
+                 static_cast<double>(suppressed));
+  }
+}
+
+std::uint64_t Registry::firedCount(const std::string_view name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second->fired();
+}
+
+std::uint64_t Registry::suppressedCount(const std::string_view name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second->suppressed();
+}
+
+} // namespace veriqc::fault

@@ -1,5 +1,7 @@
 #include "zx/simplify.hpp"
 
+#include "fault/fault.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <iomanip>
@@ -243,6 +245,8 @@ std::size_t Simplifier::runPass(const SimplifyRule rule, TryRule&& tryRule) {
         break;
       }
       enforceVertexBudget();
+      VERIQC_FAULT_POINT(fault::points::kZXDrain,
+                         fault::FaultKind::ResourceLimit);
     }
     const std::size_t applied = tryRule(v);
     if (applied > 0) {
@@ -842,6 +846,10 @@ bool Simplifier::ownsRegion(const Vertex v) const {
 }
 
 void Simplifier::regionFixpoint() {
+  // Fires inside the region worker task, so the throw travels through the
+  // region executor (TaskPool) rather than the calling thread.
+  VERIQC_FAULT_POINT(fault::points::kZXRegionPrepass,
+                     fault::FaultKind::ResourceLimit);
   while (!stopping()) {
     const std::size_t round = spiderSimp() + idSimp();
     if (round == 0) {

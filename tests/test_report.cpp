@@ -78,12 +78,22 @@ Json goldenReport() {
   engines[2].counterexampleStimulus = 3;
   engines[7].errorMessage = "node budget of 100000 exceeded";
   engines[8].errorMessage = "unknown exception";
+  // A slot that walked the degradation ladder: the ResourceExhausted final
+  // state carries its attempt lineage and the rung of the last attempt.
+  engines[7].degradation = "gc-tight";
+  engines[7].attempts = {
+      {"engine-7", 0, "", "resource_exhausted", 0.25,
+       "node budget of 100000 exceeded"},
+      {"engine-7", 1, "gc-tight", "resource_exhausted", 0.5,
+       "node budget of 100000 exceeded"},
+  };
 
   Result combined = engines[0];
   combined.method = "manager";
   combined.runtimeSeconds = 1.25;
   combined.resourceLimitedEngines = {"engine-7"};
   combined.peakResidentSetKB = 51200;
+  combined.attempts = engines[7].attempts;
 
   std::vector<obs::PhaseSpan> phases = {
       {"parse", 0.0, 0.01},
