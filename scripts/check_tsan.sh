@@ -11,8 +11,10 @@
 # diagram — the ownership-guard discipline TSan is best placed to audit.
 # tests/test_fault_injection.cpp adds the degradation-ladder retry rounds,
 # the soft watchdog's heartbeat/trip handshake and fault-poisoned task
-# groups, all of which cross thread boundaries. Any TSan report fails the
-# run.
+# groups, all of which cross thread boundaries. tests/test_serve.cpp runs
+# the veriqcd JobService: concurrent submitting clients, the shared warm
+# gate-cache's epoch publish/lease handshake, and shutdown cancelling
+# in-flight jobs. Any TSan report fails the run.
 #
 # Usage: scripts/check_tsan.sh [ctest-regex]
 #   ctest-regex: optional -R filter (default: all thread-stress suites)
@@ -23,9 +25,9 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j"$(nproc)" \
   --target test_threading test_task_pool test_zx_simplify \
-  test_fault_injection >/dev/null
+  test_fault_injection test_serve >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 ctest --test-dir build-tsan --output-on-failure \
-  -R "${1:-ThreadingStressTest|TaskPoolTest|ZXRegionParallelTest|FaultSweepTest|DegradationLadderTest|TaskPoolFaultTest|WatchdogTest|ImportFaultTest}"
+  -R "${1:-ThreadingStressTest|TaskPoolTest|ZXRegionParallelTest|FaultSweepTest|DegradationLadderTest|TaskPoolFaultTest|WatchdogTest|ImportFaultTest|JobServiceTest}"

@@ -196,10 +196,17 @@ Result EquivalenceCheckingManager::run() {
   auto& phases = activePhases();
   auto prepareSpan = phases.scope("prepare");
   const auto start = Clock::now();
+  // Watermark at run start: the per-run peakResidentSetKB is the growth this
+  // run caused, so under a multi-job daemon a small job no longer inherits
+  // the largest job's process-wide high-water mark.
+  const auto rssBaselineKB = dd::Package::peakResidentSetKB();
   const auto deadline = config_.timeout.count() > 0
                             ? start + config_.timeout
                             : Clock::time_point::max();
   std::atomic<bool> cancel{false};
+  if (externalCancel_.load(std::memory_order_acquire)) {
+    cancel.store(true, std::memory_order_release);
+  }
 
   std::vector<EngineKind> kinds;
   if (config_.runAlternating) {
@@ -255,13 +262,14 @@ Result EquivalenceCheckingManager::run() {
   // Acquire pairs with the release store of a winning engine (or the
   // watchdog), so an engine that observes the flag also observes everything
   // written before it was raised (the winner's result slot in particular).
-  const auto stopFor = [&cancel, deadline,
+  const auto stopFor = [this, &cancel, deadline,
                         wd = watchdog.get()](const std::size_t slot) {
-    return StopToken([&cancel, deadline, wd, slot] {
+    return StopToken([this, &cancel, deadline, wd, slot] {
       if (wd != nullptr) {
         wd->beat(slot);
       }
       return cancel.load(std::memory_order_acquire) ||
+             externalCancel_.load(std::memory_order_acquire) ||
              Clock::now() >= deadline;
     });
   };
@@ -349,8 +357,15 @@ Result EquivalenceCheckingManager::run() {
     }
     if (config_.parallel && pending.size() > 1) {
       // One slot per pending engine: the calling thread runs one engine
-      // itself inside wait() while the spawned workers run the rest.
-      TaskPool pool(pending.size());
+      // itself inside wait() while the spawned workers run the rest. An
+      // injected pool (useTaskPool) is shared across managers — the daemon
+      // case — and its sizing is the owner's business; otherwise a private
+      // per-round pool is sized to the pending slots.
+      std::optional<TaskPool> ownedPool;
+      if (externalPool_ == nullptr) {
+        ownedPool.emplace(pending.size());
+      }
+      TaskPool& pool = externalPool_ != nullptr ? *externalPool_ : *ownedPool;
       // No group-level stop token here: every engine must *start* even when
       // a sibling finishes first, so its slot records Cancelled (an honest
       // "was started, then yielded") instead of being skipped outright.
@@ -402,6 +417,7 @@ Result EquivalenceCheckingManager::run() {
     }
     std::vector<std::size_t> retry;
     const bool settled = cancel.load(std::memory_order_acquire) ||
+                         externalCancel_.load(std::memory_order_acquire) ||
                          Clock::now() >= deadline;
     if (!settled) {
       for (const auto i : pending) {
@@ -448,9 +464,14 @@ Result EquivalenceCheckingManager::run() {
   // Nonzero fired/suppressed totals of armed injection points; silent (and
   // golden-stable) when no plan was armed.
   fault::Registry::instance().exportCounters(combined.counters);
-  // The process-wide resident-set high watermark belongs to the whole run,
-  // not any single engine; record it on the combined result only.
-  combined.peakResidentSetKB = dd::Package::peakResidentSetKB();
+  // Resident-set accounting on the combined result only: the absolute
+  // process-wide high watermark under its explicit name, and the growth
+  // this run caused (watermark delta; a run that never pushed the peak —
+  // e.g. a small daemon job after a large one — honestly reports 0).
+  const auto processPeakKB = dd::Package::peakResidentSetKB();
+  combined.processPeakResidentSetKB = processPeakKB;
+  combined.peakResidentSetKB =
+      processPeakKB > rssBaselineKB ? processPeakKB - rssBaselineKB : 0;
   return combined;
 }
 

@@ -14,9 +14,12 @@
 #include "ir/circuit.hpp"
 #include "obs/phase_timer.hpp"
 
+#include <atomic>
 #include <vector>
 
 namespace veriqc::check {
+
+class TaskPool;
 
 class EquivalenceCheckingManager {
 public:
@@ -25,6 +28,21 @@ public:
 
   /// Run the configured engines and return the combined verdict.
   [[nodiscard]] Result run();
+
+  /// Run parallel engine rounds on an external task pool instead of a
+  /// private per-round one. The pool must outlive run(); several managers
+  /// may share one pool (veriqcd runs every job's rounds on the daemon
+  /// pool), since TaskGroups are isolated and waiting threads help with
+  /// whatever task is available. Pass nullptr to restore the private pool.
+  void useTaskPool(TaskPool* pool) noexcept { externalPool_ = pool; }
+
+  /// Cooperatively cancel an in-flight run() from another thread: every
+  /// engine's next stop-token poll observes the request and winds down with
+  /// verdict Cancelled (not Timeout — the request precedes the deadline).
+  /// Sticky: a run() started after the request stops at its first poll.
+  void requestCancel() noexcept {
+    externalCancel_.store(true, std::memory_order_release);
+  }
 
   /// Per-engine results of the last run (in engine launch order).
   [[nodiscard]] const std::vector<Result>& engineResults() const noexcept {
@@ -56,6 +74,8 @@ private:
   std::vector<Result> engineResults_;
   obs::PhaseTimer phases_;
   obs::PhaseTimer* externalPhases_ = nullptr;
+  TaskPool* externalPool_ = nullptr;
+  std::atomic<bool> externalCancel_{false};
 };
 
 /// Convenience wrapper: construct a manager and run it.

@@ -38,15 +38,6 @@ obs::Json serializeCacheStats(const dd::CacheStats& stats) {
   return j;
 }
 
-obs::Json serializeCounters(const obs::CounterRegistry& counters) {
-  auto j = obs::Json::object();
-  // entries() is a std::map, so the member order is sorted and stable.
-  for (const auto& [name, counter] : counters.entries()) {
-    j[name] = counter.value;
-  }
-  return j;
-}
-
 obs::Json serializeConfiguration(const Configuration& config) {
   auto j = obs::Json::object();
   j["numericalTolerance"] = config.numericalTolerance;
@@ -255,6 +246,15 @@ std::string criterionKey(const EquivalenceCriterion criterion) {
   return "unknown";
 }
 
+obs::Json serializeCounters(const obs::CounterRegistry& counters) {
+  auto j = obs::Json::object();
+  // entries() is a std::map, so the member order is sorted and stable.
+  for (const auto& [name, counter] : counters.entries()) {
+    j[name] = counter.value;
+  }
+  return j;
+}
+
 std::optional<EquivalenceCriterion> criterionFromKey(std::string_view key) {
   for (const auto& [value, name] : kCriterionKeys) {
     if (key == name) {
@@ -357,6 +357,7 @@ obs::Json buildRunReport(const Result& combined,
   report["counters"] = serializeCounters(aggregated);
   auto resources = obs::Json::object();
   resources["peakResidentSetKB"] = combined.peakResidentSetKB;
+  resources["processPeakResidentSetKB"] = combined.processPeakResidentSetKB;
   auto limited = obs::Json::array();
   for (const auto& engine : combined.resourceLimitedEngines) {
     limited.push_back(engine);
@@ -427,6 +428,13 @@ std::vector<std::string> validateRunReport(const obs::Json& report) {
       resources != nullptr && resources->isObject()) {
     requireMember(*resources, "$.resources", "peakResidentSetKB", K::Integer,
                   errors);
+    // Additive within v1 (older reports lack it): type-checked when present.
+    if (const auto* processPeak =
+            resources->find("processPeakResidentSetKB");
+        processPeak != nullptr) {
+      requireKind(*processPeak, K::Integer,
+                  "$.resources.processPeakResidentSetKB", errors);
+    }
     if (const auto* limited =
             requireMember(*resources, "$.resources",
                           "resourceLimitedEngines", K::Array, errors);
@@ -437,6 +445,18 @@ std::vector<std::string> validateRunReport(const obs::Json& report) {
                         std::to_string(i) + "]",
                     errors);
       }
+    }
+  }
+  // The veriqcd front-end attaches a "job" object naming the submitted job
+  // and its admission outcome. Optional (CLI reports lack it) but fully
+  // shape-checked when present.
+  if (const auto* job = report.find("job"); job != nullptr) {
+    requireKind(*job, K::Object, "$.job", errors);
+    if (job->isObject()) {
+      requireMember(*job, "$.job", "id", K::String, errors);
+      requireMember(*job, "$.job", "admitted", K::Boolean, errors);
+      requireMember(*job, "$.job", "reason", K::String, errors);
+      requireMember(*job, "$.job", "detail", K::String, errors);
     }
   }
   return errors;

@@ -19,8 +19,15 @@
 ///     "engines": [ engine record, ... ], // one per manager slot, in order
 ///     "phases": [ {"name", "startSeconds", "durationSeconds"}, ... ],
 ///     "counters": { "<name>": number, ... },
-///     "resources": { "peakResidentSetKB", "resourceLimitedEngines" }
+///     "resources": { "peakResidentSetKB",        // growth during this run
+///                    "processPeakResidentSetKB", // absolute process peak
+///                    "resourceLimitedEngines" },
+///     "job": { "id", "admitted", "reason", "detail" }  // veriqcd only
 ///   }
+///
+/// The optional "job" object is attached by the veriqcd front-end: it names
+/// the submitted job and, for admission rejections, carries the structured
+/// reason ("queue_full", "memory_budget", ...) plus a human-readable detail.
 #pragma once
 
 #include "check/manager.hpp"
@@ -50,6 +57,12 @@ criterionFromKey(std::string_view key);
 /// Serialize one Result (an engine slot or the combined verdict) into the
 /// report's engine-record form. Every key is always present.
 [[nodiscard]] obs::Json serializeResult(const Result& result);
+
+/// Flatten a counter registry into a JSON object (sorted, stable member
+/// order) — the report's "counters" form, reused by veriqcd's /metrics-style
+/// dump.
+[[nodiscard]] obs::Json serializeCounters(const obs::CounterRegistry&
+                                              counters);
 
 /// Build the full veriqc-report/v1 document for one run.
 [[nodiscard]] obs::Json buildRunReport(const Result& combined,

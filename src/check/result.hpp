@@ -10,7 +10,12 @@
 #include <chrono>
 #include <vector>
 #include <cstdint>
+#include <memory>
 #include <string>
+
+namespace veriqc::dd {
+class Package;
+} // namespace veriqc::dd
 
 namespace veriqc::check {
 
@@ -150,6 +155,12 @@ struct Configuration {
   /// directly too): start DD garbage collection at a small initial
   /// threshold so packages trade throughput for a tighter live-node band.
   bool aggressiveGC = false;
+  /// Immutable gate-DD snapshot adopted by every package the engines
+  /// create whose shape (qubit count + tolerance) matches: cache misses
+  /// consult the snapshot before rebuilding. veriqcd sets this from its
+  /// SharedGateCache so concurrent jobs reuse each other's constructions;
+  /// null (the default) leaves every package cold.
+  std::shared_ptr<const dd::Package> warmGateSource;
 };
 
 /// Scheduler statistics of one ZX rule family, as recorded by the
@@ -211,9 +222,15 @@ struct Result {
   /// Named kernel counters fed by the engine (DD cache traffic, ZX rewrite
   /// totals, node peaks); serialized into the run report's counters object.
   obs::CounterRegistry counters;
-  /// Manager verdicts only: process-wide peak resident set size sampled at
-  /// the end of the run (0 when unavailable).
+  /// Manager verdicts only: growth of the process peak resident set over
+  /// this run (end watermark minus start watermark, KB; 0 when unavailable).
+  /// Under a multi-job daemon this attributes memory to the job instead of
+  /// every report inheriting the largest job's process-wide high-water mark.
   std::size_t peakResidentSetKB = 0;
+  /// Manager verdicts only: the absolute process-wide peak resident set at
+  /// the end of the run (the old meaning of peakResidentSetKB, now under an
+  /// explicit name; 0 when unavailable).
+  std::size_t processPeakResidentSetKB = 0;
   /// Attempt lineage across the degradation ladder. Per-engine records list
   /// every attempt of that slot; the combined record concatenates all slots'
   /// lineages. Empty when every engine settled on its first attempt — the

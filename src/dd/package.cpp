@@ -6,12 +6,14 @@
 #include <tuple>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <set>
 #include <stdexcept>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace veriqc::dd {
@@ -144,10 +146,20 @@ std::int64_t Package::quantize(const double value) const noexcept {
   return bits;
 }
 
+Package::GateKey& Package::gateKeySlot() {
+  if (gateKeyDepth_ >= gateKeyScratch_.size()) {
+    // First use of this nesting depth. The deque grows without relocating
+    // shallower slots, so GateKey references held by outer cachedGateDD
+    // frames stay valid.
+    gateKeyScratch_.resize(gateKeyDepth_ + 1);
+  }
+  return gateKeyScratch_[gateKeyDepth_];
+}
+
 Package::GateKey& Package::makeGateKey(const GateMatrix& matrix,
                                        const std::span<const Qubit> controls,
                                        const Qubit target) {
-  GateKey& key = gateKeyScratch_;
+  GateKey& key = gateKeySlot();
   key.kind = 0;
   for (std::size_t i = 0; i < 4; ++i) {
     key.matrix[2 * i] = quantize(matrix[i].real());
@@ -167,18 +179,37 @@ mEdge Package::cachedGateDD(GateKey& key, Builder&& build) {
     ++gateCacheStats_.hits;
     return it->second;
   }
-  // `key` aliases the scratch, which nested gate construction inside the
-  // builder (e.g. buildSwapDD -> makeGateDD) overwrites — stabilize it
-  // first. Misses are the only place that pays this copy.
-  GateKey stable = key;
-  const mEdge result = build(stable);
+  // `key` lives in this depth's scratch slot. The build runs one depth
+  // deeper, so nested gate construction (e.g. buildSwapDD -> makeGateDD)
+  // fills deeper slots and cannot clobber the key inserted below.
+  ++gateKeyDepth_;
+  mEdge result;
+  try {
+    if (warmGateSource_ != nullptr) {
+      if (const auto warm = warmGateSource_->gateCache_.find(key);
+          warm != warmGateSource_->gateCache_.end()) {
+        // Prebuilt in the shared snapshot: import beats rebuilding because
+        // the source diagram is already canonical and maximally shared.
+        result = importMatrix(*warmGateSource_, warm->second);
+        ++gateCacheWarmHits_;
+      } else {
+        result = build(key);
+      }
+    } else {
+      result = build(key);
+    }
+    --gateKeyDepth_;
+  } catch (...) {
+    --gateKeyDepth_;
+    throw;
+  }
   if (gateCache_.size() >= gateCacheMaxEntries_) {
     clearGateCache();
   }
   // Referenced so the cached diagram survives garbage collection; released
   // again when the cache is flushed.
   incRef(result);
-  gateCache_.emplace(std::move(stable), result);
+  gateCache_.emplace(key, result);
   ++gateCacheStats_.inserts;
   return result;
 }
@@ -247,7 +278,7 @@ mEdge Package::buildGateDD(const GateMatrix& matrix,
 
 mEdge Package::makeSwapDD(const Qubit a, const Qubit b,
                           const std::span<const Qubit> controls) {
-  GateKey& key = gateKeyScratch_;
+  GateKey& key = gateKeySlot();
   key.kind = 1;
   key.matrix.fill(0); // the scratch may hold a previous matrix gate's entries
   key.controls.assign(controls.begin(), controls.end());
@@ -824,6 +855,37 @@ mEdge Package::importMatrix(const Package& src, const mEdge& e) {
   return {imported.n, e.w * imported.w};
 }
 
+bool Package::adoptWarmGateSource(std::shared_ptr<const Package> src) noexcept {
+  if (src == nullptr || src->nqubits_ != nqubits_ ||
+      src->reals_.tolerance() != reals_.tolerance()) {
+    // A differently-quantized source would make GateKey comparisons
+    // meaningless; a differently-sized one holds diagrams of another shape.
+    return false;
+  }
+  warmGateSource_ = std::move(src);
+  return true;
+}
+
+void Package::exportGateCacheInto(Package& dst) const {
+  if (dst.nqubits_ != nqubits_ ||
+      dst.reals_.tolerance() != reals_.tolerance()) {
+    throw std::invalid_argument(
+        "exportGateCacheInto: qubit count or tolerance mismatch");
+  }
+  for (const auto& [key, edge] : gateCache_) {
+    if (dst.gateCache_.contains(key)) {
+      continue;
+    }
+    if (dst.gateCache_.size() >= dst.gateCacheMaxEntries_) {
+      break; // never force the destination to flush what it already holds
+    }
+    const mEdge imported = dst.importMatrix(*this, edge);
+    dst.incRef(imported);
+    dst.gateCache_.emplace(key, imported);
+    ++dst.gateCacheStats_.inserts;
+  }
+}
+
 std::size_t Package::release(const mEdge& e) {
   const std::size_t removed = releaseNode(e.n);
   if (removed > 0) {
@@ -882,6 +944,31 @@ std::size_t Package::peakResidentSetKB() noexcept {
 #endif
 #else
   return 0;
+#endif
+}
+
+std::size_t Package::currentResidentSetKB() noexcept {
+#if defined(__unix__) && !defined(__APPLE__)
+  // /proc/self/statm: size resident shared text lib data dt (in pages).
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) {
+    return 0;
+  }
+  long unused = 0;
+  long residentPages = 0;
+  const int matched = std::fscanf(statm, "%ld %ld", &unused, &residentPages);
+  std::fclose(statm);
+  if (matched != 2 || residentPages < 0) {
+    return 0;
+  }
+  const long pageSize = sysconf(_SC_PAGESIZE);
+  if (pageSize <= 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(residentPages) *
+         static_cast<std::size_t>(pageSize) / 1024U;
+#else
+  return peakResidentSetKB();
 #endif
 }
 
@@ -969,6 +1056,7 @@ PackageStats Package::stats() const {
   s.innerProduct = innerProductTable_.stats();
   s.gateCache = gateCacheStats_;
   s.gateCacheEntries = gateCache_.size();
+  s.gateCacheWarmHits = gateCacheWarmHits_;
   return s;
 }
 
@@ -992,6 +1080,8 @@ void Package::exportCounters(obs::CounterRegistry& registry,
   cache("trace", s.trace);
   cache("inner_product", s.innerProduct);
   cache("gate_cache", s.gateCache);
+  registry.add(prefix + "gate_cache.warm_hits",
+               static_cast<double>(s.gateCacheWarmHits));
   registry.add(prefix + "nodes.allocations",
                static_cast<double>(s.allocations));
   registry.add(prefix + "nodes.released",

@@ -20,7 +20,9 @@
 #include <complex>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <set>
 #include <span>
 #include <unordered_map>
@@ -81,6 +83,9 @@ struct PackageStats {
   CacheStats innerProduct;
   CacheStats gateCache;          ///< the gate-DD construction cache
   std::size_t gateCacheEntries = 0; ///< currently cached gate DDs
+  /// Gate-cache misses satisfied by importing from a warm source package
+  /// (adoptWarmGateSource) instead of rebuilding from scratch.
+  std::size_t gateCacheWarmHits = 0;
 
   /// Sum over all seven compute tables (excludes the gate-DD cache).
   [[nodiscard]] CacheStats computeTotal() const noexcept {
@@ -224,8 +229,31 @@ public:
   /// concurrently.
   mEdge importMatrix(const Package& src, const mEdge& e);
 
+  /// Adopt a warm gate-DD source: on a gate-cache miss, look the key up in
+  /// `src`'s cache first and import the prebuilt diagram instead of
+  /// reconstructing it. `src` must be immutable for as long as any adopter
+  /// holds it (the shared_ptr keeps it alive past the donor's teardown);
+  /// veriqcd publishes per-shape snapshot packages this way so concurrent
+  /// jobs reuse each other's gate constructions. Returns false (and adopts
+  /// nothing) when the source is null or its qubit count or interning
+  /// tolerance differs — keys quantized under another tolerance would not
+  /// be comparable.
+  bool adoptWarmGateSource(std::shared_ptr<const Package> src) noexcept;
+
+  /// Deep-copy every gate-DD cache entry of this package into `dst`'s cache
+  /// (skipping keys `dst` already holds). The publishing half of the warm
+  /// cache: a job's private package donates its constructions into a shared
+  /// snapshot before teardown. \throws std::invalid_argument on a qubit
+  /// count or tolerance mismatch.
+  void exportGateCacheInto(Package& dst) const;
+
   /// Process-wide peak resident set size in kilobytes (0 if unavailable).
   [[nodiscard]] static std::size_t peakResidentSetKB() noexcept;
+
+  /// Current (not peak) resident set size in kilobytes via /proc/self/statm;
+  /// 0 where unavailable. Unlike the getrusage watermark this can decrease,
+  /// so a long-running daemon can use it for admission decisions.
+  [[nodiscard]] static std::size_t currentResidentSetKB() noexcept;
 
   /// Drops all cached gate DDs (releasing their references). Called
   /// automatically when the cache outgrows its configured bound.
@@ -327,10 +355,15 @@ private:
 
   /// Cache lookup/insert around a gate-DD builder. The builder is only
   /// invoked on a miss; its result is referenced so it survives GC. `key`
-  /// aliases gateKeyScratch_, which the builder may clobber through nested
-  /// gate construction — cachedGateDD copies it before building.
+  /// aliases the current depth slot of the scratch pool; nested gate
+  /// construction inside the builder (buildSwapDD -> makeGateDD) runs one
+  /// depth deeper and therefore cannot clobber it.
   template <typename Builder>
   mEdge cachedGateDD(GateKey& key, Builder&& build);
+
+  /// The reusable key slot for the current nesting depth, growing the pool
+  /// on first use of a new depth.
+  GateKey& gateKeySlot();
 
   /// Uncached construction bodies behind the gate-DD cache.
   mEdge buildGateDD(const GateMatrix& matrix,
@@ -362,9 +395,19 @@ private:
   std::unordered_map<GateKey, mEdge, GateKeyHash> gateCache_;
   std::size_t gateCacheMaxEntries_;
   CacheStats gateCacheStats_;
-  /// Reused lookup key: cache hits (the per-applied-gate fast path) perform
-  /// no heap allocation because controls.assign reuses prior capacity.
-  GateKey gateKeyScratch_;
+  std::size_t gateCacheWarmHits_ = 0;
+  /// Depth-indexed pool of reused lookup keys: cache hits (the
+  /// per-applied-gate fast path) perform no heap allocation because
+  /// controls.assign reuses the slot's prior capacity. Each nesting level of
+  /// gate construction owns its own slot, so an inner build cannot clobber
+  /// the key an outer cachedGateDD is about to insert. A deque keeps the
+  /// outer GateKey& stable when a deeper first use grows the pool.
+  std::deque<GateKey> gateKeyScratch_;
+  std::size_t gateKeyDepth_ = 0;
+
+  /// Immutable package whose gate cache seeds misses in this one (may be
+  /// null). The shared_ptr pins the source beyond its donor job's lifetime.
+  std::shared_ptr<const Package> warmGateSource_;
 
   std::vector<mEdge> idTable_; ///< idTable_[k] = identity on levels 0..k
 

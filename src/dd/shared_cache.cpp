@@ -1,0 +1,93 @@
+#include "dd/shared_cache.hpp"
+
+#include <cstring>
+
+namespace veriqc::dd {
+
+SharedGateCache::SharedGateCache(const std::size_t maxEntriesPerShape)
+    : maxEntriesPerShape_(std::max<std::size_t>(1, maxEntriesPerShape)) {}
+
+std::size_t SharedGateCache::ShapeHash::operator()(
+    const Shape& s) const noexcept {
+  const std::size_t h1 = std::hash<std::size_t>{}(s.nqubits);
+  const std::size_t h2 =
+      std::hash<std::int64_t>{}(s.toleranceBits);
+  return h1 ^ (h2 + 0x9E3779B97F4A7C15ULL + (h1 << 6U) + (h1 >> 2U));
+}
+
+SharedGateCache::Shape SharedGateCache::shapeOf(const std::size_t nqubits,
+                                                const double tolerance) noexcept {
+  Shape s;
+  s.nqubits = nqubits;
+  // Exact bit-pattern match: two "equal" tolerances that differ in bits
+  // would quantize keys differently, so they must not share a snapshot.
+  std::memcpy(&s.toleranceBits, &tolerance, sizeof(s.toleranceBits));
+  return s;
+}
+
+std::shared_ptr<const Package>
+SharedGateCache::acquire(const std::size_t nqubits, const double tolerance) {
+  const std::lock_guard lock(mutex_);
+  const auto it = shapes_.find(shapeOf(nqubits, tolerance));
+  if (it == shapes_.end()) {
+    return nullptr;
+  }
+  return it->second.snapshot;
+}
+
+std::uint64_t SharedGateCache::publish(const Package& donor) {
+  const std::size_t nqubits = donor.numQubits();
+  const double tolerance = donor.realTable().tolerance();
+  const std::lock_guard lock(mutex_);
+  auto& entry = shapes_[shapeOf(nqubits, tolerance)];
+  const std::size_t donated = donor.stats().gateCacheEntries;
+  if (donated == 0) {
+    return 0;
+  }
+  const std::size_t before =
+      entry.snapshot ? entry.snapshot->stats().gateCacheEntries : 0;
+  if (before >= maxEntriesPerShape_) {
+    return 0; // the shape's snapshot is full; keep the stable epoch
+  }
+  // Copy-on-publish: the next epoch is a fresh package seeded from the
+  // current snapshot plus the donor's entries. The current snapshot is never
+  // touched — leases held by in-flight jobs stay frozen.
+  PackageConfig config;
+  config.gateCacheMaxEntries = maxEntriesPerShape_;
+  auto next = std::make_shared<Package>(nqubits, tolerance, config);
+  if (entry.snapshot) {
+    entry.snapshot->exportGateCacheInto(*next);
+  }
+  donor.exportGateCacheInto(*next);
+  if (next->stats().gateCacheEntries <= before) {
+    return 0; // every donated key was already present
+  }
+  entry.snapshot = std::move(next);
+  ++entry.epoch;
+  return entry.epoch;
+}
+
+std::uint64_t SharedGateCache::epoch(const std::size_t nqubits,
+                                     const double tolerance) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = shapes_.find(shapeOf(nqubits, tolerance));
+  return it == shapes_.end() ? 0 : it->second.epoch;
+}
+
+void SharedGateCache::retireAll() {
+  const std::lock_guard lock(mutex_);
+  shapes_.clear();
+}
+
+std::size_t SharedGateCache::totalEntries() const {
+  const std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [shape, entry] : shapes_) {
+    if (entry.snapshot) {
+      total += entry.snapshot->stats().gateCacheEntries;
+    }
+  }
+  return total;
+}
+
+} // namespace veriqc::dd

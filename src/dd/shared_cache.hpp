@@ -1,0 +1,88 @@
+/// \file shared_cache.hpp
+/// \brief Cross-package sharing of immutable gate-DD constructions.
+///
+/// A long-running service (veriqcd) runs many jobs, each with private
+/// single-threaded Packages that are torn down when the job finishes. Gate
+/// DDs are pure functions of (matrix, controls, target, tolerance), so jobs
+/// of the same shape rebuild identical diagrams over and over. The
+/// SharedGateCache keeps one immutable snapshot Package per
+/// (qubit count, tolerance) shape: jobs adopt it as a warm gate source
+/// (Package::adoptWarmGateSource) and donate their own constructions back
+/// (publish) before teardown.
+///
+/// Lifetime/epoch scheme: snapshots are handed out as
+/// `std::shared_ptr<const Package>` leases. Publishing builds a *new*
+/// snapshot package (copy-on-publish) and atomically replaces the map entry;
+/// packages already leased by in-flight jobs stay alive through their
+/// shared_ptr until the last adopter drops it. A per-shape generation
+/// counter exposes the epoch for tests and metrics. No job ever observes a
+/// snapshot mutate: every published package is frozen the moment it becomes
+/// visible.
+#pragma once
+
+#include "dd/package.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace veriqc::dd {
+
+/// Registry of immutable per-shape gate-DD snapshot packages. Thread-safe:
+/// any number of job threads may acquire/publish concurrently.
+class SharedGateCache {
+public:
+  /// Sizing knob for snapshot packages (entries retained per shape).
+  explicit SharedGateCache(std::size_t maxEntriesPerShape = 4096);
+
+  SharedGateCache(const SharedGateCache&) = delete;
+  SharedGateCache& operator=(const SharedGateCache&) = delete;
+
+  /// Current snapshot for the shape, or null when nothing has been published
+  /// for it yet. The returned package is immutable; hold the shared_ptr for
+  /// as long as any adopting Package lives.
+  [[nodiscard]] std::shared_ptr<const Package>
+  acquire(std::size_t nqubits, double tolerance);
+
+  /// Merge the donor's gate cache into the shape's snapshot: builds a fresh
+  /// package seeded from the current snapshot (if any) plus the donor's
+  /// entries, then atomically installs it as the new epoch. Readers of the
+  /// previous epoch are unaffected. Returns the new epoch number, or 0 when
+  /// the donor had nothing new to contribute (the current epoch remains).
+  std::uint64_t publish(const Package& donor);
+
+  /// Epoch (publish count) of a shape; 0 before the first publish.
+  [[nodiscard]] std::uint64_t epoch(std::size_t nqubits,
+                                    double tolerance) const;
+
+  /// Drop all snapshots. In-flight leases stay valid through their
+  /// shared_ptrs; subsequent acquire() calls start cold.
+  void retireAll();
+
+  /// Total gate DDs cached across all live shapes.
+  [[nodiscard]] std::size_t totalEntries() const;
+
+private:
+  struct Shape {
+    std::size_t nqubits = 0;
+    std::int64_t toleranceBits = 0; ///< bit pattern: exact-match semantics
+
+    bool operator==(const Shape&) const = default;
+  };
+  struct ShapeHash {
+    std::size_t operator()(const Shape& s) const noexcept;
+  };
+  struct Entry {
+    std::shared_ptr<const Package> snapshot;
+    std::uint64_t epoch = 0;
+  };
+
+  static Shape shapeOf(std::size_t nqubits, double tolerance) noexcept;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Shape, Entry, ShapeHash> shapes_;
+  std::size_t maxEntriesPerShape_;
+};
+
+} // namespace veriqc::dd

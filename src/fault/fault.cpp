@@ -264,6 +264,19 @@ void Registry::disarmAll() {
   pending_.clear();
 }
 
+bool Registry::anyArmed() const {
+  std::scoped_lock lock(mutex_);
+  if (!pending_.empty()) {
+    return true;
+  }
+  for (const auto& [name, point] : points_) {
+    if (point->armed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Registry::exportCounters(obs::CounterRegistry& counters) const {
   std::scoped_lock lock(mutex_);
   for (const auto& [name, point] : points_) {

@@ -162,6 +162,12 @@ public:
   /// harness can still read them after the run under test finished.
   void disarmAll();
 
+  /// True while any registered point is armed or a pending clause awaits a
+  /// point's registration. veriqcd asserts this is false between jobs: under
+  /// a daemon the only legitimate arming path is a job-scoped ScopedPlan,
+  /// so an armed point outside one is a leak.
+  [[nodiscard]] bool anyArmed() const;
+
   /// Export `fault/<point>.fired` / `.suppressed` counters for every point
   /// with nonzero totals — silent (and golden-stable) when nothing fired.
   void exportCounters(obs::CounterRegistry& counters) const;

@@ -1,0 +1,64 @@
+/// \file job.hpp
+/// \brief The veriqcd wire protocol: one check job per NDJSON line.
+///
+/// A client submits newline-delimited JSON objects, one job each:
+///
+///   {"id": "j1", "file1": "a.qasm", "file2": "b.qasm",
+///    "config": {"timeoutMilliseconds": 5000, "maxDDNodes": 100000}}
+///
+/// `id` names the job in its report line; `file1`/`file2` are circuit files
+/// (OpenQASM 2.0 or RevLib .real, by extension). The optional `config`
+/// object overrides checker knobs against the daemon's defaults; its key
+/// set is a strict whitelist — an unknown key rejects the job (structured
+/// reason "malformed_request") rather than being silently ignored, so a
+/// typo in a budget knob can never run an unbudgeted check.
+#pragma once
+
+#include "check/result.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace veriqc::serve {
+
+/// Why a submitted job did not run. Serialized under the report's
+/// `job.reason` key; the names are part of the protocol.
+enum class RejectReason : std::uint8_t {
+  None,               ///< admitted
+  MalformedRequest,   ///< not valid JSON / wrong shape / unknown config key
+  OversizedRequest,   ///< line exceeded the daemon's maxLineBytes
+  QueueFull,          ///< admission queue at capacity
+  MemoryBudget,       ///< daemon RSS too close to its memory cap
+  BudgetExceedsLimit, ///< job asked for more than the daemon-wide cap
+  FaultPlanForbidden, ///< job carried a fault plan, daemon forbids them
+  ShuttingDown,       ///< daemon is draining
+};
+
+/// Stable wire key ("queue_full", "memory_budget", ...); "" for None.
+[[nodiscard]] std::string toString(RejectReason reason);
+
+/// One parsed check job.
+struct JobRequest {
+  std::string id;
+  std::string file1;
+  std::string file2;
+  check::Configuration config;
+};
+
+/// Outcome of parsing one protocol line: either an admitted-shape request
+/// (reason == None) or a structured rejection with a human-readable detail.
+struct ParsedJob {
+  JobRequest request;
+  RejectReason reason = RejectReason::None;
+  std::string detail;
+};
+
+/// Parse one NDJSON protocol line against the daemon's default
+/// configuration. Never throws: every malformation is reported as a
+/// ParsedJob with reason MalformedRequest and a detail naming the problem
+/// (the daemon turns it into a rejection report, keeping the one-line-in /
+/// one-report-out invariant even for garbage input).
+[[nodiscard]] ParsedJob parseJobLine(std::string_view line,
+                                     const check::Configuration& defaults);
+
+} // namespace veriqc::serve

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
+
 namespace veriqc::dd {
 namespace {
 
@@ -344,6 +347,70 @@ TEST(PackageTest, GateCacheFlushPreservesCorrectness) {
   const auto again = p.makeOperationDD(Operation(OpType::P, {}, {0}, {0.1}));
   EXPECT_EQ(again.n, reference.n);
   EXPECT_EQ(again.w, reference.w);
+}
+
+TEST(PackageTest, NestedGateBuildsDoNotPoisonTheGateCache) {
+  // makeSwapDD builds nested CX gate DDs (buildSwapDD -> makeGateDD) while
+  // the swap's own cache key is still live. With a single scratch key the
+  // nested build clobbered the outer key, so the swap could be inserted
+  // under the CX's key — poisoning later CX lookups. Build the swap first so
+  // the nested CX enters the cache cold, then exercise both entries.
+  Package p(2);
+  const auto swap = p.makeSwapDD(0, 1);
+  const auto cx = p.makeOperationDD(Operation(OpType::X, {0}, {1}));
+  // The CX cache hit must return a CX, not the swap...
+  EXPECT_FALSE(cx.n == swap.n && cx.w == swap.w);
+  // ... and both entries must still be involutions.
+  EXPECT_TRUE(p.isIdentity(p.multiply(cx, cx), false));
+  EXPECT_TRUE(p.isIdentity(p.multiply(swap, swap), false));
+  // Cached round trips stay canonical.
+  const auto swapAgain = p.makeSwapDD(0, 1);
+  EXPECT_EQ(swapAgain.n, swap.n);
+  EXPECT_EQ(swapAgain.w, swap.w);
+  const auto cxAgain = p.makeOperationDD(Operation(OpType::X, {0}, {1}));
+  EXPECT_EQ(cxAgain.n, cx.n);
+  EXPECT_EQ(cxAgain.w, cx.w);
+}
+
+TEST(PackageTest, WarmGateSourceImportsInsteadOfRebuilding) {
+  auto donor = std::make_shared<Package>(2);
+  const auto donorH = donor->makeOperationDD(Operation(OpType::H, {}, {0}));
+  (void)donor->makeOperationDD(Operation(OpType::X, {0}, {1}));
+
+  Package p(2);
+  ASSERT_TRUE(p.adoptWarmGateSource(donor));
+  const auto h = p.makeOperationDD(Operation(OpType::H, {}, {0}));
+  EXPECT_EQ(p.stats().gateCacheWarmHits, 1U);
+  // The imported edge is canonical in the adopter and matches a rebuild.
+  Package fresh(2);
+  const auto rebuilt = fresh.makeOperationDD(Operation(OpType::H, {}, {0}));
+  EXPECT_EQ(h.w, rebuilt.w);
+  EXPECT_EQ(donorH.w, h.w);
+  // A second request is a plain (local) cache hit, not another import.
+  (void)p.makeOperationDD(Operation(OpType::H, {}, {0}));
+  EXPECT_EQ(p.stats().gateCacheWarmHits, 1U);
+
+  // Shape mismatches are refused: different qubit count...
+  Package wide(3);
+  EXPECT_FALSE(wide.adoptWarmGateSource(donor));
+  // ... different tolerance, and null.
+  Package loose(2, RealTable::kDefaultTolerance * 2);
+  EXPECT_FALSE(loose.adoptWarmGateSource(donor));
+  EXPECT_FALSE(p.adoptWarmGateSource(nullptr));
+}
+
+TEST(PackageTest, ExportGateCacheSeedsAnotherPackage) {
+  Package src(2);
+  (void)src.makeOperationDD(Operation(OpType::H, {}, {0}));
+  (void)src.makeOperationDD(Operation(OpType::S, {}, {1}));
+  Package dst(2);
+  src.exportGateCacheInto(dst);
+  const auto before = dst.stats().gateCache;
+  (void)dst.makeOperationDD(Operation(OpType::H, {}, {0}));
+  const auto after = dst.stats().gateCache;
+  EXPECT_EQ(after.hits, before.hits + 1);
+  Package mismatched(3);
+  EXPECT_THROW(src.exportGateCacheInto(mismatched), std::invalid_argument);
 }
 
 TEST(PackageTest, TinyComputeTablesRemainCorrect) {

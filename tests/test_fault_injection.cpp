@@ -150,6 +150,20 @@ TEST(FaultPlanTest, ScopedPlanDisarmsOnDestruction) {
   EXPECT_NO_THROW(point.hit());
 }
 
+TEST(FaultPlanTest, AnyArmedTracksArmAndDisarm) {
+  ASSERT_FALSE(registry().anyArmed());
+  {
+    fault::ScopedPlan plan("test.any_armed");
+    EXPECT_TRUE(registry().anyArmed());
+  }
+  EXPECT_FALSE(registry().anyArmed());
+  // disarmAll (the daemon's stale-VERIQC_FAULT guard) clears armed plans too.
+  registry().armPlan("test.any_armed:after=5");
+  ASSERT_TRUE(registry().anyArmed());
+  registry().disarmAll();
+  EXPECT_FALSE(registry().anyArmed());
+}
+
 // --- injection sweep ---------------------------------------------------------
 
 namespace {

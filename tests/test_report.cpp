@@ -93,6 +93,7 @@ Json goldenReport() {
   combined.runtimeSeconds = 1.25;
   combined.resourceLimitedEngines = {"engine-7"};
   combined.peakResidentSetKB = 51200;
+  combined.processPeakResidentSetKB = 73728;
   combined.attempts = engines[7].attempts;
 
   std::vector<obs::PhaseSpan> phases = {
@@ -245,6 +246,30 @@ TEST(ValidateReportTest, RejectsMissingAndMistypedMembers) {
     report["verdict"]["sizeTrace"].push_back(1.5);
     EXPECT_FALSE(validateRunReport(report).empty());
   }
+}
+
+TEST(ValidateReportTest, AcceptsAndChecksTheOptionalJobObject) {
+  // A well-formed job object (as attached by veriqcd) validates...
+  auto report = goldenReport();
+  auto job = Json::object();
+  job["id"] = "batch-17";
+  job["admitted"] = false;
+  job["reason"] = "queue_full";
+  job["detail"] = "64 jobs queued";
+  report["job"] = job;
+  EXPECT_TRUE(validateRunReport(report).empty());
+
+  // ... but a mistyped member does not.
+  report["job"]["admitted"] = "no";
+  EXPECT_FALSE(validateRunReport(report).empty());
+  report["job"] = Json(7);
+  EXPECT_FALSE(validateRunReport(report).empty());
+}
+
+TEST(ValidateReportTest, ProcessPeakResidentSetMustBeAnInteger) {
+  auto report = goldenReport();
+  report["resources"]["processPeakResidentSetKB"] = "lots";
+  EXPECT_FALSE(validateRunReport(report).empty());
 }
 
 // --- live manager round trip -------------------------------------------------
