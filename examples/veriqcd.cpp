@@ -20,6 +20,7 @@
 #include "check/result.hpp"
 #include "obs/json.hpp"
 #include "serve/service.hpp"
+#include "support/mutex.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -27,7 +28,6 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,14 +65,14 @@ void usage(const char* prog) {
 class LineSink {
 public:
   void write(const veriqc::obs::Json& report) {
-    const std::lock_guard lock(mutex_);
+    const veriqc::support::LockGuard lock(mutex_);
     std::fputs(report.dump().c_str(), stdout);
     std::fputc('\n', stdout);
     std::fflush(stdout);
   }
 
 private:
-  std::mutex mutex_;
+  veriqc::support::Mutex mutex_;
 };
 
 void dumpMetrics(const veriqc::serve::JobService& service, const int fd) {

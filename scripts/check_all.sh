@@ -2,13 +2,15 @@
 # The one-stop local gate: everything CI runs, in dependency order.
 #   1. formatting        (skips when clang-format is absent)
 #   2. clang-tidy        (skips when clang-tidy is absent)
-#   3. tier-1 build + ctest (Release)
-#   4. tier-1 again at VERIQC_AUDIT=2 (every structural auditor on)
-#   5. ThreadSanitizer stress suite
-#   6. fault-injection sweep (ASan/UBSan, leak detection on)
+#   3. static analysis   (thread-safety build skips without clang;
+#                         the slab-reference lint always runs)
+#   4. tier-1 build + ctest (Release)
+#   5. tier-1 again at VERIQC_AUDIT=2 (every structural auditor on)
+#   6. ThreadSanitizer stress suite
+#   7. fault-injection sweep (ASan/UBSan, leak detection on)
 #
 # Usage: scripts/check_all.sh [--fast]
-#   --fast: only steps 1-3 (skip the audit re-run, TSan and fault sweep)
+#   --fast: only steps 1-4 (skip the audit re-run, TSan and fault sweep)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +23,9 @@ scripts/format_check.sh
 
 echo "== clang-tidy =="
 scripts/check_tidy.sh
+
+echo "== static analysis (thread safety + slab-reference lint) =="
+scripts/check_thread_safety.sh
 
 echo "== tier-1 (Release) =="
 cmake -B build -S . >/dev/null

@@ -13,8 +13,11 @@
 # the soft watchdog's heartbeat/trip handshake and fault-poisoned task
 # groups, all of which cross thread boundaries. tests/test_serve.cpp runs
 # the veriqcd JobService: concurrent submitting clients, the shared warm
-# gate-cache's epoch publish/lease handshake, and shutdown cancelling
-# in-flight jobs. Any TSan report fails the run.
+# gate-cache's epoch publish/lease handshake, shutdown cancelling in-flight
+# jobs, and racing shutdown() callers (the double-join regression). The
+# SharedGateCacheEpochChurn stress (publishers/readers/retirer hammering one
+# cache while leases stay live) and the EnqueueWakesASleepingWorker missed-
+# wakeup regression run here too. Any TSan report fails the run.
 #
 # Usage: scripts/check_tsan.sh [ctest-regex]
 #   ctest-regex: optional -R filter (default: all thread-stress suites)

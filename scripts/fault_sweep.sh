@@ -152,4 +152,9 @@ if [[ $fail -ne 0 ]]; then
   echo "fault-sweep: FAILED"
   exit 1
 fi
-echo "fault-sweep: OK"
+
+# One-line coverage summary: how many cases ran, how many distinct injection
+# points had their firing asserted, and which mode produced the numbers.
+points=$(printf '%s\n' "${cases[@]}" | cut -d'|' -f6 | grep -v '^-$' | sort -u | wc -l)
+mode=full; [[ $quick -eq 1 ]] && mode=quick
+echo "fault-sweep: OK ($mode mode: ${#cases[@]} cases, $points injection points fired)"

@@ -202,4 +202,6 @@ assert all(d["schema"] == "veriqc-metrics/v1" for d in dumps)
 print("socket batch OK: verdicts, structured rejection, and both metrics dumps")
 EOF
 
-echo "serve smoke OK"
+# One-line coverage summary: jobs pushed through each transport and how many
+# report lines survived the validateRunReport schema gate.
+echo "serve-smoke: OK (stdin: $SUBMITTED jobs, socket: 3 jobs; $i reports schema-validated, 2 metrics dumps checked)"

@@ -6,6 +6,7 @@
 #include "opt/optimizer.hpp"
 #include "sim/dd_simulator.hpp"
 #include "sim/dense.hpp"
+#include "support/mutex.hpp"
 
 #include <array>
 #include <atomic>
@@ -13,7 +14,6 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <mutex>
 
 namespace veriqc::check {
 
@@ -363,7 +363,7 @@ Result shardedAlternatingCheck(const QuantumCircuit& a,
   std::vector<ChunkProduct> leftChunks(chunkCount);
   std::vector<ChunkProduct> rightChunks(chunkCount);
   std::atomic<bool> sawStop{false};
-  std::mutex resultMutex; // guards `result`'s stats fields during merge
+  support::Mutex resultMutex; // guards `result`'s stats fields during merge
 
   TaskPool pool(slots);
   {
@@ -416,7 +416,7 @@ Result shardedAlternatingCheck(const QuantumCircuit& a,
               shardCheckpoint.boundary(*pkg, roots);
             }
             {
-              std::scoped_lock lock(resultMutex);
+              const support::LockGuard lock(resultMutex);
               recordCacheStats(*pkg, result);
               result.peakNodes = std::max(result.peakNodes,
                                           pkg->stats().peakMatrixNodes);
@@ -921,7 +921,7 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
   // must not burn an index it never simulates — is observable from outside.
   std::atomic<std::size_t> claimed{0};
   std::atomic<std::size_t> performed{0};
-  std::mutex resultMutex; // guards the non-atomic result fields below
+  support::Mutex resultMutex; // guards the non-atomic result fields below
   std::size_t peakNodes = 0;
   std::string resourceLimitMessage;
   std::exception_ptr workerError;
@@ -991,7 +991,7 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
         performed.fetch_add(1, std::memory_order_relaxed);
         const auto stats = package.stats();
         {
-          std::scoped_lock lock(resultMutex);
+          const support::LockGuard lock(resultMutex);
           peakNodes =
               std::max(peakNodes, stats.matrixNodes + stats.vectorNodes);
         }
@@ -1006,16 +1006,16 @@ Result ddSimulationCheck(const QuantumCircuit& c1, const QuantumCircuit& c2,
       // Quiescent point: every state vector has been decRef'ed, so the
       // recount expects no external roots at all.
       checkpoint.boundary(package);
-      std::scoped_lock lock(resultMutex);
+      const support::LockGuard lock(resultMutex);
       recordCacheStats(package, result);
     } catch (const ResourceLimitError& e) {
       sawResourceLimit.store(true, std::memory_order_relaxed);
-      std::scoped_lock lock(resultMutex);
+      const support::LockGuard lock(resultMutex);
       if (resourceLimitMessage.empty()) {
         resourceLimitMessage = e.what();
       }
     } catch (...) {
-      std::scoped_lock lock(resultMutex);
+      const support::LockGuard lock(resultMutex);
       if (!workerError) {
         workerError = std::current_exception();
       }

@@ -22,7 +22,7 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::submit(std::string label, std::function<void(std::size_t)> fn) {
   {
-    std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     ++pending_;
   }
   try {
@@ -30,7 +30,7 @@ void TaskGroup::submit(std::string label, std::function<void(std::size_t)> fn) {
   } catch (...) {
     // Roll the count back, or wait()/~TaskGroup would block forever on a
     // task that never reached a queue.
-    std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     if (--pending_ == 0) {
       done_.notify_all();
     }
@@ -39,18 +39,18 @@ void TaskGroup::submit(std::string label, std::function<void(std::size_t)> fn) {
 }
 
 void TaskGroup::cancel() noexcept {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   cancelled_ = true;
 }
 
 bool TaskGroup::cancelled() const noexcept {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   return cancelled_;
 }
 
 void TaskGroup::wait() {
   pool_.helpUntilDone(*this);
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   if (firstError_) {
     auto error = std::exchange(firstError_, nullptr);
     std::rethrow_exception(error);
@@ -58,12 +58,12 @@ void TaskGroup::wait() {
 }
 
 std::size_t TaskGroup::skippedTasks() const noexcept {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   return skipped_;
 }
 
 std::size_t TaskGroup::suppressedExceptions() const noexcept {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   return suppressedExceptions_;
 }
 
@@ -84,7 +84,7 @@ TaskPool::TaskPool(const std::size_t slots) {
 
 TaskPool::~TaskPool() {
   {
-    std::scoped_lock lock(sleepMutex_);
+    const support::LockGuard lock(sleepMutex_);
     shutdown_ = true;
   }
   work_.notify_all();
@@ -104,15 +104,26 @@ std::size_t TaskPool::resolveSlots(const std::size_t configured) {
 void TaskPool::enqueue(Task task) {
   std::size_t target = 0;
   {
-    std::scoped_lock lock(sleepMutex_);
+    const support::LockGuard lock(sleepMutex_);
     target = nextQueue_;
     nextQueue_ = (nextQueue_ + 1) % queues_.size();
   }
   {
-    std::scoped_lock lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(task));
+    auto& queue = *queues_[target];
+    const support::LockGuard lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
   }
-  work_.notify_all();
+  // Notify while holding sleepMutex_: a worker's empty-recheck and its
+  // wait() form one critical section under sleepMutex_, so an unlocked
+  // notify could fire exactly between them (push not yet visible at the
+  // recheck, notify gone before the wait) and the worker would sleep
+  // through a queued task. Taking the mutex forces this notify to land
+  // either before the recheck (which then sees the task) or after the
+  // worker started waiting (which then receives it).
+  {
+    const support::LockGuard lock(sleepMutex_);
+    work_.notify_all();
+  }
 }
 
 bool TaskPool::tryTake(const std::size_t preferred, Task& out) {
@@ -121,7 +132,7 @@ bool TaskPool::tryTake(const std::size_t preferred, Task& out) {
   // thieves out of their way.
   {
     auto& queue = *queues_[preferred];
-    std::scoped_lock lock(queue.mutex);
+    const support::LockGuard lock(queue.mutex);
     if (!queue.tasks.empty()) {
       out = std::move(queue.tasks.front());
       queue.tasks.pop_front();
@@ -130,7 +141,7 @@ bool TaskPool::tryTake(const std::size_t preferred, Task& out) {
   }
   for (std::size_t i = 1; i < queues_.size(); ++i) {
     auto& victim = *queues_[(preferred + i) % queues_.size()];
-    std::scoped_lock lock(victim.mutex);
+    const support::LockGuard lock(victim.mutex);
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -144,7 +155,7 @@ void TaskPool::runTask(Task& task, const std::size_t slot) {
   TaskGroup& group = *task.group;
   bool skip = false;
   {
-    std::scoped_lock lock(group.mutex_);
+    const support::LockGuard lock(group.mutex_);
     skip = group.cancelled_;
   }
   // The stop token is polled outside the group mutex: tokens are arbitrary
@@ -163,7 +174,7 @@ void TaskPool::runTask(Task& task, const std::size_t slot) {
         task.fn(slot);
       }
     } catch (...) {
-      std::scoped_lock lock(group.mutex_);
+      const support::LockGuard lock(group.mutex_);
       if (!group.firstError_) {
         group.firstError_ = std::current_exception();
       } else {
@@ -177,7 +188,7 @@ void TaskPool::runTask(Task& task, const std::size_t slot) {
     }
   }
   {
-    std::scoped_lock lock(group.mutex_);
+    const support::LockGuard lock(group.mutex_);
     if (skip) {
       ++group.skipped_;
     }
@@ -198,16 +209,17 @@ void TaskPool::workerLoop(const std::size_t slot) {
       runTask(task, slot);
       continue;
     }
-    std::unique_lock lock(sleepMutex_);
+    support::LockGuard lock(sleepMutex_);
     if (shutdown_) {
       return;
     }
     // Re-check under the lock: an enqueue between the failed tryTake and
     // this wait would otherwise be missed (its notify already fired).
     bool anyWork = false;
-    for (const auto& queue : queues_) {
-      std::scoped_lock queueLock(queue->mutex);
-      if (!queue->tasks.empty()) {
+    for (const auto& queuePtr : queues_) {
+      auto& queue = *queuePtr;
+      const support::LockGuard queueLock(queue.mutex);
+      if (!queue.tasks.empty()) {
         anyWork = true;
         break;
       }
@@ -222,7 +234,7 @@ void TaskPool::workerLoop(const std::size_t slot) {
 void TaskPool::helpUntilDone(TaskGroup& group) {
   while (true) {
     {
-      std::scoped_lock lock(group.mutex_);
+      const support::LockGuard lock(group.mutex_);
       if (group.pending_ == 0) {
         return;
       }
@@ -236,7 +248,7 @@ void TaskPool::helpUntilDone(TaskGroup& group) {
     }
     // Nothing to steal: our remaining tasks are running on workers. Block
     // until the group count hits zero.
-    std::unique_lock lock(group.mutex_);
+    support::LockGuard lock(group.mutex_);
     if (group.pending_ == 0) {
       return;
     }

@@ -24,14 +24,13 @@
 #pragma once
 
 #include "obs/phase_timer.hpp"
+#include "support/mutex.hpp"
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,16 +84,19 @@ private:
   friend class TaskPool;
 
   TaskPool& pool_;
+  // Set once in the constructor and only read afterwards (pool threads call
+  // stop_/phases_ concurrently) — immutable state needs no capability.
   std::function<bool()> stop_;
   obs::PhaseTimer* phases_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable done_;
-  std::size_t pending_ = 0; ///< submitted but not yet finished/skipped
-  std::size_t skipped_ = 0;
-  std::size_t suppressedExceptions_ = 0;
-  bool cancelled_ = false;
-  std::exception_ptr firstError_;
+  mutable support::Mutex mutex_;
+  support::CondVar done_;
+  /// Submitted but not yet finished/skipped.
+  std::size_t pending_ VERIQC_GUARDED_BY(mutex_) = 0;
+  std::size_t skipped_ VERIQC_GUARDED_BY(mutex_) = 0;
+  std::size_t suppressedExceptions_ VERIQC_GUARDED_BY(mutex_) = 0;
+  bool cancelled_ VERIQC_GUARDED_BY(mutex_) = false;
+  std::exception_ptr firstError_ VERIQC_GUARDED_BY(mutex_);
 };
 
 /// The work-stealing pool. Deliberately scoped, not a process singleton:
@@ -129,8 +131,8 @@ private:
   };
 
   struct Queue {
-    std::mutex mutex;
-    std::deque<Task> tasks;
+    support::Mutex mutex;
+    std::deque<Task> tasks VERIQC_GUARDED_BY(mutex);
   };
 
   void enqueue(Task task);
@@ -142,13 +144,15 @@ private:
   /// Help drain queues until `group` has no pending tasks.
   void helpUntilDone(TaskGroup& group);
 
+  // queues_/workers_ are sized in the constructor and never resized; the
+  // Queue objects they point at carry their own capabilities.
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex sleepMutex_;
-  std::condition_variable work_;
-  std::size_t nextQueue_ = 0;
-  bool shutdown_ = false;
+  support::Mutex sleepMutex_;
+  support::CondVar work_;
+  std::size_t nextQueue_ VERIQC_GUARDED_BY(sleepMutex_) = 0;
+  bool shutdown_ VERIQC_GUARDED_BY(sleepMutex_) = false;
 };
 
 } // namespace veriqc::check

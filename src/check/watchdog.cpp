@@ -17,7 +17,7 @@ SoftWatchdog::SoftWatchdog(const std::size_t slots,
 
 SoftWatchdog::~SoftWatchdog() {
   {
-    std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     shutdown_ = true;
   }
   wake_.notify_all();
@@ -51,7 +51,7 @@ void SoftWatchdog::monitorLoop() {
       std::chrono::milliseconds(1), budget_ / 4);
   const auto budgetNs =
       std::chrono::duration_cast<std::chrono::nanoseconds>(budget_).count();
-  std::unique_lock lock(mutex_);
+  support::LockGuard lock(mutex_);
   while (!shutdown_) {
     wake_.wait_for(lock, period);
     if (shutdown_) {

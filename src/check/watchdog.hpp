@@ -13,14 +13,14 @@
 /// ends in bounded time instead of hanging until the wall-clock deadline.
 #pragma once
 
+#include "support/mutex.hpp"
+
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -72,14 +72,17 @@ private:
   };
 
   // unique_ptr keeps the atomics address-stable (Slot is not movable).
+  // slots_/budget_/onTrip_ are ctor-set and immutable afterwards; Slot state
+  // is all atomics — the only mutex-guarded datum is the shutdown flag the
+  // monitor's timed wait rechecks.
   std::vector<std::unique_ptr<Slot>> slots_;
   std::chrono::milliseconds budget_;
   std::function<void(std::size_t)> onTrip_;
   std::atomic<std::size_t> trips_{0};
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool shutdown_ = false;
+  support::Mutex mutex_;
+  support::CondVar wake_;
+  bool shutdown_ VERIQC_GUARDED_BY(mutex_) = false;
   std::thread monitor_;
 };
 

@@ -27,7 +27,7 @@ SharedGateCache::Shape SharedGateCache::shapeOf(const std::size_t nqubits,
 
 std::shared_ptr<const Package>
 SharedGateCache::acquire(const std::size_t nqubits, const double tolerance) {
-  const std::lock_guard lock(mutex_);
+  const support::LockGuard lock(mutex_);
   const auto it = shapes_.find(shapeOf(nqubits, tolerance));
   if (it == shapes_.end()) {
     return nullptr;
@@ -38,7 +38,7 @@ SharedGateCache::acquire(const std::size_t nqubits, const double tolerance) {
 std::uint64_t SharedGateCache::publish(const Package& donor) {
   const std::size_t nqubits = donor.numQubits();
   const double tolerance = donor.realTable().tolerance();
-  const std::lock_guard lock(mutex_);
+  const support::LockGuard lock(mutex_);
   auto& entry = shapes_[shapeOf(nqubits, tolerance)];
   const std::size_t donated = donor.stats().gateCacheEntries;
   if (donated == 0) {
@@ -69,18 +69,18 @@ std::uint64_t SharedGateCache::publish(const Package& donor) {
 
 std::uint64_t SharedGateCache::epoch(const std::size_t nqubits,
                                      const double tolerance) const {
-  const std::lock_guard lock(mutex_);
+  const support::LockGuard lock(mutex_);
   const auto it = shapes_.find(shapeOf(nqubits, tolerance));
   return it == shapes_.end() ? 0 : it->second.epoch;
 }
 
 void SharedGateCache::retireAll() {
-  const std::lock_guard lock(mutex_);
+  const support::LockGuard lock(mutex_);
   shapes_.clear();
 }
 
 std::size_t SharedGateCache::totalEntries() const {
-  const std::lock_guard lock(mutex_);
+  const support::LockGuard lock(mutex_);
   std::size_t total = 0;
   for (const auto& [shape, entry] : shapes_) {
     if (entry.snapshot) {

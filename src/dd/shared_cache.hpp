@@ -21,11 +21,11 @@
 #pragma once
 
 #include "dd/package.hpp"
+#include "support/mutex.hpp"
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 namespace veriqc::dd {
 
@@ -80,9 +80,9 @@ private:
 
   static Shape shapeOf(std::size_t nqubits, double tolerance) noexcept;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<Shape, Entry, ShapeHash> shapes_;
-  std::size_t maxEntriesPerShape_;
+  mutable support::Mutex mutex_;
+  std::unordered_map<Shape, Entry, ShapeHash> shapes_ VERIQC_GUARDED_BY(mutex_);
+  std::size_t maxEntriesPerShape_; ///< ctor-set, immutable afterwards
 };
 
 } // namespace veriqc::dd

@@ -112,7 +112,7 @@ Registry::Registry() {
 }
 
 Point& Registry::point(const std::string_view name, const FaultKind kind) {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   if (const auto it = points_.find(name); it != points_.end()) {
     return *it->second;
   }
@@ -244,7 +244,7 @@ void Registry::armLocked(Point& point, const Clause& clause) {
 
 void Registry::armPlan(const std::string& plan) {
   auto clauses = parsePlan(plan); // throws before any state changes
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   for (const auto& [name, point] : points_) {
     point->armed_.store(false, std::memory_order_release);
   }
@@ -257,7 +257,7 @@ void Registry::armPlan(const std::string& plan) {
 }
 
 void Registry::disarmAll() {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   for (const auto& [name, point] : points_) {
     point->armed_.store(false, std::memory_order_release);
   }
@@ -265,7 +265,7 @@ void Registry::disarmAll() {
 }
 
 bool Registry::anyArmed() const {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   if (!pending_.empty()) {
     return true;
   }
@@ -278,7 +278,7 @@ bool Registry::anyArmed() const {
 }
 
 void Registry::exportCounters(obs::CounterRegistry& counters) const {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   for (const auto& [name, point] : points_) {
     const auto fired = point->fired();
     const auto suppressed = point->suppressed();
@@ -292,13 +292,13 @@ void Registry::exportCounters(obs::CounterRegistry& counters) const {
 }
 
 std::uint64_t Registry::firedCount(const std::string_view name) const {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   const auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second->fired();
 }
 
 std::uint64_t Registry::suppressedCount(const std::string_view name) const {
-  std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   const auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second->suppressed();
 }

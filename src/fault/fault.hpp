@@ -29,13 +29,13 @@
 #pragma once
 
 #include "obs/counters.hpp"
+#include "support/mutex.hpp"
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -190,11 +190,15 @@ private:
   Registry();
 
   static std::vector<Clause> parsePlan(const std::string& plan);
-  static void armLocked(Point& point, const Clause& clause);
+  /// Reset-and-arm one point from a clause. Runs under mutex_ so a plan's
+  /// clauses install atomically with respect to point registration (the
+  /// Point knobs themselves are atomics; the lock orders *which* plan wins).
+  void armLocked(Point& point, const Clause& clause) VERIQC_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Point>, std::less<>> points_;
-  std::vector<Clause> pending_;
+  mutable support::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Point>, std::less<>> points_
+      VERIQC_GUARDED_BY(mutex_);
+  std::vector<Clause> pending_ VERIQC_GUARDED_BY(mutex_);
 };
 
 /// RAII plan installation for tests and the manager: arms on construction,

@@ -7,6 +7,13 @@
 /// object of `veriqc-report/v1`. Counters are either monotone sums
 /// (merged by addition: lookups, rewrites, allocations) or high-water gauges
 /// (merged by maximum: peak node counts), fixed by the first feed of a name.
+///
+/// Threading: CounterRegistry is deliberately unsynchronized. Engines own a
+/// private registry each (merged after the join), so locking here would tax
+/// the hottest counters for nothing. Registries that *are* shared across
+/// threads carry the lock at the sharing site — e.g. JobService::metrics_ is
+/// declared `VERIQC_GUARDED_BY(metricsMutex_)`, which lets the thread safety
+/// analysis enforce the external-lock contract this class itself cannot.
 #pragma once
 
 #include <algorithm>

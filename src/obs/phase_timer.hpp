@@ -8,8 +8,9 @@
 /// serializes spans into the `phases` array of `veriqc-report/v1`.
 #pragma once
 
+#include "support/mutex.hpp"
+
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -67,34 +68,34 @@ public:
   /// Record a span with explicit offsets (used by tests and golden files).
   void record(std::string name, const double startSeconds,
               const double durationSeconds) {
-    std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     spans_.push_back({std::move(name), startSeconds, durationSeconds});
   }
 
   /// Drop all recorded spans and restart the origin at now.
   void restart() {
-    std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     spans_.clear();
     origin_ = Clock::now();
   }
 
   [[nodiscard]] std::vector<PhaseSpan> spans() const {
-    std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     return spans_;
   }
 
 private:
   void recordSince(const std::string& name, const Clock::time_point start) {
     const auto end = Clock::now();
-    std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     spans_.push_back(
         {name, std::chrono::duration<double>(start - origin_).count(),
          std::chrono::duration<double>(end - start).count()});
   }
 
-  mutable std::mutex mutex_;
-  Clock::time_point origin_;
-  std::vector<PhaseSpan> spans_;
+  mutable support::Mutex mutex_;
+  Clock::time_point origin_ VERIQC_GUARDED_BY(mutex_);
+  std::vector<PhaseSpan> spans_ VERIQC_GUARDED_BY(mutex_);
 };
 
 } // namespace veriqc::obs

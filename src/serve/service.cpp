@@ -48,11 +48,11 @@ JobService::~JobService() { shutdown(/*cancelInFlight=*/true); }
 
 bool JobService::submitLine(const std::string_view line) {
   {
-    const std::lock_guard lock(metricsMutex_);
+    const support::LockGuard lock(metricsMutex_);
     metrics_.add("serve/jobs_submitted", 1.0);
   }
   {
-    const std::lock_guard lock(mutex_);
+    const support::LockGuard lock(mutex_);
     ++stats_.submitted;
   }
   if (line.size() > limits_.maxLineBytes) {
@@ -75,11 +75,11 @@ bool JobService::submitLine(const std::string_view line) {
 
 bool JobService::submit(JobRequest request) {
   {
-    const std::lock_guard lock(metricsMutex_);
+    const support::LockGuard lock(metricsMutex_);
     metrics_.add("serve/jobs_submitted", 1.0);
   }
   {
-    const std::lock_guard lock(mutex_);
+    const support::LockGuard lock(mutex_);
     ++stats_.submitted;
   }
   return admitAndQueue(std::move(request));
@@ -127,7 +127,7 @@ bool JobService::admitAndQueue(JobRequest&& request) {
     }
   }
   {
-    std::unique_lock lock(mutex_);
+    support::LockGuard lock(mutex_);
     if (stopping_) {
       lock.unlock();
       emitRejection(request, RejectReason::ShuttingDown,
@@ -145,7 +145,7 @@ bool JobService::admitAndQueue(JobRequest&& request) {
     ++stats_.admitted;
     ++stats_.queued;
     const auto depth = static_cast<double>(queue_.size());
-    const std::lock_guard metricsLock(metricsMutex_);
+    const support::LockGuard metricsLock(metricsMutex_);
     metrics_.add("serve/jobs_admitted", 1.0);
     metrics_.max("serve/queue_peak", depth);
   }
@@ -157,9 +157,13 @@ void JobService::workerLoop(const std::size_t slot) {
   while (true) {
     JobRequest request;
     {
-      std::unique_lock lock(mutex_);
-      workAvailable_.wait(lock,
-                          [this] { return stopping_ || !queue_.empty(); });
+      support::LockGuard lock(mutex_);
+      // Explicit wait loop: a predicate lambda is a separate function to the
+      // thread safety analysis and cannot see that mutex_ is held, so the
+      // guarded reads live in this (annotated) frame instead.
+      while (!stopping_ && queue_.empty()) {
+        workAvailable_.wait(lock);
+      }
       if (queue_.empty()) {
         return; // stopping_ and drained
       }
@@ -171,7 +175,7 @@ void JobService::workerLoop(const std::size_t slot) {
     }
     runJob(slot, std::move(request));
     {
-      const std::lock_guard lock(mutex_);
+      const support::LockGuard lock(mutex_);
       --stats_.active;
       --activeCount_;
       ++stats_.completed;
@@ -216,7 +220,7 @@ JobService::warmSourceFor(const QuantumCircuit& c1, const QuantumCircuit& c2,
     if (donorStats.gateCache.inserts > donorStats.gateCacheWarmHits &&
         sharedCache_.publish(donor) != 0) {
       snapshot = sharedCache_.acquire(nqubits, tolerance);
-      const std::lock_guard lock(metricsMutex_);
+      const support::LockGuard lock(metricsMutex_);
       metrics_.add("serve/shared_cache.publishes", 1.0);
     }
   } catch (const std::exception&) {
@@ -237,7 +241,7 @@ void JobService::runJob(const std::size_t slot, JobRequest request) {
     check::EquivalenceCheckingManager manager(c1, c2, config);
     manager.useTaskPool(&pool_);
     {
-      const std::lock_guard lock(mutex_);
+      const support::LockGuard lock(mutex_);
       running_[slot] = &manager;
       if (cancelRequested_) {
         // Shutdown raced this job's start: cancel before the first engine
@@ -247,12 +251,12 @@ void JobService::runJob(const std::size_t slot, JobRequest request) {
     }
     auto combined = manager.run();
     {
-      const std::lock_guard lock(mutex_);
+      const support::LockGuard lock(mutex_);
       running_[slot] = nullptr;
     }
     report = check::buildRunReport(manager, combined, config);
     {
-      const std::lock_guard lock(metricsMutex_);
+      const support::LockGuard lock(metricsMutex_);
       metrics_.add("serve/jobs_completed", 1.0);
       metrics_.add("serve/verdict." + check::criterionKey(combined.criterion),
                    1.0);
@@ -265,7 +269,7 @@ void JobService::runJob(const std::size_t slot, JobRequest request) {
     }
   } catch (const std::exception& e) {
     {
-      const std::lock_guard lock(mutex_);
+      const support::LockGuard lock(mutex_);
       running_[slot] = nullptr;
     }
     // The job was admitted but could not run (unreadable circuit file,
@@ -276,7 +280,7 @@ void JobService::runJob(const std::size_t slot, JobRequest request) {
     failure.criterion = check::EquivalenceCriterion::EngineError;
     failure.errorMessage = e.what();
     report = check::buildRunReport(failure, {}, config, {});
-    const std::lock_guard lock(metricsMutex_);
+    const support::LockGuard lock(metricsMutex_);
     metrics_.add("serve/jobs_completed", 1.0);
     metrics_.add("serve/verdict." +
                      check::criterionKey(failure.criterion),
@@ -318,11 +322,11 @@ void JobService::emitRejection(const JobRequest& request,
   job["detail"] = detail;
   report["job"] = std::move(job);
   {
-    const std::lock_guard lock(mutex_);
+    const support::LockGuard lock(mutex_);
     ++stats_.rejected;
   }
   {
-    const std::lock_guard lock(metricsMutex_);
+    const support::LockGuard lock(metricsMutex_);
     metrics_.add("serve/jobs_rejected", 1.0);
     metrics_.add("serve/rejected." + toString(reason), 1.0);
   }
@@ -332,14 +336,23 @@ void JobService::emitRejection(const JobRequest& request,
 }
 
 void JobService::drain() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && activeCount_ == 0; });
+  support::LockGuard lock(mutex_);
+  while (!queue_.empty() || activeCount_ != 0) {
+    idle_.wait(lock);
+  }
 }
 
 void JobService::shutdown(const bool cancelInFlight) {
+  // Serialize shutdown end to end. Without this lock, two concurrent
+  // shutdown() calls could both get past the already-shut-down check and
+  // race each other joining and clearing workers_ — and joining the same
+  // std::thread twice is undefined behaviour. The loser blocks here until
+  // the winner has finished the joins, then observes the drained state and
+  // returns early.
+  const support::LockGuard shutdownLock(shutdownMutex_);
   std::deque<JobRequest> abandoned;
   {
-    const std::lock_guard lock(mutex_);
+    const support::LockGuard lock(mutex_);
     if (stopping_ && workers_.empty()) {
       return; // already shut down
     }
@@ -374,7 +387,7 @@ void JobService::shutdown(const bool cancelInFlight) {
 obs::Json JobService::metricsJson() const {
   obs::CounterRegistry snapshot;
   {
-    const std::lock_guard lock(metricsMutex_);
+    const support::LockGuard lock(metricsMutex_);
     snapshot.merge(metrics_);
   }
   snapshot.max("serve/shared_cache.entries",
@@ -386,7 +399,7 @@ obs::Json JobService::metricsJson() const {
 }
 
 ServiceStats JobService::stats() const {
-  const std::lock_guard lock(mutex_);
+  const support::LockGuard lock(mutex_);
   return stats_;
 }
 

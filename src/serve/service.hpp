@@ -39,13 +39,12 @@
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
 #include "serve/job.hpp"
+#include "support/mutex.hpp"
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -161,22 +160,31 @@ private:
   check::TaskPool pool_;
   dd::SharedGateCache sharedCache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable workAvailable_;
-  std::condition_variable idle_;
-  std::deque<JobRequest> queue_;
+  // Lock order (outermost first): shutdownMutex_ -> mutex_ -> metricsMutex_.
+  // Never acquire a mutex earlier in this list while holding a later one.
+  mutable support::Mutex mutex_;
+  support::CondVar workAvailable_;
+  support::CondVar idle_;
+  std::deque<JobRequest> queue_ VERIQC_GUARDED_BY(mutex_);
   /// Managers of in-flight jobs, for shutdown-time cancellation. Keyed by
   /// worker thread index.
-  std::vector<check::EquivalenceCheckingManager*> running_;
-  std::size_t activeCount_ = 0;
-  bool stopping_ = false;
-  bool cancelRequested_ = false;
-  ServiceStats stats_;
+  std::vector<check::EquivalenceCheckingManager*> running_
+      VERIQC_GUARDED_BY(mutex_);
+  std::size_t activeCount_ VERIQC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ VERIQC_GUARDED_BY(mutex_) = false;
+  bool cancelRequested_ VERIQC_GUARDED_BY(mutex_) = false;
+  ServiceStats stats_ VERIQC_GUARDED_BY(mutex_);
 
-  mutable std::mutex metricsMutex_;
-  obs::CounterRegistry metrics_;
+  mutable support::Mutex metricsMutex_;
+  obs::CounterRegistry metrics_ VERIQC_GUARDED_BY(metricsMutex_);
 
-  std::vector<std::thread> workers_;
+  /// Serializes shutdown() end to end and guards the worker handles it
+  /// joins: two concurrent shutdown() calls must not race join()/clear()
+  /// (joining a std::thread twice is undefined behaviour). The constructor
+  /// populates workers_ before any other thread can observe the service, so
+  /// it needs no lock (constructors are exempt from the analysis anyway).
+  support::Mutex shutdownMutex_;
+  std::vector<std::thread> workers_ VERIQC_GUARDED_BY(shutdownMutex_);
 };
 
 } // namespace veriqc::serve

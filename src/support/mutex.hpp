@@ -1,0 +1,84 @@
+/// \file mutex.hpp
+/// \brief Annotated locking primitives for compile-time concurrency
+///        contracts.
+///
+/// `Mutex` wraps std::mutex as a Clang Thread Safety Analysis *capability*;
+/// `LockGuard` is the matching scoped capability — RAII like
+/// std::scoped_lock, but relockable (explicit lock()/unlock()) so
+/// unlock-early paths and condition-variable waits stay inside the analysed
+/// contract. `CondVar` is std::condition_variable_any, the only standard
+/// condition variable that accepts a custom BasicLockable: waits take the
+/// LockGuard directly, and from the analysis' point of view the capability is
+/// held across the wait — which is exactly the invariant wait() guarantees at
+/// return.
+///
+/// Predicate waits are deliberately not wrapped: a predicate lambda is a
+/// separate function to the analysis and cannot carry a REQUIRES annotation,
+/// so callers write the explicit `while (!pred) cv.wait(lock);` loop — the
+/// guarded reads then sit in the annotated caller where the analysis can see
+/// the lock is held.
+#pragma once
+
+#include "support/thread_annotations.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace veriqc::support {
+
+/// std::mutex as a named capability. Zero overhead: every member is an
+/// inline forward.
+class VERIQC_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VERIQC_ACQUIRE() { mutex_.lock(); }
+  void unlock() VERIQC_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() VERIQC_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+private:
+  std::mutex mutex_;
+};
+
+/// Scoped capability over Mutex: acquires at construction, releases at
+/// destruction, with explicit relock support for unlock-early paths
+/// (admission rejections) and CondVar waits.
+class VERIQC_SCOPED_CAPABILITY LockGuard {
+public:
+  explicit LockGuard(Mutex& mutex) VERIQC_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  ~LockGuard() VERIQC_RELEASE() {
+    if (held_) {
+      mutex_.unlock();
+    }
+  }
+
+  /// BasicLockable surface — also what CondVar::wait drives internally.
+  void lock() VERIQC_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() VERIQC_RELEASE() {
+    mutex_.unlock();
+    held_ = false;
+  }
+
+private:
+  Mutex& mutex_;
+  bool held_ = true;
+};
+
+/// Condition variable compatible with the annotated guard. wait()/wait_for
+/// release and reacquire through LockGuard's BasicLockable surface (inside
+/// an unannotated system header, invisible to the analysis — the capability
+/// is treated as held across the wait, matching the post-wait invariant).
+using CondVar = std::condition_variable_any;
+
+} // namespace veriqc::support

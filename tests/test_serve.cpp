@@ -436,6 +436,38 @@ TEST(JobServiceTest, ShutdownMidJobRecordsCancelledAndRejectsTheQueue) {
   EXPECT_EQ(stats.queued, 0U);
 }
 
+TEST(JobServiceTest, ConcurrentShutdownCallsDoNotDoubleJoin) {
+  // Regression: two shutdown() callers could both get past the
+  // already-shut-down check and race each other joining and clearing the
+  // worker handles — and joining the same std::thread twice is undefined
+  // behaviour. shutdown() is now serialized end to end under its own mutex,
+  // so every caller (including the destructor, which runs last) must return
+  // cleanly no matter how many race.
+  ServiceLimits limits;
+  limits.useSharedGateCache = false;
+  Capture capture;
+  JobService service(limits, quickDefaults(), capture.sink());
+  for (int i = 0; i < 4; ++i) {
+    service.submitLine(
+        jobLine("racy-" + std::to_string(i), heavyCircuit(), heavyCircuit()));
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    callers.emplace_back(
+        [&service] { service.shutdown(/*cancelInFlight=*/true); });
+  }
+  for (auto& caller : callers) {
+    caller.join();
+  }
+  // Still idempotent afterwards, and the service is properly down.
+  service.shutdown(/*cancelInFlight=*/false);
+  EXPECT_FALSE(service.submitLine(jobLine("late", bellA(), bellB())));
+  // One report per submission, none lost and none duplicated by the racing
+  // shutdowns (4 jobs + 1 post-shutdown rejection).
+  EXPECT_EQ(capture.count(), 5U);
+}
+
 TEST(JobServiceTest, SubmissionsAfterShutdownAreRejected) {
   Capture capture;
   JobService service(ServiceLimits{}, quickDefaults(), capture.sink());

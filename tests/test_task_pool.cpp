@@ -184,6 +184,33 @@ TEST(TaskPoolTest, ResolveSlotsMapsZeroToHardwareConcurrency) {
   EXPECT_EQ(TaskPool::resolveSlots(6), 6U);
 }
 
+TEST(TaskPoolTest, EnqueueWakesASleepingWorkerWithoutHelp) {
+  // Regression for a missed wakeup: enqueue used to notify the sleep
+  // condition variable without holding sleepMutex_, so the notify could land
+  // exactly between a worker's locked empty-recheck and its wait() — the
+  // worker then slept through the freshly queued task, and only the polling
+  // fallback in helpUntilDone kept runs live. This test removes that safety
+  // net: the submitting thread never calls wait() while a task is pending,
+  // so every task must be executed by a worker that the enqueue itself woke.
+  TaskPool pool(2); // exactly one worker thread to wake
+  TaskGroup group(pool);
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<bool> ran{false};
+    group.submit("wake", [&ran](std::size_t) {
+      ran.store(true, std::memory_order_release);
+    });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!ran.load(std::memory_order_acquire)) {
+      const bool timedOut = std::chrono::steady_clock::now() >= deadline;
+      ASSERT_FALSE(timedOut)
+          << "worker never woke for the task submitted in round " << round;
+      std::this_thread::yield();
+    }
+  }
+  group.wait();
+}
+
 TEST(TaskPoolTest, ManySmallGroupsDoNotDeadlock) {
   // Regression guard for lost-wakeup bugs: rapid-fire group churn across a
   // shared pool must always terminate.
